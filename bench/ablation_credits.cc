@@ -1,0 +1,84 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  (1) credit budget vs DDIO capacity — C_total is Eq. 1's whole point:
+//      undersizing wastes the fast path, oversizing reintroduces misses;
+//  (2) lazy-release batch size — the batch is what makes CPU-bypass flows
+//      exhaust their credits (and yield the fast path) while CPU-involved
+//      flows replenish quickly.
+#include <cstdio>
+
+#include "bench/scenarios.h"
+#include "common/stats.h"
+
+using namespace ceio;
+using namespace ceio::bench;
+
+namespace {
+
+struct Row {
+  double mpps;
+  double miss;
+  Nanos p99;
+};
+
+Row run_kv(const TestbedConfig& tc) {
+  Testbed bed(tc);
+  auto& kv = bed.make_kv_store();
+  for (FlowId id = 1; id <= 8; ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = FlowKind::kCpuInvolved;
+    fc.packet_size = 512;
+    fc.offered_rate = gbps(25.0);
+    bed.add_flow(fc, kv);
+  }
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(4));
+  Nanos p99 = 0;
+  for (const auto& r : bed.all_reports()) p99 = std::max(p99, r.p99);
+  return {bed.aggregate_mpps(), bed.llc_miss_rate(), p99};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CEIO design choices ===\n");
+
+  std::printf("\n(1) credit budget as a fraction of DDIO capacity (Eq. 1)\n");
+  {
+    TablePrinter table({"C_total/capacity", "credits", "Mpps", "miss%", "p99(us)"});
+    const LlcConfig llc{12 * kMiB, 12, 6, 2 * kKiB};
+    const auto capacity = llc.ddio_bytes() / llc.buffer_bytes;
+    for (const double frac : {0.25, 0.5, 0.85, 1.0, 2.0, 4.0}) {
+      TestbedConfig tc;
+      tc.system = SystemKind::kCeio;
+      tc.ceio_auto_credits = false;
+      tc.ceio.total_credits = static_cast<std::int64_t>(frac * static_cast<double>(capacity));
+      const Row r = run_kv(tc);
+      table.add_row({TablePrinter::fmt(frac, 2), std::to_string(tc.ceio.total_credits),
+                     TablePrinter::fmt(r.mpps), TablePrinter::fmt(r.miss * 100.0, 1),
+                     TablePrinter::fmt(to_micros(r.p99), 1)});
+    }
+    table.print();
+    std::printf("expected: miss rate jumps once credits exceed the DDIO capacity;\n"
+                "undersized budgets push traffic to the (slower) slow path.\n");
+  }
+
+  std::printf("\n(2) lazy credit release batch size\n");
+  {
+    TablePrinter table({"release batch", "Mpps", "miss%", "p99(us)"});
+    for (const int batch : {1, 8, 32, 128, 512}) {
+      TestbedConfig tc;
+      tc.system = SystemKind::kCeio;
+      tc.ceio.release_batch = batch;
+      const Row r = run_kv(tc);
+      table.add_row({std::to_string(batch), TablePrinter::fmt(r.mpps),
+                     TablePrinter::fmt(r.miss * 100.0, 1),
+                     TablePrinter::fmt(to_micros(r.p99), 1)});
+    }
+    table.print();
+    std::printf("expected: tiny batches waste doorbells, huge batches starve the\n"
+                "fast path of credits; the default (32) sits on the plateau.\n");
+  }
+  return 0;
+}

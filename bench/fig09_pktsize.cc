@@ -1,0 +1,58 @@
+// Figure 9 — throughput and LLC miss rate vs packet size (128–1024 B) under
+// static network conditions, for eRPC(DPDK), eRPC(RDMA) and LineFS(RDMA),
+// comparing Baseline / HostCC / ShRing / CEIO.
+#include <cstdio>
+
+#include "bench/scenarios.h"
+#include "common/stats.h"
+
+using namespace ceio;
+using namespace ceio::bench;
+
+namespace {
+
+constexpr SystemKind kSystems[] = {SystemKind::kLegacy, SystemKind::kHostcc,
+                                   SystemKind::kShring, SystemKind::kCeio};
+constexpr Bytes kSizes[] = {128, 256, 512, 1024};
+
+void run_setup(AppSetup setup) {
+  const bool bulk = setup == AppSetup::kLinefs;
+  std::printf("\n(%s)%s\n", to_string(setup),
+              bulk ? " [x = nominal size; chunk = 64x, wire MTU 2 KiB]" : "");
+  TablePrinter table({"pkt(B)", "Baseline", "HostCC", "ShRing", "CEIO", "Base miss%",
+                      "HostCC miss%", "ShRing miss%", "CEIO miss%"});
+  StaticResult base_ref{}, ceio_ref{};
+  for (const Bytes size : kSizes) {
+    std::vector<StaticResult> row;
+    for (const SystemKind system : kSystems) row.push_back(run_static(system, setup, size));
+    auto tput = [&](const StaticResult& r) {
+      return TablePrinter::fmt(bulk ? r.gbps : r.mpps) + (bulk ? " Gbps" : " Mpps");
+    };
+    table.add_row({std::to_string(size), tput(row[0]), tput(row[1]), tput(row[2]),
+                   tput(row[3]), TablePrinter::fmt(row[0].miss_rate * 100.0, 1),
+                   TablePrinter::fmt(row[1].miss_rate * 100.0, 1),
+                   TablePrinter::fmt(row[2].miss_rate * 100.0, 1),
+                   TablePrinter::fmt(row[3].miss_rate * 100.0, 1)});
+    if (size == 512) {
+      base_ref = row[0];
+      ceio_ref = row[3];
+    }
+  }
+  table.print();
+  const double base = bulk ? base_ref.gbps : base_ref.mpps;
+  const double ceio = bulk ? ceio_ref.gbps : ceio_ref.mpps;
+  if (base > 0) {
+    std::printf("at 512B: CEIO %.2fx over Baseline; miss rate %.0f%% -> %.0f%%\n",
+                ceio / base, base_ref.miss_rate * 100.0, ceio_ref.miss_rate * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: throughput and LLC miss rate vs packet size ===\n");
+  run_setup(AppSetup::kErpcDpdk);
+  run_setup(AppSetup::kErpcRdma);
+  run_setup(AppSetup::kLinefs);
+  return 0;
+}

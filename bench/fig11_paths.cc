@@ -1,0 +1,69 @@
+// Figure 11 — single-flow throughput of the CEIO fast path and slow path vs
+// message size, against a raw RDMA write (perftest ib_write_bw comparator).
+// The slow path is forced by granting the flow zero credits, exactly as the
+// paper does.
+#include <cstdio>
+
+#include "apps/raw_rdma.h"
+#include "bench/scenarios.h"
+#include "common/stats.h"
+
+using namespace ceio;
+using namespace ceio::bench;
+
+namespace {
+
+constexpr Bytes kMessageSizes[] = {512,       1 * kKiB,  2 * kKiB, 4 * kKiB,
+                                   8 * kKiB,  16 * kKiB, 64 * kKiB};
+
+double run_bw(SystemKind system, Bytes message, bool force_slow) {
+  TestbedConfig tc;
+  tc.system = system;
+  if (system == SystemKind::kCeio && force_slow) {
+    // Zero credits: the controller immediately steers the flow to on-NIC
+    // memory, so every byte takes NIC -> on-NIC DRAM -> PCIe -> host.
+    tc.ceio_auto_credits = false;
+    tc.ceio.total_credits = 0;
+    // The token bucket would hand the flow fresh credits on its next packet;
+    // disable traffic-triggered reactivation for the forced-slow experiment.
+    tc.ceio.reactivations_per_sec = 0.0;
+  }
+  Testbed bed(tc);
+  auto& app = bed.make_raw_rdma();
+  FlowConfig fc;
+  fc.id = 1;
+  fc.kind = FlowKind::kCpuBypass;
+  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
+  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - 1) / fc.packet_size);
+  fc.offered_rate = gbps(200.0);
+  fc.closed_loop_outstanding = 32;  // ib_write_bw keeps a deep posting queue
+  bed.add_flow(fc, app);
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(4));
+  return bed.aggregate_gbps();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11: CEIO fast path vs slow path vs ib_write_bw ===\n");
+  TablePrinter table({"msg size", "ib_write_bw(Gbps)", "CEIO fast(Gbps)", "CEIO slow(Gbps)",
+                      "slow/fast"});
+  double worst_gap = 0.0;
+  for (const Bytes message : kMessageSizes) {
+    const double raw = run_bw(SystemKind::kLegacy, message, false);
+    const double fast = run_bw(SystemKind::kCeio, message, false);
+    const double slow = run_bw(SystemKind::kCeio, message, true);
+    const double ratio = fast > 0 ? slow / fast : 0.0;
+    if (message >= 4 * kKiB) worst_gap = std::max(worst_gap, 1.0 - ratio);
+    std::string label = message >= kKiB ? std::to_string(message / kKiB) + "K"
+                                        : std::to_string(message) + "B";
+    table.add_row({label, TablePrinter::fmt(raw), TablePrinter::fmt(fast),
+                   TablePrinter::fmt(slow), TablePrinter::fmt(ratio, 2)});
+  }
+  table.print();
+  std::printf("slow-path gap for messages >= 4K: %.0f%% (paper: under 22%%)\n",
+              worst_gap * 100.0);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// §6.3 "Scenarios where CEIO's benefits are limited":
+//  (a) low memory pressure — 64 B packets with VxLAN decapsulation: the
+//      I/O footprint fits in the LLC, miss rates are negligible and all
+//      systems perform alike;
+//  (b) large packets — 9000 B jumbo frames reach line rate even with a
+//      high miss rate, because per-packet overheads amortise.
+#include <cstdio>
+
+#include "apps/echo.h"
+#include "apps/vxlan.h"
+#include "bench/scenarios.h"
+#include "common/stats.h"
+
+using namespace ceio;
+using namespace ceio::bench;
+
+namespace {
+
+struct Row {
+  double mpps;
+  double gbps;
+  double miss;
+};
+
+Row run_vxlan(SystemKind system) {
+  TestbedConfig tc;
+  tc.system = system;
+  Testbed bed(tc);
+  auto& vxlan = bed.make_vxlan();
+  // 64 B packets + VxLAN decap: tiny footprint, light per-packet work. The
+  // aggregate load (~78 Mpps, cf. the paper's 89 Mpps) stays under the
+  // cores' capacity, so no backlog forms and the byte footprint stays
+  // inside the DDIO ways for every system.
+  for (FlowId id = 1; id <= 8; ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = FlowKind::kCpuInvolved;
+    fc.packet_size = 64;
+    fc.offered_rate = gbps(3.0);
+    bed.add_flow(fc, vxlan);
+  }
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(4));
+  return {bed.aggregate_mpps(), bed.aggregate_gbps(), bed.llc_miss_rate()};
+}
+
+Row run_jumbo(SystemKind system) {
+  TestbedConfig tc;
+  tc.system = system;
+  // Jumbo frames need jumbo buffers; track the LLC at 16 KiB granularity so
+  // a 9000 B frame occupies one buffer (MTU 9000 configuration).
+  tc.llc.buffer_bytes = 16 * kKiB;
+  Testbed bed(tc);
+  auto& echo = bed.make_echo();
+  for (FlowId id = 1; id <= 8; ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = FlowKind::kCpuInvolved;
+    fc.packet_size = 9000;
+    fc.offered_rate = gbps(25.0);
+    bed.add_flow(fc, echo);
+  }
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(4));
+  return {bed.aggregate_mpps(), bed.aggregate_gbps(), bed.llc_miss_rate()};
+}
+
+void print(const char* title, Row (*runner)(SystemKind), bool bytes) {
+  std::printf("\n%s\n", title);
+  TablePrinter table({"system", bytes ? "Gbps" : "Mpps", "miss%"});
+  for (const SystemKind system :
+       {SystemKind::kLegacy, SystemKind::kHostcc, SystemKind::kShring, SystemKind::kCeio}) {
+    const Row r = runner(system);
+    table.add_row({to_string(system), TablePrinter::fmt(bytes ? r.gbps : r.mpps),
+                   TablePrinter::fmt(r.miss * 100.0, 1)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Limited-benefit scenarios (paper section 6.3) ===\n");
+  print("(a) 64B VxLAN echo, low memory pressure: all systems alike, low miss",
+        &run_vxlan, false);
+  print("(b) 9000B jumbo echo: line rate despite misses (overheads amortise)",
+        &run_jumbo, true);
+  return 0;
+}

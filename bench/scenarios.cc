@@ -1,0 +1,219 @@
+#include "bench/scenarios.h"
+
+namespace ceio::bench {
+namespace {
+
+FlowConfig involved_flow(FlowId id, const ScenarioConfig& cfg) {
+  FlowConfig fc;
+  fc.id = id;
+  fc.kind = FlowKind::kCpuInvolved;
+  fc.packet_size = cfg.packet_size;
+  fc.offered_rate = gbps(cfg.offered_gbps_per_flow);
+  return fc;
+}
+
+FlowConfig bypass_flow(FlowId id, const ScenarioConfig& cfg) {
+  FlowConfig fc;
+  fc.id = id;
+  fc.kind = FlowKind::kCpuBypass;
+  fc.packet_size = 2 * kKiB;
+  // 1 MiB chunks (LineFS write granularity).
+  fc.message_pkts = 512;
+  fc.offered_rate = gbps(cfg.offered_gbps_per_flow);
+  return fc;
+}
+
+TestbedConfig testbed_config(SystemKind system, std::uint64_t seed) {
+  TestbedConfig tc;
+  tc.system = system;
+  tc.seed = seed;
+  return tc;
+}
+
+PhaseResult measure_phase(Testbed& bed, const ScenarioConfig& cfg, int involved, int bypass,
+                          double reference_mpps) {
+  bed.run_for(cfg.phase_warmup);
+  bed.reset_measurement();
+  bed.run_for(cfg.phase_length - cfg.phase_warmup);
+  PhaseResult out;
+  out.involved_flows = involved;
+  out.bypass_flows = bypass;
+  out.involved_mpps = bed.aggregate_mpps(FlowKind::kCpuInvolved);
+  out.bypass_gbps = bed.aggregate_message_gbps(FlowKind::kCpuBypass);
+  out.miss_rate = bed.llc_miss_rate();
+  // "Expected" cannot exceed the ingress line rate for this packet size.
+  const double line_mpps =
+      bed.link().config().rate / (static_cast<double>(cfg.packet_size) * 8.0) / 1e6;
+  out.expected_mpps = std::min(involved * reference_mpps, line_mpps);
+  return out;
+}
+
+}  // namespace
+
+double single_core_reference_mpps(const ScenarioConfig& cfg) {
+  TestbedConfig tc = testbed_config(SystemKind::kShring, cfg.seed);
+  Testbed bed(tc);
+  auto& kv = bed.make_kv_store();
+  bed.add_flow(involved_flow(1, cfg), kv);
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(4));
+  return bed.aggregate_mpps(FlowKind::kCpuInvolved);
+}
+
+std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
+                                                  const ScenarioConfig& cfg) {
+  const double reference = single_core_reference_mpps(cfg);
+  Testbed bed(testbed_config(system, cfg.seed));
+  auto& kv = bed.make_kv_store();
+  auto& dfs = bed.make_linefs();
+
+  const int n = cfg.initial_involved_flows;
+  for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
+    bed.add_flow(involved_flow(id, cfg), kv);
+  }
+  std::vector<PhaseResult> results;
+  int involved = n;
+  int bypass = 0;
+  results.push_back(measure_phase(bed, cfg, involved, bypass, reference));
+  for (int phase = 1; phase < cfg.phases && involved >= 2; ++phase) {
+    // Replace two CPU-involved flows with two CPU-bypass flows.
+    const FlowId victim_a = static_cast<FlowId>(involved);
+    const FlowId victim_b = static_cast<FlowId>(involved - 1);
+    bed.remove_flow(victim_a);
+    bed.remove_flow(victim_b);
+    involved -= 2;
+    bed.add_flow(bypass_flow(static_cast<FlowId>(100 + 2 * phase), cfg), dfs);
+    bed.add_flow(bypass_flow(static_cast<FlowId>(101 + 2 * phase), cfg), dfs);
+    bypass += 2;
+    results.push_back(measure_phase(bed, cfg, involved, bypass, reference));
+  }
+  return results;
+}
+
+std::vector<PhaseResult> run_network_burst(SystemKind system, const ScenarioConfig& cfg) {
+  const double reference = single_core_reference_mpps(cfg);
+  Testbed bed(testbed_config(system, cfg.seed));
+  auto& kv = bed.make_kv_store();
+
+  const int n = cfg.initial_involved_flows;
+  for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
+    bed.add_flow(involved_flow(id, cfg), kv);
+  }
+  std::vector<PhaseResult> results;
+  int involved = n;
+  results.push_back(measure_phase(bed, cfg, involved, 0, reference));
+  for (int phase = 1; phase < cfg.phases; ++phase) {
+    // Two additional burst flows arrive, each with its own core.
+    bed.add_flow(involved_flow(static_cast<FlowId>(200 + 2 * phase), cfg), kv);
+    bed.add_flow(involved_flow(static_cast<FlowId>(201 + 2 * phase), cfg), kv);
+    involved += 2;
+    results.push_back(measure_phase(bed, cfg, involved, 0, reference));
+  }
+  return results;
+}
+
+const char* to_string(AppSetup setup) {
+  switch (setup) {
+    case AppSetup::kErpcDpdk:
+      return "eRPC(DPDK)";
+    case AppSetup::kErpcRdma:
+      return "eRPC(RDMA)";
+    case AppSetup::kLinefs:
+      return "LineFS(RDMA)";
+  }
+  return "?";
+}
+
+StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
+                        const ScenarioConfig& cfg) {
+  TestbedConfig tc = testbed_config(system, cfg.seed);
+  if (setup == AppSetup::kErpcRdma) {
+    // RDMA transport: thinner per-packet driver path than DPDK's ethdev.
+    tc.cpu.per_packet_cost = 50;
+  }
+  Testbed bed(tc);
+  Application* app = nullptr;
+  if (setup == AppSetup::kLinefs) {
+    app = &bed.make_linefs();
+  } else {
+    app = &bed.make_kv_store();
+  }
+  const int n = cfg.initial_involved_flows;
+  for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
+    FlowConfig fc = involved_flow(id, cfg);
+    fc.packet_size = packet_size;
+    if (setup == AppSetup::kLinefs) {
+      fc.kind = FlowKind::kCpuBypass;
+      // LineFS over RDMA always moves MTU-sized wire packets; the sweep
+      // parameter scales the *chunk* (I/O) size, 64x the nominal packet
+      // size (8-64 KiB chunks). Per-chunk working sets at this scale are
+      // what an LLC-managed datapath can keep resident for the replication
+      // worker — the effect Figure 9c measures. (The dynamic scenarios use
+      // 1 MiB chunks, whose whole point is to flush the cache.)
+      fc.packet_size = 2 * kKiB;
+      fc.message_pkts = static_cast<std::uint32_t>(
+          std::max<Bytes>(64 * packet_size / fc.packet_size, 1));
+    }
+    bed.add_flow(fc, *app);
+  }
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(5));
+
+  StaticResult out;
+  out.mpps = bed.aggregate_mpps();
+  out.gbps = setup == AppSetup::kLinefs ? bed.aggregate_message_gbps()
+                                        : bed.aggregate_gbps();
+  out.miss_rate = bed.llc_miss_rate();
+  Nanos p99_sum = 0, p999_sum = 0;
+  std::int64_t count = 0;
+  for (const auto& r : bed.all_reports()) {
+    p99_sum += r.p99;
+    p999_sum += r.p999;
+    out.drops += r.drops;
+    ++count;
+  }
+  if (count > 0) {
+    out.p99 = p99_sum / count;
+    out.p999 = p999_sum / count;
+  }
+  return out;
+}
+
+StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
+                              Bytes packet_size, int closed_loop_outstanding) {
+  Testbed bed(testbed_config(system, 1));
+  auto& echo = bed.make_echo();
+  for (FlowId id = 1; id <= static_cast<FlowId>(flows); ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = FlowKind::kCpuInvolved;
+    fc.packet_size = packet_size;
+    fc.offered_rate = gbps(offered_gbps);
+    fc.closed_loop_outstanding = closed_loop_outstanding;
+    bed.add_flow(fc, echo);
+  }
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(5));
+  StaticResult out;
+  out.mpps = bed.aggregate_mpps();
+  out.gbps = bed.aggregate_gbps();
+  out.miss_rate = bed.llc_miss_rate();
+  Nanos p99_sum = 0, p999_sum = 0;
+  std::int64_t count = 0;
+  for (const auto& r : bed.all_reports()) {
+    p99_sum += r.p99;
+    p999_sum += r.p999;
+    out.drops += r.drops;
+    ++count;
+  }
+  if (count > 0) {
+    out.p99 = p99_sum / count;
+    out.p999 = p999_sum / count;
+  }
+  return out;
+}
+
+}  // namespace ceio::bench

@@ -1,0 +1,82 @@
+// Shared experiment scenarios for the benchmark harness.
+//
+// Each figure/table binary composes these runners and prints the same
+// rows/series the paper reports. Phase lengths are scaled from the paper's
+// 10-second phases to simulated milliseconds (the dynamics — DCTCP
+// convergence, credit reallocation, drain cycles — play out in tens of
+// microseconds, so millisecond phases reach steady state).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "iopath/testbed.h"
+
+namespace ceio::bench {
+
+/// Measurement for one phase of a dynamic scenario.
+struct PhaseResult {
+  int involved_flows = 0;
+  int bypass_flows = 0;
+  double involved_mpps = 0.0;
+  double bypass_gbps = 0.0;
+  double miss_rate = 0.0;
+  double expected_mpps = 0.0;  // involved_flows x single-core reference
+};
+
+struct ScenarioConfig {
+  Nanos phase_length = millis(6);
+  Nanos phase_warmup = millis(2);  // settle before measuring each phase
+  int phases = 4;
+  Bytes packet_size = 512;
+  double offered_gbps_per_flow = 25.0;
+  int initial_involved_flows = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Single-core reference: one CPU-involved KV flow on ShRing with ample LLC
+/// ("expected performance" definition from Figure 4).
+double single_core_reference_mpps(const ScenarioConfig& cfg = {});
+
+/// Figure 4a / 10a: start with 8 CPU-involved (eRPC-KV) flows; each phase
+/// replaces two of them with CPU-bypass (LineFS) flows.
+std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
+                                                  const ScenarioConfig& cfg = {});
+
+/// Figure 4b / 10b: 8 CPU-involved flows; each phase two additional burst
+/// CPU-involved flows (with their own cores) arrive.
+std::vector<PhaseResult> run_network_burst(SystemKind system, const ScenarioConfig& cfg = {});
+
+/// Static-conditions run (Figure 9): n involved flows of one app type at a
+/// given packet size; returns {aggregate mpps or gbps, miss rate, p99, p999}.
+struct StaticResult {
+  double mpps = 0.0;
+  double gbps = 0.0;
+  double miss_rate = 0.0;
+  Nanos p99 = 0;
+  Nanos p999 = 0;
+  std::int64_t drops = 0;
+};
+
+enum class AppSetup {
+  kErpcDpdk,  // KV store, DPDK-flavoured per-packet cost
+  kErpcRdma,  // KV store, RDMA-flavoured per-packet cost
+  kLinefs,    // CPU-bypass chunk writes
+};
+
+const char* to_string(AppSetup setup);
+
+StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
+                        const ScenarioConfig& cfg = {});
+
+/// Echo latency run (Table 2): n flows at given per-flow rate; returns the
+/// flow-averaged P99/P99.9. `closed_loop_outstanding` > 0 switches to the
+/// eRPC-style closed loop (each client keeps that many requests in flight).
+StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
+                              Bytes packet_size = 512, int closed_loop_outstanding = 0);
+
+}  // namespace ceio::bench

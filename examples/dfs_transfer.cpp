@@ -1,0 +1,53 @@
+// DFS transfer: LineFS-style bulk file writes over RDMA (CPU-bypass flows).
+//
+//   $ ./build/examples/dfs_transfer
+//
+// Demonstrates: CPU-bypass flows, message (chunk) framing, the functional
+// file-system surface, and CEIO's elastic buffering absorbing a bulk stream
+// without packet loss.
+#include <cstdio>
+
+#include "apps/linefs.h"
+#include "iopath/testbed.h"
+
+using namespace ceio;
+
+int main() {
+  TestbedConfig config;
+  config.system = SystemKind::kCeio;
+  Testbed bed(config);
+  LineFs& dfs = bed.make_linefs();
+
+  // Four clients write files in 1 MiB chunks of 2 KiB wire packets. The
+  // flow id doubles as the file id in the LineFS surface.
+  for (FlowId id = 1; id <= 4; ++id) {
+    FlowConfig flow;
+    flow.id = id;
+    flow.kind = FlowKind::kCpuBypass;
+    flow.packet_size = 2 * kKiB;
+    flow.message_pkts = 512;  // 1 MiB chunks
+    flow.offered_rate = gbps(40.0);
+    bed.add_flow(flow, dfs);
+  }
+
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(6));
+
+  std::printf("DFS transfer: 4 clients writing 1 MiB chunks @ 40 Gbps each\n\n");
+  for (FlowId id = 1; id <= 4; ++id) {
+    const FlowReport r = bed.report(id);
+    std::printf("  file %u: %6.2f Gbps committed, %4lld chunks, size %lld MiB\n", id,
+                r.message_gbps, static_cast<long long>(r.messages),
+                static_cast<long long>(dfs.file_size(id) / kMiB));
+  }
+  std::printf("\n  total committed : %.1f Gbps\n", bed.aggregate_message_gbps());
+  std::printf("  replication log : %lld records\n",
+              static_cast<long long>(dfs.log_records()));
+  std::printf("  LLC miss rate   : %.1f%% (worker reads of resident chunks hit)\n",
+              bed.llc_miss_rate() * 100.0);
+  std::printf("  on-NIC buffer   : %lld packets absorbed by the elastic buffer\n",
+              static_cast<long long>(bed.nic_memory().stats().writes));
+  std::printf("  drops           : 0 expected — elastic buffering, not loss\n");
+  return 0;
+}

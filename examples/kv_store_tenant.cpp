@@ -1,0 +1,76 @@
+// KV-store tenant: the paper's motivating RPC workload (eRPC-style
+// key-value store) under heavy load, compared across all four systems.
+//
+//   $ ./build/examples/kv_store_tenant
+//
+// Demonstrates: multi-flow setup, overload behaviour, and how CEIO keeps the
+// I/O working set inside the DDIO ways where the baseline thrashes.
+#include <cstdio>
+
+#include "apps/kv_store.h"
+#include "common/stats.h"
+#include "iopath/testbed.h"
+
+using namespace ceio;
+
+namespace {
+
+struct Result {
+  double mpps;
+  double miss;
+  Nanos p99;
+  std::int64_t drops;
+};
+
+Result run(SystemKind system) {
+  TestbedConfig config;
+  config.system = system;
+  Testbed bed(config);
+  KvStore& kv = bed.make_kv_store();
+
+  // Eight tenant flows, one pinned core each (the paper's §2.3 setup):
+  // 512 B get/put requests saturating a 200 Gbps ingress link.
+  for (FlowId id = 1; id <= 8; ++id) {
+    FlowConfig flow;
+    flow.id = id;
+    flow.kind = FlowKind::kCpuInvolved;
+    flow.packet_size = 512;
+    flow.offered_rate = gbps(25.0);
+    bed.add_flow(flow, kv);
+  }
+
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(5));
+
+  Result out{};
+  out.mpps = bed.aggregate_mpps();
+  out.miss = bed.llc_miss_rate();
+  std::int64_t drops = 0;
+  Nanos worst_p99 = 0;
+  for (const auto& r : bed.all_reports()) {
+    drops += r.drops;
+    worst_p99 = std::max(worst_p99, r.p99);
+  }
+  out.p99 = worst_p99;
+  out.drops = drops;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("KV store tenant: 8 flows x 25 Gbps of 512B get/put requests\n\n");
+  TablePrinter table({"system", "Mpps", "LLC miss%", "worst p99 (us)", "drops"});
+  for (const SystemKind system : {SystemKind::kLegacy, SystemKind::kHostcc,
+                                  SystemKind::kShring, SystemKind::kCeio}) {
+    const Result r = run(system);
+    table.add_row({to_string(system), TablePrinter::fmt(r.mpps),
+                   TablePrinter::fmt(r.miss * 100.0, 1),
+                   TablePrinter::fmt(to_micros(r.p99), 1), std::to_string(r.drops)});
+  }
+  table.print();
+  std::printf("\nCEIO's proactive credits keep the RX working set inside the DDIO\n"
+              "ways, so requests are served from the LLC instead of DRAM.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Application cost-model interface.
+//
+// A datapath delivers packets; the application decides what the CPU must do
+// with them. CPU-involved applications (RPC, echo) pay per-packet costs on
+// the flow's pinned core; CPU-bypass applications (DFS over RDMA) pay
+// per-*message* costs (replication, logging) triggered by the message
+// completion — matching the write-with-immediate pattern the paper
+// describes. Costs are expressed as `PacketWork` fields so cache residency
+// of the touched buffers feeds back into service time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "host/cpu_core.h"
+#include "nic/packet.h"
+
+namespace ceio {
+
+/// Per-packet CPU cost description returned by an application.
+struct AppPacketCosts {
+  Nanos app_cost = 0;    // application cycles beyond framework overhead
+  bool read_buffer = true;  // touch the RX buffer (cache hit/miss matters)
+  BufferId copy_to = 0;  // nonzero: memcpy payload into this app buffer
+};
+
+/// Per-message CPU cost description (zeroed when no message work exists).
+struct AppMessageCosts {
+  Nanos app_cost = 0;
+  Bytes copy_bytes = 0;   // bytes memcpy'd from I/O buffers to app memory
+  BufferId copy_to = 0;   // destination app buffer (0 = allocate internally)
+  bool read_source = false;  // worker reads the delivered buffers (per buffer)
+  bool stream_dest = false;  // destination written with non-temporal stores
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Human-readable name for reports ("erpc-kv", "linefs", "echo").
+  virtual const char* name() const = 0;
+
+  /// True when every packet needs CPU processing (CPU-involved flows).
+  virtual bool per_packet_cpu() const = 0;
+
+  /// True when the CPU eventually reads delivered payloads (per packet or in
+  /// message work). Pure sinks (raw RDMA writes) return false, which exempts
+  /// their buffers from premature-eviction accounting — eviction to DRAM is
+  /// their normal fate, not a pathology.
+  virtual bool reads_delivered_data() const { return true; }
+
+  /// Cost of processing one packet on the flow's core. Only consulted when
+  /// per_packet_cpu() is true.
+  virtual AppPacketCosts packet_costs(const Packet& pkt) = 0;
+
+  /// Cost of the message-completion work (may be zero). For CPU-bypass
+  /// applications this is where the real work happens.
+  virtual AppMessageCosts message_costs(const Packet& last_pkt) = 0;
+};
+
+}  // namespace ceio

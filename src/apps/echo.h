@@ -1,0 +1,38 @@
+// Echo server (dperf-style): the lightest possible CPU-involved application.
+//
+// The server touches each request buffer and sends back a 64 B ack. Used by
+// the paper for the highest-data-path-rate experiments (Figures 11/12,
+// Tables 2/3).
+#pragma once
+
+#include "apps/application.h"
+
+namespace ceio {
+
+struct EchoConfig {
+  Nanos touch_cost = 20;  // read + ack construction
+};
+
+class EchoApp final : public Application {
+ public:
+  explicit EchoApp(const EchoConfig& config = {}) : config_(config) {}
+
+  const char* name() const override { return "echo"; }
+  bool per_packet_cpu() const override { return true; }
+
+  AppPacketCosts packet_costs(const Packet& pkt) override {
+    (void)pkt;
+    ++echoed_;
+    return AppPacketCosts{config_.touch_cost, /*read_buffer=*/true, /*copy_to=*/0};
+  }
+
+  AppMessageCosts message_costs(const Packet&) override { return {}; }
+
+  std::int64_t echoed() const { return echoed_; }
+
+ private:
+  EchoConfig config_;
+  std::int64_t echoed_ = 0;
+};
+
+}  // namespace ceio

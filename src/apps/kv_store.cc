@@ -1,0 +1,63 @@
+#include "apps/kv_store.h"
+
+namespace ceio {
+namespace {
+// App buffer ids live far above the RX pool ranges so they never collide.
+constexpr BufferId kKvAppBufferBase = 1ULL << 40;
+}  // namespace
+
+KvStore::KvStore(Rng& rng, const KvConfig& config)
+    : rng_(rng), config_(config), next_app_buffer_(kKvAppBufferBase) {
+  keys_.reserve(config_.entries);
+  for (std::size_t i = 0; i < config_.entries; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    key.resize(static_cast<std::size_t>(config_.key_bytes), 'k');
+    std::string value(static_cast<std::size_t>(config_.value_bytes), 'v');
+    keys_.push_back(key);
+    store_.emplace(std::move(key), std::move(value));
+  }
+}
+
+AppPacketCosts KvStore::packet_costs(const Packet& pkt) {
+  (void)pkt;
+  AppPacketCosts costs;
+  const bool is_get = rng_.chance(config_.get_fraction);
+  if (is_get) {
+    ++gets_;
+  } else {
+    ++puts_;
+  }
+  // Exercise the functional store so the cost model and the real structure
+  // stay honest with each other.
+  const auto& key = keys_[rng_.zipf(keys_.size(), config_.zipf_skew)];
+  if (is_get) {
+    (void)get(key);
+  } else {
+    // Overwrite with a same-sized value (steady-state put).
+    put(key, std::string(static_cast<std::size_t>(config_.value_bytes), 'u'));
+  }
+  costs.app_cost = config_.lookup_cost + config_.response_cost;
+  costs.read_buffer = true;
+  if (!config_.zero_copy) {
+    // Non-zero-copy variant: request payload is copied into an app buffer
+    // before processing (used by the §6.4 zero-copy lesson experiment).
+    costs.copy_to = next_app_buffer_++;
+  }
+  return costs;
+}
+
+AppMessageCosts KvStore::message_costs(const Packet& last_pkt) {
+  (void)last_pkt;
+  return {};  // RPC requests are single-packet; all work is per packet.
+}
+
+void KvStore::put(const std::string& key, std::string value) {
+  store_[key] = std::move(value);
+}
+
+const std::string* KvStore::get(const std::string& key) const {
+  const auto it = store_.find(key);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ceio

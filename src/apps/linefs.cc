@@ -1,0 +1,56 @@
+#include "apps/linefs.h"
+
+namespace ceio {
+namespace {
+constexpr BufferId kLogBufferBase = 1ULL << 42;
+}  // namespace
+
+LineFs::LineFs(const LineFsConfig& config)
+    : config_(config), next_log_buffer_(kLogBufferBase) {}
+
+AppPacketCosts LineFs::packet_costs(const Packet& pkt) {
+  (void)pkt;
+  // CPU-bypass: never called by well-behaved datapaths; return a no-op.
+  return AppPacketCosts{0, false, 0};
+}
+
+AppMessageCosts LineFs::message_costs(const Packet& last_pkt) {
+  AppMessageCosts costs;
+  const Bytes chunk = static_cast<Bytes>(last_pkt.message_pkts) * last_pkt.size;
+  append_chunk(last_pkt.flow, chunk);
+  // Replication: the worker copies the chunk replication_factor times into
+  // cold log regions. Software cost scales with bytes; the *memory* cost
+  // (misses on the cold destinations) is charged by the CPU core model via
+  // copy_to / copy_bytes.
+  costs.copy_bytes = chunk * config_.replication_factor;
+  costs.copy_to = next_log_buffer_;
+  next_log_buffer_ += 4096;  // block-id stride: log destinations never alias
+  costs.read_source = true;   // the worker walks the chunk's RX buffers
+  costs.stream_dest = true;   // log/replica writes are non-temporal
+  costs.app_cost =
+      config_.log_append_cost +
+      static_cast<Nanos>(config_.copy_cost_ns_per_byte * static_cast<double>(costs.copy_bytes));
+  ++log_records_;
+  return costs;
+}
+
+Bytes LineFs::append_chunk(std::uint64_t file_id, Bytes bytes) {
+  ++chunks_;
+  for (auto& [id, size] : files_) {
+    if (id == file_id) {
+      size += bytes;
+      return size;
+    }
+  }
+  files_.emplace_back(file_id, bytes);
+  return bytes;
+}
+
+Bytes LineFs::file_size(std::uint64_t file_id) const {
+  for (const auto& [id, size] : files_) {
+    if (id == file_id) return size;
+  }
+  return 0;
+}
+
+}  // namespace ceio

@@ -1,0 +1,31 @@
+// Raw RDMA write sink: the perftest (ib_write_bw / ib_write_lat) workload.
+//
+// Pure CPU-bypass with no application work at all — data lands in registered
+// memory and the message completion (write-with-immediate) is the only
+// signal. Used as the comparator series in Figure 11 and Table 3.
+#pragma once
+
+#include "apps/application.h"
+
+namespace ceio {
+
+class RawRdmaApp final : public Application {
+ public:
+  const char* name() const override { return "raw-rdma"; }
+  bool per_packet_cpu() const override { return false; }
+  bool reads_delivered_data() const override { return false; }
+
+  AppPacketCosts packet_costs(const Packet&) override { return {0, false, 0}; }
+
+  AppMessageCosts message_costs(const Packet&) override {
+    ++messages_;
+    return {};
+  }
+
+  std::int64_t messages() const { return messages_; }
+
+ private:
+  std::int64_t messages_ = 0;
+};
+
+}  // namespace ceio

@@ -1,0 +1,39 @@
+// VxLAN decapsulation network function (the paper's §6.3 low-memory-pressure
+// workload): per-packet header processing with a tiny data footprint — only
+// the outer/inner headers are touched, so the working set fits comfortably
+// in the LLC and cache management adds nothing.
+#pragma once
+
+#include "apps/application.h"
+
+namespace ceio {
+
+struct VxlanConfig {
+  Nanos decap_cost = 30;    // outer header strip + inner header rewrite
+  Nanos lookup_cost = 45;   // VNI -> vport table lookup
+};
+
+class VxlanApp final : public Application {
+ public:
+  explicit VxlanApp(const VxlanConfig& config = {}) : config_(config) {}
+
+  const char* name() const override { return "vxlan-nf"; }
+  bool per_packet_cpu() const override { return true; }
+
+  AppPacketCosts packet_costs(const Packet& pkt) override {
+    (void)pkt;
+    ++decapsulated_;
+    return AppPacketCosts{config_.decap_cost + config_.lookup_cost,
+                          /*read_buffer=*/true, /*copy_to=*/0};
+  }
+
+  AppMessageCosts message_costs(const Packet&) override { return {}; }
+
+  std::int64_t decapsulated() const { return decapsulated_; }
+
+ private:
+  VxlanConfig config_;
+  std::int64_t decapsulated_ = 0;
+};
+
+}  // namespace ceio

@@ -1,0 +1,706 @@
+#include "ceio/ceio_datapath.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ceio {
+namespace {
+// Host landing buffers for slow-path drains live in their own id range,
+// one rotating window per flow.
+constexpr BufferId kSlowLandingBase = 1ULL << 32;
+constexpr BufferId kLandingWindow = 1ULL << 16;
+// Application-posted zero-copy RX buffers (paper §5 post_recv()).
+constexpr BufferId kPostedBase = 1ULL << 46;
+
+bool is_pool_buffer(BufferId id) { return id != 0 && id < kSlowLandingBase; }
+bool is_slow_landing(BufferId id) {
+  return id >= kSlowLandingBase && id < kBypassBufferBase;
+}
+}  // namespace
+
+CeioDatapath::CeioDatapath(EventScheduler& sched, DmaEngine& dma, MemoryController& mc,
+                           BufferPool& host_pool, RmtEngine& rmt, NicMemory& nic_mem,
+                           const CeioConfig& config)
+    : DatapathBase(sched, dma, mc, host_pool),
+      rmt_(rmt),
+      nic_mem_(nic_mem),
+      config_(config),
+      credits_(config.total_credits) {
+  // Controller loops run on the NIC cores for the lifetime of the runtime.
+  auto alive = alive_;
+  sched_.schedule_after(config_.poll_interval, [this, alive]() {
+    if (*alive) controller_poll();
+  });
+  sched_.schedule_after(config_.reactivate_period, [this, alive]() {
+    if (*alive) reactivation_round();
+  });
+}
+
+CeioDatapath::~CeioDatapath() { *alive_ = false; }
+
+CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) {
+  const auto it = ext_.find(id);
+  return it == ext_.end() ? nullptr : &it->second;
+}
+
+const CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) const {
+  const auto it = ext_.find(id);
+  return it == ext_.end() ? nullptr : &it->second;
+}
+
+bool CeioDatapath::in_slow_mode(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  return ext != nullptr && ext->slow_mode;
+}
+
+int CeioDatapath::mpq_level(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  if (ext == nullptr) return 0;
+  int level = 0;
+  for (const Bytes threshold : config_.mpq_thresholds) {
+    if (ext->bytes_seen >= threshold) ++level;
+  }
+  return level;
+}
+
+std::size_t CeioDatapath::slow_backlog(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  if (ext == nullptr) return 0;
+  return ext->elastic->backlog() + static_cast<std::size_t>(ext->elastic->in_flight()) +
+         ext->landed_slow.size();
+}
+
+CeioDatapath::SlowDebug CeioDatapath::debug_slow_state(FlowId id) const {
+  SlowDebug out;
+  const Ext* ext = ext_of(id);
+  if (ext == nullptr) return out;
+  out.nic_ring = ext->elastic->backlog();
+  out.in_flight = ext->elastic->in_flight();
+  out.landed = ext->landed_slow.size();
+  out.sw_segments = ext->sw.segment_count();
+  out.sw_pending = ext->sw.pending();
+  out.lost_fast = ext->lost_fast;
+  out.cpu_pumping = ext->cpu_pumping;
+  const FlowState* fs = const_cast<CeioDatapath*>(this)->state_of(id);
+  if (fs != nullptr && fs->ring) out.fast_ring = fs->ring->size();
+  out.sw_head_fast = ext->sw.next() == SwRing::Path::kFast;
+  out.slow_pool_free = 0;
+  out.host_pool_free = host_pool_.available();
+  return out;
+}
+
+std::int64_t CeioDatapath::debug_unworked(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  return ext == nullptr ? 0 : ext->slow_landed_unworked;
+}
+
+std::size_t CeioDatapath::debug_open_messages(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  return ext == nullptr ? 0 : ext->msg_path_counts.size();
+}
+
+void CeioDatapath::on_flow_registered(FlowState& fs) {
+  const FlowId id = fs.rt.config.id;
+  fs.ring = std::make_unique<RxRing>(config_.fast_ring_entries, "ceio-fast");
+  auto [it, inserted] = ext_.try_emplace(id);
+  Ext& ext = it->second;
+  if (inserted) {
+    const std::size_t window = config_.async_drain ? config_.drain_window : 1;
+    ext.elastic = std::make_unique<ElasticBuffer>(
+        sched_, nic_mem_, dma_, window,
+        [this, id](Packet pkt, Nanos now) { on_slow_read_complete(id, std::move(pkt), now); },
+        [this, id]() {
+          // Pause the drain while too many landed packets sit unconsumed in
+          // host memory (they occupy DDIO ways without credits). For
+          // involved flows that is the landed queue; for bypass flows it is
+          // landed data whose message work has not retired.
+          const Ext* e = ext_of(id);
+          if (e == nullptr) return true;
+          const FlowState* f = const_cast<CeioDatapath*>(this)->state_of(id);
+          const bool involved = f == nullptr || f->rt.app->per_packet_cpu();
+          if (involved) return e->landed_slow.size() < config_.landed_cap;
+          // Bypass: landed-but-unworked slow data shares the flow's LLC
+          // budget with its unreleased fast-path credits, so the combined
+          // resident footprint stays near the flow's fair share. One
+          // exception keeps the system live: when the worker has nothing
+          // queued, only draining more can ever complete the message being
+          // assembled — the landed data may all belong to an incomplete
+          // message whose remainder sits behind this very gate, and closing
+          // it would deadlock the flow (completion is the only thing that
+          // shrinks the unworked count).
+          if (f != nullptr && f->rt.core != nullptr && f->rt.core->idle()) return true;
+          const std::int64_t budget = credits_.fair_share();
+          return e->unreleased + std::max<std::int64_t>(e->slow_landed_unworked, 0) < budget;
+        });
+    // Rotating driver-posted landing buffers for slow-path drains, disjoint
+    // from every pool range.
+    ext.next_landing_buffer = kSlowLandingBase + (static_cast<BufferId>(id) << 20);
+    reactivation_order_.push_back(id);
+  }
+  ext.last_packet_at = sched_.now();
+  rmt_.install_rule(id, SteerAction::kToHost);
+  credits_.add_flows({id});
+}
+
+void CeioDatapath::on_flow_unregistered(FlowState& fs) {
+  const FlowId id = fs.rt.config.id;
+  rmt_.remove_rule(id);
+  credits_.remove_flow(id);
+  // In-flight DMA-read callbacks reference the elastic buffer; park it until
+  // the runtime is destroyed instead of freeing it under them.
+  if (auto node = ext_.extract(id); !node.empty() && node.mapped().elastic) {
+    retired_.push_back(std::move(node.mapped().elastic));
+  }
+  reactivation_order_.erase(
+      std::remove(reactivation_order_.begin(), reactivation_order_.end(), id),
+      reactivation_order_.end());
+}
+
+void CeioDatapath::set_manual_consume(FlowId id, bool manual) {
+  Ext* ext = ext_of(id);
+  if (ext == nullptr) return;
+  ext->manual = manual;
+  if (ext->next_posted_id == 0) {
+    ext->next_posted_id = kPostedBase + (static_cast<BufferId>(id) << 20);
+  }
+  if (manual) pump(id);  // sweep anything already landed into the queue
+}
+
+std::vector<Packet> CeioDatapath::driver_recv(FlowId id, std::size_t max_pkts,
+                                              bool eager_drain) {
+  std::vector<Packet> out;
+  FlowState* fs = state_of(id);
+  Ext* ext = ext_of(id);
+  if (fs == nullptr || ext == nullptr || !ext->manual) return out;
+  manual_pump(*fs, *ext);
+  while (out.size() < max_pkts && !ext->driver_queue.empty()) {
+    out.push_back(std::move(ext->driver_queue.front()));
+    ext->driver_queue.pop_front();
+  }
+  // Demand kick: the next in-order packet is on the slow path and has not
+  // landed — start (or keep) the drain so a later call finds it. async_recv
+  // arms the drain even when the queue satisfied the request.
+  if (eager_drain || (out.size() < max_pkts && ext->sw.next() == SwRing::Path::kSlow)) {
+    kick_drain(id, *ext);
+  }
+  return out;
+}
+
+std::vector<BufferId> CeioDatapath::driver_post_recv(FlowId id, std::size_t count) {
+  std::vector<BufferId> out;
+  Ext* ext = ext_of(id);
+  if (ext == nullptr) return out;
+  if (ext->next_posted_id == 0) {
+    ext->next_posted_id = kPostedBase + (static_cast<BufferId>(id) << 20);
+  }
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const BufferId buf = ext->next_posted_id++;
+    ext->posted.push_back(buf);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+void CeioDatapath::driver_complete(FlowId id, const Packet& pkt) {
+  FlowState* fs = state_of(id);
+  Ext* ext = ext_of(id);
+  if (fs == nullptr || ext == nullptr) return;
+  if (is_pool_buffer(pkt.host_buffer)) host_pool_.release(pkt.host_buffer);
+  if (pkt.host_buffer != 0) mc_.release_buffer(pkt.host_buffer);
+  // Lazy release keys on fast-path buffers only (pool or app-posted); slow
+  // landings never consumed a credit.
+  if (!is_slow_landing(pkt.host_buffer)) {
+    note_processed_for_release(*fs, *ext, pkt);
+  } else {
+    kick_drain(id, *ext);  // a landed slot freed; the gate may have reopened
+  }
+  note_processed_message_progress(*fs, pkt, sched_.now());
+}
+
+std::size_t CeioDatapath::driver_pending(FlowId id) const {
+  const Ext* ext = ext_of(id);
+  return ext == nullptr ? 0 : ext->driver_queue.size();
+}
+
+std::int64_t CeioDatapath::reenable_threshold() const {
+  const auto share = static_cast<double>(credits_.fair_share());
+  return std::max<std::int64_t>(config_.release_batch,
+                                static_cast<std::int64_t>(share * config_.reenable_fraction));
+}
+
+bool CeioDatapath::take_reactivation_token() {
+  const Nanos now = sched_.now();
+  const double dt = to_seconds(now - last_token_refill_);
+  last_token_refill_ = now;
+  reactivation_tokens_ = std::min(reactivation_tokens_ + dt * config_.reactivations_per_sec,
+                                  config_.reactivation_burst);
+  if (reactivation_tokens_ < 1.0) return false;
+  reactivation_tokens_ -= 1.0;
+  return true;
+}
+
+void CeioDatapath::on_packet(Packet pkt) {
+  FlowState* fs = state_of(pkt.flow);
+  Ext* ext = ext_of(pkt.flow);
+  if (fs == nullptr || ext == nullptr) return;  // unknown flow: no rule, drop
+  ext->last_packet_at = sched_.now();
+  // Traffic-triggered reactivation (§4.1 Q3): a reclaimed flow that shows
+  // traffic again gets its credits back through Algorithm 1 — but the
+  // controller can only run so many reactivations per second. Fast flow
+  // churn overruns this budget and flows stay on the slow path (Figure 12).
+  if (!credits_.active(pkt.flow) && take_reactivation_token()) {
+    credits_.reactivate(pkt.flow);
+    ++rt_stats_.reactivations;
+  }
+  ext->bytes_seen += pkt.size;
+  const SteerAction action = rmt_.steer(pkt);
+  switch (action) {
+    case SteerAction::kToHost:
+      deliver_fast_path(*fs, *ext, std::move(pkt));
+      break;
+    case SteerAction::kToNicMem:
+      deliver_slow_path(*fs, *ext, std::move(pkt));
+      break;
+    case SteerAction::kDrop:
+      drop_packet(*fs, pkt);
+      break;
+  }
+}
+
+void CeioDatapath::deliver_fast_path(FlowState& fs, Ext& ext, Packet pkt) {
+  const FlowId id = fs.rt.config.id;
+  const bool involved = fs.rt.app->per_packet_cpu();
+  BufferId buffer = 0;
+  if (involved) {
+    if (!ext.posted.empty()) {
+      // Zero-copy: land directly in an application-posted buffer.
+      buffer = ext.posted.front();
+      ext.posted.pop_front();
+    } else {
+      const auto acquired = host_pool_.acquire();
+      if (!acquired) {
+        // Host pool exhausted (should not happen when the pool covers
+        // C_total); treat like a ring overflow.
+        drop_packet(fs, pkt);
+        return;
+      }
+      buffer = *acquired;
+    }
+  } else {
+    buffer = fs.next_bypass_buffer++;
+  }
+  // The packet is now committed to the fast path: consume a credit and
+  // record the segment for ordering.
+  credits_.consume(id, 1);
+  ++ext.unreleased;
+  ++fs.stats.fast_path_pkts;
+  if (involved) ext.sw.note_steered(/*fast=*/true);
+  pkt.host_buffer = buffer;
+  // The controller's match-action + credit work is pipelined ahead of the
+  // DMA issue: it delays the packet but does not throttle the stream.
+  const bool expect_read = fs.rt.app->reads_delivered_data();
+  sched_.schedule_after(
+      config_.controller_latency,
+      [this, id, buffer, expect_read, pkt = std::move(pkt)]() mutable {
+        dma_.write_to_host(
+            buffer, pkt.size, /*ddio=*/true,
+            [this, id, pkt = std::move(pkt)](Nanos) mutable {
+              on_fast_landed(id, std::move(pkt));
+            },
+            expect_read);
+      });
+}
+
+void CeioDatapath::on_fast_landed(FlowId flow, Packet pkt) {
+  FlowState* fs = state_of(flow);
+  Ext* ext = ext_of(flow);
+  if (fs == nullptr || ext == nullptr) {
+    if (is_pool_buffer(pkt.host_buffer)) {
+      host_pool_.release(pkt.host_buffer);
+    }
+    return;
+  }
+  if (fs->rt.source != nullptr) fs->rt.source->notify_delivered(pkt);
+  if (!fs->rt.app->per_packet_cpu()) {
+    // Bypass flow: message progress at DMA granularity; credits replenish
+    // once the message *work* retires (write-with-immediate -> driver ->
+    // app processing -> ownership returns), via on_message_work_done.
+    ++ext->msg_path_counts[pkt.message_id].first;
+    note_delivered_message_progress(*fs, pkt, sched_.now());
+    return;
+  }
+  if (!fs->ring->post(pkt)) {
+    // Ring overflow after steering: the SW ring already recorded the
+    // segment entry, so account the loss for the consumer to skip.
+    ++ext->lost_fast;
+    host_pool_.release(pkt.host_buffer);
+    mc_.release_buffer(pkt.host_buffer);
+    drop_packet(*fs, pkt);
+    return;
+  }
+  pump(flow);
+}
+
+void CeioDatapath::deliver_slow_path(FlowState& fs, Ext& ext, Packet pkt) {
+  const FlowId id = fs.rt.config.id;
+  const bool involved = fs.rt.app->per_packet_cpu();
+  const bool message_end = pkt.last_in_message;
+  if (!ext.elastic->buffer_packet(pkt)) {
+    drop_packet(fs, pkt);
+    return;
+  }
+  ++fs.stats.slow_path_pkts;
+  if (involved) ext.sw.note_steered(/*fast=*/false);
+  // Drain triggers: eager with the async optimization; event-driven on
+  // message completion for bypass flows (write-with-immediate).
+  if (config_.async_drain || (!involved && message_end)) {
+    kick_drain(id, ext);
+  }
+  if (involved) pump(id);
+}
+
+void CeioDatapath::kick_drain(FlowId /*flow*/, Ext& ext) { ext.elastic->drain(); }
+
+void CeioDatapath::on_slow_read_complete(FlowId flow, Packet pkt, Nanos /*now*/) {
+  // The PCIe read completed; finish the landing as a host memory write so
+  // IIO/LLC accounting applies (the drain window keeps this footprint tiny).
+  FlowState* fs = state_of(flow);
+  if (fs == nullptr) return;
+  if (!fs->rt.app->per_packet_cpu()) {
+    const BufferId buffer = fs->next_bypass_buffer++;
+    pkt.host_buffer = buffer;
+    mc_.dma_write(
+        buffer, pkt.size, /*ddio=*/true,
+        [this, flow, pkt = std::move(pkt)](Nanos done) mutable {
+          FlowState* fs2 = state_of(flow);
+          Ext* ext2 = ext_of(flow);
+          if (fs2 == nullptr) return;
+          if (ext2 != nullptr) {
+            ++ext2->slow_landed_unworked;
+            ++ext2->msg_path_counts[pkt.message_id].second;
+          }
+          if (fs2->rt.source != nullptr) fs2->rt.source->notify_delivered(pkt);
+          note_delivered_message_progress(*fs2, pkt, done);
+        },
+        fs->rt.app->reads_delivered_data());
+    return;
+  }
+  land_slow_involved(flow, std::move(pkt));
+}
+
+void CeioDatapath::land_slow_involved(FlowId flow, Packet pkt) {
+  FlowState* fs = state_of(flow);
+  Ext* ext = ext_of(flow);
+  if (fs == nullptr || ext == nullptr) return;
+  // Driver-posted landing buffer: a rotating window of ids (the drain gate
+  // bounds how many are live at once, so recycling is safe).
+  const BufferId base = kSlowLandingBase + (static_cast<BufferId>(flow) << 20);
+  pkt.host_buffer = base + (ext->next_landing_buffer++ - base) % kLandingWindow;
+  mc_.dma_write(pkt.host_buffer, pkt.size, /*ddio=*/true,
+                [this, flow, pkt = std::move(pkt)](Nanos) mutable {
+                  FlowState* fs2 = state_of(flow);
+                  Ext* ext2 = ext_of(flow);
+                  if (fs2 == nullptr || ext2 == nullptr) return;
+                  if (fs2->rt.source != nullptr) fs2->rt.source->notify_delivered(pkt);
+                  ext2->landed_slow.push_back(std::move(pkt));
+                  pump(flow);
+                });
+}
+
+void CeioDatapath::manual_pump(FlowState& fs, Ext& ext) {
+  // Move every in-order landed packet into the driver queue; stop at the
+  // first packet that has not landed yet (in PCIe flight or still on-NIC).
+  for (;;) {
+    switch (ext.sw.next()) {
+      case SwRing::Path::kNone:
+        return;
+      case SwRing::Path::kFast:
+        if (!fs.ring->empty()) {
+          auto pkt = fs.ring->poll();
+          ext.sw.consumed();
+          ext.driver_queue.push_back(std::move(*pkt));
+          continue;
+        }
+        if (ext.lost_fast > 0) {
+          --ext.lost_fast;
+          ext.sw.consumed();
+          continue;
+        }
+        return;
+      case SwRing::Path::kSlow:
+        if (!ext.landed_slow.empty()) {
+          ext.driver_queue.push_back(std::move(ext.landed_slow.front()));
+          ext.landed_slow.pop_front();
+          ext.sw.consumed();
+          continue;
+        }
+        return;  // awaiting drain — recv()/async_recv() decide when to kick
+    }
+  }
+}
+
+void CeioDatapath::pump(FlowId flow) {
+  FlowState* fs = state_of(flow);
+  Ext* ext = ext_of(flow);
+  if (fs == nullptr || ext == nullptr) return;
+  if (ext->manual) {
+    manual_pump(*fs, *ext);
+    return;
+  }
+  if (ext->cpu_pumping) return;
+  for (;;) {
+    switch (ext->sw.next()) {
+      case SwRing::Path::kNone:
+        return;
+      case SwRing::Path::kFast: {
+        if (!fs->ring->empty()) {
+          auto pkt = fs->ring->poll();
+          ext->sw.consumed();
+          process_one(*fs, *ext, std::move(*pkt), /*was_slow=*/false);
+          return;
+        }
+        if (ext->lost_fast > 0) {
+          // A post-steering loss: skip its ordering slot.
+          --ext->lost_fast;
+          ext->sw.consumed();
+          continue;
+        }
+        return;  // still in flight over PCIe
+      }
+      case SwRing::Path::kSlow: {
+        if (!ext->landed_slow.empty()) {
+          Packet pkt = std::move(ext->landed_slow.front());
+          ext->landed_slow.pop_front();
+          ext->sw.consumed();
+          process_one(*fs, *ext, std::move(pkt), /*was_slow=*/true);
+          return;
+        }
+        // Demand-driven drain (sync recv()): fetch the segment now.
+        kick_drain(flow, *ext);
+        return;
+      }
+    }
+  }
+}
+
+void CeioDatapath::process_one(FlowState& fs, Ext& ext, Packet pkt, bool was_slow) {
+  ext.cpu_pumping = true;
+  const AppPacketCosts costs = fs.rt.app->packet_costs(pkt);
+  PacketWork work;
+  work.buffer = pkt.host_buffer;
+  work.size = pkt.size;
+  work.app_cost = costs.app_cost;
+  work.read_buffer = costs.read_buffer;
+  work.copy_to = costs.copy_to;
+  if (!config_.phase_exclusive && (was_slow || ext.sw.segment_count() > 1)) {
+    // Ablation: without phase exclusivity the driver tracks and re-sorts
+    // per-packet metadata whenever paths interleave.
+    work.app_cost += config_.reorder_penalty;
+  }
+  const FlowId flow = fs.rt.config.id;
+  const bool slow_buffer = was_slow;
+  work.on_done = [this, flow, pkt = std::move(pkt), slow_buffer](Nanos done) {
+    FlowState* fs2 = state_of(flow);
+    Ext* ext2 = ext_of(flow);
+    if (pkt.host_buffer != 0) {
+      if (!slow_buffer) host_pool_.release(pkt.host_buffer);
+      mc_.release_buffer(pkt.host_buffer);
+    }
+    if (fs2 == nullptr || ext2 == nullptr) return;
+    // Lazy release keys strictly on *fast-path* ring-head advancement:
+    // slow-path packets never consumed a credit, so their processing must
+    // not replenish credits whose buffers are still held in the fast ring.
+    if (!slow_buffer) note_processed_for_release(*fs2, *ext2, pkt);
+    if (slow_buffer) kick_drain(flow, *ext2);  // the gate may have reopened
+    note_processed_message_progress(*fs2, pkt, done);
+    ext2->cpu_pumping = false;
+    pump(flow);
+  };
+  fs.rt.core->submit(std::move(work));
+}
+
+void CeioDatapath::on_message_work_done(FlowState& fs, const Packet& last_pkt, Nanos done) {
+  (void)done;
+  if (fs.rt.app->per_packet_cpu()) return;  // involved flows release per batch
+  Ext* ext = ext_of(fs.rt.config.id);
+  if (ext == nullptr) return;
+  // The worker consumed the chunk: its slow-path landings no longer pin the
+  // drain gate, and the chunk's credits return to the controller.
+  std::int32_t fast_cnt = 0;
+  std::int32_t slow_cnt = 0;
+  if (const auto it = ext->msg_path_counts.find(last_pkt.message_id);
+      it != ext->msg_path_counts.end()) {
+    fast_cnt = it->second.first;
+    slow_cnt = it->second.second;
+    ext->msg_path_counts.erase(it);
+  }
+  ext->slow_landed_unworked =
+      std::max<std::int64_t>(ext->slow_landed_unworked - slow_cnt, 0);
+  kick_drain(fs.rt.config.id, *ext);
+  // Release exactly this message's fast-path credits; later messages'
+  // packets are still unworked and must keep theirs pinned.
+  const std::int64_t count = std::min<std::int64_t>(ext->unreleased, fast_cnt);
+  if (count <= 0) return;
+  ext->unreleased -= count;
+  schedule_credit_release(fs.rt.config.id, count);
+}
+
+void CeioDatapath::note_processed_for_release(FlowState& fs, Ext& ext, const Packet& pkt) {
+  ++ext.processed_since_release;
+  const bool batch_full = ext.processed_since_release >= config_.release_batch;
+  if ((batch_full || pkt.last_in_message) && ext.unreleased > 0) {
+    const std::int64_t count = std::min(ext.unreleased, ext.processed_since_release);
+    ext.unreleased -= count;
+    ext.processed_since_release = 0;
+    schedule_credit_release(fs.rt.config.id, count);
+  } else if (batch_full) {
+    ext.processed_since_release = 0;
+  }
+}
+
+void CeioDatapath::schedule_credit_release(FlowId flow, std::int64_t count) {
+  auto alive = alive_;
+  sched_.schedule_after(config_.doorbell_latency, [this, alive, flow, count]() {
+    if (!*alive) return;
+    credits_.release(flow, count);
+  });
+}
+
+void CeioDatapath::controller_poll() {
+  const Nanos now = sched_.now();
+  const std::size_t n = reactivation_order_.size();
+  const std::size_t scan = std::min(n, config_.poll_scan_limit);
+  for (std::size_t i = 0; i < scan; ++i) {
+    poll_cursor_ = (poll_cursor_ + 1) % n;
+    const FlowId id = reactivation_order_[poll_cursor_];
+    Ext* ext = ext_of(id);
+    if (ext != nullptr) poll_flow(id, *ext, now);
+  }
+  auto alive = alive_;
+  sched_.schedule_after(config_.poll_interval, [this, alive]() {
+    if (*alive) controller_poll();
+  });
+}
+
+void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
+  {
+    FlowState* fs = state_of(id);
+    if (fs == nullptr) return;
+
+    // Inactivity reclaim (Q3): idle flows surrender their credits.
+    if (credits_.active(id) && now - ext.last_packet_at > config_.inactive_timeout) {
+      credits_.reclaim(id);
+      ext.bytes_seen = 0;  // PIAS aging: an idle flow regains top priority
+      ++rt_stats_.inactive_reclaims;
+      if (!ext.slow_mode) {
+        ext.slow_mode = true;
+        rmt_.update_action(id, SteerAction::kToNicMem);
+      }
+      return;
+    }
+
+    // CCA trigger (§4.1 Q2): the NIC detects that the network's production
+    // rate exceeds the CPU's / memory controller's consumption rate. For
+    // involved flows the unreleased-credit count approximates landed-but-
+    // unprocessed fast-path packets; the slow backlog adds the elastic
+    // buffer's content. Hysteresis: once marking starts it continues until
+    // the backlog drains to the low watermark — without it the sender
+    // settles into an equilibrium hovering at the threshold and the flow
+    // never drains enough to regain the fast path.
+    const bool involved = fs->rt.app->per_packet_cpu();
+    const std::size_t slow_bk = slow_backlog(id);
+    if (involved) {
+      const std::size_t total_backlog =
+          slow_bk + static_cast<std::size_t>(std::max<std::int64_t>(
+                        ext.unreleased - config_.release_batch, 0));
+      if (total_backlog > config_.slow_cca_threshold) ext.cca_marking = true;
+      if (total_backlog <= config_.reenable_backlog) ext.cca_marking = false;
+    } else {
+      // Bypass flows legitimately park whole messages in the elastic
+      // buffer, so the trigger threshold is deeper — but once crossed, the
+      // same drain-to-empty hysteresis applies: the sender is held back
+      // until the on-NIC backlog clears and the flow returns to the
+      // credit-gated fast path, where chunk data stays LLC-resident for
+      // the worker.
+      if (slow_bk > config_.bypass_cca_threshold) ext.cca_marking = true;
+      if (slow_bk <= config_.bypass_cca_threshold / 2) ext.cca_marking = false;
+    }
+    if (ext.cca_marking &&
+        (ext.last_cca_at < 0 || now - ext.last_cca_at >= config_.cca_min_gap)) {
+      if (fs->rt.source != nullptr) fs->rt.source->notify_host_congestion();
+      ext.last_cca_at = now;
+      ++rt_stats_.cca_triggers;
+    }
+    ext.slow_backlog_last_poll = slow_bk;
+
+    if (config_.policy == SteerPolicy::kMpqPias) {
+      // PIAS-style decision: priority (not credits) picks the path. Long
+      // flows decay below the fast levels and stay exiled until idleness
+      // resets their byte count — exactly the behaviour §4.1 rejects.
+      const bool want_slow = mpq_level(id) >= config_.mpq_fast_levels;
+      if (want_slow && !ext.slow_mode) {
+        ext.slow_mode = true;
+        ++rt_stats_.credit_switches_to_slow;
+        rmt_.update_action(id, SteerAction::kToNicMem);
+      } else if (!want_slow && ext.slow_mode &&
+                 slow_bk <= config_.reenable_backlog) {
+        ext.slow_mode = false;
+        ++rt_stats_.switches_back_to_fast;
+        rmt_.update_action(id, SteerAction::kToHost);
+      }
+      if (ext.slow_mode) kick_drain(id, ext);
+      return;
+    }
+
+    if (!ext.slow_mode) {
+      if (credits_.credits(id) <= 0) {
+        ext.slow_mode = true;
+        ++rt_stats_.credit_switches_to_slow;
+        rmt_.update_action(id, SteerAction::kToNicMem);
+      }
+      return;
+    }
+
+    // Slow mode: keep the drain moving; re-enable the fast path once the
+    // balance recovers. Involved flows additionally wait for the slow
+    // backlog to drain (phase exclusivity for ordering); bypass flows don't
+    // need it — message accounting tolerates mixed paths, and waiting would
+    // trap small-packet flows behind the request-rate-bound drain.
+    kick_drain(id, ext);
+    const bool drained = !involved || slow_bk <= config_.reenable_backlog;
+    if (drained && credits_.active(id) && credits_.credits(id) >= reenable_threshold()) {
+      ext.slow_mode = false;
+      ++rt_stats_.switches_back_to_fast;
+      rmt_.update_action(id, SteerAction::kToHost);
+    }
+  }
+}
+
+void CeioDatapath::reactivation_round() {
+  if (!reactivation_order_.empty()) {
+    int granted = 0;
+    std::size_t scanned = 0;
+    while (granted < config_.reactivate_per_round &&
+           scanned < reactivation_order_.size()) {
+      reactivation_cursor_ = (reactivation_cursor_ + 1) % reactivation_order_.size();
+      const FlowId id = reactivation_order_[reactivation_cursor_];
+      ++scanned;
+      if (credits_.active(id)) continue;
+      Ext* ext = ext_of(id);
+      if (ext == nullptr) continue;
+      credits_.reactivate(id);
+      ++rt_stats_.reactivations;
+      ++granted;
+      // The freshly granted flow may resume the fast path once drained; the
+      // poll loop performs the actual switch.
+    }
+  }
+  auto alive = alive_;
+  sched_.schedule_after(config_.reactivate_period, [this, alive]() {
+    if (*alive) reactivation_round();
+  });
+}
+
+}  // namespace ceio

@@ -1,0 +1,28 @@
+#include "ceio/ceio_driver.h"
+
+namespace ceio {
+
+CeioDriver::CeioDriver(CeioDatapath& datapath, FlowId flow)
+    : datapath_(datapath), flow_(flow) {
+  datapath_.set_manual_consume(flow_, true);
+}
+
+CeioDriver::~CeioDriver() { datapath_.set_manual_consume(flow_, false); }
+
+std::vector<Packet> CeioDriver::recv(std::size_t max_pkts) {
+  return datapath_.driver_recv(flow_, max_pkts, /*eager_drain=*/false);
+}
+
+std::vector<Packet> CeioDriver::async_recv(std::size_t max_pkts) {
+  return datapath_.driver_recv(flow_, max_pkts, /*eager_drain=*/true);
+}
+
+std::vector<BufferId> CeioDriver::post_recv(std::size_t count) {
+  return datapath_.driver_post_recv(flow_, count);
+}
+
+void CeioDriver::complete(const Packet& pkt) { datapath_.driver_complete(flow_, pkt); }
+
+std::size_t CeioDriver::pending() const { return datapath_.driver_pending(flow_); }
+
+}  // namespace ceio

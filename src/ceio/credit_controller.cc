@@ -1,0 +1,164 @@
+#include "ceio/credit_controller.h"
+
+#include <algorithm>
+
+namespace ceio {
+
+CreditController::CreditController(std::int64_t total_credits)
+    : total_(total_credits), free_pool_(total_credits) {}
+
+std::int64_t CreditController::fair_share() const {
+  return active_count_ > 0 ? total_ / static_cast<std::int64_t>(active_count_) : total_;
+}
+
+std::int64_t CreditController::credits(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0 : it->second.balance;
+}
+
+bool CreditController::active(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it != flows_.end() && it->second.active;
+}
+
+std::int64_t CreditController::debt_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0;
+  std::int64_t debt = 0;
+  for (const auto& [_, owed] : it->second.owes) debt += owed;
+  return debt;
+}
+
+std::int64_t CreditController::balance_sum() const {
+  std::int64_t sum = free_pool_;
+  for (const auto& [_, fc] : flows_) sum += fc.balance;
+  return sum;
+}
+
+void CreditController::assign_to_new_flows(const std::vector<FlowId>& newcomers) {
+  if (newcomers.empty()) return;
+  const auto m = static_cast<std::int64_t>(newcomers.size());
+  const auto n = static_cast<std::int64_t>(active_count_) - m;  // incumbents
+  const std::int64_t target = total_ / (n + m);
+
+  // Funds gathered for the newcomers: free pool first, then donations. The
+  // pool can be transiently negative (it absorbs consume-overshoot when a
+  // flow is reclaimed mid-flight); never draw from a negative pool.
+  std::int64_t gathered = std::clamp<std::int64_t>(free_pool_, 0, m * target);
+  free_pool_ -= gathered;
+
+  std::int64_t still_needed = m * target - gathered;
+  if (still_needed > 0 && n > 0) {
+    const std::int64_t per_incumbent = (still_needed + n - 1) / n;
+    for (auto& [id, fc] : flows_) {
+      if (!fc.active || still_needed <= 0) continue;
+      // Skip the newcomers themselves.
+      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) continue;
+      const std::int64_t ask = std::min(per_incumbent, still_needed);
+      const std::int64_t give = std::clamp<std::int64_t>(fc.balance, 0, ask);
+      fc.balance -= give;
+      gathered += give;
+      still_needed -= give;
+      const std::int64_t shortfall = ask - give;
+      if (shortfall > 0) {
+        // Algorithm 1 lines 8-14: the poor incumbent records per-newcomer
+        // debts, repaid out of its future releases. The newcomers start
+        // under target and get topped up as debts settle.
+        still_needed -= shortfall;  // claimed via debt, not via balance
+        const std::int64_t per_new = shortfall / m;
+        std::int64_t rem = shortfall - per_new * m;
+        for (const FlowId nj : newcomers) {
+          std::int64_t owe = per_new + (rem > 0 ? 1 : 0);
+          if (rem > 0) --rem;
+          if (owe > 0) fc.owes[nj] += owe;
+        }
+      }
+    }
+  }
+
+  // Distribute the gathered balance equally among newcomers.
+  const std::int64_t per_new = gathered / m;
+  std::int64_t rem = gathered - per_new * m;
+  for (const FlowId id : newcomers) {
+    auto& fc = flows_[id];
+    fc.balance += per_new + (rem > 0 ? 1 : 0);
+    if (rem > 0) --rem;
+  }
+}
+
+void CreditController::add_flows(const std::vector<FlowId>& arrivals) {
+  std::vector<FlowId> newcomers;
+  newcomers.reserve(arrivals.size());
+  for (const FlowId id : arrivals) {
+    auto& fc = flows_[id];
+    if (fc.active) continue;
+    fc.active = true;
+    ++active_count_;
+    newcomers.push_back(id);
+  }
+  assign_to_new_flows(newcomers);
+}
+
+void CreditController::remove_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  if (it->second.active) --active_count_;
+  free_pool_ += it->second.balance;  // may absorb a negative overshoot
+  flows_.erase(it);
+  // Cancel debts owed *to* the removed flow: the debtors simply keep their
+  // future releases (no balance moves, so conservation holds).
+  for (auto& [_, fc] : flows_) fc.owes.erase(id);
+}
+
+void CreditController::reclaim(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end() || !it->second.active) return;
+  it->second.active = false;
+  --active_count_;
+  free_pool_ += it->second.balance;
+  it->second.balance = 0;
+}
+
+void CreditController::reactivate(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it != flows_.end() && it->second.active) return;
+  add_flows({id});
+}
+
+std::int64_t CreditController::consume(FlowId id, std::int64_t n) {
+  auto& fc = flows_[id];
+  fc.balance -= n;
+  return fc.balance;
+}
+
+void CreditController::release(FlowId id, std::int64_t n) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    free_pool_ += n;  // flow vanished; its credits return to the system
+    return;
+  }
+  auto& fc = it->second;
+  std::int64_t remaining = n;
+  // Repay debts first (Algorithm 1 lines 19-25).
+  for (auto debt = fc.owes.begin(); debt != fc.owes.end() && remaining > 0;) {
+    const std::int64_t pay = std::min(debt->second, remaining);
+    remaining -= pay;
+    debt->second -= pay;
+    const auto creditor = flows_.find(debt->first);
+    if (creditor != flows_.end() && creditor->second.active) {
+      creditor->second.balance += pay;
+    } else {
+      free_pool_ += pay;  // creditor gone or reclaimed: return to the pool
+    }
+    debt = debt->second == 0 ? fc.owes.erase(debt) : std::next(debt);
+  }
+  if (remaining > 0) {
+    if (fc.active) {
+      fc.balance += remaining;
+    } else {
+      free_pool_ += remaining;
+    }
+  }
+}
+
+}  // namespace ceio

@@ -1,0 +1,91 @@
+// Credit-based flow controller state machine (paper §4.1, Algorithm 1).
+//
+// Pure bookkeeping, no simulator dependencies: the total credit budget
+// C_total = LLC_DDIO_bytes / buffer_bytes (Eq. 1) is divided among *active*
+// flows. Arrivals trigger the Algorithm 1 assignment: each incumbent flow
+// donates (m/n)·C_flow toward the m newcomers; incumbents too poor to donate
+// in full give everything they have and record per-newcomer debts (the
+// owed-credit set I), repaid with priority out of their future releases
+// (lines 16–25). Inactive flows are reclaimed into a free pool and
+// re-admitted through the same assignment path, which is how CEIO scales to
+// thousands of flows with a bounded budget (§4.1 Q3).
+//
+// Balances may go slightly negative: the data path consumes credits
+// unconditionally (the RMT rule only flips at the next controller poll), so
+// the controller tolerates bounded overshoot — exactly the behaviour of the
+// polled hardware counters in the real system.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/packet.h"
+
+namespace ceio {
+
+class CreditController {
+ public:
+  explicit CreditController(std::int64_t total_credits);
+
+  // ---- Membership (Algorithm 1) ----
+
+  /// Admits `arrivals` as active flows, redistributing credits per
+  /// Algorithm 1. Flows already active are ignored.
+  void add_flows(const std::vector<FlowId>& arrivals);
+
+  /// Permanently removes a flow: its balance returns to the free pool and
+  /// all debts involving it are cancelled.
+  void remove_flow(FlowId id);
+
+  /// Marks a flow inactive: its remaining balance moves to the free pool.
+  /// The flow stays known (its debts persist) but holds no credits.
+  void reclaim(FlowId id);
+
+  /// Re-activates a previously reclaimed flow through the Algorithm 1
+  /// assignment path (free pool first, then donations from active flows).
+  void reactivate(FlowId id);
+
+  // ---- Data-path accounting ----
+
+  /// Consumes `n` credits for a fast-path packet burst. Unconditional: the
+  /// balance may go negative (RMT poll lag). Returns the new balance.
+  std::int64_t consume(FlowId id, std::int64_t n);
+
+  /// Credit release (lazy, driver-triggered). Debts are repaid first
+  /// (Algorithm 1 lines 19–25); the remainder returns to the flow.
+  void release(FlowId id, std::int64_t n);
+
+  // ---- Introspection ----
+
+  std::int64_t credits(FlowId id) const;
+  bool active(FlowId id) const;
+  std::size_t active_count() const { return active_count_; }
+  std::int64_t total() const { return total_; }
+  std::int64_t free_pool() const { return free_pool_; }
+  /// The per-flow target share at the current active count.
+  std::int64_t fair_share() const;
+  /// Outstanding debt the flow owes to others.
+  std::int64_t debt_of(FlowId id) const;
+  /// Sum of balances + free pool + consumed-but-unreleased must equal
+  /// total(); `outstanding` is the consumed-unreleased amount the caller
+  /// tracks. Exposed for invariant checks in tests.
+  std::int64_t balance_sum() const;
+
+ private:
+  struct FlowCredits {
+    std::int64_t balance = 0;
+    bool active = false;
+    // o^i_j: credits this flow still owes to flow j (Algorithm 1 line 12).
+    std::unordered_map<FlowId, std::int64_t> owes;
+  };
+
+  void assign_to_new_flows(const std::vector<FlowId>& newcomers);
+
+  std::int64_t total_;
+  std::int64_t free_pool_;
+  std::size_t active_count_ = 0;
+  std::unordered_map<FlowId, FlowCredits> flows_;
+};
+
+}  // namespace ceio

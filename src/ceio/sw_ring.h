@@ -1,0 +1,66 @@
+// CEIO software ring: the ordering abstraction over the fast/slow HW rings
+// (paper §4.2, Figure 7).
+//
+// The NIC steers each packet to exactly one path, and CEIO's phase
+// exclusivity guarantees the two paths never interleave within a phase. The
+// SW ring therefore only has to remember the *sequence of path segments* in
+// steering order: [fast×4, slow×14, fast×4, ...]. The consumer (driver
+// recv()) asks which path holds the next in-order packet and consumes
+// segment by segment — no per-packet metadata or sorting, exactly the
+// property the paper claims over software reordering schemes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace ceio {
+
+class SwRing {
+ public:
+  enum class Path { kFast, kSlow, kNone };
+
+  /// Records that the NIC steered one packet to `fast` (true) or slow.
+  /// Called at steering time, in arrival order.
+  void note_steered(bool fast) {
+    if (!segments_.empty() && segments_.back().fast == fast) {
+      ++segments_.back().count;
+    } else {
+      segments_.push_back({fast, 1});
+    }
+    ++pending_;
+  }
+
+  /// Which path holds the next in-order packet (kNone when empty).
+  Path next() const {
+    if (segments_.empty()) return Path::kNone;
+    return segments_.front().fast ? Path::kFast : Path::kSlow;
+  }
+
+  /// Consumes the next in-order packet; must match next().
+  void consumed() {
+    if (segments_.empty()) return;
+    --pending_;
+    if (--segments_.front().count == 0) segments_.pop_front();
+  }
+
+  /// Packets steered but not yet consumed.
+  std::uint64_t pending() const { return pending_; }
+  /// Number of path segments outstanding (1 == single-path steady state).
+  std::size_t segment_count() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+
+  void clear() {
+    segments_.clear();
+    pending_ = 0;
+  }
+
+ private:
+  struct Segment {
+    bool fast;
+    std::uint64_t count;
+  };
+  std::deque<Segment> segments_;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace ceio

@@ -1,0 +1,36 @@
+// Minimal leveled logger for the simulator.
+//
+// Benchmarks print their results through TablePrinter; the logger exists for
+// diagnostics (warnings about model misconfiguration, debug traces of credit
+// transitions). It is a global level filter writing to stderr so log output
+// never corrupts the bench tables on stdout.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+namespace ceio {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace detail
+
+#define CEIO_LOG(level, ...)                                                \
+  do {                                                                      \
+    if (static_cast<int>(level) >= static_cast<int>(::ceio::log_level())) { \
+      ::ceio::detail::log_line(level, __FILE__, __LINE__, __VA_ARGS__);     \
+    }                                                                       \
+  } while (false)
+
+#define CEIO_DEBUG(...) CEIO_LOG(::ceio::LogLevel::kDebug, __VA_ARGS__)
+#define CEIO_INFO(...) CEIO_LOG(::ceio::LogLevel::kInfo, __VA_ARGS__)
+#define CEIO_WARN(...) CEIO_LOG(::ceio::LogLevel::kWarn, __VA_ARGS__)
+#define CEIO_ERROR(...) CEIO_LOG(::ceio::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ceio

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour in the simulation (packet interarrival jitter, key
+// popularity, burst timing) flows through `Rng` so that every experiment is
+// reproducible from a single seed. The generator is xoshiro256**, seeded via
+// SplitMix64, which is fast and has no observable bias for our use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ceio {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Zipf-distributed index in [0, n) with skew `s` (s == 0 -> uniform).
+  /// Used for key popularity in the KV workload.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  // Cached Zipf normalisation: recomputed only when (n, s) changes.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace ceio

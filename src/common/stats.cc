@@ -1,0 +1,175 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace ceio {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+PercentileTracker::PercentileTracker(std::size_t cap) : cap_(cap) {
+  samples_.reserve(std::min<std::size_t>(cap_, 4096));
+}
+
+void PercentileTracker::add(double x) {
+  ++total_;
+  sorted_ = false;
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Reservoir sampling: keep each of the `total_` samples with equal
+  // probability cap_/total_.
+  lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const auto r = static_cast<std::int64_t>((lcg_ >> 16) % static_cast<std::uint64_t>(total_));
+  if (r < static_cast<std::int64_t>(cap_)) {
+    samples_[static_cast<std::size_t>(r)] = x;
+  }
+}
+
+double PercentileTracker::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void PercentileTracker::clear() {
+  samples_.clear();
+  total_ = 0;
+  sorted_ = false;
+}
+
+void RateMeter::record(Nanos now, Bytes bytes, std::int64_t packets) {
+  bytes_ += bytes;
+  packets_ += packets;
+  if (first_ < 0) first_ = now;
+  last_ = std::max(last_, now);
+}
+
+double RateMeter::mpps(Nanos t_begin, Nanos t_end) const {
+  const Nanos span = t_end - t_begin;
+  if (span <= 0 || packets_ == 0) return 0.0;
+  return static_cast<double>(packets_) / to_seconds(span) / 1e6;
+}
+
+double RateMeter::gbps(Nanos t_begin, Nanos t_end) const {
+  const Nanos span = t_end - t_begin;
+  if (span <= 0 || bytes_ == 0) return 0.0;
+  return to_gbps(rate_of(bytes_, span));
+}
+
+void RateMeter::reset() {
+  bytes_ = 0;
+  packets_ = 0;
+  first_ = -1;
+  last_ = -1;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kLog2Max) * kSubBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(Nanos v) const {
+  if (v < 1) v = 1;
+  int log2 = 0;
+  auto u = static_cast<std::uint64_t>(v);
+  while (u >= 2) {
+    u >>= 1;
+    ++log2;
+  }
+  if (log2 >= kLog2Max) log2 = kLog2Max - 1;
+  // Linear sub-bucket within [2^log2, 2^(log2+1)).
+  const Nanos base = Nanos{1} << log2;
+  const Nanos sub_width = std::max<Nanos>(base / kSubBuckets, 1);
+  auto sub = static_cast<std::size_t>((v - base) / sub_width);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<std::size_t>(log2) * kSubBuckets + sub;
+}
+
+Nanos LatencyHistogram::bucket_upper(std::size_t idx) const {
+  const auto log2 = static_cast<int>(idx / kSubBuckets);
+  const auto sub = static_cast<Nanos>(idx % kSubBuckets);
+  const Nanos base = Nanos{1} << log2;
+  const Nanos sub_width = std::max<Nanos>(base / kSubBuckets, 1);
+  return base + (sub + 1) * sub_width - 1;
+}
+
+void LatencyHistogram::add(Nanos latency) {
+  ++buckets_[bucket_index(latency)];
+  ++total_;
+  sum_ += static_cast<double>(latency);
+}
+
+Nanos LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return bucket_upper(i);
+  }
+  return bucket_upper(buckets_.size() - 1);
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace ceio

@@ -1,0 +1,142 @@
+// Measurement primitives: online moments, percentile tracking, windowed
+// throughput meters and log-bucketed latency histograms.
+//
+// Every experiment in bench/ reports through these types, so they are written
+// for predictable memory use: `PercentileTracker` keeps raw samples up to a
+// cap and then switches to uniform reservoir sampling; `LatencyHistogram`
+// uses fixed log-spaced buckets (HdrHistogram-style, coarse) and never
+// allocates after construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentiles while sample count <= cap, reservoir sampling beyond.
+class PercentileTracker {
+ public:
+  explicit PercentileTracker(std::size_t cap = 1 << 20);
+
+  void add(double x);
+
+  /// Percentile in [0, 100]. Returns 0 when empty. Sorts lazily.
+  double percentile(double p) const;
+
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+
+  std::int64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  void clear();
+
+ private:
+  std::size_t cap_;
+  std::int64_t total_ = 0;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> samples_;
+  // Cheap deterministic LCG for reservoir replacement (statistics-grade only).
+  mutable std::uint64_t lcg_ = 0x853c49e6748fea9bULL;
+};
+
+/// Counts bytes/packets over the full run and over a sliding window, to
+/// report both steady-state and instantaneous throughput.
+class RateMeter {
+ public:
+  void record(Nanos now, Bytes bytes, std::int64_t packets = 1);
+
+  /// Average over [t_begin, t_end]. Zero if the interval is empty.
+  double mpps(Nanos t_begin, Nanos t_end) const;
+  double gbps(Nanos t_begin, Nanos t_end) const;
+
+  Bytes total_bytes() const { return bytes_; }
+  std::int64_t total_packets() const { return packets_; }
+  Nanos first_event() const { return first_; }
+  Nanos last_event() const { return last_; }
+
+  void reset();
+
+ private:
+  Bytes bytes_ = 0;
+  std::int64_t packets_ = 0;
+  Nanos first_ = -1;
+  Nanos last_ = -1;
+};
+
+/// Fixed log-spaced latency histogram covering [1 ns, ~17 s] with
+/// `kSubBuckets` linear sub-buckets per power of two.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(Nanos latency);
+  std::int64_t count() const { return total_; }
+
+  /// Percentile in [0, 100]; returns a representative latency (bucket upper
+  /// bound), 0 when empty.
+  Nanos percentile(double p) const;
+
+  Nanos p50() const { return percentile(50.0); }
+  Nanos p99() const { return percentile(99.0); }
+  Nanos p999() const { return percentile(99.9); }
+  double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  void clear();
+
+ private:
+  static constexpr int kLog2Max = 35;     // covers up to ~34 s
+  static constexpr int kSubBuckets = 16;  // ~6% relative resolution
+  std::size_t bucket_index(Nanos v) const;
+  Nanos bucket_upper(std::size_t idx) const;
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Helper for bench output: a fixed-width table printer that produces the
+/// rows/series the paper's figures and tables report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders to stdout with aligned columns and a separator under the header.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ceio

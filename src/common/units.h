@@ -1,0 +1,72 @@
+// Strong unit types and conversions used throughout the CEIO simulator.
+//
+// The simulator's clock is integer nanoseconds (`Nanos`). Data sizes are
+// bytes (`Bytes`). Rates are expressed in bits per second and converted
+// through the helpers below. Keeping these as distinct vocabulary types (with
+// explicit conversion helpers rather than implicit arithmetic between
+// unrelated quantities) avoids the classic ns-vs-us and bits-vs-bytes bugs.
+#pragma once
+
+#include <cstdint>
+
+namespace ceio {
+
+/// Simulation timestamp / duration in nanoseconds.
+using Nanos = std::int64_t;
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+/// Rate in bits per second.
+using BitsPerSec = double;
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1'024;
+inline constexpr Bytes kMiB = 1'024 * kKiB;
+inline constexpr Bytes kGiB = 1'024 * kMiB;
+
+/// Builds a duration from microseconds.
+constexpr Nanos micros(double us) { return static_cast<Nanos>(us * 1'000.0); }
+/// Builds a duration from milliseconds.
+constexpr Nanos millis(double ms) { return static_cast<Nanos>(ms * 1'000'000.0); }
+/// Builds a duration from seconds.
+constexpr Nanos seconds(double s) { return static_cast<Nanos>(s * 1'000'000'000.0); }
+
+/// Converts a duration to fractional microseconds (for reporting).
+constexpr double to_micros(Nanos ns) { return static_cast<double>(ns) / 1'000.0; }
+/// Converts a duration to fractional milliseconds (for reporting).
+constexpr double to_millis(Nanos ns) { return static_cast<double>(ns) / 1'000'000.0; }
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double to_seconds(Nanos ns) { return static_cast<double>(ns) / 1'000'000'000.0; }
+
+/// Builds a rate from Gbit/s.
+constexpr BitsPerSec gbps(double g) { return g * 1e9; }
+/// Converts a rate to Gbit/s (for reporting).
+constexpr double to_gbps(BitsPerSec r) { return r / 1e9; }
+
+/// Time to serialize `size` bytes at `rate` bits/sec. Returns at least 1 ns
+/// for any positive size so that events always make forward progress.
+constexpr Nanos transmit_time(Bytes size, BitsPerSec rate) {
+  if (size <= 0 || rate <= 0.0) return 0;
+  const double ns = static_cast<double>(size) * 8.0 * 1e9 / rate;
+  const auto t = static_cast<Nanos>(ns);
+  return t > 0 ? t : 1;
+}
+
+/// Rate achieved moving `size` bytes in `elapsed` ns (0 if no time elapsed).
+constexpr BitsPerSec rate_of(Bytes size, Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(size) * 8.0 * 1e9 / static_cast<double>(elapsed);
+}
+
+/// Packets/sec -> mean interarrival gap.
+constexpr Nanos interarrival(double pkts_per_sec) {
+  if (pkts_per_sec <= 0.0) return kNanosPerSec;
+  const auto gap = static_cast<Nanos>(1e9 / pkts_per_sec);
+  return gap > 0 ? gap : 1;
+}
+
+}  // namespace ceio

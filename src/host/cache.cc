@@ -1,0 +1,149 @@
+#include "host/cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ceio {
+
+LlcModel::LlcModel(const LlcConfig& config) : config_(config) {
+  const auto total_buffers =
+      static_cast<std::size_t>(std::max<Bytes>(config.total_bytes / config.buffer_bytes, 1));
+  const auto ways = static_cast<std::size_t>(std::max(config.ways, 1));
+  const auto num_sets = std::max<std::size_t>(total_buffers / ways, 1);
+  const auto ddio_ways = static_cast<std::size_t>(std::clamp(config.ddio_ways, 0, config.ways));
+  sets_.resize(num_sets);
+  for (auto& set : sets_) {
+    set.io_ways.resize(ddio_ways);
+    set.app_ways.resize(ways - ddio_ways);
+  }
+  ddio_capacity_ = num_sets * ddio_ways;
+}
+
+std::size_t LlcModel::set_of(BufferId id) const {
+  // Fibonacci hash spreads consecutive buffer ids across sets, mimicking
+  // physical-address interleaving of a real buffer pool.
+  return static_cast<std::size_t>((id * 0x9e3779b97f4a7c15ULL) >> 32) % sets_.size();
+}
+
+LlcModel::Entry* LlcModel::find(BufferId id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return nullptr;
+  auto& set = sets_[it->second];
+  for (auto& e : set.io_ways) {
+    if (e.valid && e.id == id) return &e;
+  }
+  for (auto& e : set.app_ways) {
+    if (e.valid && e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const LlcModel::Entry* LlcModel::find(BufferId id) const {
+  return const_cast<LlcModel*>(this)->find(id);
+}
+
+LlcModel::Evicted LlcModel::fill(std::vector<Entry>& ways, BufferId id, Bytes size,
+                                 bool io_partition, bool dirty, bool expect_read) {
+  Evicted out;
+  Entry* slot = nullptr;
+  // Prefer an invalid way; otherwise evict the LRU entry.
+  for (auto& e : ways) {
+    if (!e.valid) {
+      slot = &e;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    slot = &ways.front();
+    for (auto& e : ways) {
+      if (e.stamp < slot->stamp) slot = &e;
+    }
+    out.happened = true;
+    out.victim = slot->id;
+    out.victim_bytes = slot->bytes;
+    out.dirty = slot->dirty;
+    out.never_read = slot->expect_read && !slot->read_since_fill;
+    ++stats_.evictions;
+    if (out.never_read) ++stats_.premature_evictions;
+    if (out.dirty) ++stats_.writebacks;
+    if (slot->io_partition && ddio_resident_ > 0) --ddio_resident_;
+    where_.erase(slot->id);
+  }
+  slot->id = id;
+  slot->bytes = size;
+  slot->stamp = ++clock_;
+  slot->valid = true;
+  slot->dirty = dirty;
+  slot->read_since_fill = false;
+  slot->expect_read = expect_read;
+  slot->io_partition = io_partition;
+  if (io_partition) ++ddio_resident_;
+  where_[id] = static_cast<std::uint32_t>(set_of(id));
+  return out;
+}
+
+LlcModel::Evicted LlcModel::ddio_write(BufferId id, Bytes size, bool expect_read) {
+  ++stats_.ddio_writes;
+  if (Entry* e = find(id)) {
+    // Write-update in place: refresh recency, mark dirty.
+    e->stamp = ++clock_;
+    e->dirty = true;
+    e->bytes = size;
+    e->read_since_fill = false;
+    e->expect_read = expect_read;
+    return {};
+  }
+  auto& set = sets_[set_of(id)];
+  if (set.io_ways.empty()) {
+    // DDIO disabled: the write goes straight to DRAM and is not cached.
+    Evicted out;
+    out.happened = false;
+    return out;
+  }
+  return fill(set.io_ways, id, size, /*io_partition=*/true, /*dirty=*/true, expect_read);
+}
+
+bool LlcModel::cpu_read(BufferId id, Bytes size, Evicted* evicted) {
+  if (Entry* e = find(id)) {
+    e->stamp = ++clock_;
+    e->read_since_fill = true;
+    ++stats_.cpu_hits;
+    return true;
+  }
+  ++stats_.cpu_misses;
+  auto& set = sets_[set_of(id)];
+  auto& ways = set.app_ways.empty() ? set.io_ways : set.app_ways;
+  const auto ev = fill(ways, id, size, /*io_partition=*/set.app_ways.empty(), /*dirty=*/false);
+  if (Entry* e = find(id)) e->read_since_fill = true;
+  if (evicted != nullptr) *evicted = ev;
+  return false;
+}
+
+bool LlcModel::cpu_write(BufferId id, Bytes size, Evicted* evicted) {
+  if (Entry* e = find(id)) {
+    e->stamp = ++clock_;
+    e->dirty = true;
+    ++stats_.cpu_hits;
+    return true;
+  }
+  ++stats_.cpu_misses;
+  auto& set = sets_[set_of(id)];
+  auto& ways = set.app_ways.empty() ? set.io_ways : set.app_ways;
+  const auto ev = fill(ways, id, size, /*io_partition=*/set.app_ways.empty(), /*dirty=*/true);
+  if (evicted != nullptr) *evicted = ev;
+  return false;
+}
+
+void LlcModel::invalidate(BufferId id) {
+  if (Entry* e = find(id)) {
+    if (e->io_partition && ddio_resident_ > 0) --ddio_resident_;
+    e->valid = false;
+    e->dirty = false;
+    where_.erase(id);
+  }
+}
+
+bool LlcModel::resident(BufferId id) const { return find(id) != nullptr; }
+
+}  // namespace ceio

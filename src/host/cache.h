@@ -1,0 +1,123 @@
+// Last-Level Cache model with a dedicated DDIO partition.
+//
+// The unit of tracking is an I/O buffer (one packet buffer, e.g. 2 KiB), the
+// same granularity at which CEIO issues credits (paper Eq. 1). The cache is
+// set-associative: each set has `ddio_ways` ways reserved for inbound DMA
+// (Intel DDIO allocates writes only into a subset of ways) and the remaining
+// ways for regular CPU fills. This reproduces the paper's core phenomenon:
+// when in-flight I/O data exceeds the DDIO partition, newly DMAed buffers
+// evict older ones *before the CPU has read them*, so the eventual CPU access
+// misses and pays a DRAM round trip (data path ❸ in Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+/// Identifies one cached I/O buffer (or app buffer). Allocated monotonically
+/// by whoever owns the memory (host buffer pool, app pools).
+using BufferId = std::uint64_t;
+
+struct LlcConfig {
+  Bytes total_bytes = 12 * kMiB;  // Xeon Silver 4309Y LLC
+  int ways = 12;
+  int ddio_ways = 2;          // default DDIO configuration
+  Bytes buffer_bytes = 2 * kKiB;  // tracking granularity (one RX buffer)
+
+  Bytes ddio_bytes() const { return total_bytes / ways * ddio_ways; }
+  Bytes app_bytes() const { return total_bytes / ways * (ways - ddio_ways); }
+};
+
+struct LlcStats {
+  std::int64_t ddio_writes = 0;      // DMA writes absorbed by the LLC
+  std::int64_t cpu_hits = 0;         // CPU reads served from LLC
+  std::int64_t cpu_misses = 0;       // CPU reads that went to DRAM
+  std::int64_t evictions = 0;        // total capacity evictions
+  std::int64_t premature_evictions = 0;  // evicted before first CPU read
+  std::int64_t writebacks = 0;       // dirty lines pushed to DRAM
+
+  double miss_rate() const {
+    const auto total = cpu_hits + cpu_misses;
+    return total > 0 ? static_cast<double>(cpu_misses) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class LlcModel {
+ public:
+  explicit LlcModel(const LlcConfig& config);
+
+  /// Result of an eviction caused by an insert.
+  struct Evicted {
+    bool happened = false;
+    BufferId victim = 0;
+    Bytes victim_bytes = 0;      // dirty bytes to write back
+    bool dirty = false;          // needs a DRAM write-back
+    bool never_read = false;     // premature eviction (evicted before use)
+  };
+
+  /// A DMA write lands in the DDIO partition of the buffer's set (write
+  /// allocate). Returns the eviction it caused, if any.
+  Evicted ddio_write(BufferId id, Bytes size, bool expect_read = true);
+
+  /// A CPU load touches the buffer. On a miss the buffer is filled into the
+  /// non-DDIO partition. Returns true on hit.
+  bool cpu_read(BufferId id, Bytes size, Evicted* evicted = nullptr);
+
+  /// A CPU store (e.g. memcpy destination). Allocates into the non-DDIO
+  /// partition and marks the line dirty. Returns true on hit.
+  bool cpu_write(BufferId id, Bytes size, Evicted* evicted = nullptr);
+
+  /// Drops the buffer from the cache without a write-back (buffer freed and
+  /// recycled; the next DMA into the recycled buffer re-inserts it).
+  void invalidate(BufferId id);
+
+  /// True when the buffer is currently cache-resident (any partition).
+  bool resident(BufferId id) const;
+
+  /// Number of buffers currently resident in the DDIO partition.
+  std::size_t ddio_occupancy() const { return ddio_resident_; }
+  /// Capacity of the DDIO partition, in buffers.
+  std::size_t ddio_capacity() const { return ddio_capacity_; }
+
+  const LlcStats& stats() const { return stats_; }
+  const LlcConfig& config() const { return config_; }
+  void reset_stats() { stats_ = LlcStats{}; }
+
+ private:
+  // Per-entry metadata; LRU is per (set, partition) via a timestamp stamp.
+  struct Entry {
+    BufferId id = 0;
+    Bytes bytes = 0;  // valid payload bytes (for write-back accounting)
+    bool expect_read = true;  // premature-eviction accounting applies
+    std::uint64_t stamp = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+    bool read_since_fill = false;
+    bool io_partition = false;
+  };
+
+  struct Set {
+    std::vector<Entry> io_ways;   // DDIO partition
+    std::vector<Entry> app_ways;  // regular partition
+  };
+
+  std::size_t set_of(BufferId id) const;
+  Entry* find(BufferId id);
+  const Entry* find(BufferId id) const;
+  Evicted fill(std::vector<Entry>& ways, BufferId id, Bytes size, bool io_partition, bool dirty,
+               bool expect_read = true);
+
+  LlcConfig config_;
+  std::vector<Set> sets_;
+  std::unordered_map<BufferId, std::uint32_t> where_;  // id -> set index
+  std::uint64_t clock_ = 0;
+  std::size_t ddio_resident_ = 0;
+  std::size_t ddio_capacity_ = 0;
+  LlcStats stats_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,90 @@
+// CPU core model: a serial packet-processing engine with a cost model.
+//
+// The paper pins one core per I/O flow (§2.3); we mirror that. A core
+// executes submitted work items strictly in order. Each item's service time
+// is the framework's fixed per-packet cost, plus per-byte protocol cost, plus
+// the *measured* memory latency of touching the packet buffer (LLC hit
+// ~20 ns vs DRAM ~100 ns + bandwidth queueing) and of any application-level
+// memcpy. This is where inefficient LLC use turns into lost throughput: a
+// miss stretches the service time beyond the packet interarrival gap and the
+// core falls behind the wire (paper §1: 41.8 ns budget at 200 Gbps/1024 B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.h"
+#include "host/memory_controller.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+struct CpuCoreConfig {
+  // Per-packet framework overhead (descriptor handling, ring management,
+  // header parse). Roughly 60 ns ~= 170 cycles at 2.8 GHz.
+  Nanos per_packet_cost = 60;
+  // Per-byte payload processing cost (checksum/parse); zero-copy frameworks
+  // keep this tiny.
+  double per_byte_cost_ns = 0.01;
+};
+
+/// One unit of CPU work: process one received packet buffer.
+struct PacketWork {
+  BufferId buffer = 0;
+  Bytes size = 0;
+  /// Extra application-level cost (KV lookup, DFS logging, ...).
+  Nanos app_cost = 0;
+  /// Touch the packet buffer through the cache hierarchy (hit/miss matters).
+  bool read_buffer = true;
+  /// When nonzero, memcpy the payload into this application buffer
+  /// (non-zero-copy frameworks such as our LineFS substrate).
+  BufferId copy_to = 0;
+  /// Bulk copy job (message work): read `copy_src_count` consecutive
+  /// buffers of `copy_block` bytes starting at `copy_src_begin` (cache
+  /// residency decides hit vs DRAM per buffer) and stream `stream_bytes`
+  /// to the destination with non-temporal stores.
+  BufferId copy_src_begin = 0;
+  std::uint32_t copy_src_count = 0;
+  Bytes copy_block = 0;
+  Bytes stream_bytes = 0;
+  /// Fired at the simulated completion instant.
+  std::function<void(Nanos done)> on_done;
+};
+
+struct CpuCoreStats {
+  std::int64_t packets = 0;
+  Nanos busy_time = 0;
+  Nanos mem_stall_time = 0;  // portion of busy time spent waiting on memory
+};
+
+class CpuCore {
+ public:
+  CpuCore(EventScheduler& sched, MemoryController& mc, const CpuCoreConfig& config = {});
+
+  /// Enqueues work; the core processes items serially in FIFO order.
+  void submit(PacketWork work);
+
+  bool idle() const { return !busy_ && queue_.empty(); }
+  std::size_t backlog() const { return queue_.size(); }
+
+  double utilization(Nanos elapsed) const {
+    return elapsed > 0 ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
+                       : 0.0;
+  }
+
+  const CpuCoreStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CpuCoreStats{}; }
+
+ private:
+  void run_next();
+
+  EventScheduler& sched_;
+  MemoryController& mc_;
+  CpuCoreConfig config_;
+  std::deque<PacketWork> queue_;
+  bool busy_ = false;
+  CpuCoreStats stats_;
+};
+
+}  // namespace ceio

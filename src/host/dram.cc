@@ -1,0 +1,22 @@
+#include "host/dram.h"
+
+#include <algorithm>
+
+namespace ceio {
+
+Nanos DramModel::access(Nanos now, Bytes size) {
+  const Nanos start = std::max(now, next_free_);
+  const Nanos xfer = transmit_time(size, config_.bandwidth);
+  next_free_ = start + xfer;
+  ++stats_.requests;
+  stats_.bytes += size;
+  stats_.busy_time += xfer;
+  return start + xfer + config_.access_latency;
+}
+
+Nanos DramModel::peek_completion(Nanos now, Bytes size) const {
+  const Nanos start = std::max(now, next_free_);
+  return start + transmit_time(size, config_.bandwidth) + config_.access_latency;
+}
+
+}  // namespace ceio

@@ -1,0 +1,60 @@
+// DRAM bandwidth/latency model shared by all host memory traffic.
+//
+// Every byte that misses the LLC — CPU miss fetches, DDIO write-backs,
+// non-DDIO DMA writes, application memcpys — draws from one bandwidth pool.
+// The model is a work-conserving pipe: a request of B bytes occupies the pipe
+// for B/bandwidth and observes the base access latency plus any queueing
+// behind earlier requests. This creates the contention effect at the heart of
+// §2.2: CPU-involved flows that miss the cache consume memory bandwidth that
+// CPU-bypass flows need, degrading both.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace ceio {
+
+struct DramConfig {
+  Nanos access_latency = 95;                // closed-page CAS + queueing floor
+  BitsPerSec bandwidth = gbps(8 * 25.6 * 8);  // 8 channels of DDR4-3200
+};
+
+struct DramStats {
+  std::int64_t requests = 0;
+  Bytes bytes = 0;
+  Nanos busy_time = 0;  // time the pipe spent transferring
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& config) : config_(config) {}
+
+  /// Reserves bandwidth for a request issued at `now` and returns its
+  /// completion time (>= now + access_latency). Subsequent requests queue
+  /// behind it.
+  Nanos access(Nanos now, Bytes size);
+
+  /// Completion time the *next* request issued at `now` would observe,
+  /// without reserving (used by admission logic).
+  Nanos peek_completion(Nanos now, Bytes size) const;
+
+  /// Instantaneous queueing delay seen by a request issued at `now`.
+  Nanos queueing_delay(Nanos now) const { return next_free_ > now ? next_free_ - now : 0; }
+
+  double utilization(Nanos elapsed) const {
+    return elapsed > 0 ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
+                       : 0.0;
+  }
+
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return config_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+ private:
+  DramConfig config_;
+  Nanos next_free_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,120 @@
+#include "host/memory_controller.h"
+
+#include <algorithm>
+
+namespace ceio {
+
+MemoryController::MemoryController(EventScheduler& sched, LlcModel& llc, DramModel& dram,
+                                   IioBuffer& iio, const MemoryControllerConfig& config)
+    : sched_(sched), llc_(llc), dram_(dram), iio_(iio), config_(config) {}
+
+void MemoryController::charge_eviction(const LlcModel::Evicted& ev) {
+  if (ev.happened && ev.dirty) {
+    // The write-back consumes DRAM bandwidth but nobody waits on it. Only
+    // the victim's dirty bytes travel (a 128 B packet in a 2 KiB buffer
+    // writes back 128 B, not the whole buffer).
+    dram_.access(sched_.now(), ev.victim_bytes > 0 ? ev.victim_bytes
+                                                   : llc_.config().buffer_bytes);
+    ++stats_.writebacks;
+  }
+}
+
+void MemoryController::dma_write(BufferId id, Bytes size, bool ddio, Completion done,
+                                 bool expect_read) {
+  if (!iio_.admit(size)) {
+    // IIO full: PCIe backpressure. Retry until space frees up; this models
+    // the exhausted-PCIe-credit stall described for CPU-bypass flows (§2.2).
+    ++stats_.iio_stalls;
+    sched_.schedule_after(config_.iio_retry_delay,
+                          [this, id, size, ddio, expect_read, done = std::move(done)]() mutable {
+                            dma_write(id, size, ddio, std::move(done), expect_read);
+                          });
+    return;
+  }
+  start_dma_write(id, size, ddio, expect_read, std::move(done));
+}
+
+void MemoryController::start_dma_write(BufferId id, Bytes size, bool ddio, bool expect_read,
+                                       Completion done) {
+  Nanos complete_at;
+  if (ddio) {
+    const auto ev = llc_.ddio_write(id, size, expect_read);
+    charge_eviction(ev);
+    complete_at = sched_.now() + config_.llc_write_latency;
+    ++stats_.ddio_writes;
+  } else {
+    complete_at = dram_.access(sched_.now(), size);
+    ++stats_.dram_writes;
+  }
+  sched_.schedule_at(complete_at, [this, size, done = std::move(done), complete_at]() {
+    iio_.drain(size);
+    if (done) done(complete_at);
+  });
+}
+
+Nanos MemoryController::cpu_read(BufferId id, Bytes size) {
+  LlcModel::Evicted ev;
+  if (llc_.cpu_read(id, size, &ev)) {
+    return config_.llc_hit_latency;
+  }
+  charge_eviction(ev);
+  // Dependent pair: descriptor line first, then the payload fetch.
+  const Nanos now = sched_.now();
+  Nanos done = now;
+  if (config_.miss_descriptor_bytes > 0) {
+    done = dram_.access(now, config_.miss_descriptor_bytes);
+  }
+  const Nanos wait = done - now;
+  return wait + (dram_.access(done, size) - done);
+}
+
+Nanos MemoryController::cpu_write(BufferId id, Bytes size) {
+  LlcModel::Evicted ev;
+  if (llc_.cpu_write(id, size, &ev)) {
+    return config_.llc_hit_latency;
+  }
+  charge_eviction(ev);
+  // Write-allocate: fetch the line, modify in cache.
+  const Nanos done = dram_.access(sched_.now(), size);
+  return done - sched_.now();
+}
+
+Nanos MemoryController::cpu_copy(BufferId src, BufferId dst, Bytes size) {
+  return cpu_read(src, size) + cpu_write(dst, size);
+}
+
+Nanos MemoryController::cpu_bulk_read(BufferId begin, std::uint32_t count, Bytes block) {
+  Nanos total = 0;
+  Bytes missed_bytes = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LlcModel::Evicted ev;
+    if (llc_.cpu_read(begin + i, block, &ev)) {
+      total += config_.llc_hit_latency;
+    } else {
+      charge_eviction(ev);
+      missed_bytes += block;
+    }
+  }
+  if (missed_bytes > 0) {
+    // Latency term: each missed cache line stalls ~access_latency/MLP; the
+    // bandwidth term comes from one aggregate DRAM reservation. The copy
+    // pays whichever is larger.
+    const Nanos now = sched_.now();
+    const Bytes lines = missed_bytes / 64;
+    const Nanos latency_bound = lines * dram_.config().access_latency /
+                                std::max(config_.bulk_mlp, 1);
+    const Nanos bw_bound = dram_.access(now, missed_bytes) - now;
+    total += std::max(latency_bound, bw_bound);
+  }
+  return total;
+}
+
+Nanos MemoryController::cpu_stream_write(Bytes size) {
+  // Non-temporal store: the write-combining buffers hide latency; only the
+  // DRAM bandwidth reservation is visible to the core.
+  const Nanos now = sched_.now();
+  const Nanos done = dram_.access(now, size);
+  return (done - now) / 4;  // WC buffers overlap most of the transfer
+}
+
+}  // namespace ceio

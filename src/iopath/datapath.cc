@@ -1,0 +1,187 @@
+#include "iopath/datapath.h"
+
+#include "common/logging.h"
+
+namespace ceio {
+
+DatapathBase::DatapathBase(EventScheduler& sched, DmaEngine& dma, MemoryController& mc,
+                           BufferPool& host_pool)
+    : sched_(sched), dma_(dma), mc_(mc), host_pool_(host_pool) {}
+
+void DatapathBase::register_flow(const FlowRuntime& rt) {
+  auto [it, inserted] = flows_.try_emplace(rt.config.id);
+  FlowState& fs = it->second;
+  fs.rt = rt;
+  if (inserted) {
+    // Bypass flows write into distinct app-memory regions; keep per-flow id
+    // spaces disjoint (a 24-bit region per flow, far above any pool range).
+    fs.next_bypass_buffer = kBypassBufferBase + (static_cast<BufferId>(rt.config.id) << 24);
+  }
+  on_flow_registered(fs);
+}
+
+void DatapathBase::unregister_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  on_flow_unregistered(it->second);
+  flows_.erase(it);
+}
+
+const FlowPathStats* DatapathBase::flow_stats(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second.stats;
+}
+
+DatapathBase::FlowState* DatapathBase::state_of(FlowId id) {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+void DatapathBase::drop_packet(FlowState& fs, const Packet& pkt) {
+  ++fs.stats.dropped_pkts;
+  if (fs.rt.source != nullptr) fs.rt.source->notify_dropped(pkt);
+}
+
+void DatapathBase::deliver_fast(FlowState& fs, Packet pkt, RxRing* ring) {
+  const bool bypass = !fs.rt.app->per_packet_cpu();
+  BufferId buffer = 0;
+  if (bypass) {
+    // RDMA-style: data lands directly in registered application memory.
+    buffer = fs.next_bypass_buffer++;
+  } else {
+    const auto acquired = host_pool_.acquire();
+    if (!acquired) {
+      drop_packet(fs, pkt);
+      return;
+    }
+    buffer = *acquired;
+  }
+  pkt.host_buffer = buffer;
+  ++fs.stats.fast_path_pkts;
+  const FlowId flow = fs.rt.config.id;
+  const bool expect_read = fs.rt.app->reads_delivered_data();
+  dma_.write_to_host(
+      buffer, pkt.size, /*ddio=*/true,
+      [this, flow, pkt = std::move(pkt), ring](Nanos) mutable {
+        on_host_landed(flow, std::move(pkt), ring);
+      },
+      expect_read);
+}
+
+void DatapathBase::on_host_landed(FlowId flow, Packet pkt, RxRing* ring) {
+  FlowState* fs = state_of(flow);
+  if (fs == nullptr) {
+    // Flow was unregistered while the DMA was in flight; recycle the buffer
+    // (bypass app-memory ids are not pool buffers).
+    if (pkt.host_buffer != 0 && pkt.host_buffer < kBypassBufferBase) {
+      host_pool_.release(pkt.host_buffer);
+    }
+    return;
+  }
+  if (fs->rt.source != nullptr) fs->rt.source->notify_delivered(pkt);
+  if (!fs->rt.app->per_packet_cpu()) {
+    note_delivered_message_progress(*fs, pkt, sched_.now());
+    return;
+  }
+  if (ring == nullptr || !ring->post(pkt)) {
+    host_pool_.release(pkt.host_buffer);
+    mc_.release_buffer(pkt.host_buffer);
+    drop_packet(*fs, pkt);
+    return;
+  }
+  pump(*fs, ring);
+}
+
+void DatapathBase::pump(FlowState& fs, RxRing* ring) {
+  if (fs.pumping || ring == nullptr) return;
+  auto pkt = ring->poll();
+  if (!pkt) return;
+  fs.pumping = true;
+  process_packet(fs, std::move(*pkt), ring);
+}
+
+void DatapathBase::process_packet(FlowState& fs, Packet pkt, RxRing* ring) {
+  const AppPacketCosts costs = fs.rt.app->packet_costs(pkt);
+  PacketWork work;
+  work.buffer = pkt.host_buffer;
+  work.size = pkt.size;
+  work.app_cost = costs.app_cost;
+  work.read_buffer = costs.read_buffer;
+  work.copy_to = costs.copy_to;
+  const FlowId flow = fs.rt.config.id;
+  work.on_done = [this, flow, pkt = std::move(pkt), ring](Nanos done) {
+    FlowState* fs2 = state_of(flow);
+    if (fs2 == nullptr) {
+      if (pkt.host_buffer != 0) host_pool_.release(pkt.host_buffer);
+      return;
+    }
+    host_pool_.release(pkt.host_buffer);
+    mc_.release_buffer(pkt.host_buffer);
+    on_packet_processed_hook(*fs2, pkt);
+    note_processed_message_progress(*fs2, pkt, done);
+    fs2->pumping = false;
+    pump(*fs2, ring);
+  };
+  fs.rt.core->submit(std::move(work));
+}
+
+void DatapathBase::note_delivered_message_progress(FlowState& fs, const Packet& pkt,
+                                                   Nanos now) {
+  auto& count = fs.delivered_count[pkt.message_id];
+  ++count;
+  if (count < pkt.message_pkts) return;
+  fs.delivered_count.erase(pkt.message_id);
+  run_message_work(fs, pkt, now);
+}
+
+void DatapathBase::note_processed_message_progress(FlowState& fs, const Packet& pkt,
+                                                   Nanos done) {
+  auto& count = fs.processed_count[pkt.message_id];
+  ++count;
+  if (count < pkt.message_pkts) return;
+  fs.processed_count.erase(pkt.message_id);
+  run_message_work(fs, pkt, done);
+}
+
+void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos now) {
+  const AppMessageCosts costs = fs.rt.app->message_costs(last_pkt);
+  const std::uint64_t message_id = last_pkt.message_id;
+  FlowSource* source = fs.rt.source;
+  if (costs.app_cost == 0 && costs.copy_bytes == 0) {
+    if (source != nullptr) source->notify_message_complete(message_id, now);
+    on_message_work_done(fs, last_pkt, now);
+    return;
+  }
+  // Message work (e.g. LineFS replication + logging) runs on the flow's
+  // core; completion is reported when the work retires.
+  PacketWork work;
+  work.buffer = last_pkt.host_buffer;
+  work.size = costs.copy_bytes > 0 ? costs.copy_bytes
+                                   : static_cast<Bytes>(last_pkt.message_pkts) * last_pkt.size;
+  work.app_cost = costs.app_cost;
+  work.read_buffer = false;
+  if (costs.read_source && last_pkt.host_buffer >= kBypassBufferBase) {
+    // Bypass app-memory buffers are allocated sequentially per flow, so the
+    // chunk the worker walks is the id range ending at the last packet.
+    const auto count = last_pkt.message_pkts;
+    work.copy_src_begin = last_pkt.host_buffer >= count - 1
+                              ? last_pkt.host_buffer - (count - 1)
+                              : last_pkt.host_buffer;
+    work.copy_src_count = count;
+    work.copy_block = last_pkt.size;
+  }
+  if (costs.stream_dest) {
+    work.stream_bytes = costs.copy_bytes;
+  } else {
+    work.copy_to = costs.copy_to;
+  }
+  const FlowId flow = fs.rt.config.id;
+  work.on_done = [this, source, message_id, flow, last_pkt](Nanos done) {
+    if (source != nullptr) source->notify_message_complete(message_id, done);
+    FlowState* fs2 = state_of(flow);
+    if (fs2 != nullptr) on_message_work_done(*fs2, last_pkt, done);
+  };
+  fs.rt.core->submit(std::move(work));
+}
+
+}  // namespace ceio

@@ -1,0 +1,136 @@
+// I/O datapath interface and shared delivery machinery.
+//
+// A datapath is the policy layer between the NIC RX pipeline and the
+// application: it decides where packets are DMAed, how RX rings are
+// organised, and when congestion feedback is generated. The four systems
+// under study — Legacy (plain DDIO), HostCC, ShRing and CEIO — are all
+// `IoDatapath`s composed from the same substrates, so experiments swap the
+// policy while holding the hardware models fixed.
+//
+// `DatapathBase` implements the machinery every policy shares:
+//   * fast-path delivery (pool buffer -> PCIe DMA -> IIO -> LLC/DRAM),
+//   * per-flow RX ring pumping onto the flow's pinned core,
+//   * message progress accounting and completion callbacks,
+//   * CPU-bypass handling (per-message work instead of per-packet).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/application.h"
+#include "host/cpu_core.h"
+#include "net/flow_source.h"
+#include "nic/buffer_pool.h"
+#include "nic/nic.h"
+#include "nic/packet.h"
+#include "nic/rx_ring.h"
+#include "pcie/dma_engine.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+/// Buffer ids at or above this base are rotating application-memory ids
+/// (CPU-bypass flows), never pool buffers — they must not be released into
+/// the host RX pool.
+inline constexpr BufferId kBypassBufferBase = 1ULL << 44;
+
+/// Everything a datapath needs to know about one registered flow.
+struct FlowRuntime {
+  FlowConfig config;
+  FlowSource* source = nullptr;  // feedback + completion reporting
+  Application* app = nullptr;    // cost model
+  CpuCore* core = nullptr;       // pinned core (per-packet or message work)
+};
+
+/// Per-flow datapath statistics (rings/drops are tracked where they live).
+struct FlowPathStats {
+  std::int64_t fast_path_pkts = 0;
+  std::int64_t slow_path_pkts = 0;
+  std::int64_t dropped_pkts = 0;
+};
+
+class IoDatapath : public PacketSink {
+ public:
+  ~IoDatapath() override = default;
+
+  virtual const char* name() const = 0;
+  virtual void register_flow(const FlowRuntime& rt) = 0;
+  virtual void unregister_flow(FlowId id) = 0;
+};
+
+class DatapathBase : public IoDatapath {
+ public:
+  DatapathBase(EventScheduler& sched, DmaEngine& dma, MemoryController& mc,
+               BufferPool& host_pool);
+
+  void register_flow(const FlowRuntime& rt) override;
+  void unregister_flow(FlowId id) override;
+
+  const FlowPathStats* flow_stats(FlowId id) const;
+
+ protected:
+  struct FlowState {
+    FlowRuntime rt;
+    std::unique_ptr<RxRing> ring;  // owned per-flow ring (null when shared)
+    bool pumping = false;
+    // Message progress: packets landed in host memory / processed by CPU.
+    std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
+    std::unordered_map<std::uint64_t, std::uint32_t> processed_count;
+    BufferId next_bypass_buffer = 0;  // rotating app-memory ids (bypass flows)
+    FlowPathStats stats;
+  };
+
+  /// Hook: called after register_flow creates the state (set up rings/rules).
+  virtual void on_flow_registered(FlowState& fs) { (void)fs; }
+  virtual void on_flow_unregistered(FlowState& fs) { (void)fs; }
+  /// Hook: called when the CPU finished one packet (CEIO releases credits).
+  virtual void on_packet_processed_hook(FlowState& fs, const Packet& pkt) {
+    (void)fs;
+    (void)pkt;
+  }
+
+  /// Hook: called when a message's completion work has fully retired — the
+  /// moment buffer ownership returns to the driver (CEIO replenishes a
+  /// bypass flow's credits here, per the write-with-immediate protocol).
+  virtual void on_message_work_done(FlowState& fs, const Packet& last_pkt, Nanos done) {
+    (void)fs;
+    (void)last_pkt;
+    (void)done;
+  }
+
+  FlowState* state_of(FlowId id);
+
+  /// Fast-path delivery: acquire a host buffer, DMA through PCIe/IIO into
+  /// LLC (DDIO), then hand off to `ring` (CPU-involved) or to message
+  /// accounting (CPU-bypass). `ring` may differ from fs.ring (ShRing).
+  void deliver_fast(FlowState& fs, Packet pkt, RxRing* ring);
+
+  /// Drop accounting + loss feedback to the sender.
+  void drop_packet(FlowState& fs, const Packet& pkt);
+
+  /// Starts/continues draining `ring` onto the flow's core, one packet in
+  /// flight per flow.
+  void pump(FlowState& fs, RxRing* ring);
+
+  /// Message-level progress at DMA-completion granularity (bypass flows).
+  void note_delivered_message_progress(FlowState& fs, const Packet& pkt, Nanos now);
+
+  /// Message-level progress at CPU-processing granularity (involved flows).
+  void note_processed_message_progress(FlowState& fs, const Packet& pkt, Nanos done);
+
+  /// Executes the app's message-completion work and reports completion.
+  void run_message_work(FlowState& fs, const Packet& last_pkt, Nanos now);
+
+  EventScheduler& sched_;
+  DmaEngine& dma_;
+  MemoryController& mc_;
+  BufferPool& host_pool_;
+  std::unordered_map<FlowId, FlowState> flows_;
+
+ private:
+  void on_host_landed(FlowId flow, Packet pkt, RxRing* ring);
+  void process_packet(FlowState& fs, Packet pkt, RxRing* ring);
+};
+
+}  // namespace ceio

@@ -1,0 +1,251 @@
+#include "iopath/testbed.h"
+
+#include <algorithm>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "apps/vxlan.h"
+#include "common/logging.h"
+
+namespace ceio {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kLegacy:
+      return "Baseline";
+    case SystemKind::kHostcc:
+      return "HostCC";
+    case SystemKind::kShring:
+      return "ShRing";
+    case SystemKind::kCeio:
+      return "CEIO";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  llc_ = std::make_unique<LlcModel>(config_.llc);
+  dram_ = std::make_unique<DramModel>(config_.dram);
+  iio_ = std::make_unique<IioBuffer>(config_.iio);
+  mc_ = std::make_unique<MemoryController>(sched_, *llc_, *dram_, *iio_, config_.mc);
+  pcie_ = std::make_unique<PcieLink>(config_.pcie);
+  dma_ = std::make_unique<DmaEngine>(sched_, *pcie_, *mc_, config_.dma);
+  nic_mem_ = std::make_unique<NicMemory>(config_.nic_mem);
+  rmt_ = std::make_unique<RmtEngine>(sched_, config_.rmt);
+  nic_ = std::make_unique<Nic>(sched_, config_.nic);
+  link_ = std::make_unique<NetworkLink>(sched_, *nic_, config_.net);
+
+  const Bytes buf = config_.llc.buffer_bytes;
+  const auto ddio_capacity = static_cast<std::size_t>(config_.llc.ddio_bytes() / buf);
+  switch (config_.system) {
+    case SystemKind::kLegacy:
+      host_pool_ = std::make_unique<BufferPool>(config_.legacy_pool_buffers, buf);
+      datapath_ = std::make_unique<LegacyDatapath>(sched_, *dma_, *mc_, *host_pool_,
+                                                   config_.legacy);
+      break;
+    case SystemKind::kHostcc:
+      host_pool_ = std::make_unique<BufferPool>(config_.legacy_pool_buffers, buf);
+      datapath_ = std::make_unique<HostccDatapath>(sched_, *dma_, *mc_, *host_pool_, *iio_,
+                                                   *dram_, *llc_, config_.hostcc);
+      break;
+    case SystemKind::kShring: {
+      host_pool_ = std::make_unique<BufferPool>(
+          std::max<std::size_t>(config_.shring_pool_entries, 64), buf);
+      datapath_ = std::make_unique<ShringDatapath>(sched_, *dma_, *mc_, *host_pool_,
+                                                   config_.shring);
+      break;
+    }
+    case SystemKind::kCeio: {
+      CeioConfig ceio_cfg = config_.ceio;
+      if (config_.ceio_auto_credits) {
+        // Scale the landed-drain cap with the partition: a 2-way DDIO
+        // configuration cannot afford a 256-buffer landing window.
+        ceio_cfg.landed_cap = std::min<std::size_t>(
+            ceio_cfg.landed_cap, std::max<std::size_t>(ddio_capacity / 8, 32));
+        // Eq. 1 with a margin covering the controller's poll lag, the
+        // in-flight drain window, and landed-but-unconsumed slow packets —
+        // all of which occupy DDIO ways without holding a credit.
+        const auto margin = static_cast<std::int64_t>(
+            64 + ceio_cfg.landed_cap + ceio_cfg.drain_window);
+        ceio_cfg.total_credits =
+            std::max<std::int64_t>(static_cast<std::int64_t>(ddio_capacity) - margin, 64);
+      }
+      host_pool_ = std::make_unique<BufferPool>(
+          static_cast<std::size_t>(ceio_cfg.total_credits) * 2 + 1024, buf);
+      auto ceio = std::make_unique<CeioDatapath>(sched_, *dma_, *mc_, *host_pool_, *rmt_,
+                                                 *nic_mem_, ceio_cfg);
+      ceio_ = ceio.get();
+      datapath_ = std::move(ceio);
+      break;
+    }
+  }
+  nic_->attach(datapath_.get());
+  link_->set_drop_handler([this](const Packet& pkt) {
+    const auto it = flows_.find(pkt.flow);
+    if (it != flows_.end()) it->second.source->notify_dropped(pkt);
+  });
+}
+
+Testbed::~Testbed() = default;
+
+KvStore& Testbed::make_kv_store() {
+  apps_.push_back(std::make_unique<KvStore>(rng_));
+  return static_cast<KvStore&>(*apps_.back());
+}
+
+LineFs& Testbed::make_linefs() {
+  apps_.push_back(std::make_unique<LineFs>());
+  return static_cast<LineFs&>(*apps_.back());
+}
+
+EchoApp& Testbed::make_echo() {
+  apps_.push_back(std::make_unique<EchoApp>());
+  return static_cast<EchoApp&>(*apps_.back());
+}
+
+RawRdmaApp& Testbed::make_raw_rdma() {
+  apps_.push_back(std::make_unique<RawRdmaApp>());
+  return static_cast<RawRdmaApp&>(*apps_.back());
+}
+
+VxlanApp& Testbed::make_vxlan() {
+  apps_.push_back(std::make_unique<VxlanApp>());
+  return static_cast<VxlanApp&>(*apps_.back());
+}
+
+FlowSource& Testbed::add_flow(const FlowConfig& config, Application& app) {
+  auto record = FlowRecord{};
+  record.core = std::make_unique<CpuCore>(sched_, *mc_, config_.cpu);
+  record.source = std::make_unique<FlowSource>(sched_, rng_, *link_, config, config_.dctcp);
+  record.kind = config.kind;
+
+  FlowRuntime rt;
+  rt.config = config;
+  rt.source = record.source.get();
+  rt.app = &app;
+  rt.core = record.core.get();
+  datapath_->register_flow(rt);
+
+  FlowSource* source = record.source.get();
+  flows_[config.id] = std::move(record);
+  if (config.start_time <= sched_.now()) {
+    source->start();
+  } else {
+    sched_.schedule_at(config.start_time, [source]() { source->start(); });
+  }
+  return *source;
+}
+
+void Testbed::remove_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  it->second.source->stop();
+  datapath_->unregister_flow(id);
+  // Park the record: in-flight events may still call into the core/source.
+  retired_flows_.push_back(std::move(it->second));
+  flows_.erase(it);
+}
+
+FlowSource* Testbed::source(FlowId id) {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : it->second.source.get();
+}
+
+CpuCore* Testbed::core(FlowId id) {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : it->second.core.get();
+}
+
+std::vector<FlowId> Testbed::flow_ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, _] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void Testbed::run_for(Nanos duration) { sched_.run_until(sched_.now() + duration); }
+
+std::vector<Testbed::Sample> Testbed::run_sampling(Nanos duration, Nanos interval) {
+  std::vector<Sample> out;
+  const Nanos end = sched_.now() + duration;
+  while (sched_.now() < end) {
+    reset_measurement();
+    const Nanos step = std::min(interval, end - sched_.now());
+    run_for(step);
+    Sample s;
+    s.t = sched_.now();
+    s.involved_mpps = aggregate_mpps(FlowKind::kCpuInvolved);
+    s.bypass_gbps = aggregate_message_gbps(FlowKind::kCpuBypass);
+    s.miss_rate = llc_miss_rate();
+    out.push_back(s);
+  }
+  return out;
+}
+void Testbed::run_until(Nanos deadline) { sched_.run_until(deadline); }
+Nanos Testbed::now() const { return sched_.now(); }
+
+void Testbed::reset_measurement() {
+  measure_start_ = sched_.now();
+  llc_->reset_stats();
+  for (auto& [id, record] : flows_) record.source->reset_measurement();
+}
+
+FlowReport Testbed::report(FlowId id) const {
+  FlowReport out;
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return out;
+  const FlowSource& src = *it->second.source;
+  out.id = id;
+  out.kind = it->second.kind;
+  const Nanos span = sched_.now() - measure_start_;
+  out.mpps = src.delivered_meter().mpps(0, span);
+  out.gbps = src.delivered_meter().gbps(0, span);
+  out.p50 = src.latency().p50();
+  out.p99 = src.latency().p99();
+  out.p999 = src.latency().p999();
+  out.messages = src.stats().messages_completed;
+  out.drops = src.stats().packets_dropped;
+  const auto& fc = src.config();
+  const double message_bytes =
+      static_cast<double>(fc.packet_size) * static_cast<double>(fc.message_pkts);
+  if (span > 0) {
+    out.message_gbps =
+        static_cast<double>(out.messages) * message_bytes * 8.0 / to_seconds(span) / 1e9;
+  }
+  return out;
+}
+
+std::vector<FlowReport> Testbed::all_reports() const {
+  std::vector<FlowReport> out;
+  for (const FlowId id : flow_ids()) out.push_back(report(id));
+  return out;
+}
+
+double Testbed::aggregate_mpps(std::optional<FlowKind> kind) const {
+  double sum = 0.0;
+  for (const auto& r : all_reports()) {
+    if (!kind || r.kind == *kind) sum += r.mpps;
+  }
+  return sum;
+}
+
+double Testbed::aggregate_gbps(std::optional<FlowKind> kind) const {
+  double sum = 0.0;
+  for (const auto& r : all_reports()) {
+    if (!kind || r.kind == *kind) sum += r.gbps;
+  }
+  return sum;
+}
+
+double Testbed::aggregate_message_gbps(std::optional<FlowKind> kind) const {
+  double sum = 0.0;
+  for (const auto& r : all_reports()) {
+    if (!kind || r.kind == *kind) sum += r.message_gbps;
+  }
+  return sum;
+}
+
+}  // namespace ceio

@@ -1,0 +1,188 @@
+// Testbed: one receiver host (LLC/DRAM/IIO/PCIe/cores), one NIC (RMT +
+// on-NIC memory), one 200 Gbps ingress link, a set of flows with DCTCP
+// sources, and a selected I/O datapath (legacy / HostCC / ShRing / CEIO).
+//
+// This mirrors the paper's two-server setup with the sender collapsed into
+// the flow sources. Benches, tests and examples all build experiments on
+// this harness: add flows, run simulated time, read per-flow and host-level
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/application.h"
+#include "baselines/hostcc.h"
+#include "baselines/legacy.h"
+#include "baselines/shring.h"
+#include "ceio/ceio_datapath.h"
+#include "common/rng.h"
+#include "host/cpu_core.h"
+#include "iopath/datapath.h"
+#include "net/flow_source.h"
+#include "net/network_link.h"
+
+namespace ceio {
+
+enum class SystemKind { kLegacy, kHostcc, kShring, kCeio };
+
+const char* to_string(SystemKind kind);
+
+struct TestbedConfig {
+  SystemKind system = SystemKind::kCeio;
+
+  LlcConfig llc{12 * kMiB, 12, /*ddio_ways=*/6, 2 * kKiB};
+  DramConfig dram;
+  IioConfig iio;
+  MemoryControllerConfig mc;
+  PcieLinkConfig pcie;
+  DmaEngineConfig dma;
+  NicConfig nic;
+  NicMemoryConfig nic_mem;
+  RmtConfig rmt;
+  NetworkLinkConfig net;
+  DctcpConfig dctcp;
+  CpuCoreConfig cpu;
+
+  LegacyConfig legacy;
+  HostccConfig hostcc;
+  ShringConfig shring;
+  CeioConfig ceio;
+
+  /// Legacy/HostCC buffer abundance (no LLC management).
+  std::size_t legacy_pool_buffers = 32'768;
+  /// ShRing shared-RQ capacity in entries (the paper limits the shared ring
+  /// to 4096 RX entries; note this slightly exceeds the 6 MiB DDIO partition
+  /// at 2 KiB buffers, which is why ShRing still sees residual misses).
+  std::size_t shring_pool_entries = 4096;
+  /// Derive CEIO C_total from the LLC config (Eq. 1) minus a poll-lag
+  /// margin; when false, ceio.total_credits is used as given.
+  bool ceio_auto_credits = true;
+
+  std::uint64_t seed = 1;
+};
+
+/// Per-flow measurement summary over the last measurement window.
+struct FlowReport {
+  FlowId id = 0;
+  FlowKind kind = FlowKind::kCpuInvolved;
+  double mpps = 0.0;      // delivered packets
+  double gbps = 0.0;      // delivered goodput (wire bytes landed)
+  double message_gbps = 0.0;  // committed-message goodput (chunk commits)
+  Nanos p50 = 0, p99 = 0, p999 = 0;  // message latency
+  std::int64_t messages = 0;
+  std::int64_t drops = 0;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // ---- Applications (owned by the testbed) ----
+  class KvStore& make_kv_store();
+  class LineFs& make_linefs();
+  class EchoApp& make_echo();
+  class RawRdmaApp& make_raw_rdma();
+  class VxlanApp& make_vxlan();
+
+  // ---- Flows ----
+  /// Creates the flow's source and pinned core and registers it with the
+  /// datapath. Emission starts at config.start_time (scheduled).
+  FlowSource& add_flow(const FlowConfig& config, Application& app);
+  void remove_flow(FlowId id);
+  FlowSource* source(FlowId id);
+  CpuCore* core(FlowId id);
+  std::vector<FlowId> flow_ids() const;
+
+  // ---- Time ----
+  void run_for(Nanos duration);
+  void run_until(Nanos deadline);
+  Nanos now() const;
+
+  // ---- Measurement ----
+  /// Clears per-flow meters and host-level stats; reports cover the window
+  /// from this call to `now()`.
+  void reset_measurement();
+  FlowReport report(FlowId id) const;
+  std::vector<FlowReport> all_reports() const;
+  /// Aggregate delivered Mpps over flows of `kind` (or all when nullopt).
+  double aggregate_mpps(std::optional<FlowKind> kind = std::nullopt) const;
+  double aggregate_gbps(std::optional<FlowKind> kind = std::nullopt) const;
+  /// Committed-message goodput (what a DFS reports as write throughput).
+  double aggregate_message_gbps(std::optional<FlowKind> kind = std::nullopt) const;
+  double llc_miss_rate() const { return llc_->stats().miss_rate(); }
+
+  /// One point of a sampled time series (the paper's figures plot these).
+  struct Sample {
+    Nanos t = 0;
+    double involved_mpps = 0.0;
+    double bypass_gbps = 0.0;
+    double miss_rate = 0.0;
+  };
+  /// Runs for `duration`, sampling aggregate throughput and the miss rate
+  /// every `interval` (each sample covers its own window: meters and cache
+  /// stats are reset per interval).
+  std::vector<Sample> run_sampling(Nanos duration, Nanos interval);
+
+  // ---- Substrate access (white-box tests, benches) ----
+  EventScheduler& sched() { return sched_; }
+  Rng& rng() { return rng_; }
+  LlcModel& llc() { return *llc_; }
+  DramModel& dram() { return *dram_; }
+  IioBuffer& iio() { return *iio_; }
+  MemoryController& memory_controller() { return *mc_; }
+  PcieLink& pcie() { return *pcie_; }
+  DmaEngine& dma() { return *dma_; }
+  NicMemory& nic_memory() { return *nic_mem_; }
+  RmtEngine& rmt() { return *rmt_; }
+  Nic& nic() { return *nic_; }
+  NetworkLink& link() { return *link_; }
+  BufferPool& host_pool() { return *host_pool_; }
+  IoDatapath& datapath() { return *datapath_; }
+  /// Non-null only when system == kCeio.
+  CeioDatapath* ceio() { return ceio_; }
+  const TestbedConfig& config() const { return config_; }
+
+ private:
+  struct FlowRecord {
+    std::unique_ptr<CpuCore> core;
+    std::unique_ptr<FlowSource> source;
+    FlowKind kind;
+  };
+
+  TestbedConfig config_;
+  Rng rng_;
+  EventScheduler sched_;
+
+  std::unique_ptr<LlcModel> llc_;
+  std::unique_ptr<DramModel> dram_;
+  std::unique_ptr<IioBuffer> iio_;
+  std::unique_ptr<MemoryController> mc_;
+  std::unique_ptr<PcieLink> pcie_;
+  std::unique_ptr<DmaEngine> dma_;
+  std::unique_ptr<NicMemory> nic_mem_;
+  std::unique_ptr<RmtEngine> rmt_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<NetworkLink> link_;
+  std::unique_ptr<BufferPool> host_pool_;
+
+  std::unique_ptr<DatapathBase> datapath_;
+  CeioDatapath* ceio_ = nullptr;
+
+  std::vector<std::unique_ptr<Application>> apps_;
+  std::unordered_map<FlowId, FlowRecord> flows_;
+  // Removed flows are parked, not destroyed: scheduled events (CPU work
+  // completions, feedback timers) may still reference their core/source.
+  std::vector<FlowRecord> retired_flows_;
+  Nanos measure_start_ = 0;
+};
+
+}  // namespace ceio

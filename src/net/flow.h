@@ -1,0 +1,40 @@
+// Flow configuration shared by traffic sources and datapaths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/units.h"
+#include "nic/packet.h"
+
+namespace ceio {
+
+struct FlowConfig {
+  FlowId id = 0;
+  FlowKind kind = FlowKind::kCpuInvolved;
+
+  /// Wire size of each packet (headers included).
+  Bytes packet_size = 512;
+  /// Packets per application message (1 for RPC requests; large for DFS
+  /// chunk writes — e.g. a 1 MiB chunk in 2 KiB packets = 512).
+  std::uint32_t message_pkts = 1;
+
+  /// Open-loop offered rate (ignored in closed-loop mode).
+  BitsPerSec offered_rate = gbps(25.0);
+  /// When > 0 the source is closed-loop: it keeps this many messages
+  /// outstanding and sends the next only on completion (ping-pong == 1).
+  int closed_loop_outstanding = 0;
+  /// Poisson (true) vs paced (false) packet interarrivals in open-loop mode.
+  bool poisson = false;
+
+  /// On/off bursting (open-loop only): emit for `burst_on`, stay silent for
+  /// `burst_off`, repeat. Zero disables. Used for the paper's network-burst
+  /// style traffic without adding/removing flows.
+  Nanos burst_on = 0;
+  Nanos burst_off = 0;
+
+  Nanos start_time = 0;
+  Nanos stop_time = std::numeric_limits<Nanos>::max();
+};
+
+}  // namespace ceio

@@ -1,0 +1,53 @@
+// Host RX buffer pool (the driver's mempool).
+//
+// A bounded pool of fixed-size host buffers that RX DMA writes land in.
+// Buffer identities are *recycled*: the same BufferId is reused after the
+// application releases it, which matters for cache fidelity — a recycled
+// buffer that is still LLC-resident gets refreshed in place by the next DMA
+// write, while a cold one allocates and may evict (exactly how a real DPDK
+// mempool interacts with DDIO).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "host/cache.h"
+
+namespace ceio {
+
+class BufferPool {
+ public:
+  /// `base` offsets BufferIds so multiple pools never collide in the LLC map.
+  BufferPool(std::size_t count, Bytes buffer_size, BufferId base = 1)
+      : buffer_size_(buffer_size), base_(base) {
+    free_.reserve(count);
+    // LIFO free list: most-recently-released (cache-warm) buffer reused
+    // first, like DPDK's mempool cache.
+    for (std::size_t i = count; i > 0; --i) free_.push_back(base_ + i - 1);
+    total_ = count;
+  }
+
+  std::optional<BufferId> acquire() {
+    if (free_.empty()) return std::nullopt;
+    const BufferId id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+
+  void release(BufferId id) { free_.push_back(id); }
+
+  std::size_t available() const { return free_.size(); }
+  std::size_t in_use() const { return total_ - free_.size(); }
+  std::size_t total() const { return total_; }
+  Bytes buffer_size() const { return buffer_size_; }
+
+ private:
+  Bytes buffer_size_;
+  BufferId base_;
+  std::size_t total_;
+  std::vector<BufferId> free_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,65 @@
+// NIC RX pipeline shell.
+//
+// The NIC receives packets from the network link, charges the (small)
+// per-packet firmware pipeline cost, and hands each packet to the attached
+// I/O datapath. The four systems under study (legacy, HostCC, ShRing, CEIO)
+// are all `PacketSink`s composed from the same substrates — the NIC itself
+// is policy-free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "nic/packet.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+/// Receives packets at the exit of the NIC RX pipeline.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(Packet pkt) = 0;
+};
+
+struct NicConfig {
+  // BlueField-3 processes small packets at line rate; the pipeline cost only
+  // matters as a serialization floor.
+  Nanos per_packet_cost = 4;
+};
+
+struct NicRxStats {
+  std::int64_t packets = 0;
+  Bytes bytes = 0;
+};
+
+class Nic {
+ public:
+  explicit Nic(EventScheduler& sched, const NicConfig& config = {})
+      : sched_(sched), config_(config) {}
+
+  void attach(PacketSink* sink) { sink_ = sink; }
+
+  /// Entry point for the network link: packet hits the RX MAC.
+  void receive(Packet pkt) {
+    ++stats_.packets;
+    stats_.bytes += pkt.size;
+    const Nanos start = sched_.now() > pipeline_free_ ? sched_.now() : pipeline_free_;
+    pipeline_free_ = start + config_.per_packet_cost;
+    pkt.nic_arrival = pipeline_free_;
+    sched_.schedule_at(pipeline_free_, [this, pkt = std::move(pkt)]() mutable {
+      if (sink_ != nullptr) sink_->on_packet(std::move(pkt));
+    });
+  }
+
+  const NicRxStats& stats() const { return stats_; }
+
+ private:
+  EventScheduler& sched_;
+  NicConfig config_;
+  PacketSink* sink_ = nullptr;
+  Nanos pipeline_free_ = 0;
+  NicRxStats stats_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,39 @@
+#include "nic/nic_memory.h"
+
+#include <algorithm>
+
+namespace ceio {
+
+bool NicMemory::allocate(Bytes size) {
+  if (occupancy_ + size > config_.capacity) {
+    ++stats_.alloc_failures;
+    return false;
+  }
+  occupancy_ += size;
+  stats_.peak_occupancy = std::max(stats_.peak_occupancy, occupancy_);
+  return true;
+}
+
+void NicMemory::free(Bytes size) { occupancy_ = occupancy_ > size ? occupancy_ - size : 0; }
+
+Nanos NicMemory::reserve_pipe(Nanos now, Bytes size) {
+  const Nanos start = std::max(now, pipe_free_);
+  const Nanos xfer =
+      std::max(transmit_time(size, config_.bandwidth), config_.per_request_overhead);
+  pipe_free_ = start + xfer;
+  return start + xfer;
+}
+
+Nanos NicMemory::write(Nanos now, Bytes size) {
+  ++stats_.writes;
+  stats_.bytes_written += size;
+  return reserve_pipe(now, size) + config_.access_latency;
+}
+
+Nanos NicMemory::read(Nanos now, Bytes size) {
+  ++stats_.reads;
+  stats_.bytes_read += size;
+  return reserve_pipe(now, size) + config_.access_latency + config_.switch_latency;
+}
+
+}  // namespace ceio

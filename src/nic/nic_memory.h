@@ -1,0 +1,74 @@
+// On-NIC memory model (BlueField-3 onboard DRAM).
+//
+// CEIO's elastic buffer lives here. Compared with host DRAM it has two
+// handicaps the paper calls out (§6.4): accesses from the DMA engine cross
+// the NIC's *internal PCIe switch* (extra latency), and effective bandwidth
+// degrades under chaotic small-access patterns. We model a bandwidth pipe
+// with per-access latency = DRAM access + internal switch traversal, so
+// small-packet workloads become latency-bound exactly as observed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace ceio {
+
+struct NicMemoryConfig {
+  Bytes capacity = 16 * kGiB;        // BlueField-3 onboard DRAM
+  BitsPerSec bandwidth = gbps(480);  // effective onboard DDR5 bandwidth
+  Nanos access_latency = 150;        // onboard DRAM access
+  Nanos switch_latency = 300;        // internal PCIe switch traversal
+  /// Fixed per-request pipe occupancy (descriptor handling on the wimpy
+  /// NIC-side path). Dominates for small packets — this is what makes the
+  /// slow path latency/request-rate-bound below ~4 KiB (paper §6.3/6.4).
+  Nanos per_request_overhead = 25;
+};
+
+struct NicMemoryStats {
+  std::int64_t writes = 0;
+  std::int64_t reads = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+  std::int64_t alloc_failures = 0;
+  Bytes peak_occupancy = 0;
+};
+
+class NicMemory {
+ public:
+  explicit NicMemory(const NicMemoryConfig& config) : config_(config) {}
+
+  /// Reserves space for a buffered packet. Returns false when the on-NIC
+  /// memory is exhausted (the packet must then be dropped — at 16 GiB this
+  /// only happens under prolonged overload).
+  bool allocate(Bytes size);
+
+  /// Releases space after the packet is drained to the host.
+  void free(Bytes size);
+
+  /// Write completion time for data arriving at `now`.
+  Nanos write(Nanos now, Bytes size);
+
+  /// Read completion time for a DMA-engine fetch issued at `now` (includes
+  /// the internal-switch traversal).
+  Nanos read(Nanos now, Bytes size);
+
+  Bytes occupancy() const { return occupancy_; }
+  double occupancy_fraction() const {
+    return config_.capacity > 0
+               ? static_cast<double>(occupancy_) / static_cast<double>(config_.capacity)
+               : 0.0;
+  }
+  const NicMemoryStats& stats() const { return stats_; }
+  const NicMemoryConfig& config() const { return config_; }
+
+ private:
+  Nanos reserve_pipe(Nanos now, Bytes size);
+
+  NicMemoryConfig config_;
+  Bytes occupancy_ = 0;
+  Nanos pipe_free_ = 0;
+  NicMemoryStats stats_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,38 @@
+// Core packet and flow vocabulary shared by the network, NIC and host layers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "host/cache.h"
+
+namespace ceio {
+
+using FlowId = std::uint32_t;
+
+/// The two I/O flow classes from paper §2.1.
+enum class FlowKind {
+  kCpuInvolved,  // ❶ NIC -> LLC -> CPU (RPC, NF, DB — needs CPU processing)
+  kCpuBypass,    // ❷ NIC -> LLC -> DRAM (DFS bulk data, RDMA writes)
+};
+
+inline const char* to_string(FlowKind kind) {
+  return kind == FlowKind::kCpuInvolved ? "cpu-involved" : "cpu-bypass";
+}
+
+/// A network packet as seen end to end. Packets are value types; the
+/// "payload" is synthetic (only sizes and identities matter to the models).
+struct Packet {
+  FlowId flow = 0;
+  std::uint64_t seq = 0;       // per-flow sequence number, assigned at sender
+  Bytes size = 0;              // wire payload bytes (headers included)
+  Nanos created = 0;           // send timestamp (latency measurement origin)
+  Nanos nic_arrival = 0;       // set when the packet reaches the RX pipeline
+  bool ecn = false;            // ECN CE mark from the network bottleneck
+  std::uint64_t message_id = 0;   // message this packet belongs to
+  std::uint32_t message_pkts = 1; // packets in the message
+  bool last_in_message = false;   // completes the message (triggers app logic)
+  BufferId host_buffer = 0;    // host RX buffer, assigned at DMA time
+};
+
+}  // namespace ceio

@@ -1,0 +1,50 @@
+#include "nic/rmt_engine.h"
+
+namespace ceio {
+
+RmtEngine::RmtEngine(EventScheduler& sched, const RmtConfig& config)
+    : sched_(sched), config_(config) {}
+
+bool RmtEngine::install_rule(FlowId flow, SteerAction action) {
+  if (rules_.size() >= config_.table_capacity && rules_.find(flow) == rules_.end()) {
+    return false;
+  }
+  update_action(flow, action);
+  return true;
+}
+
+void RmtEngine::update_action(FlowId flow, SteerAction action) {
+  const std::uint64_t gen = generation_;
+  sched_.schedule_after(config_.rule_update_latency, [this, flow, action, gen]() {
+    if (gen != generation_) return;  // table was torn down meanwhile
+    rules_[flow].action = action;
+  });
+}
+
+void RmtEngine::remove_rule(FlowId flow) {
+  rules_.erase(flow);
+  // Bumping the generation invalidates pending updates for *all* flows;
+  // teardown is rare enough that the coarse invalidation is acceptable and
+  // avoids resurrecting a removed rule via a stale in-flight update.
+  ++generation_;
+}
+
+SteerAction RmtEngine::steer(const Packet& pkt) {
+  const auto it = rules_.find(pkt.flow);
+  if (it == rules_.end()) return config_.default_action;
+  it->second.counters.hits += 1;
+  it->second.counters.bytes += pkt.size;
+  return it->second.action;
+}
+
+SteerAction RmtEngine::current_action(FlowId flow) const {
+  const auto it = rules_.find(flow);
+  return it == rules_.end() ? config_.default_action : it->second.action;
+}
+
+RuleCounters RmtEngine::counters(FlowId flow) const {
+  const auto it = rules_.find(flow);
+  return it == rules_.end() ? RuleCounters{} : it->second.counters;
+}
+
+}  // namespace ceio

@@ -1,0 +1,76 @@
+// Reconfigurable match-action (RMT) steering engine.
+//
+// This is the NIC flow engine CEIO programs (paper §4.1): a per-flow
+// match-action table whose action field decides where an arriving packet is
+// DMAed (host fast path, on-NIC memory slow path, or drop), with per-rule
+// hit/byte counters the flow controller polls to track credit consumption.
+// Rule *updates* take effect only after a configurable reprogram latency —
+// packets that arrive in the window still see the old action, exactly the
+// race a real RMT reprogram has.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "nic/packet.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+enum class SteerAction {
+  kToHost,    // fast path: DMA to host memory (DDIO)
+  kToNicMem,  // slow path: buffer in on-NIC memory
+  kDrop,      // no rule capacity / explicit drop
+};
+
+struct RuleCounters {
+  std::int64_t hits = 0;
+  Bytes bytes = 0;
+};
+
+struct RmtConfig {
+  Nanos rule_update_latency = 1'000;  // reprogramming one match-action entry
+  std::size_t table_capacity = 65'536;
+  SteerAction default_action = SteerAction::kToHost;
+};
+
+class RmtEngine {
+ public:
+  RmtEngine(EventScheduler& sched, const RmtConfig& config = {});
+
+  /// Installs a rule for `flow`, effective after the reprogram latency.
+  /// Returns false when the table is full (packet falls to default action).
+  bool install_rule(FlowId flow, SteerAction action);
+
+  /// Updates the action field of an existing rule (installs when missing),
+  /// effective after the reprogram latency.
+  void update_action(FlowId flow, SteerAction action);
+
+  /// Removes the rule (immediate; used on connection teardown).
+  void remove_rule(FlowId flow);
+
+  /// Data-path lookup: returns the current action and bumps counters.
+  SteerAction steer(const Packet& pkt);
+
+  /// Action currently programmed (what the data path sees right now).
+  SteerAction current_action(FlowId flow) const;
+
+  /// Control-path counter poll (what CEIO's flow controller reads).
+  RuleCounters counters(FlowId flow) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    SteerAction action;
+    RuleCounters counters;
+  };
+
+  EventScheduler& sched_;
+  RmtConfig config_;
+  std::unordered_map<FlowId, Rule> rules_;
+  std::uint64_t generation_ = 0;  // invalidates in-flight updates on remove
+};
+
+}  // namespace ceio

@@ -1,0 +1,53 @@
+// Host-visible RX descriptor ring.
+//
+// A thin wrapper over RingBuffer<Packet> with drop accounting and the
+// monotonic head/tail counters the CEIO driver keys credit release to.
+// One ring per flow in the legacy/HostCC/CEIO designs; one shared ring for
+// all flows in ShRing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ring_buffer.h"
+#include "nic/packet.h"
+
+namespace ceio {
+
+class RxRing {
+ public:
+  explicit RxRing(std::size_t entries, std::string name = "rx")
+      : ring_(entries), name_(std::move(name)) {}
+
+  /// Posts a received packet. Returns false (drop) when the ring is full.
+  bool post(Packet pkt) {
+    if (!ring_.push(std::move(pkt))) {
+      ++drops_;
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Packet> poll() { return ring_.pop(); }
+  const Packet& peek(std::size_t i = 0) const { return ring_.peek(i); }
+
+  bool empty() const { return ring_.empty(); }
+  bool full() const { return ring_.full(); }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+  double occupancy_fraction() const {
+    return capacity() > 0 ? static_cast<double>(size()) / static_cast<double>(capacity()) : 0.0;
+  }
+
+  std::uint64_t head() const { return ring_.head(); }
+  std::uint64_t tail() const { return ring_.tail(); }
+  std::int64_t drops() const { return drops_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  RingBuffer<Packet> ring_;
+  std::string name_;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace ceio

@@ -1,0 +1,67 @@
+#include "pcie/dma_engine.h"
+
+#include <utility>
+
+namespace ceio {
+
+DmaEngine::DmaEngine(EventScheduler& sched, PcieLink& link, MemoryController& mc,
+                     const DmaEngineConfig& config)
+    : sched_(sched), link_(link), mc_(mc), config_(config) {}
+
+void DmaEngine::write_to_host(BufferId buffer, Bytes size, bool ddio, Completion done,
+                              bool expect_read) {
+  ++stats_.writes;
+  stats_.write_bytes += size;
+  const Nanos at_host = link_.upstream(sched_.now(), size);
+  sched_.schedule_at(at_host,
+                     [this, buffer, size, ddio, expect_read, done = std::move(done)]() mutable {
+                       mc_.dma_write(buffer, size, ddio, std::move(done), expect_read);
+                     });
+}
+
+void DmaEngine::read_from_nic(Bytes size, SourceFetch fetch, Completion done) {
+  ReadRequest req{size, std::move(fetch), std::move(done)};
+  if (outstanding_reads_ >= config_.max_outstanding_reads) {
+    read_queue_.push_back(std::move(req));
+    stats_.read_queue_peak =
+        std::max<std::int64_t>(stats_.read_queue_peak,
+                               static_cast<std::int64_t>(read_queue_.size()));
+    return;
+  }
+  start_read(std::move(req));
+}
+
+void DmaEngine::start_read(ReadRequest req) {
+  ++outstanding_reads_;
+  ++stats_.reads;
+  stats_.read_bytes += req.size;
+  // 1. Post the read request: doorbell + a small request TLP downstream.
+  const Nanos at_nic = link_.downstream(sched_.now() + config_.doorbell_latency, 0);
+  sched_.schedule_at(at_nic, [this, req = std::move(req)]() mutable {
+    // 2. NIC fetches the data from its local source.
+    const Nanos ready = req.fetch ? req.fetch(sched_.now()) : sched_.now();
+    sched_.schedule_at(ready, [this, size = req.size, done = std::move(req.done)]() mutable {
+      // 3. Completion data returns upstream into host memory. The landing
+      // buffer was pre-allocated by the driver; DDIO applies to the
+      // completion write just like any inbound DMA — but CEIO pauses the
+      // fast path while draining, so we model the completion as a plain
+      // host-memory write whose cache placement the caller controls.
+      const Nanos at_host = link_.upstream(sched_.now(), size);
+      sched_.schedule_at(at_host, [this, done = std::move(done)]() {
+        if (done) done(sched_.now());
+        finish_read();
+      });
+    });
+  });
+}
+
+void DmaEngine::finish_read() {
+  --outstanding_reads_;
+  if (!read_queue_.empty() && outstanding_reads_ < config_.max_outstanding_reads) {
+    ReadRequest next = std::move(read_queue_.front());
+    read_queue_.pop_front();
+    start_read(std::move(next));
+  }
+}
+
+}  // namespace ceio

@@ -1,0 +1,28 @@
+#include "pcie/pcie_link.h"
+
+#include <algorithm>
+
+namespace ceio {
+
+Nanos PcieLink::reserve(Nanos now, Bytes payload, Nanos& free_at, Bytes& wire_counter,
+                        std::int64_t& transfer_counter) {
+  const Bytes wire = wire_bytes(config_.tlp, payload);
+  const Nanos start = std::max(now, free_at);
+  const Nanos xfer = transmit_time(wire, config_.bandwidth);
+  free_at = start + xfer;
+  wire_counter += wire;
+  ++transfer_counter;
+  return start + xfer + config_.propagation;
+}
+
+Nanos PcieLink::upstream(Nanos now, Bytes payload) {
+  return reserve(now, payload, up_free_, stats_.upstream_wire_bytes,
+                 stats_.upstream_transfers);
+}
+
+Nanos PcieLink::downstream(Nanos now, Bytes payload) {
+  return reserve(now, payload, down_free_, stats_.downstream_wire_bytes,
+                 stats_.downstream_transfers);
+}
+
+}  // namespace ceio

@@ -1,0 +1,48 @@
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+EventHandle EventScheduler::schedule_at(Nanos when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventScheduler::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return pending_ids_.erase(handle.id()) > 0;
+}
+
+bool EventScheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventScheduler::run_until(Nanos deadline) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pop_and_run()) ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+std::uint64_t EventScheduler::run_all() {
+  std::uint64_t ran = 0;
+  while (pop_and_run()) ++ran;
+  return ran;
+}
+
+bool EventScheduler::step() { return pop_and_run(); }
+
+}  // namespace ceio

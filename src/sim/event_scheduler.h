@@ -1,0 +1,98 @@
+// Discrete-event scheduler: the heartbeat of the whole simulator.
+//
+// Every hardware model (NIC firmware, PCIe DMA engine, memory controller,
+// CPU polling loop, traffic generators) advances by scheduling callbacks at
+// future nanosecond timestamps. Events at equal timestamps fire in
+// scheduling order (FIFO via a monotonic sequence number), which makes runs
+// bit-for-bit deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+/// Handle used to cancel a pending event. Cancellation is lazy: the event
+/// stays in the queue but its callback is skipped when it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class EventScheduler;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  Nanos now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (clamped to now()).
+  EventHandle schedule_at(Nanos when, Callback cb);
+
+  /// Schedules `cb` to run `delay` ns from now.
+  EventHandle schedule_after(Nanos delay, Callback cb) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  /// Cancels a pending event. No-op for already-fired or invalid handles.
+  /// Returns true when a pending event was actually cancelled.
+  bool cancel(EventHandle handle);
+
+  /// True while the event is still queued and not cancelled.
+  bool is_pending(EventHandle handle) const {
+    return handle.valid() && pending_ids_.count(handle.id()) != 0;
+  }
+
+  /// Runs events until the queue drains or `deadline` is passed; time stops
+  /// exactly at the deadline if events remain beyond it. Returns the number
+  /// of callbacks executed.
+  std::uint64_t run_until(Nanos deadline);
+
+  /// Runs until the queue is completely empty.
+  std::uint64_t run_all();
+
+  /// Executes exactly one event if any is pending. Returns false when empty.
+  bool step();
+
+  bool empty() const { return pending_ids_.empty(); }
+  std::size_t pending() const { return pending_ids_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ceio

@@ -1,0 +1,252 @@
+// Behavioural tests for the CEIO datapath: steering, credits, ordering,
+// slow-path mechanics, active-flow management and the ablation switches.
+#include <gtest/gtest.h>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "iopath/testbed.h"
+
+namespace ceio {
+namespace {
+
+FlowConfig involved(FlowId id, double rate_gbps = 25.0, Bytes pkt = 512) {
+  FlowConfig fc;
+  fc.id = id;
+  fc.kind = FlowKind::kCpuInvolved;
+  fc.packet_size = pkt;
+  fc.offered_rate = gbps(rate_gbps);
+  return fc;
+}
+
+TEST(CeioSteering, LightLoadStaysEntirelyOnFastPath) {
+  TestbedConfig cfg;
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(involved(1, 5.0), echo);
+  bed.run_for(millis(3));
+  const auto* st = static_cast<DatapathBase&>(bed.datapath()).flow_stats(1);
+  ASSERT_NE(st, nullptr);
+  EXPECT_GT(st->fast_path_pkts, 1'000);
+  EXPECT_EQ(st->slow_path_pkts, 0);
+  EXPECT_FALSE(bed.ceio()->in_slow_mode(1));
+  EXPECT_LT(bed.llc_miss_rate(), 0.01);
+}
+
+TEST(CeioSteering, ZeroCreditsForceSlowPath) {
+  TestbedConfig cfg;
+  cfg.ceio_auto_credits = false;
+  cfg.ceio.total_credits = 0;
+  cfg.ceio.reactivations_per_sec = 0.0;
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(involved(1, 5.0), echo);
+  bed.run_for(millis(3));
+  const auto* st = static_cast<DatapathBase&>(bed.datapath()).flow_stats(1);
+  EXPECT_GT(st->slow_path_pkts, 1'000);
+  // The rule flip happens after the first poll, so a small fast prefix is
+  // expected; everything after it is slow.
+  EXPECT_LT(st->fast_path_pkts, 200);
+  EXPECT_TRUE(bed.ceio()->in_slow_mode(1));
+  // Packets still get delivered and processed (elastic buffering, no drops).
+  EXPECT_EQ(st->dropped_pkts, 0);
+  EXPECT_GT(bed.report(1).mpps, 0.5);
+}
+
+TEST(CeioSteering, CreditExhaustionDegradesThenRecovers) {
+  // Tiny credit budget with the CCA disabled: the overloaded flow must
+  // exhaust its credits and fall to the slow path; once the source stops
+  // and the backlog drains, the controller re-enables the fast path.
+  TestbedConfig cfg;
+  cfg.ceio_auto_credits = false;
+  cfg.ceio.total_credits = 256;
+  cfg.ceio.slow_cca_threshold = 1u << 30;  // never mark
+  cfg.ceio.inactive_timeout = seconds(10.0);
+  Testbed bed(cfg);
+  auto& kv = bed.make_kv_store();
+  bed.add_flow(involved(1, 25.0), kv);
+  bed.run_for(millis(2));
+  const auto& rs = bed.ceio()->runtime_stats();
+  EXPECT_GT(rs.credit_switches_to_slow, 0);
+  EXPECT_TRUE(bed.ceio()->in_slow_mode(1));
+  bed.source(1)->stop();
+  bed.run_for(millis(10));
+  EXPECT_GT(rs.switches_back_to_fast, 0);
+  EXPECT_FALSE(bed.ceio()->in_slow_mode(1));
+}
+
+TEST(CeioOrdering, DeliveryOrderPreservedAcrossPathTransitions) {
+  // Force heavy fast/slow alternation, then verify the application saw every
+  // packet in nic-arrival order (the SW ring guarantee). Echo processes
+  // per packet and packets are only reordered if the SW ring fails.
+  TestbedConfig cfg;
+  cfg.ceio_auto_credits = false;
+  cfg.ceio.total_credits = 64;  // tiny budget: constant transitions
+  Testbed bed(cfg);
+  auto& kv = bed.make_kv_store();
+  bed.add_flow(involved(1, 20.0), kv);
+  bed.run_for(millis(4));
+  // No drops (nothing was lost at the link for this load) means processed
+  // packets must be the full prefix in order; spot-check via counters.
+  const auto* st = static_cast<DatapathBase&>(bed.datapath()).flow_stats(1);
+  EXPECT_GT(st->fast_path_pkts, 100);
+  EXPECT_GT(st->slow_path_pkts, 100);
+  const auto dbg = bed.ceio()->debug_slow_state(1);
+  // The SW ring never desynchronises: pending equals what is actually
+  // waiting in the two rings (+ in flight between them).
+  EXPECT_GE(dbg.sw_pending,
+            static_cast<std::uint64_t>(dbg.fast_ring) + dbg.landed);
+}
+
+TEST(CeioCredits, ConservationHoldsInLiveSystem) {
+  TestbedConfig cfg;
+  Testbed bed(cfg);
+  auto& kv = bed.make_kv_store();
+  for (FlowId id = 1; id <= 4; ++id) bed.add_flow(involved(id), kv);
+  bed.run_for(millis(4));
+  const auto& credits = bed.ceio()->credits();
+  // balance_sum = total - outstanding; outstanding is non-negative and
+  // bounded by the total.
+  const auto outstanding = credits.total() - credits.balance_sum();
+  EXPECT_GE(outstanding, 0);
+  EXPECT_LE(outstanding, credits.total() + 512);  // poll-lag overshoot margin
+}
+
+TEST(CeioCredits, AutoSizingFollowsEq1) {
+  TestbedConfig cfg;
+  cfg.llc.ddio_ways = 6;  // 6 MiB DDIO at 2 KiB buffers = 3072
+  Testbed bed(cfg);
+  const auto total = bed.ceio()->credits().total();
+  EXPECT_GT(total, 2'000);
+  EXPECT_LT(total, 3'072);
+}
+
+TEST(CeioActiveFlows, IdleFlowsAreReclaimed) {
+  TestbedConfig cfg;
+  cfg.ceio.inactive_timeout = micros(500);
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(involved(1, 5.0), echo);
+  bed.add_flow(involved(2, 5.0), echo);
+  bed.run_for(millis(1));
+  bed.source(2)->stop();
+  bed.run_for(millis(2));
+  EXPECT_FALSE(bed.ceio()->credits().active(2));
+  EXPECT_TRUE(bed.ceio()->credits().active(1));
+  EXPECT_GT(bed.ceio()->runtime_stats().inactive_reclaims, 0);
+}
+
+TEST(CeioActiveFlows, ReturningTrafficReactivates) {
+  TestbedConfig cfg;
+  cfg.ceio.inactive_timeout = micros(500);
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(involved(1, 5.0), echo);
+  bed.add_flow(involved(2, 5.0), echo);
+  bed.run_for(millis(1));
+  bed.source(2)->stop();
+  bed.run_for(millis(2));
+  ASSERT_FALSE(bed.ceio()->credits().active(2));
+  bed.source(2)->start();
+  bed.run_for(millis(1));
+  EXPECT_TRUE(bed.ceio()->credits().active(2));
+  EXPECT_GT(bed.ceio()->runtime_stats().reactivations, 0);
+}
+
+TEST(CeioActiveFlows, ReactivationBudgetLimitsChurn) {
+  // With a zero reactivation budget and no RR backup, a reclaimed flow stays
+  // inactive even when traffic returns — the Figure 12 overrun regime.
+  TestbedConfig cfg;
+  cfg.ceio.inactive_timeout = micros(300);
+  cfg.ceio.reactivations_per_sec = 0.0;
+  cfg.ceio.reactivate_per_round = 0;
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(involved(1, 5.0), echo);
+  bed.run_for(millis(1));
+  bed.source(1)->stop();
+  bed.run_for(millis(1));
+  ASSERT_FALSE(bed.ceio()->credits().active(1));
+  bed.source(1)->start();
+  bed.run_for(millis(2));
+  EXPECT_FALSE(bed.ceio()->credits().active(1));
+  // Its traffic survives on the slow path.
+  const auto* st = static_cast<DatapathBase&>(bed.datapath()).flow_stats(1);
+  EXPECT_GT(st->slow_path_pkts, 0);
+}
+
+TEST(CeioAblation, DisablingOptimisationsCostsThroughput) {
+  auto run = [](bool optimised) {
+    TestbedConfig cfg;
+    cfg.ceio.async_drain = optimised;
+    cfg.ceio.phase_exclusive = optimised;
+    Testbed bed(cfg);
+    auto& kv = bed.make_kv_store();
+    auto& dfs = bed.make_linefs();
+    for (FlowId id = 1; id <= 4; ++id) bed.add_flow(involved(id), kv);
+    for (FlowId id = 10; id <= 13; ++id) {
+      FlowConfig fc;
+      fc.id = id;
+      fc.kind = FlowKind::kCpuBypass;
+      fc.packet_size = 2 * kKiB;
+      fc.message_pkts = 512;
+      fc.offered_rate = gbps(25.0);
+      bed.add_flow(fc, dfs);
+    }
+    bed.run_for(millis(2));
+    bed.reset_measurement();
+    bed.run_for(millis(4));
+    return bed.aggregate_mpps(FlowKind::kCpuInvolved);
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(CeioBypass, RdmaSinkRunsAtHighRate) {
+  TestbedConfig cfg;
+  Testbed bed(cfg);
+  auto& rdma = bed.make_raw_rdma();
+  FlowConfig fc;
+  fc.id = 1;
+  fc.kind = FlowKind::kCpuBypass;
+  fc.packet_size = 2 * kKiB;
+  fc.message_pkts = 32;
+  fc.offered_rate = gbps(100.0);
+  bed.add_flow(fc, rdma);
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(3));
+  EXPECT_GT(bed.aggregate_gbps(), 50.0);
+  EXPECT_GT(rdma.messages(), 100);
+}
+
+TEST(CeioRuntime, ControllerLatencyAddsFastPathDelay) {
+  auto p50 = [](Nanos controller_latency) {
+    TestbedConfig cfg;
+    cfg.ceio.controller_latency = controller_latency;
+    Testbed bed(cfg);
+    auto& echo = bed.make_echo();
+    FlowConfig fc = involved(1, 1.0);
+    fc.closed_loop_outstanding = 1;  // ping-pong
+    bed.add_flow(fc, echo);
+    bed.run_for(millis(2));
+    return bed.report(1).p50;
+  };
+  const Nanos base = p50(0);
+  const Nanos delayed = p50(1'000);
+  EXPECT_GT(delayed, base + 800);
+}
+
+TEST(CeioRuntime, StatsExposeControllerActivity) {
+  TestbedConfig cfg;
+  Testbed bed(cfg);
+  auto& kv = bed.make_kv_store();
+  for (FlowId id = 1; id <= 8; ++id) bed.add_flow(involved(id), kv);
+  bed.run_for(millis(4));
+  const auto& rs = bed.ceio()->runtime_stats();
+  EXPECT_GT(rs.credit_switches_to_slow + rs.cca_triggers, 0);
+  EXPECT_EQ(bed.ceio()->credits().active_count(), 8u);
+}
+
+}  // namespace
+}  // namespace ceio

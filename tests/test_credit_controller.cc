@@ -1,0 +1,235 @@
+// Unit + property tests for the Algorithm 1 credit controller.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ceio/credit_controller.h"
+#include "common/rng.h"
+
+namespace ceio {
+namespace {
+
+TEST(Credits, FirstFlowGetsEverything) {
+  CreditController cc(3000);
+  cc.add_flows({1});
+  EXPECT_EQ(cc.credits(1), 3000);
+  EXPECT_EQ(cc.free_pool(), 0);
+  EXPECT_TRUE(cc.active(1));
+  EXPECT_EQ(cc.fair_share(), 3000);
+}
+
+TEST(Credits, EvenSplitAcrossArrivals) {
+  CreditController cc(3000);
+  cc.add_flows({1, 2, 3});
+  EXPECT_EQ(cc.credits(1), 1000);
+  EXPECT_EQ(cc.credits(2), 1000);
+  EXPECT_EQ(cc.credits(3), 1000);
+  EXPECT_EQ(cc.balance_sum(), 3000);
+}
+
+TEST(Credits, Algorithm1DonationFromRichIncumbents) {
+  CreditController cc(3000);
+  cc.add_flows({1, 2});  // 1500 each
+  cc.add_flows({3, 4});  // target 750 each
+  EXPECT_EQ(cc.balance_sum(), 3000);
+  // Newcomers funded to the target; incumbents donated symmetrically.
+  EXPECT_NEAR(cc.credits(3), 750, 1);
+  EXPECT_NEAR(cc.credits(4), 750, 1);
+  EXPECT_NEAR(cc.credits(1), 750, 1);
+  EXPECT_NEAR(cc.credits(2), 750, 1);
+  EXPECT_EQ(cc.debt_of(1), 0);
+}
+
+TEST(Credits, PoorIncumbentRecordsDebt) {
+  CreditController cc(3000);
+  cc.add_flows({1});
+  // Flow 1 consumed almost everything and hasn't released yet.
+  cc.consume(1, 2'900);  // balance 100
+  cc.add_flows({2});     // target 1500; incumbent can only give 100
+  EXPECT_LE(cc.credits(1), 0 + 1);
+  EXPECT_NEAR(cc.credits(2), 100, 1);
+  EXPECT_GT(cc.debt_of(1), 0);
+  // Releases repay the debt to the newcomer before self.
+  cc.release(1, 1'000);
+  EXPECT_GT(cc.credits(2), 100);
+  cc.release(1, 1'900);
+  EXPECT_EQ(cc.debt_of(1), 0);
+  // All credits back in circulation.
+  EXPECT_EQ(cc.balance_sum(), 3000);
+}
+
+TEST(Credits, ConsumeMayGoNegative) {
+  CreditController cc(100);
+  cc.add_flows({1});
+  EXPECT_EQ(cc.consume(1, 150), -50);
+  EXPECT_EQ(cc.credits(1), -50);
+  cc.release(1, 150);
+  EXPECT_EQ(cc.credits(1), 100);
+}
+
+TEST(Credits, ReclaimMovesBalanceToPool) {
+  CreditController cc(3000);
+  cc.add_flows({1, 2});
+  cc.reclaim(1);
+  EXPECT_FALSE(cc.active(1));
+  EXPECT_EQ(cc.credits(1), 0);
+  EXPECT_EQ(cc.free_pool(), 1500);
+  EXPECT_EQ(cc.active_count(), 1u);
+  EXPECT_EQ(cc.balance_sum(), 3000);
+}
+
+TEST(Credits, ReactivateDrawsFromPoolFirst) {
+  CreditController cc(3000);
+  cc.add_flows({1, 2});
+  cc.reclaim(1);
+  cc.reactivate(1);
+  EXPECT_TRUE(cc.active(1));
+  // Target = 3000/2 = 1500, fully coverable from the pool.
+  EXPECT_EQ(cc.credits(1), 1500);
+  EXPECT_EQ(cc.credits(2), 1500);
+  EXPECT_EQ(cc.free_pool(), 0);
+}
+
+TEST(Credits, ReleaseToInactiveFlowGoesToPool) {
+  CreditController cc(1000);
+  cc.add_flows({1});
+  cc.consume(1, 400);
+  cc.reclaim(1);  // pool absorbs remaining 600
+  EXPECT_EQ(cc.free_pool(), 600);
+  cc.release(1, 400);
+  EXPECT_EQ(cc.free_pool(), 1000);
+  EXPECT_EQ(cc.credits(1), 0);
+}
+
+TEST(Credits, RemoveFlowReturnsBalanceAndCancelsDebts) {
+  CreditController cc(3000);
+  cc.add_flows({1});
+  cc.consume(1, 2'900);
+  cc.add_flows({2});  // flow 1 owes flow 2
+  EXPECT_GT(cc.debt_of(1), 0);
+  cc.remove_flow(2);
+  EXPECT_EQ(cc.debt_of(1), 0);  // debt cancelled
+  // Removed flow's balance returned to the pool.
+  EXPECT_GT(cc.free_pool(), 0);
+}
+
+TEST(Credits, ReleaseForUnknownFlowGoesToPool) {
+  CreditController cc(100);
+  cc.release(99, 50);
+  EXPECT_EQ(cc.free_pool(), 150);  // conservative: nothing is lost
+}
+
+TEST(Credits, DoubleAddIsIdempotent) {
+  CreditController cc(1000);
+  cc.add_flows({1});
+  cc.add_flows({1});
+  EXPECT_EQ(cc.credits(1), 1000);
+  EXPECT_EQ(cc.active_count(), 1u);
+}
+
+// Property: under arbitrary interleavings of add/reclaim/reactivate/remove/
+// consume/release, the conservation invariant holds:
+//   balance_sum() == total - outstanding_consumed.
+class CreditChaosProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CreditChaosProperty, ConservationInvariant) {
+  const std::int64_t total = 3000;
+  CreditController cc(total);
+  Rng rng(GetParam());
+  std::vector<FlowId> known;
+  std::int64_t outstanding = 0;
+  std::unordered_map<FlowId, std::int64_t> consumed_by;
+  FlowId next_id = 1;
+
+  for (int step = 0; step < 5'000; ++step) {
+    const auto op = rng.uniform(0, 5);
+    switch (op) {
+      case 0: {  // add new flow(s)
+        std::vector<FlowId> arrivals;
+        for (int i = 0; i <= rng.uniform(0, 2); ++i) arrivals.push_back(next_id++);
+        for (const FlowId f : arrivals) known.push_back(f);
+        cc.add_flows(arrivals);
+        break;
+      }
+      case 1: {  // consume
+        if (known.empty()) break;
+        const FlowId f = known[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(known.size()) - 1))];
+        const auto n = rng.uniform(1, 64);
+        cc.consume(f, n);
+        outstanding += n;
+        consumed_by[f] += n;
+        break;
+      }
+      case 2: {  // release (bounded by what the flow consumed)
+        if (known.empty()) break;
+        const FlowId f = known[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(known.size()) - 1))];
+        auto& owed = consumed_by[f];
+        if (owed <= 0) break;
+        const auto n = rng.uniform(1, owed);
+        cc.release(f, n);
+        outstanding -= n;
+        owed -= n;
+        break;
+      }
+      case 3: {  // reclaim
+        if (known.empty()) break;
+        cc.reclaim(known[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(known.size()) - 1))]);
+        break;
+      }
+      case 4: {  // reactivate
+        if (known.empty()) break;
+        cc.reactivate(known[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(known.size()) - 1))]);
+        break;
+      }
+      case 5: {  // remove (also forgets its outstanding consumption)
+        if (known.empty() || rng.chance(0.7)) break;
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(known.size()) - 1));
+        const FlowId f = known[idx];
+        // Settle its outstanding first so the ledger stays interpretable.
+        if (consumed_by[f] > 0) {
+          cc.release(f, consumed_by[f]);
+          outstanding -= consumed_by[f];
+          consumed_by[f] = 0;
+        }
+        cc.remove_flow(f);
+        known.erase(known.begin() + static_cast<std::ptrdiff_t>(idx));
+        break;
+      }
+    }
+    ASSERT_EQ(cc.balance_sum(), total - outstanding) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CreditChaosProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+// Property: after n flows arrive one at a time, every active flow holds a
+// non-negative balance and nobody exceeds the fair share by more than the
+// rounding slack.
+class CreditFairnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CreditFairnessProperty, ArrivalsStayFair) {
+  const int n = GetParam();
+  CreditController cc(3000);
+  for (FlowId f = 1; f <= static_cast<FlowId>(n); ++f) cc.add_flows({f});
+  const std::int64_t share = 3000 / n;
+  for (FlowId f = 1; f <= static_cast<FlowId>(n); ++f) {
+    EXPECT_GE(cc.credits(f), 0) << "flow " << f;
+    // Early arrivals keep at most ~2x the final share (no redistribution of
+    // un-asked-for surplus), later ones get the target.
+    EXPECT_LE(cc.credits(f), 2 * share + n) << "flow " << f;
+  }
+  EXPECT_EQ(cc.balance_sum(), 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, CreditFairnessProperty,
+                         ::testing::Values(2, 3, 8, 30, 100));
+
+}  // namespace
+}  // namespace ceio

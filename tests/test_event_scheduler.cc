@@ -1,0 +1,146 @@
+// Unit tests for the discrete-event scheduler: ordering, determinism,
+// cancellation and deadline semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+namespace {
+
+TEST(EventScheduler, RunsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&]() { order.push_back(3); });
+  sched.schedule_at(10, [&]() { order.push_back(1); });
+  sched.schedule_at(20, [&]() { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+}
+
+TEST(EventScheduler, EqualTimestampsAreFifo) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5, [&order, i]() { order.push_back(i); });
+  }
+  sched.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventScheduler, PastTimesClampToNow) {
+  EventScheduler sched;
+  sched.schedule_at(100, []() {});
+  sched.run_all();
+  Nanos fired_at = -1;
+  sched.schedule_at(50, [&]() { fired_at = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventScheduler, ScheduleAfterNegativeDelayIsNow) {
+  EventScheduler sched;
+  sched.schedule_at(10, []() {});
+  sched.run_all();
+  Nanos fired_at = -1;
+  sched.schedule_after(-5, [&]() { fired_at = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(fired_at, 10);
+}
+
+TEST(EventScheduler, CancelPreventsExecution) {
+  EventScheduler sched;
+  bool ran = false;
+  const auto handle = sched.schedule_at(10, [&]() { ran = true; });
+  EXPECT_TRUE(sched.is_pending(handle));
+  EXPECT_TRUE(sched.cancel(handle));
+  EXPECT_FALSE(sched.is_pending(handle));
+  sched.run_all();
+  EXPECT_FALSE(ran);
+  // Second cancel is a no-op.
+  EXPECT_FALSE(sched.cancel(handle));
+}
+
+TEST(EventScheduler, CancelAfterFireIsNoop) {
+  EventScheduler sched;
+  const auto handle = sched.schedule_at(1, []() {});
+  sched.run_all();
+  EXPECT_FALSE(sched.cancel(handle));
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(EventScheduler, RunUntilStopsAtDeadline) {
+  EventScheduler sched;
+  int count = 0;
+  sched.schedule_at(10, [&]() { ++count; });
+  sched.schedule_at(20, [&]() { ++count; });
+  sched.schedule_at(30, [&]() { ++count; });
+  EXPECT_EQ(sched.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), 20);  // time advances exactly to the deadline
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.now(), 100);
+}
+
+TEST(EventScheduler, EventsScheduledDuringRunExecute) {
+  EventScheduler sched;
+  std::vector<Nanos> fire_times;
+  sched.schedule_at(10, [&]() {
+    fire_times.push_back(sched.now());
+    sched.schedule_after(5, [&]() { fire_times.push_back(sched.now()); });
+  });
+  sched.run_until(100);
+  EXPECT_EQ(fire_times, (std::vector<Nanos>{10, 15}));
+}
+
+TEST(EventScheduler, StepExecutesExactlyOne) {
+  EventScheduler sched;
+  int count = 0;
+  sched.schedule_at(1, [&]() { ++count; });
+  sched.schedule_at(2, [&]() { ++count; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventScheduler, PendingCountsExcludeCancelled) {
+  EventScheduler sched;
+  const auto a = sched.schedule_at(1, []() {});
+  sched.schedule_at(2, []() {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_FALSE(sched.empty());
+  sched.run_all();
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(EventScheduler, ExecutedCounter) {
+  EventScheduler sched;
+  for (int i = 0; i < 5; ++i) sched.schedule_at(i, []() {});
+  sched.run_all();
+  EXPECT_EQ(sched.executed(), 5u);
+}
+
+// Recurring self-scheduling pattern used by controller loops.
+TEST(EventScheduler, SelfRescheduleLoop) {
+  EventScheduler sched;
+  int ticks = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    if (ticks < 10) sched.schedule_after(100, tick);
+  };
+  sched.schedule_after(100, tick);
+  sched.run_until(10'000);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sched.now(), 10'000);
+}
+
+}  // namespace
+}  // namespace ceio

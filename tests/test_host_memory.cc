@@ -1,0 +1,245 @@
+// Tests for DRAM, IIO, the memory controller and the CPU core model.
+#include <gtest/gtest.h>
+
+#include "host/cpu_core.h"
+#include "host/dram.h"
+#include "host/iio.h"
+#include "host/memory_controller.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+namespace {
+
+// ---------- DRAM ----------
+
+TEST(Dram, LatencyFloor) {
+  DramModel dram(DramConfig{95, gbps(1000.0)});
+  const Nanos done = dram.access(0, 64);
+  EXPECT_GE(done, 95);
+  EXPECT_LT(done, 105);
+}
+
+TEST(Dram, BandwidthSerializes) {
+  DramModel dram(DramConfig{0, gbps(8.0)});  // 1 GB/s: 1 KiB = 1024 ns
+  const Nanos a = dram.access(0, 1024);
+  const Nanos b = dram.access(0, 1024);
+  EXPECT_NEAR(static_cast<double>(a), 1024.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(b), 2048.0, 4.0);
+  EXPECT_GT(dram.queueing_delay(0), 0);
+}
+
+TEST(Dram, PipeIdlesBetweenBursts) {
+  DramModel dram(DramConfig{10, gbps(8.0)});
+  dram.access(0, 1024);
+  // A request long after the first sees no queueing.
+  const Nanos done = dram.access(1'000'000, 1024);
+  EXPECT_NEAR(static_cast<double>(done - 1'000'000), 1024.0 + 10.0, 2.0);
+  EXPECT_EQ(dram.queueing_delay(5'000'000), 0);
+}
+
+TEST(Dram, StatsAccumulate) {
+  DramModel dram(DramConfig{});
+  dram.access(0, 512);
+  dram.access(0, 512);
+  EXPECT_EQ(dram.stats().requests, 2);
+  EXPECT_EQ(dram.stats().bytes, 1024);
+  EXPECT_GT(dram.utilization(1'000), 0.0);
+}
+
+TEST(Dram, PeekDoesNotReserve) {
+  DramModel dram(DramConfig{0, gbps(8.0)});
+  const Nanos peek1 = dram.peek_completion(0, 1024);
+  const Nanos peek2 = dram.peek_completion(0, 1024);
+  EXPECT_EQ(peek1, peek2);  // no state mutated
+}
+
+// ---------- IIO ----------
+
+TEST(Iio, AdmitDrainOccupancy) {
+  IioBuffer iio(IioConfig{4 * kKiB});
+  EXPECT_TRUE(iio.admit(1024));
+  EXPECT_TRUE(iio.admit(1024));
+  EXPECT_EQ(iio.occupancy(), 2048);
+  EXPECT_DOUBLE_EQ(iio.occupancy_fraction(), 0.5);
+  iio.drain(1024);
+  EXPECT_EQ(iio.occupancy(), 1024);
+  EXPECT_EQ(iio.peak_occupancy(), 2048);
+}
+
+TEST(Iio, RejectsWhenFull) {
+  IioBuffer iio(IioConfig{2 * kKiB});
+  EXPECT_TRUE(iio.admit(2048));
+  EXPECT_FALSE(iio.admit(1));
+  EXPECT_EQ(iio.rejects(), 1);
+  iio.drain(1);
+  EXPECT_TRUE(iio.admit(1));
+}
+
+TEST(Iio, DrainClampsAtZero) {
+  IioBuffer iio(IioConfig{});
+  iio.admit(100);
+  iio.drain(1'000'000);
+  EXPECT_EQ(iio.occupancy(), 0);
+}
+
+// ---------- MemoryController ----------
+
+struct McHarness {
+  EventScheduler sched;
+  LlcModel llc{LlcConfig{64 * 2 * kKiB, 8, 4, 2 * kKiB}};
+  DramModel dram{DramConfig{}};
+  IioBuffer iio{IioConfig{}};
+  MemoryController mc{sched, llc, dram, iio};
+};
+
+TEST(MemoryController, DdioWriteCompletesFastAndCaches) {
+  McHarness h;
+  Nanos done = -1;
+  h.mc.dma_write(1, 512, /*ddio=*/true, [&](Nanos t) { done = t; });
+  h.sched.run_all();
+  EXPECT_GE(done, 0);
+  EXPECT_LT(done, 100);  // LLC write latency, no DRAM involved
+  EXPECT_TRUE(h.llc.resident(1));
+}
+
+TEST(MemoryController, NonDdioWriteGoesToDram) {
+  McHarness h;
+  Nanos done = -1;
+  h.mc.dma_write(1, 512, /*ddio=*/false, [&](Nanos t) { done = t; });
+  h.sched.run_all();
+  EXPECT_GE(done, h.dram.config().access_latency);
+  EXPECT_FALSE(h.llc.resident(1));
+  EXPECT_EQ(h.mc.stats().dram_writes, 1);
+}
+
+TEST(MemoryController, IioDrainsOnCompletion) {
+  McHarness h;
+  h.mc.dma_write(1, 512, true, nullptr);
+  EXPECT_EQ(h.iio.occupancy(), 512);
+  h.sched.run_all();
+  EXPECT_EQ(h.iio.occupancy(), 0);
+}
+
+TEST(MemoryController, IioBackpressureRetries) {
+  McHarness h;
+  // Tiny IIO forces the stall-and-retry path.
+  IioBuffer tiny(IioConfig{600});
+  MemoryController mc(h.sched, h.llc, h.dram, tiny);
+  int completions = 0;
+  mc.dma_write(1, 512, true, [&](Nanos) { ++completions; });
+  mc.dma_write(2, 512, true, [&](Nanos) { ++completions; });  // stalls first
+  h.sched.run_all();
+  EXPECT_EQ(completions, 2);
+  EXPECT_GE(mc.stats().iio_stalls, 1);
+}
+
+TEST(MemoryController, CpuReadHitVsMissLatency) {
+  McHarness h;
+  h.mc.dma_write(1, 512, true, nullptr);
+  h.sched.run_all();
+  const Nanos hit = h.mc.cpu_read(1, 512);
+  const Nanos miss = h.mc.cpu_read(999, 512);
+  EXPECT_LT(hit, 30);
+  // The miss pays the dependent descriptor line plus the payload.
+  EXPECT_GT(miss, 2 * h.dram.config().access_latency - 10);
+}
+
+TEST(MemoryController, DirtyEvictionChargesDram) {
+  McHarness h;
+  const auto before = h.dram.stats().bytes;
+  // Overflow the DDIO partition (32 entries) so dirty victims write back.
+  for (BufferId id = 1; id <= 256; ++id) h.mc.dma_write(id, 512, true, nullptr);
+  h.sched.run_all();
+  EXPECT_GT(h.dram.stats().bytes, before);
+  EXPECT_GT(h.mc.stats().writebacks, 0);
+}
+
+TEST(MemoryController, StreamWriteChargesBandwidthOnly) {
+  McHarness h;
+  const Nanos t = h.mc.cpu_stream_write(1 * kMiB);
+  EXPECT_GT(t, 0);
+  // Much cheaper than a serialized read of the same bytes.
+  const Nanos miss_read = h.mc.cpu_read(12'345, 1 * kMiB);
+  EXPECT_LT(t, miss_read);
+}
+
+TEST(MemoryController, BulkReadHitsAreCheapMissesPipelined) {
+  McHarness h;
+  for (BufferId id = 1; id <= 16; ++id) h.mc.dma_write(id, 2048, true, nullptr);
+  h.sched.run_all();
+  const Nanos hot = h.mc.cpu_bulk_read(1, 16, 2048);
+  const Nanos cold = h.mc.cpu_bulk_read(1'000, 16, 2048);
+  EXPECT_LT(hot, cold);
+  // Pipelined cold read must be far cheaper than a per-cache-line serial
+  // walk (16 x 2 KiB = 512 lines) but still pay real DRAM stalls.
+  EXPECT_LT(cold, 512 * h.dram.config().access_latency / 2);
+  EXPECT_GT(cold, 16 * h.dram.config().access_latency / 2);
+}
+
+// ---------- CpuCore ----------
+
+TEST(CpuCore, ProcessesSeriallyInOrder) {
+  McHarness h;
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{100, 0.0});
+  std::vector<int> done_order;
+  std::vector<Nanos> done_times;
+  for (int i = 0; i < 3; ++i) {
+    PacketWork w;
+    w.buffer = 0;
+    w.size = 0;
+    w.read_buffer = false;
+    w.on_done = [&, i](Nanos t) {
+      done_order.push_back(i);
+      done_times.push_back(t);
+    };
+    core.submit(std::move(w));
+  }
+  h.sched.run_all();
+  EXPECT_EQ(done_order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(done_times[0], 100);
+  EXPECT_EQ(done_times[1], 200);
+  EXPECT_EQ(done_times[2], 300);
+  EXPECT_TRUE(core.idle());
+}
+
+TEST(CpuCore, ChargesPayloadAndAppCosts) {
+  McHarness h;
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{50, 0.1});
+  Nanos done = -1;
+  PacketWork w;
+  w.buffer = 0;
+  w.size = 1000;  // 100 ns payload cost at 0.1 ns/B
+  w.read_buffer = false;
+  w.app_cost = 25;
+  w.on_done = [&](Nanos t) { done = t; };
+  core.submit(std::move(w));
+  h.sched.run_all();
+  EXPECT_EQ(done, 50 + 100 + 25);
+}
+
+TEST(CpuCore, MemStallTracked) {
+  McHarness h;
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{10, 0.0});
+  PacketWork w;
+  w.buffer = 777;  // cold: will miss
+  w.size = 512;
+  w.read_buffer = true;
+  core.submit(std::move(w));
+  h.sched.run_all();
+  EXPECT_GT(core.stats().mem_stall_time, 0);
+  EXPECT_GT(core.stats().busy_time, core.stats().mem_stall_time);
+  EXPECT_EQ(core.stats().packets, 1);
+}
+
+TEST(CpuCore, UtilizationFraction) {
+  McHarness h;
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{100, 0.0});
+  PacketWork w;
+  w.read_buffer = false;
+  core.submit(std::move(w));
+  h.sched.run_until(1'000);
+  EXPECT_NEAR(core.utilization(1'000), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace ceio

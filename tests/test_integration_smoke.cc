@@ -1,0 +1,84 @@
+// End-to-end smoke tests: every system moves packets from the wire to the
+// application, and the headline qualitative results hold (CEIO ~eliminates
+// LLC misses that thrash the baseline; throughput ordering matches Fig. 9).
+#include <gtest/gtest.h>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "iopath/testbed.h"
+
+namespace ceio {
+namespace {
+
+FlowConfig echo_flow(FlowId id, Bytes pkt, double rate_gbps) {
+  FlowConfig fc;
+  fc.id = id;
+  fc.kind = FlowKind::kCpuInvolved;
+  fc.packet_size = pkt;
+  fc.offered_rate = gbps(rate_gbps);
+  return fc;
+}
+
+class SmokeTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SmokeTest, SingleEchoFlowDeliversPackets) {
+  TestbedConfig cfg;
+  cfg.system = GetParam();
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  bed.add_flow(echo_flow(1, 512, 10.0), echo);
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(3));
+  const auto r = bed.report(1);
+  EXPECT_GT(r.mpps, 0.5) << to_string(GetParam());
+  EXPECT_GT(r.messages, 1'000) << to_string(GetParam());
+  EXPECT_GT(r.p50, 0) << to_string(GetParam());
+}
+
+TEST_P(SmokeTest, EightFlowsSaturating) {
+  TestbedConfig cfg;
+  cfg.system = GetParam();
+  Testbed bed(cfg);
+  auto& echo = bed.make_echo();
+  for (FlowId id = 1; id <= 8; ++id) bed.add_flow(echo_flow(id, 512, 25.0), echo);
+  bed.run_for(millis(2));
+  bed.reset_measurement();
+  bed.run_for(millis(5));
+  const double total = bed.aggregate_mpps();
+  EXPECT_GT(total, 1.0) << to_string(GetParam()) << " total=" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SmokeTest,
+                         ::testing::Values(SystemKind::kLegacy, SystemKind::kHostcc,
+                                           SystemKind::kShring, SystemKind::kCeio),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(SmokeComparison, CeioEliminatesMissesUnderOverload) {
+  // Echo at 512 B never saturates the cores (the paper's echo datapath runs
+  // at line rate); the KV store's per-request cost does, which is what
+  // builds the RX backlog that thrashes the DDIO ways.
+  auto run = [](SystemKind system) {
+    TestbedConfig cfg;
+    cfg.system = system;
+    Testbed bed(cfg);
+    auto& kv = bed.make_kv_store();
+    for (FlowId id = 1; id <= 8; ++id) {
+      FlowConfig fc = echo_flow(id, 512, 25.0);
+      bed.add_flow(fc, kv);
+    }
+    bed.run_for(millis(2));
+    bed.reset_measurement();
+    bed.run_for(millis(5));
+    return std::pair{bed.aggregate_mpps(), bed.llc_miss_rate()};
+  };
+  const auto [legacy_mpps, legacy_miss] = run(SystemKind::kLegacy);
+  const auto [ceio_mpps, ceio_miss] = run(SystemKind::kCeio);
+  // The baseline thrashes; CEIO keeps the I/O working set inside DDIO.
+  EXPECT_GT(legacy_miss, 0.3) << "baseline should thrash under 8x25G of 512B KV";
+  EXPECT_LT(ceio_miss, 0.10);
+  EXPECT_GT(ceio_mpps, legacy_mpps * 1.1);
+}
+
+}  // namespace
+}  // namespace ceio

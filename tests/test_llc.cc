@@ -1,0 +1,203 @@
+// Unit + property tests for the LLC model: the DDIO partition, LRU,
+// premature-eviction accounting and the expect_read gate.
+#include <gtest/gtest.h>
+
+#include "host/cache.h"
+
+namespace ceio {
+namespace {
+
+LlcConfig small_config(int ddio_ways = 2) {
+  // 16 buffers total, 4 ways, so 4 sets; ddio partition = 4 * ddio_ways.
+  LlcConfig cfg;
+  cfg.total_bytes = 16 * 2 * kKiB;
+  cfg.ways = 4;
+  cfg.ddio_ways = ddio_ways;
+  cfg.buffer_bytes = 2 * kKiB;
+  return cfg;
+}
+
+TEST(Llc, DdioWriteThenReadHits) {
+  LlcModel llc(small_config());
+  llc.ddio_write(1, 512);
+  EXPECT_TRUE(llc.resident(1));
+  EXPECT_TRUE(llc.cpu_read(1, 512));
+  EXPECT_EQ(llc.stats().cpu_hits, 1);
+  EXPECT_EQ(llc.stats().cpu_misses, 0);
+}
+
+TEST(Llc, ColdReadMissesAndFills) {
+  LlcModel llc(small_config());
+  EXPECT_FALSE(llc.cpu_read(42, 512));
+  EXPECT_EQ(llc.stats().cpu_misses, 1);
+  // Filled into the non-DDIO partition; second read hits.
+  EXPECT_TRUE(llc.cpu_read(42, 512));
+}
+
+TEST(Llc, DdioOverflowEvictsPrematurely) {
+  LlcModel llc(small_config(/*ddio_ways=*/2));
+  // Fill far beyond the DDIO partition without any CPU reads.
+  for (BufferId id = 1; id <= 64; ++id) llc.ddio_write(id, 512);
+  EXPECT_GT(llc.stats().evictions, 0);
+  EXPECT_EQ(llc.stats().premature_evictions, llc.stats().evictions);
+  // Evicted-as-dirty lines are write-backs.
+  EXPECT_EQ(llc.stats().writebacks, llc.stats().evictions);
+  // Occupancy never exceeds the partition.
+  EXPECT_LE(llc.ddio_occupancy(), llc.ddio_capacity());
+}
+
+TEST(Llc, ReadBeforeEvictionIsNotPremature) {
+  LlcModel llc(small_config(2));
+  llc.ddio_write(1, 512);
+  llc.cpu_read(1, 512);
+  // Now force eviction of buffer 1 by flooding.
+  for (BufferId id = 2; id <= 200; ++id) llc.ddio_write(id, 512);
+  EXPECT_FALSE(llc.resident(1));
+  EXPECT_LT(llc.stats().premature_evictions, llc.stats().evictions);
+}
+
+TEST(Llc, ExpectReadFalseSuppressesPrematureAccounting) {
+  LlcModel llc(small_config(2));
+  for (BufferId id = 1; id <= 64; ++id) {
+    llc.ddio_write(id, 512, /*expect_read=*/false);
+  }
+  EXPECT_GT(llc.stats().evictions, 0);
+  EXPECT_EQ(llc.stats().premature_evictions, 0);
+}
+
+TEST(Llc, VictimBytesMatchWrittenSize) {
+  LlcModel llc(small_config(1));  // 4 DDIO entries total
+  // Write many 128 B packets; victims must carry 128 B, not 2 KiB.
+  LlcModel::Evicted last;
+  for (BufferId id = 1; id <= 64; ++id) {
+    const auto ev = llc.ddio_write(id, 128);
+    if (ev.happened) last = ev;
+  }
+  ASSERT_TRUE(last.happened);
+  EXPECT_EQ(last.victim_bytes, 128);
+}
+
+TEST(Llc, InvalidateDropsWithoutWriteback) {
+  LlcModel llc(small_config());
+  llc.ddio_write(1, 512);
+  const auto before = llc.stats().writebacks;
+  llc.invalidate(1);
+  EXPECT_FALSE(llc.resident(1));
+  EXPECT_EQ(llc.stats().writebacks, before);
+  // DDIO occupancy decremented.
+  EXPECT_EQ(llc.ddio_occupancy(), 0u);
+}
+
+TEST(Llc, RewriteRefreshesInPlace) {
+  LlcModel llc(small_config());
+  llc.ddio_write(1, 512);
+  const auto occ = llc.ddio_occupancy();
+  llc.ddio_write(1, 512);  // recycled buffer, same id
+  EXPECT_EQ(llc.ddio_occupancy(), occ);
+  EXPECT_EQ(llc.stats().evictions, 0);
+}
+
+TEST(Llc, CpuWriteAllocatesDirty) {
+  LlcModel llc(small_config());
+  EXPECT_FALSE(llc.cpu_write(7, 512));
+  EXPECT_TRUE(llc.resident(7));
+  // Flood its set via many cpu fills; the dirty victim must be written back.
+  for (BufferId id = 100; id < 400; ++id) llc.cpu_write(id, 512);
+  EXPECT_GT(llc.stats().writebacks, 0);
+}
+
+TEST(Llc, LruEvictsOldestWithinSet) {
+  // One set total: 4 buffers, 4 ways, ddio = 4.
+  LlcConfig cfg;
+  cfg.total_bytes = 4 * 2 * kKiB;
+  cfg.ways = 4;
+  cfg.ddio_ways = 4;
+  cfg.buffer_bytes = 2 * kKiB;
+  LlcModel llc(cfg);
+  for (BufferId id = 1; id <= 4; ++id) llc.ddio_write(id, 512);
+  // Touch 1 so it becomes MRU; the next insert must evict 2 (the LRU).
+  llc.cpu_read(1, 512);
+  const auto ev = llc.ddio_write(5, 512);
+  ASSERT_TRUE(ev.happened);
+  EXPECT_EQ(ev.victim, 2u);
+  EXPECT_TRUE(llc.resident(1));
+}
+
+TEST(Llc, DdioDisabledMeansNoCaching) {
+  LlcModel llc(small_config(/*ddio_ways=*/0));
+  const auto ev = llc.ddio_write(1, 512);
+  EXPECT_FALSE(ev.happened);
+  EXPECT_FALSE(llc.resident(1));
+  EXPECT_EQ(llc.ddio_capacity(), 0u);
+}
+
+TEST(Llc, MissRateComputation) {
+  LlcModel llc(small_config());
+  llc.ddio_write(1, 512);
+  llc.cpu_read(1, 512);   // hit
+  llc.cpu_read(99, 512);  // miss
+  EXPECT_DOUBLE_EQ(llc.stats().miss_rate(), 0.5);
+  llc.reset_stats();
+  EXPECT_DOUBLE_EQ(llc.stats().miss_rate(), 0.0);
+}
+
+// Property: for any DDIO way count, steady-state DDIO occupancy equals the
+// partition capacity and never exceeds it, and the total number of resident
+// buffers is bounded by the whole cache.
+class LlcPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LlcPartitionProperty, OccupancyBounded) {
+  const int ddio_ways = GetParam();
+  LlcConfig cfg;
+  cfg.total_bytes = 256 * 2 * kKiB;
+  cfg.ways = 8;
+  cfg.ddio_ways = ddio_ways;
+  cfg.buffer_bytes = 2 * kKiB;
+  LlcModel llc(cfg);
+  for (BufferId id = 1; id <= 4'096; ++id) {
+    llc.ddio_write(id, 512);
+    ASSERT_LE(llc.ddio_occupancy(), llc.ddio_capacity());
+  }
+  if (ddio_ways > 0) {
+    EXPECT_EQ(llc.ddio_occupancy(), llc.ddio_capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, LlcPartitionProperty,
+                         ::testing::Values(0, 1, 2, 4, 6, 8));
+
+// Property: when the in-flight window fits inside the DDIO partition every
+// read hits; when it exceeds the partition, misses appear. This is the
+// paper's Eq. 1 sizing rule at model scale.
+class LlcWorkingSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LlcWorkingSetProperty, FitDecidesMisses) {
+  const int window = GetParam();
+  LlcConfig cfg;
+  cfg.total_bytes = 128 * 2 * kKiB;
+  cfg.ways = 8;
+  cfg.ddio_ways = 4;  // partition: 64 buffers
+  cfg.buffer_bytes = 2 * kKiB;
+  LlcModel llc(cfg);
+  // FIFO stream: write id, read id-window (a consumer lagging by `window`).
+  for (BufferId id = 1; id <= 2'000; ++id) {
+    llc.ddio_write(id, 512);
+    if (id > static_cast<BufferId>(window)) {
+      llc.cpu_read(id - window, 512);
+    }
+  }
+  const double miss = llc.stats().miss_rate();
+  if (window <= 16) {
+    // Comfortably inside the 64-buffer partition (sets are hashed, so very
+    // tight fits can still conflict; 16 << 64 is safe).
+    EXPECT_LT(miss, 0.05) << "window=" << window;
+  } else if (window >= 256) {
+    EXPECT_GT(miss, 0.9) << "window=" << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LlcWorkingSetProperty,
+                         ::testing::Values(1, 8, 16, 256, 512));
+
+}  // namespace
+}  // namespace ceio

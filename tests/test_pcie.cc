@@ -1,0 +1,156 @@
+// Tests for the PCIe substrate: TLP accounting, link serialization and the
+// DMA engine (writes + windowed reads).
+#include <gtest/gtest.h>
+
+#include "host/memory_controller.h"
+#include "pcie/dma_engine.h"
+#include "pcie/pcie_link.h"
+#include "pcie/tlp.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+namespace {
+
+// ---------- TLP ----------
+
+TEST(Tlp, CountsAndOverhead) {
+  TlpConfig cfg;  // MPS 256
+  EXPECT_EQ(tlp_count(cfg, 0), 1);
+  EXPECT_EQ(tlp_count(cfg, 256), 1);
+  EXPECT_EQ(tlp_count(cfg, 257), 2);
+  EXPECT_EQ(tlp_count(cfg, 2048), 8);
+  const Bytes per_tlp = cfg.header_bytes + cfg.framing_bytes + cfg.dllp_bytes;
+  EXPECT_EQ(wire_bytes(cfg, 2048), 2048 + 8 * per_tlp);
+}
+
+// Property: wire efficiency is monotonically non-decreasing in payload size
+// at TLP boundaries, and approaches but never reaches 1.
+class TlpEfficiencyProperty : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(TlpEfficiencyProperty, EfficiencyBounds) {
+  TlpConfig cfg;
+  const Bytes size = GetParam();
+  const double eff = wire_efficiency(cfg, size);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, 1.0);
+  // Larger payloads amortize at least as well as one-MPS payloads.
+  if (size >= cfg.max_payload) {
+    EXPECT_GE(eff, wire_efficiency(cfg, cfg.max_payload) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlpEfficiencyProperty,
+                         ::testing::Values(64, 256, 512, 2048, 65536));
+
+// ---------- PcieLink ----------
+
+TEST(PcieLink, SerializationPlusPropagation) {
+  PcieLinkConfig cfg;
+  cfg.bandwidth = gbps(8.0);  // 1 GB/s for easy math
+  cfg.propagation = 100;
+  PcieLink link(cfg);
+  const Bytes wire = wire_bytes(cfg.tlp, 1024);
+  const Nanos arrival = link.upstream(0, 1024);
+  EXPECT_EQ(arrival, wire + 100);
+}
+
+TEST(PcieLink, DirectionsAreIndependent) {
+  PcieLinkConfig cfg;
+  cfg.bandwidth = gbps(8.0);
+  cfg.propagation = 0;
+  PcieLink link(cfg);
+  const Nanos up = link.upstream(0, 4096);
+  const Nanos down = link.downstream(0, 4096);
+  // Full duplex: both complete at the same time, no cross-queueing.
+  EXPECT_EQ(up, down);
+}
+
+TEST(PcieLink, BackToBackQueues) {
+  PcieLinkConfig cfg;
+  cfg.bandwidth = gbps(8.0);
+  cfg.propagation = 0;
+  PcieLink link(cfg);
+  const Nanos a = link.upstream(0, 1024);
+  const Nanos b = link.upstream(0, 1024);
+  EXPECT_NEAR(static_cast<double>(b), 2.0 * static_cast<double>(a), 4.0);
+  EXPECT_EQ(link.stats().upstream_transfers, 2);
+}
+
+// ---------- DmaEngine ----------
+
+struct DmaHarness {
+  EventScheduler sched;
+  LlcModel llc{LlcConfig{}};
+  DramModel dram{DramConfig{}};
+  IioBuffer iio{IioConfig{}};
+  MemoryController mc{sched, llc, dram, iio};
+  PcieLink link{PcieLinkConfig{}};
+  DmaEngine dma{sched, link, mc, DmaEngineConfig{4, 100}};
+};
+
+TEST(DmaEngine, WriteLandsInHostMemory) {
+  DmaHarness h;
+  Nanos done = -1;
+  h.dma.write_to_host(9, 1024, /*ddio=*/true, [&](Nanos t) { done = t; });
+  h.sched.run_all();
+  EXPECT_GT(done, 0);
+  EXPECT_TRUE(h.llc.resident(9));
+  EXPECT_EQ(h.dma.stats().writes, 1);
+}
+
+TEST(DmaEngine, ReadRoundTripLatency) {
+  DmaHarness h;
+  Nanos done = -1;
+  h.dma.read_from_nic(512, [](Nanos issue) { return issue + 200; },
+                      [&](Nanos t) { done = t; });
+  h.sched.run_all();
+  // Doorbell + downstream prop + source fetch (200) + upstream prop at least.
+  EXPECT_GE(done, 100 + 250 + 200 + 250);
+  EXPECT_EQ(h.dma.stats().reads, 1);
+}
+
+TEST(DmaEngine, OutstandingWindowQueuesExcessReads) {
+  DmaHarness h;  // window = 4
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 10'000; },
+                        [&](Nanos) { ++completed; });
+  }
+  EXPECT_EQ(h.dma.outstanding_reads(), 4);
+  EXPECT_EQ(h.dma.queued_reads(), 6u);
+  h.sched.run_all();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(h.dma.outstanding_reads(), 0);
+  EXPECT_GE(h.dma.stats().read_queue_peak, 6);
+}
+
+TEST(DmaEngine, ReadsCompleteInIssueOrder) {
+  DmaHarness h;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 500; },
+                        [&order, i](Nanos) { order.push_back(i); });
+  }
+  h.sched.run_all();
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(DmaEngine, WindowBoundsSmallReadThroughput) {
+  // With fetch latency L and window W, W reads complete per ~L: the
+  // latency-bound slow path of Figure 11.
+  DmaHarness h;
+  int completed = 0;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 1'000; },
+                        [&](Nanos) { ++completed; });
+  }
+  h.sched.run_all();
+  const Nanos elapsed = h.sched.now();
+  // ~n/W batches of ~1 us each.
+  EXPECT_GT(elapsed, (n / 4 - 2) * 1'000);
+  EXPECT_EQ(completed, n);
+}
+
+}  // namespace
+}  // namespace ceio

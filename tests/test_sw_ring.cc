@@ -1,0 +1,93 @@
+// Tests for the SW ring: segment bookkeeping and order preservation.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "ceio/sw_ring.h"
+#include "common/rng.h"
+
+namespace ceio {
+namespace {
+
+TEST(SwRing, EmptyIsNone) {
+  SwRing sw;
+  EXPECT_EQ(sw.next(), SwRing::Path::kNone);
+  EXPECT_TRUE(sw.empty());
+  EXPECT_EQ(sw.pending(), 0u);
+}
+
+TEST(SwRing, SamePathMergesIntoOneSegment) {
+  SwRing sw;
+  for (int i = 0; i < 5; ++i) sw.note_steered(true);
+  EXPECT_EQ(sw.segment_count(), 1u);
+  EXPECT_EQ(sw.pending(), 5u);
+  EXPECT_EQ(sw.next(), SwRing::Path::kFast);
+}
+
+TEST(SwRing, AlternationCreatesSegments) {
+  SwRing sw;
+  sw.note_steered(true);
+  sw.note_steered(true);
+  sw.note_steered(false);
+  sw.note_steered(true);
+  EXPECT_EQ(sw.segment_count(), 3u);
+  // Consume in order: fast, fast, slow, fast.
+  EXPECT_EQ(sw.next(), SwRing::Path::kFast);
+  sw.consumed();
+  EXPECT_EQ(sw.next(), SwRing::Path::kFast);
+  sw.consumed();
+  EXPECT_EQ(sw.next(), SwRing::Path::kSlow);
+  sw.consumed();
+  EXPECT_EQ(sw.next(), SwRing::Path::kFast);
+  sw.consumed();
+  EXPECT_EQ(sw.next(), SwRing::Path::kNone);
+}
+
+TEST(SwRing, ConsumeOnEmptyIsSafe) {
+  SwRing sw;
+  sw.consumed();  // no-op
+  EXPECT_EQ(sw.pending(), 0u);
+}
+
+TEST(SwRing, ClearResets) {
+  SwRing sw;
+  sw.note_steered(true);
+  sw.note_steered(false);
+  sw.clear();
+  EXPECT_TRUE(sw.empty());
+  EXPECT_EQ(sw.next(), SwRing::Path::kNone);
+}
+
+// Property: for any random steering sequence, consuming via next()/consumed()
+// reproduces the steering order exactly — the ordering guarantee the paper's
+// SW ring provides without per-packet metadata.
+class SwRingOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwRingOrderProperty, ConsumptionMatchesSteeringOrder) {
+  Rng rng(GetParam());
+  SwRing sw;
+  std::deque<bool> reference;
+  // Interleave producing and consuming.
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng.chance(0.55)) {
+      const bool fast = rng.chance(0.5);
+      sw.note_steered(fast);
+      reference.push_back(fast);
+    } else if (!reference.empty()) {
+      const auto next = sw.next();
+      ASSERT_NE(next, SwRing::Path::kNone);
+      EXPECT_EQ(next == SwRing::Path::kFast, reference.front());
+      sw.consumed();
+      reference.pop_front();
+    } else {
+      EXPECT_EQ(sw.next(), SwRing::Path::kNone);
+    }
+    ASSERT_EQ(sw.pending(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwRingOrderProperty,
+                         ::testing::Values(1u, 7u, 99u, 2024u));
+
+}  // namespace
+}  // namespace ceio

@@ -1,0 +1,203 @@
+// ceio_sim — command-line scenario runner.
+//
+// Run custom workloads against any of the four datapaths without writing
+// code:
+//
+//   ceio_sim --system=ceio --flows=8 --rate-gbps=25 --pkt=512 --app=kv --ms=5
+//   ceio_sim --system=legacy --flows=4 --app=echo --poisson
+//   ceio_sim --system=ceio --flows=2 --app=linefs --chunk-kb=1024
+//   ceio_sim --system=ceio --flows=8 --app=kv --burst-on-us=100 --burst-off-us=400
+//
+// Prints per-flow and aggregate reports plus host-level cache statistics.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "apps/vxlan.h"
+#include "common/stats.h"
+#include "iopath/testbed.h"
+
+using namespace ceio;
+
+namespace {
+
+struct Options {
+  SystemKind system = SystemKind::kCeio;
+  int flows = 8;
+  double rate_gbps = 25.0;
+  Bytes pkt = 512;
+  std::string app = "kv";
+  double ms = 5.0;
+  double warmup_ms = 2.0;
+  Bytes chunk_kb = 1024;  // linefs/rdma message size
+  bool poisson = false;
+  int closed_loop = 0;
+  double burst_on_us = 0.0;
+  double burst_off_us = 0.0;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --system=ceio|legacy|hostcc|shring   datapath under test (default ceio)\n"
+      "  --flows=N                            number of flows (default 8)\n"
+      "  --rate-gbps=R                        offered rate per flow (default 25)\n"
+      "  --pkt=BYTES                          packet size (default 512)\n"
+      "  --app=kv|echo|vxlan|linefs|rdma      application (default kv)\n"
+      "  --chunk-kb=K                         message size for linefs/rdma (default 1024)\n"
+      "  --ms=T                               measured simulated time (default 5)\n"
+      "  --warmup-ms=T                        warmup before measuring (default 2)\n"
+      "  --poisson                            Poisson interarrivals\n"
+      "  --closed-loop=N                      N outstanding messages per flow\n"
+      "  --burst-on-us=T --burst-off-us=T     on/off bursting\n"
+      "  --seed=S                             RNG seed (default 1)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--system", &v)) {
+      if (v == "ceio") {
+        opt.system = SystemKind::kCeio;
+      } else if (v == "legacy") {
+        opt.system = SystemKind::kLegacy;
+      } else if (v == "hostcc") {
+        opt.system = SystemKind::kHostcc;
+      } else if (v == "shring") {
+        opt.system = SystemKind::kShring;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "--flows", &v)) {
+      opt.flows = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--rate-gbps", &v)) {
+      opt.rate_gbps = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--pkt", &v)) {
+      opt.pkt = std::atoll(v.c_str());
+    } else if (parse_flag(argv[i], "--app", &v)) {
+      opt.app = v;
+    } else if (parse_flag(argv[i], "--chunk-kb", &v)) {
+      opt.chunk_kb = std::atoll(v.c_str());
+    } else if (parse_flag(argv[i], "--ms", &v)) {
+      opt.ms = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--warmup-ms", &v)) {
+      opt.warmup_ms = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--poisson", &v)) {
+      opt.poisson = true;
+    } else if (parse_flag(argv[i], "--closed-loop", &v)) {
+      opt.closed_loop = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--burst-on-us", &v)) {
+      opt.burst_on_us = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--burst-off-us", &v)) {
+      opt.burst_off_us = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.flows <= 0 || opt.pkt <= 0 || opt.ms <= 0) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  TestbedConfig config;
+  config.system = opt.system;
+  config.seed = opt.seed;
+  Testbed bed(config);
+
+  Application* app = nullptr;
+  bool bypass = false;
+  if (opt.app == "kv") {
+    app = &bed.make_kv_store();
+  } else if (opt.app == "echo") {
+    app = &bed.make_echo();
+  } else if (opt.app == "vxlan") {
+    app = &bed.make_vxlan();
+  } else if (opt.app == "linefs") {
+    app = &bed.make_linefs();
+    bypass = true;
+  } else if (opt.app == "rdma") {
+    app = &bed.make_raw_rdma();
+    bypass = true;
+  } else {
+    usage(argv[0]);
+  }
+
+  for (FlowId id = 1; id <= static_cast<FlowId>(opt.flows); ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = bypass ? FlowKind::kCpuBypass : FlowKind::kCpuInvolved;
+    fc.packet_size = bypass ? std::max<Bytes>(opt.pkt, 2 * kKiB) : opt.pkt;
+    fc.message_pkts =
+        bypass ? static_cast<std::uint32_t>(
+                     std::max<Bytes>(opt.chunk_kb * kKiB / fc.packet_size, 1))
+               : 1;
+    fc.offered_rate = gbps(opt.rate_gbps);
+    fc.poisson = opt.poisson;
+    fc.closed_loop_outstanding = opt.closed_loop;
+    fc.burst_on = micros(opt.burst_on_us);
+    fc.burst_off = micros(opt.burst_off_us);
+    bed.add_flow(fc, *app);
+  }
+
+  bed.run_for(millis(opt.warmup_ms));
+  bed.reset_measurement();
+  bed.run_for(millis(opt.ms));
+
+  std::printf("ceio_sim: system=%s app=%s flows=%d pkt=%lldB rate=%.1fG/flow ms=%.1f\n\n",
+              to_string(opt.system), opt.app.c_str(), opt.flows,
+              static_cast<long long>(opt.pkt), opt.rate_gbps, opt.ms);
+  TablePrinter table({"flow", "Mpps", "Gbps", "msg Gbps", "p50(us)", "p99(us)",
+                      "p99.9(us)", "msgs", "drops"});
+  for (const auto& r : bed.all_reports()) {
+    table.add_row({std::to_string(r.id), TablePrinter::fmt(r.mpps),
+                   TablePrinter::fmt(r.gbps), TablePrinter::fmt(r.message_gbps),
+                   TablePrinter::fmt(to_micros(r.p50), 1),
+                   TablePrinter::fmt(to_micros(r.p99), 1),
+                   TablePrinter::fmt(to_micros(r.p999), 1), std::to_string(r.messages),
+                   std::to_string(r.drops)});
+  }
+  table.print();
+  std::printf("\naggregate: %.2f Mpps, %.1f Gbps delivered, %.1f Gbps committed\n",
+              bed.aggregate_mpps(), bed.aggregate_gbps(), bed.aggregate_message_gbps());
+  std::printf("LLC: miss %.2f%%, %lld premature evictions; DRAM util %.1f%%\n",
+              bed.llc_miss_rate() * 100.0,
+              static_cast<long long>(bed.llc().stats().premature_evictions),
+              bed.dram().utilization(bed.now()) * 100.0);
+  if (auto* ceio = bed.ceio()) {
+    const auto& rs = ceio->runtime_stats();
+    std::printf("CEIO: C_total=%lld, to_slow=%lld, to_fast=%lld, cca=%lld, reclaims=%lld\n",
+                static_cast<long long>(ceio->credits().total()),
+                static_cast<long long>(rs.credit_switches_to_slow),
+                static_cast<long long>(rs.switches_back_to_fast),
+                static_cast<long long>(rs.cca_triggers),
+                static_cast<long long>(rs.inactive_reclaims));
+  }
+  return 0;
+}
