@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cxl.dir/ablation_cxl.cc.o"
+  "CMakeFiles/ablation_cxl.dir/ablation_cxl.cc.o.d"
+  "ablation_cxl"
+  "ablation_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

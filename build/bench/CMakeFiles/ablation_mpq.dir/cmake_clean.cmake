@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpq.dir/ablation_mpq.cc.o"
+  "CMakeFiles/ablation_mpq.dir/ablation_mpq.cc.o.d"
+  "ablation_mpq"
+  "ablation_mpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

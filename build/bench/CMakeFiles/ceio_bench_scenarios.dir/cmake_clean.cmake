@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_bench_scenarios.dir/scenarios.cc.o"
+  "CMakeFiles/ceio_bench_scenarios.dir/scenarios.cc.o.d"
+  "libceio_bench_scenarios.a"
+  "libceio_bench_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_bench_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_motivation.dir/fig04_motivation.cc.o"
+  "CMakeFiles/fig04_motivation.dir/fig04_motivation.cc.o.d"
+  "fig04_motivation"
+  "fig04_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

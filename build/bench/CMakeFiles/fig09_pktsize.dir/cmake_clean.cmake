@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pktsize.dir/fig09_pktsize.cc.o"
+  "CMakeFiles/fig09_pktsize.dir/fig09_pktsize.cc.o.d"
+  "fig09_pktsize"
+  "fig09_pktsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pktsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dynamic.dir/fig10_dynamic.cc.o"
+  "CMakeFiles/fig10_dynamic.dir/fig10_dynamic.cc.o.d"
+  "fig10_dynamic"
+  "fig10_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_paths.dir/fig11_paths.cc.o"
+  "CMakeFiles/fig11_paths.dir/fig11_paths.cc.o.d"
+  "fig11_paths"
+  "fig11_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

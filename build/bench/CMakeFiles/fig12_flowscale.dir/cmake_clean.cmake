@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_flowscale.dir/fig12_flowscale.cc.o"
+  "CMakeFiles/fig12_flowscale.dir/fig12_flowscale.cc.o.d"
+  "fig12_flowscale"
+  "fig12_flowscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_flowscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limits_scenarios.dir/limits_scenarios.cc.o"
+  "CMakeFiles/limits_scenarios.dir/limits_scenarios.cc.o.d"
+  "limits_scenarios"
+  "limits_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limits_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

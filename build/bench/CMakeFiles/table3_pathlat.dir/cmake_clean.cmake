@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pathlat.dir/table3_pathlat.cc.o"
+  "CMakeFiles/table3_pathlat.dir/table3_pathlat.cc.o.d"
+  "table3_pathlat"
+  "table3_pathlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pathlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

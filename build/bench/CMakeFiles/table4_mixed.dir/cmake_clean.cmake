@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mixed.dir/table4_mixed.cc.o"
+  "CMakeFiles/table4_mixed.dir/table4_mixed.cc.o.d"
+  "table4_mixed"
+  "table4_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dfs_transfer.cpp" "examples/CMakeFiles/dfs_transfer.dir/dfs_transfer.cpp.o" "gcc" "examples/CMakeFiles/dfs_transfer.dir/dfs_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iopath/CMakeFiles/ceio_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ceio_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceio/CMakeFiles/ceio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iopath/CMakeFiles/ceio_iopath.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ceio_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ceio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ceio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ceio_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ceio_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_transfer.dir/dfs_transfer.cpp.o"
+  "CMakeFiles/dfs_transfer.dir/dfs_transfer.cpp.o.d"
+  "dfs_transfer"
+  "dfs_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

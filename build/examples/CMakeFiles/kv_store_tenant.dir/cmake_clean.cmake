@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_tenant.dir/kv_store_tenant.cpp.o"
+  "CMakeFiles/kv_store_tenant.dir/kv_store_tenant.cpp.o.d"
+  "kv_store_tenant"
+  "kv_store_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

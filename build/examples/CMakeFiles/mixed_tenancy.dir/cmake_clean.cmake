@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_tenancy.dir/mixed_tenancy.cpp.o"
+  "CMakeFiles/mixed_tenancy.dir/mixed_tenancy.cpp.o.d"
+  "mixed_tenancy"
+  "mixed_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

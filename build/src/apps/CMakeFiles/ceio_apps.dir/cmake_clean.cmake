@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_apps.dir/kv_store.cc.o"
+  "CMakeFiles/ceio_apps.dir/kv_store.cc.o.d"
+  "CMakeFiles/ceio_apps.dir/linefs.cc.o"
+  "CMakeFiles/ceio_apps.dir/linefs.cc.o.d"
+  "libceio_apps.a"
+  "libceio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

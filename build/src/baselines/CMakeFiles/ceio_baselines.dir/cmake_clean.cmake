@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_baselines.dir/hostcc.cc.o"
+  "CMakeFiles/ceio_baselines.dir/hostcc.cc.o.d"
+  "CMakeFiles/ceio_baselines.dir/shring.cc.o"
+  "CMakeFiles/ceio_baselines.dir/shring.cc.o.d"
+  "libceio_baselines.a"
+  "libceio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

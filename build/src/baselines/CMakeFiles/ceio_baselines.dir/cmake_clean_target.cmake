@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceio_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_core.dir/ceio_datapath.cc.o"
+  "CMakeFiles/ceio_core.dir/ceio_datapath.cc.o.d"
+  "CMakeFiles/ceio_core.dir/ceio_driver.cc.o"
+  "CMakeFiles/ceio_core.dir/ceio_driver.cc.o.d"
+  "CMakeFiles/ceio_core.dir/credit_controller.cc.o"
+  "CMakeFiles/ceio_core.dir/credit_controller.cc.o.d"
+  "CMakeFiles/ceio_core.dir/elastic_buffer.cc.o"
+  "CMakeFiles/ceio_core.dir/elastic_buffer.cc.o.d"
+  "libceio_core.a"
+  "libceio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

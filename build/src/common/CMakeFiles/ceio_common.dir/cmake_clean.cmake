@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_common.dir/logging.cc.o"
+  "CMakeFiles/ceio_common.dir/logging.cc.o.d"
+  "CMakeFiles/ceio_common.dir/rng.cc.o"
+  "CMakeFiles/ceio_common.dir/rng.cc.o.d"
+  "CMakeFiles/ceio_common.dir/stats.cc.o"
+  "CMakeFiles/ceio_common.dir/stats.cc.o.d"
+  "libceio_common.a"
+  "libceio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cache.cc" "src/host/CMakeFiles/ceio_host.dir/cache.cc.o" "gcc" "src/host/CMakeFiles/ceio_host.dir/cache.cc.o.d"
+  "/root/repo/src/host/cpu_core.cc" "src/host/CMakeFiles/ceio_host.dir/cpu_core.cc.o" "gcc" "src/host/CMakeFiles/ceio_host.dir/cpu_core.cc.o.d"
+  "/root/repo/src/host/dram.cc" "src/host/CMakeFiles/ceio_host.dir/dram.cc.o" "gcc" "src/host/CMakeFiles/ceio_host.dir/dram.cc.o.d"
+  "/root/repo/src/host/memory_controller.cc" "src/host/CMakeFiles/ceio_host.dir/memory_controller.cc.o" "gcc" "src/host/CMakeFiles/ceio_host.dir/memory_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

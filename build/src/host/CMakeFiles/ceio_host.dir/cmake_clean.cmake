@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_host.dir/cache.cc.o"
+  "CMakeFiles/ceio_host.dir/cache.cc.o.d"
+  "CMakeFiles/ceio_host.dir/cpu_core.cc.o"
+  "CMakeFiles/ceio_host.dir/cpu_core.cc.o.d"
+  "CMakeFiles/ceio_host.dir/dram.cc.o"
+  "CMakeFiles/ceio_host.dir/dram.cc.o.d"
+  "CMakeFiles/ceio_host.dir/memory_controller.cc.o"
+  "CMakeFiles/ceio_host.dir/memory_controller.cc.o.d"
+  "libceio_host.a"
+  "libceio_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_iopath.dir/datapath.cc.o"
+  "CMakeFiles/ceio_iopath.dir/datapath.cc.o.d"
+  "libceio_iopath.a"
+  "libceio_iopath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_iopath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

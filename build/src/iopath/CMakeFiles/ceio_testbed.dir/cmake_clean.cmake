@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_testbed.dir/testbed.cc.o"
+  "CMakeFiles/ceio_testbed.dir/testbed.cc.o.d"
+  "libceio_testbed.a"
+  "libceio_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

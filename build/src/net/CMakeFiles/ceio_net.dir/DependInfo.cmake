@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow_source.cc" "src/net/CMakeFiles/ceio_net.dir/flow_source.cc.o" "gcc" "src/net/CMakeFiles/ceio_net.dir/flow_source.cc.o.d"
+  "/root/repo/src/net/network_link.cc" "src/net/CMakeFiles/ceio_net.dir/network_link.cc.o" "gcc" "src/net/CMakeFiles/ceio_net.dir/network_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ceio_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ceio_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_net.dir/flow_source.cc.o"
+  "CMakeFiles/ceio_net.dir/flow_source.cc.o.d"
+  "CMakeFiles/ceio_net.dir/network_link.cc.o"
+  "CMakeFiles/ceio_net.dir/network_link.cc.o.d"
+  "libceio_net.a"
+  "libceio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/nic_memory.cc" "src/nic/CMakeFiles/ceio_nic.dir/nic_memory.cc.o" "gcc" "src/nic/CMakeFiles/ceio_nic.dir/nic_memory.cc.o.d"
+  "/root/repo/src/nic/rmt_engine.cc" "src/nic/CMakeFiles/ceio_nic.dir/rmt_engine.cc.o" "gcc" "src/nic/CMakeFiles/ceio_nic.dir/rmt_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ceio_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_nic.dir/nic_memory.cc.o"
+  "CMakeFiles/ceio_nic.dir/nic_memory.cc.o.d"
+  "CMakeFiles/ceio_nic.dir/rmt_engine.cc.o"
+  "CMakeFiles/ceio_nic.dir/rmt_engine.cc.o.d"
+  "libceio_nic.a"
+  "libceio_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_pcie.dir/dma_engine.cc.o"
+  "CMakeFiles/ceio_pcie.dir/dma_engine.cc.o.d"
+  "CMakeFiles/ceio_pcie.dir/pcie_link.cc.o"
+  "CMakeFiles/ceio_pcie.dir/pcie_link.cc.o.d"
+  "libceio_pcie.a"
+  "libceio_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

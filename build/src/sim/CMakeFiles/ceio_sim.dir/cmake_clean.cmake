@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_sim.dir/event_scheduler.cc.o"
+  "CMakeFiles/ceio_sim.dir/event_scheduler.cc.o.d"
+  "libceio_sim.a"
+  "libceio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

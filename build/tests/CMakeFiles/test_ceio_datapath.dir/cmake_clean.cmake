@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ceio_datapath.dir/test_ceio_datapath.cc.o"
+  "CMakeFiles/test_ceio_datapath.dir/test_ceio_datapath.cc.o.d"
+  "test_ceio_datapath"
+  "test_ceio_datapath.pdb"
+  "test_ceio_datapath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ceio_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

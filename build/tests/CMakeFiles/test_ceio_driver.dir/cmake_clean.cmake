@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ceio_driver.dir/test_ceio_driver.cc.o"
+  "CMakeFiles/test_ceio_driver.dir/test_ceio_driver.cc.o.d"
+  "test_ceio_driver"
+  "test_ceio_driver.pdb"
+  "test_ceio_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ceio_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

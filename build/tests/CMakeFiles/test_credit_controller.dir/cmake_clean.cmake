@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credit_controller.dir/test_credit_controller.cc.o"
+  "CMakeFiles/test_credit_controller.dir/test_credit_controller.cc.o.d"
+  "test_credit_controller"
+  "test_credit_controller.pdb"
+  "test_credit_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credit_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

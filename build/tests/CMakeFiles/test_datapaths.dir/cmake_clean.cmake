@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapaths.dir/test_datapaths.cc.o"
+  "CMakeFiles/test_datapaths.dir/test_datapaths.cc.o.d"
+  "test_datapaths"
+  "test_datapaths.pdb"
+  "test_datapaths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_scheduler.dir/test_event_scheduler.cc.o"
+  "CMakeFiles/test_event_scheduler.dir/test_event_scheduler.cc.o.d"
+  "test_event_scheduler"
+  "test_event_scheduler.pdb"
+  "test_event_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

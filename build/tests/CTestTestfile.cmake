@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_event_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_llc[1]_include.cmake")
+include("/root/repo/build/tests/test_host_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/test_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_credit_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_sw_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_elastic_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_datapaths[1]_include.cmake")
+include("/root/repo/build/tests/test_ceio_datapath[1]_include.cmake")
+include("/root/repo/build/tests/test_ceio_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceio_sim_cli.dir/ceio_sim.cc.o"
+  "CMakeFiles/ceio_sim_cli.dir/ceio_sim.cc.o.d"
+  "ceio_sim"
+  "ceio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceio_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
