@@ -1,0 +1,243 @@
+// perf_core — microbenchmark for the simulator's two hottest primitives:
+// the discrete-event scheduler and the LLC model. Emits a JSON blob to
+// stdout and to a file (default perf_core.json, override with argv[1]) so
+// successive PRs can record the perf trajectory and catch regressions.
+//
+// Workloads:
+//   scheduler  schedule/fire steady state at several pending-queue depths,
+//              plus a schedule/cancel-heavy mix (50% of events cancelled
+//              before they fire).
+//   llc        hit-heavy (working set fits), miss-heavy (streaming ids) and
+//              premature-eviction (DDIO flood faster than the CPU drains).
+//
+// All workloads are seeded deterministically; wall-clock is the only
+// non-deterministic output.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "host/cache.h"
+#include "sim/event_scheduler.h"
+
+namespace {
+
+using ceio::BufferId;
+using ceio::EventScheduler;
+using ceio::LlcConfig;
+using ceio::LlcModel;
+using ceio::Nanos;
+using ceio::Rng;
+
+double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+/// ceio::safe_rate keeps zero-op / zero-time runs from emitting NaN or inf.
+double rate(std::uint64_t ops, double seconds) {
+  return ceio::safe_rate(static_cast<double>(ops), seconds);
+}
+
+struct Result {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  std::uint64_t peak_depth = 0;
+  double ops_per_sec() const { return rate(ops, seconds); }
+};
+
+/// Self-perpetuating event body: fires, then re-arms itself at a jittered
+/// future time. 32 bytes of capture — stays inside the inline budget.
+struct FireAndRearm {
+  EventScheduler* sched;
+  Rng* rng;
+  std::uint64_t* fired;
+  std::uint64_t total;
+  void operator()() const {
+    ++*fired;
+    if (*fired + sched->pending() < total) {
+      sched->schedule_after(rng->uniform(1, 1000), *this);
+    }
+  }
+};
+
+/// Steady-state schedule/fire throughput at a held queue depth: each fired
+/// event re-schedules one successor, so the pending count stays at `depth`.
+Result bench_sched_fire(std::size_t depth, std::uint64_t total_events) {
+  EventScheduler sched;
+  Rng rng(0xCE10 + depth);
+  std::uint64_t fired = 0;
+  // Seed `depth` self-perpetuating events at jittered future times.
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched.schedule_after(rng.uniform(1, 1000),
+                         FireAndRearm{&sched, &rng, &fired, total_events});
+  }
+  // Warm-up is implicit: pool/heap capacity grows during the seeding phase.
+  const double t0 = now_seconds();
+  while (fired < total_events) {
+    if (!sched.step()) {
+      // Queue drained early (tail of the run): top up one event.
+      sched.schedule_after(1, [&fired]() { ++fired; });
+    }
+  }
+  const double t1 = now_seconds();
+  Result r;
+  r.name = "sched_fire_depth" + std::to_string(depth);
+  r.ops = fired;
+  r.seconds = t1 - t0;
+  r.peak_depth = depth;
+  return r;
+}
+
+/// Schedule/cancel-heavy mix (the timer-rearm pattern every flow source and
+/// credit controller uses): each iteration schedules two events at random
+/// future times, immediately cancels one of them, then fires one — 25% of
+/// all operations are cancellations of pending events at random heap
+/// positions, and the queue holds a steady `depth` events throughout.
+Result bench_sched_cancel(std::size_t depth, std::uint64_t total_ops) {
+  EventScheduler sched;
+  Rng rng(0xCA9CE1 + depth);
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+  }
+  std::uint64_t ops = 0;
+  std::uint64_t peak = sched.pending();
+  const double t0 = now_seconds();
+  while (ops < total_ops) {
+    const auto a = sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    const auto b = sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    sched.cancel(rng.chance(0.5) ? a : b);
+    sched.step();
+    ops += 4;
+    if (sched.pending() > peak) peak = sched.pending();
+  }
+  const double t1 = now_seconds();
+  Result r;
+  r.name = "sched_cancel_depth" + std::to_string(depth);
+  r.ops = ops;
+  r.seconds = t1 - t0;
+  r.peak_depth = peak;
+  return r;
+}
+
+LlcConfig default_llc() { return LlcConfig{}; }  // 12 MiB / 12-way / 2 DDIO ways
+
+/// Hit-heavy: working set well inside capacity, uniform re-reads.
+Result bench_llc_hit(std::uint64_t total_ops) {
+  LlcModel llc(default_llc());
+  Rng rng(0x117);
+  const std::int64_t ws = 1024;  // buffers; capacity is 6144
+  for (std::int64_t id = 1; id <= ws; ++id) llc.cpu_read(id, 1500);
+  const double t0 = now_seconds();
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    llc.cpu_read(static_cast<BufferId>(rng.uniform(1, ws)), 1500);
+  }
+  const double t1 = now_seconds();
+  return Result{"llc_hit_heavy", total_ops, t1 - t0, 0};
+}
+
+/// Miss-heavy: streaming ids that never repeat, every access fills+evicts.
+Result bench_llc_miss(std::uint64_t total_ops) {
+  LlcModel llc(default_llc());
+  const double t0 = now_seconds();
+  BufferId id = 1;
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    llc.cpu_read(id++, 1500);
+  }
+  const double t1 = now_seconds();
+  return Result{"llc_miss_heavy", total_ops, t1 - t0, 0};
+}
+
+/// Premature eviction: DMA floods the DDIO partition faster than the CPU
+/// reads drain it — the paper's leaky-DMA phenomenon, and the hot loop of
+/// every fig. 9–12 experiment.
+Result bench_llc_premature(std::uint64_t total_ops) {
+  LlcModel llc(default_llc());
+  Rng rng(0x9FE);
+  const std::int64_t pool = 4096;  // DDIO capacity is 1024 buffers; 4x flood
+  BufferId next = 1;
+  const double t0 = now_seconds();
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    const BufferId id = (next++ % pool) + 1;
+    llc.ddio_write(id, 1500);
+    if ((i & 3u) == 0) {
+      // CPU drains at 1/4 the DMA rate, lagging behind.
+      llc.cpu_read(static_cast<BufferId>(rng.uniform(1, pool)), 1500);
+    }
+  }
+  const double t1 = now_seconds();
+  return Result{"llc_premature_evict", total_ops, t1 - t0, 0};
+}
+
+void emit_json(std::FILE* f, const std::vector<Result>& sched,
+               const std::vector<Result>& llc, double sched_events_per_sec,
+               double llc_ops_per_sec, double wall) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n", sched_events_per_sec);
+  std::fprintf(f, "  \"llc_ops_per_sec\": %.0f,\n", llc_ops_per_sec);
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
+  std::fprintf(f, "  \"scheduler\": [\n");
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const auto& r = sched[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"ops_per_sec\": %.0f, \"peak_queue_depth\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.ops), r.seconds,
+                 r.ops_per_sec(), static_cast<unsigned long long>(r.peak_depth),
+                 i + 1 < sched.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"llc\": [\n");
+  for (std::size_t i = 0; i < llc.size(); ++i) {
+    const auto& r = llc[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"ops_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.ops), r.seconds,
+                 r.ops_per_sec(), i + 1 < llc.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "perf_core.json";
+  const double wall0 = now_seconds();
+
+  std::vector<Result> sched;
+  sched.push_back(bench_sched_fire(1024, 4'000'000));
+  sched.push_back(bench_sched_fire(16384, 4'000'000));
+  sched.push_back(bench_sched_fire(65536, 4'000'000));
+  sched.push_back(bench_sched_cancel(4096, 4'000'000));
+
+  std::vector<Result> llc;
+  llc.push_back(bench_llc_hit(8'000'000));
+  llc.push_back(bench_llc_miss(8'000'000));
+  llc.push_back(bench_llc_premature(8'000'000));
+
+  // Headline numbers: total ops / total seconds over each family.
+  std::uint64_t sched_ops = 0, llc_ops = 0;
+  double sched_secs = 0.0, llc_secs = 0.0;
+  for (const auto& r : sched) { sched_ops += r.ops; sched_secs += r.seconds; }
+  for (const auto& r : llc) { llc_ops += r.ops; llc_secs += r.seconds; }
+  const double wall = now_seconds() - wall0;
+
+  emit_json(stdout, sched, llc, rate(sched_ops, sched_secs),
+            rate(llc_ops, llc_secs), wall);
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    emit_json(f, sched, llc, rate(sched_ops, sched_secs),
+              rate(llc_ops, llc_secs), wall);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", out_path);
+  }
+  return 0;
+}

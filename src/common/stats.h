@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -17,6 +18,15 @@
 #include "common/units.h"
 
 namespace ceio {
+
+/// Derived-rate guard for reporting: ops / seconds, but never NaN or inf.
+/// Zero-op, zero-time and non-finite inputs all yield 0.0, so empty runs
+/// serialize as honest zeros instead of poisoning JSON output.
+inline double safe_rate(double ops, double seconds) {
+  if (!std::isfinite(ops) || !std::isfinite(seconds)) return 0.0;
+  if (ops <= 0.0 || seconds <= 0.0) return 0.0;
+  return ops / seconds;
+}
 
 /// Welford online mean/variance plus min/max.
 class OnlineStats {

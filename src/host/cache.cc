@@ -18,23 +18,28 @@ LlcModel::LlcModel(const LlcConfig& config) : config_(config) {
     set.app_ways.resize(ways - ddio_ways);
   }
   ddio_capacity_ = num_sets * ddio_ways;
-}
-
-std::size_t LlcModel::set_of(BufferId id) const {
-  // Fibonacci hash spreads consecutive buffer ids across sets, mimicking
-  // physical-address interleaving of a real buffer pool.
-  return static_cast<std::size_t>((id * 0x9e3779b97f4a7c15ULL) >> 32) % sets_.size();
+  if ((num_sets & (num_sets - 1)) == 0) set_mask_ = num_sets - 1;
 }
 
 LlcModel::Entry* LlcModel::find(BufferId id) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) return nullptr;
-  auto& set = sets_[it->second];
+  if (last_entry_ != nullptr && last_id_ == id && last_entry_->valid &&
+      last_entry_->id == id) {
+    return last_entry_;
+  }
+  auto& set = sets_[set_of(id)];
   for (auto& e : set.io_ways) {
-    if (e.valid && e.id == id) return &e;
+    if (e.valid && e.id == id) {
+      last_id_ = id;
+      last_entry_ = &e;
+      return &e;
+    }
   }
   for (auto& e : set.app_ways) {
-    if (e.valid && e.id == id) return &e;
+    if (e.valid && e.id == id) {
+      last_id_ = id;
+      last_entry_ = &e;
+      return &e;
+    }
   }
   return nullptr;
 }
@@ -68,7 +73,6 @@ LlcModel::Evicted LlcModel::fill(std::vector<Entry>& ways, BufferId id, Bytes si
     if (out.never_read) ++stats_.premature_evictions;
     if (out.dirty) ++stats_.writebacks;
     if (slot->io_partition && ddio_resident_ > 0) --ddio_resident_;
-    where_.erase(slot->id);
   }
   slot->id = id;
   slot->bytes = size;
@@ -79,7 +83,8 @@ LlcModel::Evicted LlcModel::fill(std::vector<Entry>& ways, BufferId id, Bytes si
   slot->expect_read = expect_read;
   slot->io_partition = io_partition;
   if (io_partition) ++ddio_resident_;
-  where_[id] = static_cast<std::uint32_t>(set_of(id));
+  last_id_ = id;
+  last_entry_ = slot;
   return out;
 }
 
@@ -140,7 +145,6 @@ void LlcModel::invalidate(BufferId id) {
     if (e->io_partition && ddio_resident_ > 0) --ddio_resident_;
     e->valid = false;
     e->dirty = false;
-    where_.erase(id);
   }
 }
 

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -105,7 +104,14 @@ class LlcModel {
     std::vector<Entry> app_ways;  // regular partition
   };
 
-  std::size_t set_of(BufferId id) const;
+  // The set index is a pure function of the id (Fibonacci hash), so there is
+  // no id->set side table to maintain: lookup hashes straight to the set and
+  // scans its <= `ways` entries. When the set count is a power of two (the
+  // default config: 512 sets) the reduction is a mask instead of a divide.
+  std::size_t set_of(BufferId id) const {
+    const auto h = static_cast<std::size_t>((id * 0x9e3779b97f4a7c15ULL) >> 32);
+    return set_mask_ != 0 ? (h & set_mask_) : h % sets_.size();
+  }
   Entry* find(BufferId id);
   const Entry* find(BufferId id) const;
   Evicted fill(std::vector<Entry>& ways, BufferId id, Bytes size, bool io_partition, bool dirty,
@@ -113,7 +119,12 @@ class LlcModel {
 
   LlcConfig config_;
   std::vector<Set> sets_;
-  std::unordered_map<BufferId, std::uint32_t> where_;  // id -> set index
+  std::size_t set_mask_ = 0;  // sets-1 when the set count is a power of two, else 0
+  // One-entry MRU lookup cache. Entry storage never moves after construction,
+  // and find() re-validates (valid && id match) before trusting it, so stale
+  // pointers are harmless and no explicit invalidation is needed.
+  mutable BufferId last_id_ = 0;
+  mutable Entry* last_entry_ = nullptr;
   std::uint64_t clock_ = 0;
   std::size_t ddio_resident_ = 0;
   std::size_t ddio_capacity_ = 0;

@@ -1,37 +1,117 @@
 #include "sim/event_scheduler.h"
 
+#include <utility>
+
 namespace ceio {
+
+std::uint32_t EventScheduler::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoFreeSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventScheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();  // eagerly destroy the callback and any captured state
+  ++s.generation;  // invalidate every outstanding handle to this slot
+  s.heap_index = kNotInHeap;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventScheduler::sift_up(std::size_t pos) {
+  HeapNode node = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = node;
+  slots_[node.slot].heap_index = static_cast<std::uint32_t>(pos);
+}
+
+void EventScheduler::sift_down(std::size_t pos) {
+  HeapNode node = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    // Pick the earliest of up to four children.
+    std::size_t best = first_child;
+    const std::size_t last_child = first_child + 4 < size ? first_child + 4 : size;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], node)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = node;
+  slots_[node.slot].heap_index = static_cast<std::uint32_t>(pos);
+}
+
+void EventScheduler::heap_remove(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    // The moved node may need to travel either direction.
+    if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
 
 EventHandle EventScheduler::schedule_at(Nanos when, Callback cb) {
   if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
-  pending_ids_.insert(id);
-  return EventHandle{id};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].cb = std::move(cb);
+  const std::size_t pos = heap_.size();
+  heap_.push_back(HeapNode{when, next_seq_++, slot});
+  slots_[slot].heap_index = static_cast<std::uint32_t>(pos);
+  sift_up(pos);
+  return EventHandle{slot, slots_[slot].generation};
 }
 
 bool EventScheduler::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  return pending_ids_.erase(handle.id()) > 0;
+  if (!is_pending(handle)) return false;
+  const std::uint32_t slot = handle.slot_;
+  heap_remove(slots_[slot].heap_index);
+  release_slot(slot);
+  return true;
 }
 
-bool EventScheduler::pop_and_run() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
-    return true;
-  }
-  return false;
+bool EventScheduler::step() {
+  if (heap_.empty()) return false;
+  const HeapNode top = heap_[0];
+  heap_remove(0);
+  // Move the callback out and release the slot *before* invoking, so the
+  // callback can freely schedule (possibly into this very slot) or cancel.
+  Callback cb = std::move(slots_[top.slot].cb);
+  release_slot(top.slot);
+  now_ = top.when;
+  ++executed_;
+  cb();
+  return true;
 }
 
 std::uint64_t EventScheduler::run_until(Nanos deadline) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    if (pop_and_run()) ++ran;
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    if (step()) ++ran;
   }
   if (now_ < deadline) now_ = deadline;
   return ran;
@@ -39,10 +119,8 @@ std::uint64_t EventScheduler::run_until(Nanos deadline) {
 
 std::uint64_t EventScheduler::run_all() {
   std::uint64_t ran = 0;
-  while (pop_and_run()) ++ran;
+  while (step()) ++ran;
   return ran;
 }
-
-bool EventScheduler::step() { return pop_and_run(); }
 
 }  // namespace ceio

@@ -5,36 +5,55 @@
 // future nanosecond timestamps. Events at equal timestamps fire in
 // scheduling order (FIFO via a monotonic sequence number), which makes runs
 // bit-for-bit deterministic for a given seed.
+//
+// Implementation: allocation-free on the steady-state path.
+//   * Events live in a contiguous slot pool (`slots_`) recycled through a
+//     free list; handles are {slot, generation} pairs so cancel() and
+//     is_pending() are O(1) array probes — no hash set.
+//   * Ordering is an indexed 4-ary min-heap over (when, seq); each heap node
+//     carries its sort key so comparisons never chase into the pool, and
+//     each slot tracks its heap position so cancellation is a true O(log n)
+//     removal (sift) instead of a lazy tombstone.
+//   * Callbacks are `InlineFunction<void(), 48>`: captures up to 48 bytes
+//     (a `this` pointer plus a few ids — every callback in this repo) are
+//     stored inline and never touch the allocator; larger captures fall
+//     back to one heap allocation. Cancellation destroys the callback
+//     eagerly, so captured owning state (shared_ptr etc.) is released at
+//     cancel time, not when the timestamp would have been reached.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/units.h"
 
 namespace ceio {
 
-/// Handle used to cancel a pending event. Cancellation is lazy: the event
-/// stays in the queue but its callback is skipped when it fires.
+/// Handle used to cancel a pending event: a pool slot plus the generation
+/// the slot had when the event was scheduled. Slots are recycled, so a stale
+/// handle's generation no longer matches and cancel()/is_pending() reject it
+/// in O(1) — a handle can never affect a later event that reused its slot.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  bool valid() const { return id_ != 0; }
-  std::uint64_t id() const { return id_; }
+  bool valid() const { return slot_ != kInvalidSlot; }
 
  private:
   friend class EventScheduler;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  EventHandle(std::uint32_t slot, std::uint32_t generation)
+      : slot_(slot), generation_(generation) {}
+  std::uint32_t slot_ = kInvalidSlot;
+  std::uint32_t generation_ = 0;
 };
 
 class EventScheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline budget of 48 bytes covers a `this` pointer plus five 8-byte
+  /// captures; see common/inline_function.h for the fallback behaviour.
+  using Callback = InlineFunction<void(), 48>;
 
   /// Current simulation time. Monotonically non-decreasing.
   Nanos now() const { return now_; }
@@ -47,13 +66,16 @@ class EventScheduler {
     return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
   }
 
-  /// Cancels a pending event. No-op for already-fired or invalid handles.
-  /// Returns true when a pending event was actually cancelled.
+  /// Cancels a pending event, destroying its callback (and any captured
+  /// owning state) immediately. No-op for already-fired, stale or invalid
+  /// handles. Returns true when a pending event was actually cancelled.
   bool cancel(EventHandle handle);
 
   /// True while the event is still queued and not cancelled.
   bool is_pending(EventHandle handle) const {
-    return handle.valid() && pending_ids_.count(handle.id()) != 0;
+    return handle.slot_ < slots_.size() &&
+           slots_[handle.slot_].generation == handle.generation_ &&
+           slots_[handle.slot_].heap_index != kNotInHeap;
   }
 
   /// Runs events until the queue drains or `deadline` is passed; time stops
@@ -67,31 +89,43 @@ class EventScheduler {
   /// Executes exactly one event if any is pending. Returns false when empty.
   bool step();
 
-  bool empty() const { return pending_ids_.empty(); }
-  std::size_t pending() const { return pending_ids_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    Nanos when;
-    std::uint64_t seq;
-    std::uint64_t id;
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  struct Slot {
     Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t generation = 0;  // bumped every release; 0 never matches a live handle twice
+    std::uint32_t heap_index = kNotInHeap;  // position in heap_, kNotInHeap when free
+    std::uint32_t next_free = kNoFreeSlot;  // free-list link while unused
   };
 
-  bool pop_and_run();
+  // Heap nodes carry the full sort key so sifts stay inside this array.
+  struct HeapNode {
+    Nanos when;
+    std::uint64_t seq;   // monotonic: FIFO tiebreak at equal timestamps
+    std::uint32_t slot;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
+  static bool earlier(const HeapNode& a, const HeapNode& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<HeapNode> heap_;  // 4-ary min-heap
+  std::uint32_t free_head_ = kNoFreeSlot;
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 

@@ -276,5 +276,28 @@ TEST_P(RingBufferProperty, FifoUnderRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferProperty,
                          ::testing::Values(1, 2, 7, 64, 1024));
 
+// ---------- safe_rate ----------
+
+TEST(SafeRate, NormalDivision) {
+  EXPECT_DOUBLE_EQ(safe_rate(10.0, 2.0), 5.0);
+}
+
+TEST(SafeRate, ZeroOpsAndZeroTimeYieldZeroNotNan) {
+  EXPECT_EQ(safe_rate(0.0, 0.0), 0.0);
+  EXPECT_EQ(safe_rate(0.0, 1.0), 0.0);
+  EXPECT_EQ(safe_rate(100.0, 0.0), 0.0);
+  EXPECT_EQ(safe_rate(100.0, -1.0), 0.0);
+  EXPECT_TRUE(std::isfinite(safe_rate(0.0, 0.0)));
+}
+
+TEST(SafeRate, NonFiniteInputsYieldZero) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(safe_rate(inf, 1.0), 0.0);
+  EXPECT_EQ(safe_rate(1.0, inf), 0.0);
+  EXPECT_EQ(safe_rate(nan, 1.0), 0.0);
+  EXPECT_EQ(safe_rate(1.0, nan), 0.0);
+}
+
 }  // namespace
 }  // namespace ceio

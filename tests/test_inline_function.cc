@@ -1,0 +1,148 @@
+// Unit tests for InlineFunction: inline-vs-heap storage decisions, move
+// semantics, eager destruction of captured state, and drop-in compatibility
+// with the callables the simulator actually schedules.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/inline_function.h"
+
+namespace ceio {
+namespace {
+
+using Fn = InlineFunction<void(), 48>;
+
+TEST(InlineFunction, EmptyByDefault) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesSmallLambda) {
+  int x = 0;
+  Fn f = [&x]() { x = 7; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(InlineFunction, StoresInlineTraitMatchesCaptureSize) {
+  int a = 0;
+  auto small = [&a]() { ++a; };                      // 8 bytes
+  struct Big {
+    char pad[64];
+    void operator()() const {}
+  };
+  static_assert(Fn::stores_inline<decltype(small)>);
+  static_assert(!Fn::stores_inline<Big>);
+  // 48 bytes exactly still fits.
+  struct Exact {
+    char pad[48];
+    void operator()() const {}
+  };
+  static_assert(Fn::stores_inline<Exact>);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndWorks) {
+  struct Big {
+    char pad[200] = {};
+    int* out;
+    void operator()() const { *out = 31; }
+  };
+  int result = 0;
+  Big big;
+  big.out = &result;
+  Fn f = big;
+  f();
+  EXPECT_EQ(result, 31);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  int count = 0;
+  Fn a = [&count]() { ++count; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): moved-from is empty by contract
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  Fn a = [token]() {};
+  EXPECT_EQ(token.use_count(), 2);
+  a = Fn([]() {});
+  EXPECT_EQ(token.use_count(), 1);  // old capture destroyed on assignment
+}
+
+TEST(InlineFunction, ResetReleasesCapturedState) {
+  auto token = std::make_shared<int>(5);
+  Fn f = [token]() {};
+  EXPECT_EQ(token.use_count(), 2);
+  f.reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, DestructorReleasesCapturedState) {
+  auto token = std::make_shared<int>(5);
+  {
+    Fn f = [token]() {};
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, OversizedMoveTransfersHeapPointer) {
+  struct Big {
+    char pad[100] = {};
+    std::shared_ptr<int> token;
+    void operator()() const {}
+  };
+  auto token = std::make_shared<int>(3);
+  Fn a = Big{{}, token};
+  EXPECT_EQ(token.use_count(), 2);
+  Fn b = std::move(a);
+  EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+  b.reset();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(11);
+  int got = 0;
+  Fn f = [p = std::move(owned), &got]() { got = *p; };
+  f();
+  EXPECT_EQ(got, 11);
+}
+
+TEST(InlineFunction, WrapsStdFunction) {
+  // Code that passes a std::function (e.g. the self-reschedule pattern)
+  // keeps working: a std::function is 32 bytes and stored inline.
+  int calls = 0;
+  std::function<void()> tick = [&calls]() { ++calls; };
+  static_assert(Fn::stores_inline<std::function<void()>>);
+  Fn f = tick;
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunction, ReturnValueAndArguments) {
+  InlineFunction<int(int, int), 16> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  int x = 0;
+  Fn f = [&x]() { ++x; };
+  Fn* alias = &f;
+  f = std::move(*alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(x, 1);
+}
+
+}  // namespace
+}  // namespace ceio
