@@ -27,14 +27,14 @@ Row run_kv(const TestbedConfig& tc) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 512;
+    fc.packet_size = Bytes{512};
     fc.offered_rate = gbps(25.0);
     bed.add_flow(fc, kv);
   }
   bed.run_for(millis(2));
   bed.reset_measurement();
   bed.run_for(millis(4));
-  Nanos p99 = 0;
+  Nanos p99{0};
   for (const auto& r : bed.all_reports()) p99 = std::max(p99, r.p99);
   return {bed.aggregate_mpps(), bed.llc_miss_rate(), p99};
 }

@@ -26,9 +26,9 @@ TestbedConfig slow_path_config(bool cxl) {
   if (cxl) {
     // CPU-attached SRAM: no internal PCIe switch, SRAM-class access, and a
     // hardware pipeline instead of wimpy-core request handling.
-    tc.nic_mem.switch_latency = 0;
-    tc.nic_mem.access_latency = 40;
-    tc.nic_mem.per_request_overhead = 5;
+    tc.nic_mem.switch_latency = Nanos{0};
+    tc.nic_mem.access_latency = Nanos{40};
+    tc.nic_mem.per_request_overhead = Nanos{5};
   }
   return tc;
 }
@@ -40,7 +40,7 @@ double run_bw(bool cxl, Bytes message) {
   fc.id = 1;
   fc.kind = FlowKind::kCpuBypass;
   fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - 1) / fc.packet_size);
+  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
   fc.offered_rate = gbps(200.0);
   fc.closed_loop_outstanding = 32;
   bed.add_flow(fc, app);
@@ -57,7 +57,7 @@ Nanos run_lat(bool cxl, Bytes message) {
   fc.id = 1;
   fc.kind = FlowKind::kCpuBypass;
   fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - 1) / fc.packet_size);
+  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
   fc.offered_rate = gbps(200.0);
   fc.closed_loop_outstanding = 1;
   bed.add_flow(fc, app);
@@ -75,7 +75,7 @@ int main() {
   for (const Bytes message : {Bytes{512}, Bytes{1024}, 2 * kKiB, 4 * kKiB}) {
     const double dram = run_bw(false, message);
     const double sram = run_bw(true, message);
-    bw.add_row({std::to_string(message) + "B", TablePrinter::fmt(dram),
+    bw.add_row({std::to_string(message.count()) + "B", TablePrinter::fmt(dram),
                 TablePrinter::fmt(sram),
                 dram > 0 ? TablePrinter::fmt(sram / dram, 2) + "x" : "-"});
   }
@@ -86,9 +86,9 @@ int main() {
   for (const Bytes message : {Bytes{64}, Bytes{1024}, Bytes{4096}}) {
     const Nanos dram = run_lat(false, message);
     const Nanos sram = run_lat(true, message);
-    lat.add_row({std::to_string(message) + "B", TablePrinter::fmt(to_micros(dram), 2),
+    lat.add_row({std::to_string(message.count()) + "B", TablePrinter::fmt(to_micros(dram), 2),
                  TablePrinter::fmt(to_micros(sram), 2),
-                 sram > 0 ? TablePrinter::fmt(static_cast<double>(dram) /
+                 sram > Nanos{0} ? TablePrinter::fmt(static_cast<double>(dram) /
                                                   static_cast<double>(sram),
                                               2) +
                                 "x"

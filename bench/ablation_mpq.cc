@@ -37,7 +37,7 @@ Row run(SteerPolicy policy, bool with_bypass) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 512;
+    fc.packet_size = Bytes{512};
     fc.offered_rate = gbps(25.0);
     bed.add_flow(fc, kv);
   }

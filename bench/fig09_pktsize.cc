@@ -13,7 +13,7 @@ namespace {
 
 constexpr SystemKind kSystems[] = {SystemKind::kLegacy, SystemKind::kHostcc,
                                    SystemKind::kShring, SystemKind::kCeio};
-constexpr Bytes kSizes[] = {128, 256, 512, 1024};
+constexpr Bytes kSizes[] = {Bytes{128}, Bytes{256}, Bytes{512}, Bytes{1024}};
 
 void run_setup(AppSetup setup) {
   const bool bulk = setup == AppSetup::kLinefs;
@@ -28,12 +28,12 @@ void run_setup(AppSetup setup) {
     auto tput = [&](const StaticResult& r) {
       return TablePrinter::fmt(bulk ? r.gbps : r.mpps) + (bulk ? " Gbps" : " Mpps");
     };
-    table.add_row({std::to_string(size), tput(row[0]), tput(row[1]), tput(row[2]),
+    table.add_row({std::to_string(size.count()), tput(row[0]), tput(row[1]), tput(row[2]),
                    tput(row[3]), TablePrinter::fmt(row[0].miss_rate * 100.0, 1),
                    TablePrinter::fmt(row[1].miss_rate * 100.0, 1),
                    TablePrinter::fmt(row[2].miss_rate * 100.0, 1),
                    TablePrinter::fmt(row[3].miss_rate * 100.0, 1)});
-    if (size == 512) {
+    if (size == Bytes{512}) {
       base_ref = row[0];
       ceio_ref = row[3];
     }

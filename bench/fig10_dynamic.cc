@@ -64,7 +64,7 @@ void print_timeseries() {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 512;
+    fc.packet_size = Bytes{512};
     fc.offered_rate = gbps(25.0);
     bed.add_flow(fc, kv);
   }

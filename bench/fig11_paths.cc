@@ -13,7 +13,7 @@ using namespace ceio::bench;
 
 namespace {
 
-constexpr Bytes kMessageSizes[] = {512,       1 * kKiB,  2 * kKiB, 4 * kKiB,
+constexpr Bytes kMessageSizes[] = {Bytes{512}, 1 * kKiB, 2 * kKiB, 4 * kKiB,
                                    8 * kKiB,  16 * kKiB, 64 * kKiB};
 
 double run_bw(SystemKind system, Bytes message, bool force_slow) {
@@ -34,7 +34,7 @@ double run_bw(SystemKind system, Bytes message, bool force_slow) {
   fc.id = 1;
   fc.kind = FlowKind::kCpuBypass;
   fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - 1) / fc.packet_size);
+  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
   fc.offered_rate = gbps(200.0);
   fc.closed_loop_outstanding = 32;  // ib_write_bw keeps a deep posting queue
   bed.add_flow(fc, app);
@@ -58,7 +58,7 @@ int main() {
     const double ratio = fast > 0 ? slow / fast : 0.0;
     if (message >= 4 * kKiB) worst_gap = std::max(worst_gap, 1.0 - ratio);
     std::string label = message >= kKiB ? std::to_string(message / kKiB) + "K"
-                                        : std::to_string(message) + "B";
+                                        : std::to_string(message.count()) + "B";
     table.add_row({label, TablePrinter::fmt(raw), TablePrinter::fmt(fast),
                    TablePrinter::fmt(slow), TablePrinter::fmt(ratio, 2)});
   }

@@ -31,7 +31,7 @@ double run_scale(int flows, Nanos slot) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 512;
+    fc.packet_size = Bytes{512};
     fc.offered_rate = gbps(200.0 / kActive);
     bed.add_flow(fc, echo);
     ids.push_back(id);
@@ -67,7 +67,7 @@ int main() {
   std::printf("=== Figure 12: aggregate throughput vs flow count (512B echo, UD) ===\n");
   std::vector<std::string> headers{"flows"};
   for (const Nanos slot : kSlots) {
-    headers.push_back("slot " + std::to_string(slot / 1000) + "us (Gbps)");
+    headers.push_back("slot " + std::to_string(slot / Nanos{1000}) + "us (Gbps)");
   }
   TablePrinter table(headers);
   for (const int flows : kFlowCounts) {

@@ -35,7 +35,7 @@ Row run_vxlan(SystemKind system) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 64;
+    fc.packet_size = Bytes{64};
     fc.offered_rate = gbps(3.0);
     bed.add_flow(fc, vxlan);
   }
@@ -57,7 +57,7 @@ Row run_jumbo(SystemKind system) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 9000;
+    fc.packet_size = Bytes{9000};
     fc.offered_rate = gbps(25.0);
     bed.add_flow(fc, echo);
   }

@@ -17,7 +17,7 @@ void BM_EventSchedulerScheduleRun(benchmark::State& state) {
   EventScheduler sched;
   std::int64_t sink = 0;
   for (auto _ : state) {
-    sched.schedule_after(10, [&sink]() { ++sink; });
+    sched.schedule_after(Nanos{10}, [&sink]() { ++sink; });
     sched.step();
   }
   benchmark::DoNotOptimize(sink);
@@ -28,7 +28,7 @@ void BM_LlcDdioWrite(benchmark::State& state) {
   LlcModel llc(LlcConfig{12 * kMiB, 12, 6, 2 * kKiB});
   BufferId id = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(llc.ddio_write(id, 512));
+    benchmark::DoNotOptimize(llc.ddio_write(id, Bytes{512}));
     id = id % 8192 + 1;
   }
 }
@@ -36,10 +36,10 @@ BENCHMARK(BM_LlcDdioWrite);
 
 void BM_LlcCpuReadHit(benchmark::State& state) {
   LlcModel llc(LlcConfig{12 * kMiB, 12, 6, 2 * kKiB});
-  for (BufferId id = 1; id <= 64; ++id) llc.ddio_write(id, 512);
+  for (BufferId id = 1; id <= 64; ++id) llc.ddio_write(id, Bytes{512});
   BufferId id = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(llc.cpu_read(id, 512));
+    benchmark::DoNotOptimize(llc.cpu_read(id, Bytes{512}));
     id = id % 64 + 1;
   }
 }
@@ -47,11 +47,11 @@ BENCHMARK(BM_LlcCpuReadHit);
 
 void BM_RmtSteer(benchmark::State& state) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{0, 65'536, SteerAction::kToHost});
+  RmtEngine rmt(sched, RmtConfig{Nanos{0}, 65'536, SteerAction::kToHost});
   for (FlowId f = 1; f <= 128; ++f) rmt.install_rule(f, SteerAction::kToHost);
   sched.run_all();
   Packet pkt;
-  pkt.size = 512;
+  pkt.size = Bytes{512};
   FlowId f = 1;
   for (auto _ : state) {
     pkt.flow = f;

@@ -61,7 +61,7 @@ struct FireAndRearm {
   void operator()() const {
     ++*fired;
     if (*fired + sched->pending() < total) {
-      sched->schedule_after(rng->uniform(1, 1000), *this);
+      sched->schedule_after(Nanos{rng->uniform(1, 1000)}, *this);
     }
   }
 };
@@ -74,7 +74,7 @@ Result bench_sched_fire(std::size_t depth, std::uint64_t total_events) {
   std::uint64_t fired = 0;
   // Seed `depth` self-perpetuating events at jittered future times.
   for (std::size_t i = 0; i < depth; ++i) {
-    sched.schedule_after(rng.uniform(1, 1000),
+    sched.schedule_after(Nanos{rng.uniform(1, 1000)},
                          FireAndRearm{&sched, &rng, &fired, total_events});
   }
   // Warm-up is implicit: pool/heap capacity grows during the seeding phase.
@@ -82,7 +82,7 @@ Result bench_sched_fire(std::size_t depth, std::uint64_t total_events) {
   while (fired < total_events) {
     if (!sched.step()) {
       // Queue drained early (tail of the run): top up one event.
-      sched.schedule_after(1, [&fired]() { ++fired; });
+      sched.schedule_after(Nanos{1}, [&fired]() { ++fired; });
     }
   }
   const double t1 = now_seconds();
@@ -104,14 +104,14 @@ Result bench_sched_cancel(std::size_t depth, std::uint64_t total_ops) {
   Rng rng(0xCA9CE1 + depth);
   std::uint64_t fired = 0;
   for (std::size_t i = 0; i < depth; ++i) {
-    sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    sched.schedule_after(Nanos{rng.uniform(1, 1000)}, [&fired]() { ++fired; });
   }
   std::uint64_t ops = 0;
   std::uint64_t peak = sched.pending();
   const double t0 = now_seconds();
   while (ops < total_ops) {
-    const auto a = sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
-    const auto b = sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    const auto a = sched.schedule_after(Nanos{rng.uniform(1, 1000)}, [&fired]() { ++fired; });
+    const auto b = sched.schedule_after(Nanos{rng.uniform(1, 1000)}, [&fired]() { ++fired; });
     sched.cancel(rng.chance(0.5) ? a : b);
     sched.step();
     ops += 4;
@@ -133,10 +133,10 @@ Result bench_llc_hit(std::uint64_t total_ops) {
   LlcModel llc(default_llc());
   Rng rng(0x117);
   const std::int64_t ws = 1024;  // buffers; capacity is 6144
-  for (std::int64_t id = 1; id <= ws; ++id) llc.cpu_read(id, 1500);
+  for (std::int64_t id = 1; id <= ws; ++id) llc.cpu_read(id, ceio::Bytes{1500});
   const double t0 = now_seconds();
   for (std::uint64_t i = 0; i < total_ops; ++i) {
-    llc.cpu_read(static_cast<BufferId>(rng.uniform(1, ws)), 1500);
+    llc.cpu_read(static_cast<BufferId>(rng.uniform(1, ws)), ceio::Bytes{1500});
   }
   const double t1 = now_seconds();
   return Result{"llc_hit_heavy", total_ops, t1 - t0, 0};
@@ -148,7 +148,7 @@ Result bench_llc_miss(std::uint64_t total_ops) {
   const double t0 = now_seconds();
   BufferId id = 1;
   for (std::uint64_t i = 0; i < total_ops; ++i) {
-    llc.cpu_read(id++, 1500);
+    llc.cpu_read(id++, ceio::Bytes{1500});
   }
   const double t1 = now_seconds();
   return Result{"llc_miss_heavy", total_ops, t1 - t0, 0};
@@ -165,10 +165,10 @@ Result bench_llc_premature(std::uint64_t total_ops) {
   const double t0 = now_seconds();
   for (std::uint64_t i = 0; i < total_ops; ++i) {
     const BufferId id = (next++ % pool) + 1;
-    llc.ddio_write(id, 1500);
+    llc.ddio_write(id, ceio::Bytes{1500});
     if ((i & 3u) == 0) {
       // CPU drains at 1/4 the DMA rate, lagging behind.
-      llc.cpu_read(static_cast<BufferId>(rng.uniform(1, pool)), 1500);
+      llc.cpu_read(static_cast<BufferId>(rng.uniform(1, pool)), ceio::Bytes{1500});
     }
   }
   const double t1 = now_seconds();

@@ -43,7 +43,7 @@ PhaseResult measure_phase(Testbed& bed, const ScenarioConfig& cfg, int involved,
   out.miss_rate = bed.llc_miss_rate();
   // "Expected" cannot exceed the ingress line rate for this packet size.
   const double line_mpps =
-      bed.link().config().rate / (static_cast<double>(cfg.packet_size) * 8.0) / 1e6;
+      bed.link().config().rate.count() / (static_cast<double>(cfg.packet_size.count()) * 8.0) / 1e6;
   out.expected_mpps = std::min(involved * reference_mpps, line_mpps);
   return out;
 }
@@ -130,7 +130,7 @@ StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
   TestbedConfig tc = testbed_config(system, cfg.seed);
   if (setup == AppSetup::kErpcRdma) {
     // RDMA transport: thinner per-packet driver path than DPDK's ethdev.
-    tc.cpu.per_packet_cost = 50;
+    tc.cpu.per_packet_cost = Nanos{50};
   }
   Testbed bed(tc);
   Application* app = nullptr;
@@ -153,7 +153,7 @@ StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
       // 1 MiB chunks, whose whole point is to flush the cache.)
       fc.packet_size = 2 * kKiB;
       fc.message_pkts = static_cast<std::uint32_t>(
-          std::max<Bytes>(64 * packet_size / fc.packet_size, 1));
+          std::max<std::int64_t>(packet_size * 64 / fc.packet_size, 1));
     }
     bed.add_flow(fc, *app);
   }
@@ -166,7 +166,7 @@ StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
   out.gbps = setup == AppSetup::kLinefs ? bed.aggregate_message_gbps()
                                         : bed.aggregate_gbps();
   out.miss_rate = bed.llc_miss_rate();
-  Nanos p99_sum = 0, p999_sum = 0;
+  Nanos p99_sum{}, p999_sum{};
   std::int64_t count = 0;
   for (const auto& r : bed.all_reports()) {
     p99_sum += r.p99;
@@ -201,7 +201,7 @@ StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
   out.mpps = bed.aggregate_mpps();
   out.gbps = bed.aggregate_gbps();
   out.miss_rate = bed.llc_miss_rate();
-  Nanos p99_sum = 0, p999_sum = 0;
+  Nanos p99_sum{}, p999_sum{};
   std::int64_t count = 0;
   for (const auto& r : bed.all_reports()) {
     p99_sum += r.p99;

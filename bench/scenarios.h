@@ -32,7 +32,7 @@ struct ScenarioConfig {
   Nanos phase_length = millis(6);
   Nanos phase_warmup = millis(2);  // settle before measuring each phase
   int phases = 4;
-  Bytes packet_size = 512;
+  Bytes packet_size{512};
   double offered_gbps_per_flow = 25.0;
   int initial_involved_flows = 8;
   std::uint64_t seed = 1;
@@ -57,8 +57,8 @@ struct StaticResult {
   double mpps = 0.0;
   double gbps = 0.0;
   double miss_rate = 0.0;
-  Nanos p99 = 0;
-  Nanos p999 = 0;
+  Nanos p99{0};
+  Nanos p999{0};
   std::int64_t drops = 0;
 };
 
@@ -77,6 +77,6 @@ StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
 /// flow-averaged P99/P99.9. `closed_loop_outstanding` > 0 switches to the
 /// eRPC-style closed loop (each client keeps that many requests in flight).
 StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
-                              Bytes packet_size = 512, int closed_loop_outstanding = 0);
+                              Bytes packet_size = Bytes{512}, int closed_loop_outstanding = 0);
 
 }  // namespace ceio::bench

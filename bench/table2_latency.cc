@@ -21,11 +21,11 @@ int main() {
   StaticResult base{};
   for (const SystemKind system : kSystems) {
     const StaticResult r = run_echo_latency(system, /*flows=*/4, /*offered_gbps=*/50.0,
-                                            /*packet_size=*/512,
+                                            /*packet_size=*/Bytes{512},
                                             /*closed_loop_outstanding=*/1024);
     if (system == SystemKind::kLegacy) base = r;
     auto factor = [&](Nanos b, Nanos v) {
-      return v > 0 ? TablePrinter::fmt(static_cast<double>(b) / static_cast<double>(v), 2) +
+      return v > Nanos{0} ? TablePrinter::fmt(static_cast<double>(b) / static_cast<double>(v), 2) +
                          "x"
                    : std::string("-");
     };

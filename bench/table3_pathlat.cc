@@ -25,7 +25,7 @@ Nanos run_lat(SystemKind system, Bytes message, bool force_slow) {
   fc.id = 1;
   fc.kind = FlowKind::kCpuBypass;
   fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - 1) / fc.packet_size);
+  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
   fc.offered_rate = gbps(200.0);
   fc.closed_loop_outstanding = 1;  // ping-pong
   bed.add_flow(fc, app);
@@ -46,11 +46,11 @@ int main() {
     const Nanos fast = run_lat(SystemKind::kCeio, message, false);
     const Nanos slow = run_lat(SystemKind::kCeio, message, true);
     auto factor = [&](Nanos v) {
-      return raw > 0 ? TablePrinter::fmt(static_cast<double>(v) / static_cast<double>(raw), 2) +
+      return raw > Nanos{0} ? TablePrinter::fmt(static_cast<double>(v) / static_cast<double>(raw), 2) +
                            "x"
                      : std::string("-");
     };
-    table.add_row({std::to_string(message) + "B", TablePrinter::fmt(to_micros(raw), 2),
+    table.add_row({std::to_string(message.count()) + "B", TablePrinter::fmt(to_micros(raw), 2),
                    TablePrinter::fmt(to_micros(fast), 2),
                    TablePrinter::fmt(to_micros(slow), 2), factor(fast), factor(slow)});
   }

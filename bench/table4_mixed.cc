@@ -27,7 +27,7 @@ double run_mixed(SystemKind system, int involved, int bypass, bool optimizations
     FlowConfig fc;
     fc.id = next++;
     fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = 512;
+    fc.packet_size = Bytes{512};
     fc.offered_rate = gbps(200.0 / 8.0);
     bed.add_flow(fc, kv);
   }

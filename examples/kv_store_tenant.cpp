@@ -34,7 +34,7 @@ Result run(SystemKind system) {
     FlowConfig flow;
     flow.id = id;
     flow.kind = FlowKind::kCpuInvolved;
-    flow.packet_size = 512;
+    flow.packet_size = Bytes{512};
     flow.offered_rate = gbps(25.0);
     bed.add_flow(flow, kv);
   }
@@ -47,7 +47,7 @@ Result run(SystemKind system) {
   out.mpps = bed.aggregate_mpps();
   out.miss = bed.llc_miss_rate();
   std::int64_t drops = 0;
-  Nanos worst_p99 = 0;
+  Nanos worst_p99{0};
   for (const auto& r : bed.all_reports()) {
     drops += r.drops;
     worst_p99 = std::max(worst_p99, r.p99);

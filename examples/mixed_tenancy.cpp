@@ -31,7 +31,7 @@ FlowConfig rpc_flow(FlowId id) {
   FlowConfig fc;
   fc.id = id;
   fc.kind = FlowKind::kCpuInvolved;
-  fc.packet_size = 512;
+  fc.packet_size = Bytes{512};
   fc.offered_rate = gbps(25.0);
   return fc;
 }

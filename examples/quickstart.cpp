@@ -30,7 +30,7 @@ int main() {
   FlowConfig flow;
   flow.id = 1;
   flow.kind = FlowKind::kCpuInvolved;
-  flow.packet_size = 512;
+  flow.packet_size = Bytes{512};
   flow.offered_rate = gbps(20.0);
   bed.add_flow(flow, echo);
 

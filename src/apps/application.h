@@ -19,15 +19,15 @@ namespace ceio {
 
 /// Per-packet CPU cost description returned by an application.
 struct AppPacketCosts {
-  Nanos app_cost = 0;    // application cycles beyond framework overhead
+  Nanos app_cost{0};    // application cycles beyond framework overhead
   bool read_buffer = true;  // touch the RX buffer (cache hit/miss matters)
   BufferId copy_to = 0;  // nonzero: memcpy payload into this app buffer
 };
 
 /// Per-message CPU cost description (zeroed when no message work exists).
 struct AppMessageCosts {
-  Nanos app_cost = 0;
-  Bytes copy_bytes = 0;   // bytes memcpy'd from I/O buffers to app memory
+  Nanos app_cost{0};
+  Bytes copy_bytes{0};   // bytes memcpy'd from I/O buffers to app memory
   BufferId copy_to = 0;   // destination app buffer (0 = allocate internally)
   bool read_source = false;  // worker reads the delivered buffers (per buffer)
   bool stream_dest = false;  // destination written with non-temporal stores

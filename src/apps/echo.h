@@ -10,7 +10,7 @@
 namespace ceio {
 
 struct EchoConfig {
-  Nanos touch_cost = 20;  // read + ack construction
+  Nanos touch_cost{20};  // read + ack construction
 };
 
 class EchoApp final : public Application {

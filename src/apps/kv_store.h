@@ -20,12 +20,12 @@ namespace ceio {
 
 struct KvConfig {
   std::size_t entries = 1'000;
-  Bytes key_bytes = 16;
-  Bytes value_bytes = 64;
+  Bytes key_bytes{16};
+  Bytes value_bytes{64};
   double get_fraction = 0.5;   // 1:1 get/put
   double zipf_skew = 0.99;     // key popularity
-  Nanos lookup_cost = 120;     // hash + bucket walk
-  Nanos response_cost = 40;    // response header build (zero-copy payload)
+  Nanos lookup_cost{120};     // hash + bucket walk
+  Nanos response_cost{40};    // response header build (zero-copy payload)
   bool zero_copy = true;       // eRPC-style in-place processing
 };
 

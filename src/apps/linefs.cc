@@ -11,12 +11,12 @@ LineFs::LineFs(const LineFsConfig& config)
 AppPacketCosts LineFs::packet_costs(const Packet& pkt) {
   (void)pkt;
   // CPU-bypass: never called by well-behaved datapaths; return a no-op.
-  return AppPacketCosts{0, false, 0};
+  return AppPacketCosts{Nanos{0}, false, 0};
 }
 
 AppMessageCosts LineFs::message_costs(const Packet& last_pkt) {
   AppMessageCosts costs;
-  const Bytes chunk = static_cast<Bytes>(last_pkt.message_pkts) * last_pkt.size;
+  const Bytes chunk = last_pkt.size * last_pkt.message_pkts;
   append_chunk(last_pkt.flow, chunk);
   // Replication: the worker copies the chunk replication_factor times into
   // cold log regions. Software cost scales with bytes; the *memory* cost
@@ -29,7 +29,7 @@ AppMessageCosts LineFs::message_costs(const Packet& last_pkt) {
   costs.stream_dest = true;   // log/replica writes are non-temporal
   costs.app_cost =
       config_.log_append_cost +
-      static_cast<Nanos>(config_.copy_cost_ns_per_byte * static_cast<double>(costs.copy_bytes));
+      nanos(config_.copy_cost_ns_per_byte * static_cast<double>(costs.copy_bytes.count()));
   ++log_records_;
   return costs;
 }
@@ -50,7 +50,7 @@ Bytes LineFs::file_size(std::uint64_t file_id) const {
   for (const auto& [id, size] : files_) {
     if (id == file_id) return size;
   }
-  return 0;
+  return Bytes{0};
 }
 
 }  // namespace ceio

@@ -21,11 +21,11 @@ namespace ceio {
 struct LineFsConfig {
   Bytes chunk_bytes = 1 * kMiB;   // client write granularity
   int replication_factor = 2;     // copies written by the server worker
-  Nanos log_append_cost = 400;    // metadata + index update per chunk
+  Nanos log_append_cost{400};    // metadata + index update per chunk
   /// Software cost of replication + checksumming + log indexing per byte
   /// (~6.7 GB/s worker throughput) — the copy pipeline LineFS runs on the
   /// server per committed chunk.
-  double copy_cost_ns_per_byte = 0.15;
+  double copy_cost_ns_per_byte = 0.15;  // ns/B slope, not a Nanos (lint: allow-raw-unit-param)
 };
 
 class LineFs final : public Application {

@@ -15,7 +15,7 @@ class RawRdmaApp final : public Application {
   bool per_packet_cpu() const override { return false; }
   bool reads_delivered_data() const override { return false; }
 
-  AppPacketCosts packet_costs(const Packet&) override { return {0, false, 0}; }
+  AppPacketCosts packet_costs(const Packet&) override { return {Nanos{0}, false, 0}; }
 
   AppMessageCosts message_costs(const Packet&) override {
     ++messages_;

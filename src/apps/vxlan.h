@@ -9,8 +9,8 @@
 namespace ceio {
 
 struct VxlanConfig {
-  Nanos decap_cost = 30;    // outer header strip + inner header rewrite
-  Nanos lookup_cost = 45;   // VNI -> vport table lookup
+  Nanos decap_cost{30};    // outer header strip + inner header rewrite
+  Nanos lookup_cost{45};   // VNI -> vport table lookup
 };
 
 class VxlanApp final : public Application {

@@ -1,0 +1,46 @@
+#include "audit/model_auditor.h"
+
+#include <utility>
+
+namespace ceio {
+
+void ModelAuditor::register_invariant(std::string layer, std::string name, Check check) {
+  invariants_.push_back(Invariant{std::move(layer), std::move(name), std::move(check), 0});
+}
+
+std::size_t ModelAuditor::check_all(Nanos now) {
+  std::size_t fresh = 0;
+  ++sweeps_;
+  for (auto& inv : invariants_) {
+    if (inv.recorded >= kMaxRecordedPerInvariant) continue;
+    auto detail = inv.check(now);
+    if (!detail) continue;
+    ++inv.recorded;
+    ++fresh;
+    violations_.push_back(AuditViolation{inv.layer, inv.name, std::move(*detail), now});
+  }
+  return fresh;
+}
+
+void ModelAuditor::clear_violations() {
+  violations_.clear();
+  for (auto& inv : invariants_) inv.recorded = 0;
+}
+
+std::string ModelAuditor::summary() const {
+  if (violations_.empty()) return "ok";
+  std::string out;
+  for (const auto& v : violations_) {
+    if (!out.empty()) out += '\n';
+    out += v.layer;
+    out += '/';
+    out += v.name;
+    out += " @";
+    out += std::to_string(v.at.count());
+    out += ": ";
+    out += v.detail;
+  }
+  return out;
+}
+
+}  // namespace ceio

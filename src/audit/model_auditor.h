@@ -1,0 +1,76 @@
+// Cross-layer model invariant auditor (runtime counterpart of the unit
+// types in common/units.h).
+//
+// The simulator's layers each maintain counters that must agree with one
+// another — bytes the NIC accepted bound the bytes the DMA engine may move,
+// DDIO residency is bounded by the partition, the credit ledger must never
+// mint credits, ring head/tail counters must stay coherent. A bug in any
+// one layer shows up as a *cross*-layer disagreement long before it shows
+// up in a figure, so the auditor sweeps registered checks at simulated-time
+// boundaries and records every failure with the layer, invariant name and
+// sweep time.
+//
+// Checks are read-only observers: they must not mutate model state, so a
+// sweep cannot perturb simulation results — runs are bit-identical with and
+// without auditing enabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+/// One recorded invariant failure.
+struct AuditViolation {
+  std::string layer;   // which model layer ("pcie", "host", "ceio", ...)
+  std::string name;    // which invariant within the layer
+  std::string detail;  // human-readable description of the disagreement
+  Nanos at{0};         // simulated time of the sweep that caught it
+};
+
+class ModelAuditor {
+ public:
+  /// A check returns nullopt while the invariant holds, or a detail string
+  /// describing the violation. `now` is the sweep time, for time-keyed
+  /// checks such as clock monotonicity.
+  using Check = std::function<std::optional<std::string>(Nanos now)>;
+
+  void register_invariant(std::string layer, std::string name, Check check);
+
+  /// Runs every registered check at simulated time `now`; returns the
+  /// number of new violations recorded. A persistently broken invariant is
+  /// recorded at most kMaxRecordedPerInvariant times so the log stays
+  /// bounded over long runs.
+  std::size_t check_all(Nanos now);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  std::size_t invariant_count() const { return invariants_.size(); }
+  std::int64_t sweeps() const { return sweeps_; }
+  void clear_violations();
+
+  /// "ok" or one line per recorded violation ("layer/name @t: detail").
+  std::string summary() const;
+
+  static constexpr int kMaxRecordedPerInvariant = 8;
+
+ private:
+  struct Invariant {
+    std::string layer;
+    std::string name;
+    Check check;
+    int recorded = 0;  // violations recorded for this invariant so far
+  };
+
+  std::vector<Invariant> invariants_;
+  std::vector<AuditViolation> violations_;
+  std::int64_t sweeps_ = 0;
+};
+
+}  // namespace ceio

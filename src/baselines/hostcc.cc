@@ -40,7 +40,7 @@ void HostccDatapath::monitor_poll() {
   const double evict_rate = static_cast<double>(delta) / to_seconds(config_.poll_interval);
   const bool ddio_congested = evict_rate > config_.eviction_rate_threshold;
   if ((iio_congested || mem_congested || ddio_congested) &&
-      (last_signal_ < 0 || now - last_signal_ >= config_.signal_min_gap)) {
+      (last_signal_ < Nanos{0} || now - last_signal_ >= config_.signal_min_gap)) {
     last_signal_ = now;
     ++signals_;
     for (auto& [id, fs] : flows_) {

@@ -22,7 +22,7 @@ struct HostccConfig {
   std::size_t ring_entries = 4096;
   Nanos poll_interval = micros(5);     // congestion-signal sampling period
   double iio_threshold = 0.30;         // occupancy fraction that signals
-  Nanos dram_queue_threshold = 400;    // memory-bandwidth queueing signal
+  Nanos dram_queue_threshold{400};    // memory-bandwidth queueing signal
   /// DDIO premature-eviction rate (unread I/O buffers evicted per second)
   /// that counts as host congestion. Observable on real hardware through
   /// CHA/IIO uncore counters; inherently *reactive* — by the time the rate
@@ -58,7 +58,7 @@ class HostccDatapath : public DatapathBase {
   DramModel& dram_;
   LlcModel& llc_;
   HostccConfig config_;
-  Nanos last_signal_ = -1;
+  Nanos last_signal_{-1};
   std::int64_t last_premature_ = 0;
   std::int64_t signals_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

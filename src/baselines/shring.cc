@@ -59,7 +59,7 @@ void ShringDatapath::maybe_backpressure() {
           : 0.0;
   if (used <= config_.backpressure_threshold) return;
   const Nanos now = sched_.now();
-  if (last_signal_ >= 0 && now - last_signal_ < config_.signal_min_gap) return;
+  if (last_signal_ >= Nanos{0} && now - last_signal_ < config_.signal_min_gap) return;
   last_signal_ = now;
   ++signals_;
   for (auto& [id, fs] : flows_) {

@@ -54,7 +54,7 @@ class ShringDatapath : public DatapathBase {
  private:
   struct HeldMessage {
     std::vector<BufferId> buffers;
-    Nanos last_progress = 0;
+    Nanos last_progress{0};
   };
 
   void maybe_backpressure();
@@ -63,7 +63,7 @@ class ShringDatapath : public DatapathBase {
   void sweep_stale_messages();
 
   ShringConfig config_;
-  Nanos last_signal_ = -1;
+  Nanos last_signal_{-1};
   std::int64_t signals_ = 0;
   std::int64_t stale_reclaims_ = 0;
   // Shared-RQ buffers held by incomplete bypass messages, per flow.

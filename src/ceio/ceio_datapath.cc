@@ -80,6 +80,7 @@ CeioDatapath::SlowDebug CeioDatapath::debug_slow_state(FlowId id) const {
   out.landed = ext->landed_slow.size();
   out.sw_segments = ext->sw.segment_count();
   out.sw_pending = ext->sw.pending();
+  out.sw_segment_sum = ext->sw.segment_sum();
   out.lost_fast = ext->lost_fast;
   out.cpu_pumping = ext->cpu_pumping;
   const FlowState* fs = const_cast<CeioDatapath*>(this)->state_of(id);
@@ -592,7 +593,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
     // Inactivity reclaim (Q3): idle flows surrender their credits.
     if (credits_.active(id) && now - ext.last_packet_at > config_.inactive_timeout) {
       credits_.reclaim(id);
-      ext.bytes_seen = 0;  // PIAS aging: an idle flow regains top priority
+      ext.bytes_seen = Bytes{0};  // PIAS aging: an idle flow regains top priority
       ++rt_stats_.inactive_reclaims;
       if (!ext.slow_mode) {
         ext.slow_mode = true;
@@ -628,7 +629,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       if (slow_bk <= config_.bypass_cca_threshold / 2) ext.cca_marking = false;
     }
     if (ext.cca_marking &&
-        (ext.last_cca_at < 0 || now - ext.last_cca_at >= config_.cca_min_gap)) {
+        (ext.last_cca_at < Nanos{0} || now - ext.last_cca_at >= config_.cca_min_gap)) {
       if (fs->rt.source != nullptr) fs->rt.source->notify_host_congestion();
       ext.last_cca_at = now;
       ++rt_stats_.cca_triggers;

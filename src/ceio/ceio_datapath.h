@@ -61,10 +61,10 @@ struct CeioConfig {
   /// Added per-packet latency of the NIC-side controller logic (match-action
   /// + credit bookkeeping on the ARM cores). Pipelined, so it costs latency
   /// but not throughput — Table 3's 1.10-1.48x fast-path overhead.
-  Nanos controller_latency = 260;
+  Nanos controller_latency{260};
 
   Nanos poll_interval = micros(1);     // controller counter-poll cadence
-  Nanos doorbell_latency = 500;        // driver -> NIC credit-release MMIO
+  Nanos doorbell_latency{500};        // driver -> NIC credit-release MMIO
   int release_batch = 32;              // lazy-release granularity (involved)
   Nanos inactive_timeout = millis(5);  // no-traffic reclaim threshold
   Nanos reactivate_period = micros(500);  // RR re-activation cadence (backup)
@@ -99,7 +99,7 @@ struct CeioConfig {
   // §4.2 optimisations (Table 4 ablation switches).
   bool async_drain = true;      // overlap slow-path DMA reads (async_recv)
   bool phase_exclusive = true;  // segment ordering vs per-packet reordering
-  Nanos reorder_penalty = 200;  // per-packet cost when !phase_exclusive
+  Nanos reorder_penalty{200};  // per-packet cost when !phase_exclusive
 };
 
 struct CeioRuntimeStats {
@@ -152,6 +152,7 @@ class CeioDatapath final : public DatapathBase {
     std::size_t landed = 0;      // in host memory awaiting consumption
     std::size_t sw_segments = 0; // path segments pending in the SW ring
     std::uint64_t sw_pending = 0;
+    std::uint64_t sw_segment_sum = 0;  // per-segment counts; == sw_pending when coherent
     std::int64_t lost_fast = 0;
     bool cpu_pumping = false;
     std::size_t fast_ring = 0;      // landed fast packets awaiting consumption
@@ -176,13 +177,13 @@ class CeioDatapath final : public DatapathBase {
     std::int64_t unreleased = 0;     // consumed credits pending lazy release
     std::int64_t processed_since_release = 0;
     std::int64_t lost_fast = 0;      // fast-path packets lost after steering
-    Nanos last_packet_at = 0;
+    Nanos last_packet_at{0};
     bool slow_mode = false;          // controller's intended steering
     bool cpu_pumping = false;
     std::size_t slow_backlog_last_poll = 0;
-    Nanos last_cca_at = -1;
+    Nanos last_cca_at{-1};
     bool cca_marking = false;  // drain-to-low hysteresis state
-    Bytes bytes_seen = 0;      // cumulative bytes (MPQ priority decay)
+    Bytes bytes_seen{0};      // cumulative bytes (MPQ priority decay)
     BufferId next_landing_buffer = 0;  // rotating slow-path landing ids
     // Driver facade (manual-consume) state.
     bool manual = false;
@@ -232,7 +233,7 @@ class CeioDatapath final : public DatapathBase {
   std::size_t reactivation_cursor_ = 0;
   std::size_t poll_cursor_ = 0;
   double reactivation_tokens_ = 0.0;
-  Nanos last_token_refill_ = 0;
+  Nanos last_token_refill_{0};
   CeioRuntimeStats rt_stats_;
   // Timer callbacks capture this token by value and bail out once the
   // datapath is destroyed (the scheduler may outlive us).

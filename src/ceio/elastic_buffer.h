@@ -28,7 +28,7 @@ struct ElasticBufferStats {
   std::int64_t buffered_pkts = 0;
   std::int64_t drained_pkts = 0;
   std::int64_t dropped_pkts = 0;  // on-NIC memory exhausted
-  Bytes buffered_bytes = 0;
+  Bytes buffered_bytes{0};
 };
 
 /// Per-flow slow-path ring plus the drain engine.

@@ -45,6 +45,13 @@ class SwRing {
 
   /// Packets steered but not yet consumed.
   std::uint64_t pending() const { return pending_; }
+  /// Sum of per-segment counts; equals pending() whenever the ring is
+  /// coherent (checked by the model auditor).
+  std::uint64_t segment_sum() const {
+    std::uint64_t sum = 0;
+    for (const Segment& seg : segments_) sum += seg.count;
+    return sum;
+  }
   /// Number of path segments outstanding (1 == single-path steady state).
   std::size_t segment_count() const { return segments_.size(); }
   bool empty() const { return segments_.empty(); }

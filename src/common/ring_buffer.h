@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace ceio {
@@ -18,7 +19,14 @@ namespace ceio {
 template <typename T>
 class RingBuffer {
  public:
-  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {}
+  /// A zero-capacity ring has no valid slot for `index % capacity` to name
+  /// (and would silently drop every push), so the capacity is checked here
+  /// instead of at first use.
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer capacity must be at least 1");
+    }
+  }
 
   std::size_t capacity() const { return slots_.size(); }
   std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }

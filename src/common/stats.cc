@@ -64,44 +64,44 @@ void PercentileTracker::clear() {
 void RateMeter::record(Nanos now, Bytes bytes, std::int64_t packets) {
   bytes_ += bytes;
   packets_ += packets;
-  if (first_ < 0) first_ = now;
+  if (first_ < Nanos{0}) first_ = now;
   last_ = std::max(last_, now);
 }
 
 double RateMeter::mpps(Nanos t_begin, Nanos t_end) const {
   const Nanos span = t_end - t_begin;
-  if (span <= 0 || packets_ == 0) return 0.0;
+  if (span <= Nanos{0} || packets_ == 0) return 0.0;
   return static_cast<double>(packets_) / to_seconds(span) / 1e6;
 }
 
 double RateMeter::gbps(Nanos t_begin, Nanos t_end) const {
   const Nanos span = t_end - t_begin;
-  if (span <= 0 || bytes_ == 0) return 0.0;
+  if (span <= Nanos{0} || bytes_ == Bytes{0}) return 0.0;
   return to_gbps(rate_of(bytes_, span));
 }
 
 void RateMeter::reset() {
-  bytes_ = 0;
+  bytes_ = Bytes{};
   packets_ = 0;
-  first_ = -1;
-  last_ = -1;
+  first_ = Nanos{-1};
+  last_ = Nanos{-1};
 }
 
 LatencyHistogram::LatencyHistogram()
     : buckets_(static_cast<std::size_t>(kLog2Max) * kSubBuckets, 0) {}
 
 std::size_t LatencyHistogram::bucket_index(Nanos v) const {
-  if (v < 1) v = 1;
+  if (v < Nanos{1}) v = Nanos{1};
   int log2 = 0;
-  auto u = static_cast<std::uint64_t>(v);
+  auto u = static_cast<std::uint64_t>(v.count());
   while (u >= 2) {
     u >>= 1;
     ++log2;
   }
   if (log2 >= kLog2Max) log2 = kLog2Max - 1;
   // Linear sub-bucket within [2^log2, 2^(log2+1)).
-  const Nanos base = Nanos{1} << log2;
-  const Nanos sub_width = std::max<Nanos>(base / kSubBuckets, 1);
+  const Nanos base{std::int64_t{1} << log2};
+  const Nanos sub_width = std::max(base / kSubBuckets, Nanos{1});
   auto sub = static_cast<std::size_t>((v - base) / sub_width);
   if (sub >= kSubBuckets) sub = kSubBuckets - 1;
   return static_cast<std::size_t>(log2) * kSubBuckets + sub;
@@ -109,20 +109,20 @@ std::size_t LatencyHistogram::bucket_index(Nanos v) const {
 
 Nanos LatencyHistogram::bucket_upper(std::size_t idx) const {
   const auto log2 = static_cast<int>(idx / kSubBuckets);
-  const auto sub = static_cast<Nanos>(idx % kSubBuckets);
-  const Nanos base = Nanos{1} << log2;
-  const Nanos sub_width = std::max<Nanos>(base / kSubBuckets, 1);
-  return base + (sub + 1) * sub_width - 1;
+  const auto sub = static_cast<std::int64_t>(idx % kSubBuckets);
+  const Nanos base{std::int64_t{1} << log2};
+  const Nanos sub_width = std::max(base / kSubBuckets, Nanos{1});
+  return base + sub_width * (sub + 1) - Nanos{1};
 }
 
 void LatencyHistogram::add(Nanos latency) {
   ++buckets_[bucket_index(latency)];
   ++total_;
-  sum_ += static_cast<double>(latency);
+  sum_ += static_cast<double>(latency.count());
 }
 
 Nanos LatencyHistogram::percentile(double p) const {
-  if (total_ == 0) return 0;
+  if (total_ == 0) return Nanos{};
   const auto target = static_cast<std::int64_t>(
       std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_)));
   std::int64_t seen = 0;

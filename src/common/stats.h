@@ -95,10 +95,10 @@ class RateMeter {
   void reset();
 
  private:
-  Bytes bytes_ = 0;
+  Bytes bytes_{0};
   std::int64_t packets_ = 0;
-  Nanos first_ = -1;
-  Nanos last_ = -1;
+  Nanos first_{-1};
+  Nanos last_{-1};
 };
 
 /// Fixed log-spaced latency histogram covering [1 ns, ~17 s] with

@@ -1,72 +1,263 @@
 // Strong unit types and conversions used throughout the CEIO simulator.
 //
 // The simulator's clock is integer nanoseconds (`Nanos`). Data sizes are
-// bytes (`Bytes`). Rates are expressed in bits per second and converted
-// through the helpers below. Keeping these as distinct vocabulary types (with
-// explicit conversion helpers rather than implicit arithmetic between
-// unrelated quantities) avoids the classic ns-vs-us and bits-vs-bytes bugs.
+// bytes (`Bytes`). Rates are bits per second (`BitsPerSec`). Each is a
+// distinct `Quantity<Tag, Rep>` instantiation, not an alias of its raw
+// representation, so the classic ns-vs-us / bits-vs-bytes bugs are compile
+// errors instead of silently wrong figures:
+//
+//   * construction from the raw representation is explicit (`Nanos{5}`);
+//     `Nanos t = bytes.count();` still compiles (deliberate escape hatch via
+//     an explicit count), but `Nanos t = bytes;` and `Nanos t = raw_int;` do not;
+//   * addition/subtraction/comparison only combine same-tag quantities;
+//   * the ratio of two same-tag quantities yields a scalar (`Rep`, with the
+//     representation's division semantics — integer division for `Nanos` and
+//     `Bytes`, exactly as the former `int64_t` aliases behaved);
+//   * scaling by a scalar is allowed, but an integral-rep quantity can only
+//     be scaled by an integral scalar — `t * 0.5` is a compile error, so
+//     every site that mixes float math with the integer clock has to spell
+//     out the rounding it wants via `count()` + an explicit constructor;
+//   * conversions from floating-point (`micros`, `millis`, `seconds`,
+//     `transmit_time`, `interarrival`) saturate on overflow and map NaN to
+//     zero instead of invoking undefined behaviour.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <type_traits>
 
 namespace ceio {
 
+namespace unit_detail {
+
+/// Scalars allowed to scale a quantity with representation `Rep`. Floating
+/// representations accept any arithmetic scalar (double math is exact in the
+/// sense that it matches writing the expression on raw doubles); integral
+/// representations accept only integral scalars so no site silently rounds.
+template <class S, class Rep>
+inline constexpr bool scalar_for =
+    std::is_arithmetic_v<S> &&
+    (std::is_floating_point_v<Rep> || std::is_integral_v<S>);
+
+// 2^63 as a double; the smallest double that does NOT fit in int64_t.
+inline constexpr double kTwoPow63 = 9223372036854775808.0;
+
+/// double -> int64_t with saturation instead of UB. NaN maps to 0.
+constexpr std::int64_t saturate_to_int64(double v) {
+  if (v != v) return 0;  // NaN (constexpr-safe isnan)
+  if (v >= kTwoPow63) return std::numeric_limits<std::int64_t>::max();
+  if (v < -kTwoPow63) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace unit_detail
+
+/// A tagged scalar: behaves like its representation for same-tag arithmetic
+/// but refuses to mix with other tags or convert implicitly from raw values.
+template <class Tag, class Rep>
+class Quantity {
+  static_assert(std::is_arithmetic_v<Rep>, "Quantity requires an arithmetic representation");
+
+ public:
+  using tag = Tag;
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  /// Explicit construction from a raw scalar. Integral-rep quantities only
+  /// accept integral scalars — `Nanos{some_double}` is a compile error; go
+  /// through the saturating `nanos()`/`micros()`/... helpers instead.
+  template <class T>
+    requires(unit_detail::scalar_for<T, Rep>)
+  constexpr explicit Quantity(T value) : value_(static_cast<Rep>(value)) {}
+
+  /// The raw representation — the only way out of the type system. Keep
+  /// uses local: do arithmetic on quantities, `count()` at the boundary.
+  constexpr Rep count() const { return value_; }
+
+  /// Explicit cast to any arithmetic type (`static_cast<double>(t)` at a
+  /// reporting boundary). `bool` is excluded so quantities have no
+  /// truthiness — `if (bytes)` stays a compile error.
+  template <class T>
+    requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>)
+  constexpr explicit operator T() const {
+    return static_cast<T>(value_);
+  }
+
+  static constexpr Quantity zero() { return Quantity{Rep{0}}; }
+  static constexpr Quantity min() { return Quantity{std::numeric_limits<Rep>::lowest()}; }
+  static constexpr Quantity max() { return Quantity{std::numeric_limits<Rep>::max()}; }
+
+  // ---- Same-tag arithmetic ----
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  template <class S>
+    requires(unit_detail::scalar_for<S, Rep>)
+  constexpr Quantity& operator*=(S s) {
+    value_ = static_cast<Rep>(value_ * s);
+    return *this;
+  }
+  template <class S>
+    requires(unit_detail::scalar_for<S, Rep>)
+  constexpr Quantity& operator/=(S s) {
+    value_ = static_cast<Rep>(value_ / s);
+    return *this;
+  }
+
+  constexpr Quantity operator+() const { return *this; }
+  constexpr Quantity operator-() const { return Quantity{static_cast<Rep>(-value_)}; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.value_ + b.value_)};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.value_ - b.value_)};
+  }
+
+  /// Ratio of two same-tag quantities is a scalar (representation division:
+  /// integer division for integral reps, exact for floating reps).
+  friend constexpr Rep operator/(Quantity a, Quantity b) { return a.value_ / b.value_; }
+
+  template <class R2 = Rep>
+    requires(std::is_integral_v<R2>)
+  friend constexpr Quantity operator%(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.value_ % b.value_)};
+  }
+
+  // ---- Scalar scaling ----
+  template <class S>
+    requires(unit_detail::scalar_for<S, Rep>)
+  friend constexpr Quantity operator*(Quantity a, S s) {
+    return Quantity{static_cast<Rep>(a.value_ * s)};
+  }
+  template <class S>
+    requires(unit_detail::scalar_for<S, Rep>)
+  friend constexpr Quantity operator*(S s, Quantity a) {
+    return Quantity{static_cast<Rep>(s * a.value_)};
+  }
+  template <class S>
+    requires(unit_detail::scalar_for<S, Rep>)
+  friend constexpr Quantity operator/(Quantity a, S s) {
+    return Quantity{static_cast<Rep>(a.value_ / s)};
+  }
+
+  // ---- Ordered comparisons (same tag only) ----
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.value_ >= b.value_; }
+
+ private:
+  Rep value_{};
+};
+
+/// Streams the raw count (test diagnostics, tables). Declared against
+/// iosfwd so units.h stays light; any TU that streams already has <ostream>.
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, Quantity<Tag, Rep> q) {
+  return os << q.count();
+}
+
+}  // namespace ceio
+
+// The primary std::numeric_limits template silently yields value-initialized
+// (zero!) bounds for unknown types; specialize so numeric_limits<Nanos>::max()
+// means what it says instead of being a trap.
+template <class Tag, class Rep>
+struct std::numeric_limits<ceio::Quantity<Tag, Rep>> {
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_integer = std::numeric_limits<Rep>::is_integer;
+  static constexpr bool is_signed = std::numeric_limits<Rep>::is_signed;
+  static constexpr ceio::Quantity<Tag, Rep> min() noexcept {
+    return ceio::Quantity<Tag, Rep>{std::numeric_limits<Rep>::min()};
+  }
+  static constexpr ceio::Quantity<Tag, Rep> lowest() noexcept {
+    return ceio::Quantity<Tag, Rep>{std::numeric_limits<Rep>::lowest()};
+  }
+  static constexpr ceio::Quantity<Tag, Rep> max() noexcept {
+    return ceio::Quantity<Tag, Rep>{std::numeric_limits<Rep>::max()};
+  }
+};
+
+namespace ceio {
+
+struct NanosTag {};
+struct BytesTag {};
+struct BitsPerSecTag {};
+
 /// Simulation timestamp / duration in nanoseconds.
-using Nanos = std::int64_t;
+using Nanos = Quantity<NanosTag, std::int64_t>;
 
 /// Data size in bytes.
-using Bytes = std::int64_t;
+using Bytes = Quantity<BytesTag, std::int64_t>;
 
 /// Rate in bits per second.
-using BitsPerSec = double;
+using BitsPerSec = Quantity<BitsPerSecTag, double>;
 
-inline constexpr Nanos kNanosPerMicro = 1'000;
-inline constexpr Nanos kNanosPerMilli = 1'000'000;
-inline constexpr Nanos kNanosPerSec = 1'000'000'000;
+inline constexpr Nanos kNanosPerMicro{1'000};
+inline constexpr Nanos kNanosPerMilli{1'000'000};
+inline constexpr Nanos kNanosPerSec{1'000'000'000};
 
-inline constexpr Bytes kKiB = 1'024;
-inline constexpr Bytes kMiB = 1'024 * kKiB;
-inline constexpr Bytes kGiB = 1'024 * kMiB;
+inline constexpr Bytes kKiB{1'024};
+inline constexpr Bytes kMiB{1'024 * 1'024};
+inline constexpr Bytes kGiB{std::int64_t{1'024} * 1'024 * 1'024};
+
+/// Builds a duration from a raw double nanosecond value, saturating on
+/// overflow (NaN maps to zero). The checked spelling of
+/// `static_cast<int64_t>(double_ns)`.
+constexpr Nanos nanos(double ns) { return Nanos{unit_detail::saturate_to_int64(ns)}; }
 
 /// Builds a duration from microseconds.
-constexpr Nanos micros(double us) { return static_cast<Nanos>(us * 1'000.0); }
+constexpr Nanos micros(double us) { return nanos(us * 1'000.0); }
 /// Builds a duration from milliseconds.
-constexpr Nanos millis(double ms) { return static_cast<Nanos>(ms * 1'000'000.0); }
+constexpr Nanos millis(double ms) { return nanos(ms * 1'000'000.0); }
 /// Builds a duration from seconds.
-constexpr Nanos seconds(double s) { return static_cast<Nanos>(s * 1'000'000'000.0); }
+constexpr Nanos seconds(double s) { return nanos(s * 1'000'000'000.0); }
 
 /// Converts a duration to fractional microseconds (for reporting).
-constexpr double to_micros(Nanos ns) { return static_cast<double>(ns) / 1'000.0; }
+constexpr double to_micros(Nanos ns) { return static_cast<double>(ns.count()) / 1'000.0; }
 /// Converts a duration to fractional milliseconds (for reporting).
-constexpr double to_millis(Nanos ns) { return static_cast<double>(ns) / 1'000'000.0; }
+constexpr double to_millis(Nanos ns) { return static_cast<double>(ns.count()) / 1'000'000.0; }
 /// Converts a duration to fractional seconds (for reporting).
-constexpr double to_seconds(Nanos ns) { return static_cast<double>(ns) / 1'000'000'000.0; }
+constexpr double to_seconds(Nanos ns) { return static_cast<double>(ns.count()) / 1'000'000'000.0; }
 
 /// Builds a rate from Gbit/s.
-constexpr BitsPerSec gbps(double g) { return g * 1e9; }
+constexpr BitsPerSec gbps(double g) { return BitsPerSec{g * 1e9}; }
 /// Converts a rate to Gbit/s (for reporting).
-constexpr double to_gbps(BitsPerSec r) { return r / 1e9; }
+constexpr double to_gbps(BitsPerSec r) { return r.count() / 1e9; }
 
 /// Time to serialize `size` bytes at `rate` bits/sec. Returns at least 1 ns
 /// for any positive size so that events always make forward progress.
+/// Saturates (instead of UB) when size/rate would overflow the clock; a NaN
+/// rate is treated as no bandwidth (returns 0).
 constexpr Nanos transmit_time(Bytes size, BitsPerSec rate) {
-  if (size <= 0 || rate <= 0.0) return 0;
-  const double ns = static_cast<double>(size) * 8.0 * 1e9 / rate;
-  const auto t = static_cast<Nanos>(ns);
-  return t > 0 ? t : 1;
+  if (size.count() <= 0 || !(rate.count() > 0.0)) return Nanos{0};
+  const double ns = static_cast<double>(size.count()) * 8.0 * 1e9 / rate.count();
+  const auto t = unit_detail::saturate_to_int64(ns);
+  return t > 0 ? Nanos{t} : Nanos{1};
 }
 
 /// Rate achieved moving `size` bytes in `elapsed` ns (0 if no time elapsed).
 constexpr BitsPerSec rate_of(Bytes size, Nanos elapsed) {
-  if (elapsed <= 0) return 0.0;
-  return static_cast<double>(size) * 8.0 * 1e9 / static_cast<double>(elapsed);
+  if (elapsed <= Nanos{0}) return BitsPerSec{0.0};
+  return BitsPerSec{static_cast<double>(size.count()) * 8.0 * 1e9 /
+                    static_cast<double>(elapsed.count())};
 }
 
-/// Packets/sec -> mean interarrival gap.
+/// Packets/sec -> mean interarrival gap. Saturating; NaN/non-positive input
+/// yields the 1-second fallback gap.
 constexpr Nanos interarrival(double pkts_per_sec) {
-  if (pkts_per_sec <= 0.0) return kNanosPerSec;
-  const auto gap = static_cast<Nanos>(1e9 / pkts_per_sec);
-  return gap > 0 ? gap : 1;
+  if (!(pkts_per_sec > 0.0)) return kNanosPerSec;
+  const auto gap = unit_detail::saturate_to_int64(1e9 / pkts_per_sec);
+  return gap > 0 ? Nanos{gap} : Nanos{1};
 }
 
 }  // namespace ceio

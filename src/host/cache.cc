@@ -8,7 +8,7 @@ namespace ceio {
 
 LlcModel::LlcModel(const LlcConfig& config) : config_(config) {
   const auto total_buffers =
-      static_cast<std::size_t>(std::max<Bytes>(config.total_bytes / config.buffer_bytes, 1));
+      static_cast<std::size_t>(std::max<std::int64_t>(config.total_bytes / config.buffer_bytes, 1));
   const auto ways = static_cast<std::size_t>(std::max(config.ways, 1));
   const auto num_sets = std::max<std::size_t>(total_buffers / ways, 1);
   const auto ddio_ways = static_cast<std::size_t>(std::clamp(config.ddio_ways, 0, config.ways));

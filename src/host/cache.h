@@ -53,7 +53,7 @@ class LlcModel {
   struct Evicted {
     bool happened = false;
     BufferId victim = 0;
-    Bytes victim_bytes = 0;      // dirty bytes to write back
+    Bytes victim_bytes{0};      // dirty bytes to write back
     bool dirty = false;          // needs a DRAM write-back
     bool never_read = false;     // premature eviction (evicted before use)
   };
@@ -90,7 +90,7 @@ class LlcModel {
   // Per-entry metadata; LRU is per (set, partition) via a timestamp stamp.
   struct Entry {
     BufferId id = 0;
-    Bytes bytes = 0;  // valid payload bytes (for write-back accounting)
+    Bytes bytes{0};  // valid payload bytes (for write-back accounting)
     bool expect_read = true;  // premature-eviction accounting applies
     std::uint64_t stamp = 0;  // higher = more recently used
     bool valid = false;

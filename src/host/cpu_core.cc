@@ -21,7 +21,7 @@ void CpuCore::run_next() {
 
   // Memory costs are resolved *now*, at processing start, so cache residency
   // reflects whatever DMA traffic arrived while the item queued.
-  Nanos mem = 0;
+  Nanos mem{0};
   if (work.read_buffer && work.buffer != 0) {
     mem += mc_.cpu_read(work.buffer, work.size);
   }
@@ -33,11 +33,11 @@ void CpuCore::run_next() {
     // are pipelined inside cpu_bulk_read (prefetch overlaps them).
     mem += mc_.cpu_bulk_read(work.copy_src_begin, work.copy_src_count, work.copy_block);
   }
-  if (work.stream_bytes > 0) {
+  if (work.stream_bytes > Bytes{0}) {
     mem += mc_.cpu_stream_write(work.stream_bytes);
   }
-  const auto payload_cost = static_cast<Nanos>(config_.per_byte_cost_ns *
-                                               static_cast<double>(work.size));
+  const Nanos payload_cost =
+      nanos(config_.per_byte_cost_ns * static_cast<double>(work.size.count()));
   const Nanos service = config_.per_packet_cost + payload_cost + work.app_cost + mem;
 
   ++stats_.packets;

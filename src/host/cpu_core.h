@@ -23,18 +23,18 @@ namespace ceio {
 struct CpuCoreConfig {
   // Per-packet framework overhead (descriptor handling, ring management,
   // header parse). Roughly 60 ns ~= 170 cycles at 2.8 GHz.
-  Nanos per_packet_cost = 60;
+  Nanos per_packet_cost{60};
   // Per-byte payload processing cost (checksum/parse); zero-copy frameworks
   // keep this tiny.
-  double per_byte_cost_ns = 0.01;
+  double per_byte_cost_ns = 0.01;  // ns/B slope, not a Nanos (lint: allow-raw-unit-param)
 };
 
 /// One unit of CPU work: process one received packet buffer.
 struct PacketWork {
   BufferId buffer = 0;
-  Bytes size = 0;
+  Bytes size{0};
   /// Extra application-level cost (KV lookup, DFS logging, ...).
-  Nanos app_cost = 0;
+  Nanos app_cost{0};
   /// Touch the packet buffer through the cache hierarchy (hit/miss matters).
   bool read_buffer = true;
   /// When nonzero, memcpy the payload into this application buffer
@@ -46,16 +46,16 @@ struct PacketWork {
   /// to the destination with non-temporal stores.
   BufferId copy_src_begin = 0;
   std::uint32_t copy_src_count = 0;
-  Bytes copy_block = 0;
-  Bytes stream_bytes = 0;
+  Bytes copy_block{0};
+  Bytes stream_bytes{0};
   /// Fired at the simulated completion instant.
   std::function<void(Nanos done)> on_done;
 };
 
 struct CpuCoreStats {
   std::int64_t packets = 0;
-  Nanos busy_time = 0;
-  Nanos mem_stall_time = 0;  // portion of busy time spent waiting on memory
+  Nanos busy_time{0};
+  Nanos mem_stall_time{0};  // portion of busy time spent waiting on memory
 };
 
 class CpuCore {
@@ -69,7 +69,7 @@ class CpuCore {
   std::size_t backlog() const { return queue_.size(); }
 
   double utilization(Nanos elapsed) const {
-    return elapsed > 0 ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
+    return elapsed > Nanos{0} ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
                        : 0.0;
   }
 

@@ -16,14 +16,14 @@
 namespace ceio {
 
 struct DramConfig {
-  Nanos access_latency = 95;                // closed-page CAS + queueing floor
+  Nanos access_latency{95};                // closed-page CAS + queueing floor
   BitsPerSec bandwidth = gbps(8 * 25.6 * 8);  // 8 channels of DDR4-3200
 };
 
 struct DramStats {
   std::int64_t requests = 0;
-  Bytes bytes = 0;
-  Nanos busy_time = 0;  // time the pipe spent transferring
+  Bytes bytes{0};
+  Nanos busy_time{0};  // time the pipe spent transferring
 };
 
 class DramModel {
@@ -40,10 +40,10 @@ class DramModel {
   Nanos peek_completion(Nanos now, Bytes size) const;
 
   /// Instantaneous queueing delay seen by a request issued at `now`.
-  Nanos queueing_delay(Nanos now) const { return next_free_ > now ? next_free_ - now : 0; }
+  Nanos queueing_delay(Nanos now) const { return next_free_ > now ? next_free_ - now : Nanos{0}; }
 
   double utilization(Nanos elapsed) const {
-    return elapsed > 0 ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
+    return elapsed > Nanos{0} ? static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed)
                        : 0.0;
   }
 
@@ -53,7 +53,7 @@ class DramModel {
 
  private:
   DramConfig config_;
-  Nanos next_free_ = 0;
+  Nanos next_free_{0};
   DramStats stats_;
 };
 

@@ -36,11 +36,11 @@ class IioBuffer {
   }
 
   /// Releases bytes once the memory controller finishes the drain.
-  void drain(Bytes size) { occupancy_ = occupancy_ > size ? occupancy_ - size : 0; }
+  void drain(Bytes size) { occupancy_ = occupancy_ > size ? occupancy_ - size : Bytes{0}; }
 
   Bytes occupancy() const { return occupancy_; }
   double occupancy_fraction() const {
-    return config_.capacity > 0
+    return config_.capacity > Bytes{0}
                ? static_cast<double>(occupancy_) / static_cast<double>(config_.capacity)
                : 0.0;
   }
@@ -51,8 +51,8 @@ class IioBuffer {
 
  private:
   IioConfig config_;
-  Bytes occupancy_ = 0;
-  Bytes peak_ = 0;
+  Bytes occupancy_{0};
+  Bytes peak_{0};
   std::int64_t admits_ = 0;
   std::int64_t rejects_ = 0;
 };

@@ -13,7 +13,7 @@ void MemoryController::charge_eviction(const LlcModel::Evicted& ev) {
     // The write-back consumes DRAM bandwidth but nobody waits on it. Only
     // the victim's dirty bytes travel (a 128 B packet in a 2 KiB buffer
     // writes back 128 B, not the whole buffer).
-    dram_.access(sched_.now(), ev.victim_bytes > 0 ? ev.victim_bytes
+    dram_.access(sched_.now(), ev.victim_bytes > Bytes{0} ? ev.victim_bytes
                                                    : llc_.config().buffer_bytes);
     ++stats_.writebacks;
   }
@@ -61,7 +61,7 @@ Nanos MemoryController::cpu_read(BufferId id, Bytes size) {
   // Dependent pair: descriptor line first, then the payload fetch.
   const Nanos now = sched_.now();
   Nanos done = now;
-  if (config_.miss_descriptor_bytes > 0) {
+  if (config_.miss_descriptor_bytes > Bytes{0}) {
     done = dram_.access(now, config_.miss_descriptor_bytes);
   }
   const Nanos wait = done - now;
@@ -84,8 +84,8 @@ Nanos MemoryController::cpu_copy(BufferId src, BufferId dst, Bytes size) {
 }
 
 Nanos MemoryController::cpu_bulk_read(BufferId begin, std::uint32_t count, Bytes block) {
-  Nanos total = 0;
-  Bytes missed_bytes = 0;
+  Nanos total{0};
+  Bytes missed_bytes{0};
   for (std::uint32_t i = 0; i < count; ++i) {
     LlcModel::Evicted ev;
     if (llc_.cpu_read(begin + i, block, &ev)) {
@@ -95,13 +95,13 @@ Nanos MemoryController::cpu_bulk_read(BufferId begin, std::uint32_t count, Bytes
       missed_bytes += block;
     }
   }
-  if (missed_bytes > 0) {
+  if (missed_bytes > Bytes{0}) {
     // Latency term: each missed cache line stalls ~access_latency/MLP; the
     // bandwidth term comes from one aggregate DRAM reservation. The copy
     // pays whichever is larger.
     const Nanos now = sched_.now();
-    const Bytes lines = missed_bytes / 64;
-    const Nanos latency_bound = lines * dram_.config().access_latency /
+    const std::int64_t lines = missed_bytes.count() / 64;
+    const Nanos latency_bound = dram_.config().access_latency * lines /
                                 std::max(config_.bulk_mlp, 1);
     const Nanos bw_bound = dram_.access(now, missed_bytes) - now;
     total += std::max(latency_bound, bw_bound);

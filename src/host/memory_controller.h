@@ -22,9 +22,9 @@
 namespace ceio {
 
 struct MemoryControllerConfig {
-  Nanos llc_write_latency = 15;   // DDIO write absorbed by LLC
-  Nanos llc_hit_latency = 20;     // CPU load served by LLC
-  Nanos iio_retry_delay = 100;    // PCIe backpressure retry granularity
+  Nanos llc_write_latency{15};   // DDIO write absorbed by LLC
+  Nanos llc_hit_latency{20};     // CPU load served by LLC
+  Nanos iio_retry_delay{100};    // PCIe backpressure retry granularity
   /// Memory-level parallelism of a bulk copy loop: how many cache-line
   /// misses a memcpy keeps in flight. Limits how well DRAM latency is
   /// hidden when a worker walks a cold chunk (LLC-resident chunks copy
@@ -34,7 +34,7 @@ struct MemoryControllerConfig {
   /// write updated both, so when the payload was evicted the descriptor
   /// line was too, and the CPU pays a *dependent* second DRAM access (it
   /// must read the descriptor before it can address the payload).
-  Bytes miss_descriptor_bytes = 64;
+  Bytes miss_descriptor_bytes{64};
 };
 
 struct MemoryControllerStats {

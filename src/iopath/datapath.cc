@@ -27,6 +27,12 @@ void DatapathBase::unregister_flow(FlowId id) {
   flows_.erase(it);
 }
 
+void DatapathBase::for_each_ring(const std::function<void(const RxRing&)>& fn) const {
+  for (const auto& [id, fs] : flows_) {
+    if (fs.ring) fn(*fs.ring);
+  }
+}
+
 const FlowPathStats* DatapathBase::flow_stats(FlowId id) const {
   const auto it = flows_.find(id);
   return it == flows_.end() ? nullptr : &it->second.stats;
@@ -147,7 +153,7 @@ void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos
   const AppMessageCosts costs = fs.rt.app->message_costs(last_pkt);
   const std::uint64_t message_id = last_pkt.message_id;
   FlowSource* source = fs.rt.source;
-  if (costs.app_cost == 0 && costs.copy_bytes == 0) {
+  if (costs.app_cost == Nanos{0} && costs.copy_bytes == Bytes{0}) {
     if (source != nullptr) source->notify_message_complete(message_id, now);
     on_message_work_done(fs, last_pkt, now);
     return;
@@ -156,8 +162,8 @@ void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos
   // core; completion is reported when the work retires.
   PacketWork work;
   work.buffer = last_pkt.host_buffer;
-  work.size = costs.copy_bytes > 0 ? costs.copy_bytes
-                                   : static_cast<Bytes>(last_pkt.message_pkts) * last_pkt.size;
+  work.size = costs.copy_bytes > Bytes{0} ? costs.copy_bytes
+                                          : last_pkt.size * last_pkt.message_pkts;
   work.app_cost = costs.app_cost;
   work.read_buffer = false;
   if (costs.read_source && last_pkt.host_buffer >= kBypassBufferBase) {

@@ -57,6 +57,9 @@ class IoDatapath : public PacketSink {
   virtual const char* name() const = 0;
   virtual void register_flow(const FlowRuntime& rt) = 0;
   virtual void unregister_flow(FlowId id) = 0;
+
+  /// Invokes `fn` on every live RX descriptor ring (model-auditor sweeps).
+  virtual void for_each_ring(const std::function<void(const RxRing&)>& fn) const { (void)fn; }
 };
 
 class DatapathBase : public IoDatapath {
@@ -66,6 +69,7 @@ class DatapathBase : public IoDatapath {
 
   void register_flow(const FlowRuntime& rt) override;
   void unregister_flow(FlowId id) override;
+  void for_each_ring(const std::function<void(const RxRing&)>& fn) const override;
 
   const FlowPathStats* flow_stats(FlowId id) const;
 

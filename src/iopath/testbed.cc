@@ -7,6 +7,8 @@
 #include "apps/linefs.h"
 #include "apps/raw_rdma.h"
 #include "apps/vxlan.h"
+#include "audit/invariants.h"
+#include "audit/model_auditor.h"
 #include "common/logging.h"
 
 namespace ceio {
@@ -86,6 +88,10 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
     const auto it = flows_.find(pkt.flow);
     if (it != flows_.end()) it->second.source->notify_dropped(pkt);
   });
+
+#if defined(CEIO_AUDIT) && CEIO_AUDIT
+  enable_audit();
+#endif
 }
 
 Testbed::~Testbed() = default;
@@ -166,7 +172,40 @@ std::vector<FlowId> Testbed::flow_ids() const {
   return ids;
 }
 
-void Testbed::run_for(Nanos duration) { sched_.run_until(sched_.now() + duration); }
+ModelAuditor& Testbed::enable_audit(Nanos interval) {
+  if (!auditor_) {
+    auditor_ = std::make_unique<ModelAuditor>();
+    register_standard_invariants(*auditor_, *this);
+  }
+  audit_interval_ = interval;
+  schedule_audit_sweep();
+  return *auditor_;
+}
+
+void Testbed::schedule_audit_sweep() {
+  if (audit_sweep_scheduled_ || !auditor_ || audit_interval_ <= Nanos{0}) return;
+  audit_sweep_scheduled_ = true;
+  sched_.schedule_after(audit_interval_, [this]() {
+    audit_sweep_scheduled_ = false;
+    run_audit_sweep();
+    schedule_audit_sweep();
+  });
+}
+
+void Testbed::run_audit_sweep() {
+  auditor_->check_all(sched_.now());
+  const auto& violations = auditor_->violations();
+  for (; audit_logged_ < violations.size(); ++audit_logged_) {
+    const AuditViolation& v = violations[audit_logged_];
+    CEIO_ERROR("audit: %s/%s violated at t=%lld ns: %s", v.layer.c_str(), v.name.c_str(),
+               static_cast<long long>(v.at.count()), v.detail.c_str());
+  }
+}
+
+void Testbed::run_for(Nanos duration) {
+  sched_.run_until(sched_.now() + duration);
+  if (auditor_) run_audit_sweep();
+}
 
 std::vector<Testbed::Sample> Testbed::run_sampling(Nanos duration, Nanos interval) {
   std::vector<Sample> out;
@@ -184,7 +223,10 @@ std::vector<Testbed::Sample> Testbed::run_sampling(Nanos duration, Nanos interva
   }
   return out;
 }
-void Testbed::run_until(Nanos deadline) { sched_.run_until(deadline); }
+void Testbed::run_until(Nanos deadline) {
+  sched_.run_until(deadline);
+  if (auditor_) run_audit_sweep();
+}
 Nanos Testbed::now() const { return sched_.now(); }
 
 void Testbed::reset_measurement() {
@@ -201,8 +243,8 @@ FlowReport Testbed::report(FlowId id) const {
   out.id = id;
   out.kind = it->second.kind;
   const Nanos span = sched_.now() - measure_start_;
-  out.mpps = src.delivered_meter().mpps(0, span);
-  out.gbps = src.delivered_meter().gbps(0, span);
+  out.mpps = src.delivered_meter().mpps(Nanos{0}, span);
+  out.gbps = src.delivered_meter().gbps(Nanos{0}, span);
   out.p50 = src.latency().p50();
   out.p99 = src.latency().p99();
   out.p999 = src.latency().p999();
@@ -210,8 +252,8 @@ FlowReport Testbed::report(FlowId id) const {
   out.drops = src.stats().packets_dropped;
   const auto& fc = src.config();
   const double message_bytes =
-      static_cast<double>(fc.packet_size) * static_cast<double>(fc.message_pkts);
-  if (span > 0) {
+      static_cast<double>(fc.packet_size.count()) * static_cast<double>(fc.message_pkts);
+  if (span > Nanos{0}) {
     out.message_gbps =
         static_cast<double>(out.messages) * message_bytes * 8.0 / to_seconds(span) / 1e9;
   }

@@ -28,6 +28,8 @@
 
 namespace ceio {
 
+class ModelAuditor;
+
 enum class SystemKind { kLegacy, kHostcc, kShring, kCeio };
 
 const char* to_string(SystemKind kind);
@@ -71,9 +73,9 @@ struct FlowReport {
   FlowId id = 0;
   FlowKind kind = FlowKind::kCpuInvolved;
   double mpps = 0.0;      // delivered packets
-  double gbps = 0.0;      // delivered goodput (wire bytes landed)
-  double message_gbps = 0.0;  // committed-message goodput (chunk commits)
-  Nanos p50 = 0, p99 = 0, p999 = 0;  // message latency
+  double gbps = 0.0;          // delivered goodput, display-only (lint: allow-raw-unit-param)
+  double message_gbps = 0.0;  // committed-message goodput, display-only (lint: allow-raw-unit-param)
+  Nanos p50{}, p99{}, p999{};  // message latency
   std::int64_t messages = 0;
   std::int64_t drops = 0;
 };
@@ -107,6 +109,16 @@ class Testbed {
   void run_until(Nanos deadline);
   Nanos now() const;
 
+  // ---- Invariant auditing (src/audit/) ----
+  /// Registers the standard cross-layer invariant pack against this
+  /// testbed's models and starts periodic read-only sweeps every
+  /// `interval`; new violations are logged at error level. Idempotent.
+  /// Always compiled; the constructor calls it automatically when the
+  /// tree is built with -DCEIO_AUDIT=ON (the Debug default).
+  ModelAuditor& enable_audit(Nanos interval = micros(100));
+  /// Non-null once enable_audit has run.
+  ModelAuditor* auditor() { return auditor_.get(); }
+
   // ---- Measurement ----
   /// Clears per-flow meters and host-level stats; reports cover the window
   /// from this call to `now()`.
@@ -122,9 +134,9 @@ class Testbed {
 
   /// One point of a sampled time series (the paper's figures plot these).
   struct Sample {
-    Nanos t = 0;
+    Nanos t{0};
     double involved_mpps = 0.0;
-    double bypass_gbps = 0.0;
+    double bypass_gbps = 0.0;  // display metric (lint: allow-raw-unit-param)
     double miss_rate = 0.0;
   };
   /// Runs for `duration`, sampling aggregate throughput and the miss rate
@@ -182,7 +194,14 @@ class Testbed {
   // Removed flows are parked, not destroyed: scheduled events (CPU work
   // completions, feedback timers) may still reference their core/source.
   std::vector<FlowRecord> retired_flows_;
-  Nanos measure_start_ = 0;
+  Nanos measure_start_{0};
+
+  void run_audit_sweep();
+  void schedule_audit_sweep();
+  std::unique_ptr<ModelAuditor> auditor_;
+  Nanos audit_interval_{0};
+  bool audit_sweep_scheduled_ = false;
+  std::size_t audit_logged_ = 0;
 };
 
 }  // namespace ceio

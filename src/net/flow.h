@@ -14,7 +14,7 @@ struct FlowConfig {
   FlowKind kind = FlowKind::kCpuInvolved;
 
   /// Wire size of each packet (headers included).
-  Bytes packet_size = 512;
+  Bytes packet_size{512};
   /// Packets per application message (1 for RPC requests; large for DFS
   /// chunk writes — e.g. a 1 MiB chunk in 2 KiB packets = 512).
   std::uint32_t message_pkts = 1;
@@ -30,11 +30,11 @@ struct FlowConfig {
   /// On/off bursting (open-loop only): emit for `burst_on`, stay silent for
   /// `burst_off`, repeat. Zero disables. Used for the paper's network-burst
   /// style traffic without adding/removing flows.
-  Nanos burst_on = 0;
-  Nanos burst_off = 0;
+  Nanos burst_on{0};
+  Nanos burst_off{0};
 
-  Nanos start_time = 0;
-  Nanos stop_time = std::numeric_limits<Nanos>::max();
+  Nanos start_time{0};
+  Nanos stop_time = Nanos::max();
 };
 
 }  // namespace ceio

@@ -59,10 +59,10 @@ void FlowSource::schedule_emit() {
   if (sched_.is_pending(pending_emit_)) return;
   Nanos gap = transmit_time(config_.packet_size, current_rate());
   if (config_.poisson && config_.closed_loop_outstanding == 0) {
-    gap = std::max<Nanos>(static_cast<Nanos>(rng_.exponential(static_cast<double>(gap))), 1);
+    gap = std::max(nanos(rng_.exponential(static_cast<double>(gap.count()))), Nanos{1});
   }
   Nanos at = std::max(sched_.now(), last_emit_ + gap);
-  if (config_.burst_on > 0 && config_.burst_off > 0 &&
+  if (config_.burst_on > Nanos{0} && config_.burst_off > Nanos{0} &&
       config_.closed_loop_outstanding == 0) {
     // On/off bursting: emissions falling into the off-phase slide to the
     // start of the next on-phase.

@@ -30,9 +30,9 @@ namespace ceio {
 
 struct FlowSourceStats {
   std::int64_t packets_sent = 0;
-  Bytes bytes_sent = 0;
+  Bytes bytes_sent{0};
   std::int64_t packets_delivered = 0;
-  Bytes bytes_delivered = 0;
+  Bytes bytes_delivered{0};
   std::int64_t messages_completed = 0;
   std::int64_t packets_dropped = 0;
 };

@@ -7,9 +7,9 @@ namespace ceio {
 Bytes NetworkLink::queue_depth(Nanos now) const {
   // Backlog implied by the serializer's reservation horizon: bytes that have
   // been admitted but not yet put on the wire.
-  if (egress_free_ <= now) return 0;
-  const double backlog_ns = static_cast<double>(egress_free_ - now);
-  return static_cast<Bytes>(backlog_ns * config_.rate / 8.0 / 1e9);
+  if (egress_free_ <= now) return Bytes{0};
+  const double backlog_ns = static_cast<double>((egress_free_ - now).count());
+  return Bytes{static_cast<std::int64_t>(backlog_ns * config_.rate.count() / 8.0 / 1e9)};
 }
 
 void NetworkLink::send(Packet pkt) {

@@ -21,15 +21,15 @@ struct NetworkLinkConfig {
   BitsPerSec rate = gbps(200.0);
   Bytes queue_capacity = 512 * kKiB;
   Bytes ecn_threshold = 96 * kKiB;   // ~65 KB K for 100G in DCTCP, scaled
-  Nanos propagation = 1'500;         // one-way ToR traversal
+  Nanos propagation{1'500};         // one-way ToR traversal
 };
 
 struct NetworkLinkStats {
   std::int64_t packets = 0;
   std::int64_t drops = 0;
   std::int64_t ecn_marks = 0;
-  Bytes bytes = 0;
-  Bytes peak_queue = 0;
+  Bytes bytes{0};
+  Bytes peak_queue{0};
 };
 
 class NetworkLink {
@@ -55,7 +55,7 @@ class NetworkLink {
   EventScheduler& sched_;
   Nic& nic_;
   NetworkLinkConfig config_;
-  Nanos egress_free_ = 0;  // when the serializer finishes the current backlog
+  Nanos egress_free_{0};  // when the serializer finishes the current backlog
   NetworkLinkStats stats_;
   DropHandler on_drop_;
 };

@@ -25,12 +25,12 @@ class PacketSink {
 struct NicConfig {
   // BlueField-3 processes small packets at line rate; the pipeline cost only
   // matters as a serialization floor.
-  Nanos per_packet_cost = 4;
+  Nanos per_packet_cost{4};
 };
 
 struct NicRxStats {
   std::int64_t packets = 0;
-  Bytes bytes = 0;
+  Bytes bytes{0};
 };
 
 class Nic {
@@ -58,7 +58,7 @@ class Nic {
   EventScheduler& sched_;
   NicConfig config_;
   PacketSink* sink_ = nullptr;
-  Nanos pipeline_free_ = 0;
+  Nanos pipeline_free_{0};
   NicRxStats stats_;
 };
 

@@ -14,7 +14,7 @@ bool NicMemory::allocate(Bytes size) {
   return true;
 }
 
-void NicMemory::free(Bytes size) { occupancy_ = occupancy_ > size ? occupancy_ - size : 0; }
+void NicMemory::free(Bytes size) { occupancy_ = occupancy_ > size ? occupancy_ - size : Bytes{0}; }
 
 Nanos NicMemory::reserve_pipe(Nanos now, Bytes size) {
   const Nanos start = std::max(now, pipe_free_);

@@ -17,21 +17,21 @@ namespace ceio {
 struct NicMemoryConfig {
   Bytes capacity = 16 * kGiB;        // BlueField-3 onboard DRAM
   BitsPerSec bandwidth = gbps(480);  // effective onboard DDR5 bandwidth
-  Nanos access_latency = 150;        // onboard DRAM access
-  Nanos switch_latency = 300;        // internal PCIe switch traversal
+  Nanos access_latency{150};        // onboard DRAM access
+  Nanos switch_latency{300};        // internal PCIe switch traversal
   /// Fixed per-request pipe occupancy (descriptor handling on the wimpy
   /// NIC-side path). Dominates for small packets — this is what makes the
   /// slow path latency/request-rate-bound below ~4 KiB (paper §6.3/6.4).
-  Nanos per_request_overhead = 25;
+  Nanos per_request_overhead{25};
 };
 
 struct NicMemoryStats {
   std::int64_t writes = 0;
   std::int64_t reads = 0;
-  Bytes bytes_written = 0;
-  Bytes bytes_read = 0;
+  Bytes bytes_written{0};
+  Bytes bytes_read{0};
   std::int64_t alloc_failures = 0;
-  Bytes peak_occupancy = 0;
+  Bytes peak_occupancy{0};
 };
 
 class NicMemory {
@@ -55,7 +55,7 @@ class NicMemory {
 
   Bytes occupancy() const { return occupancy_; }
   double occupancy_fraction() const {
-    return config_.capacity > 0
+    return config_.capacity > Bytes{0}
                ? static_cast<double>(occupancy_) / static_cast<double>(config_.capacity)
                : 0.0;
   }
@@ -66,8 +66,8 @@ class NicMemory {
   Nanos reserve_pipe(Nanos now, Bytes size);
 
   NicMemoryConfig config_;
-  Bytes occupancy_ = 0;
-  Nanos pipe_free_ = 0;
+  Bytes occupancy_{0};
+  Nanos pipe_free_{0};
   NicMemoryStats stats_;
 };
 

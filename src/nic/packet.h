@@ -25,9 +25,9 @@ inline const char* to_string(FlowKind kind) {
 struct Packet {
   FlowId flow = 0;
   std::uint64_t seq = 0;       // per-flow sequence number, assigned at sender
-  Bytes size = 0;              // wire payload bytes (headers included)
-  Nanos created = 0;           // send timestamp (latency measurement origin)
-  Nanos nic_arrival = 0;       // set when the packet reaches the RX pipeline
+  Bytes size{0};              // wire payload bytes (headers included)
+  Nanos created{0};           // send timestamp (latency measurement origin)
+  Nanos nic_arrival{0};       // set when the packet reaches the RX pipeline
   bool ecn = false;            // ECN CE mark from the network bottleneck
   std::uint64_t message_id = 0;   // message this packet belongs to
   std::uint32_t message_pkts = 1; // packets in the message

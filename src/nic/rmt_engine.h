@@ -26,11 +26,11 @@ enum class SteerAction {
 
 struct RuleCounters {
   std::int64_t hits = 0;
-  Bytes bytes = 0;
+  Bytes bytes{0};
 };
 
 struct RmtConfig {
-  Nanos rule_update_latency = 1'000;  // reprogramming one match-action entry
+  Nanos rule_update_latency{1'000};  // reprogramming one match-action entry
   std::size_t table_capacity = 65'536;
   SteerAction default_action = SteerAction::kToHost;
 };

@@ -15,7 +15,12 @@ void DmaEngine::write_to_host(BufferId buffer, Bytes size, bool ddio, Completion
   const Nanos at_host = link_.upstream(sched_.now(), size);
   sched_.schedule_at(at_host,
                      [this, buffer, size, ddio, expect_read, done = std::move(done)]() mutable {
-                       mc_.dma_write(buffer, size, ddio, std::move(done), expect_read);
+                       mc_.dma_write(buffer, size, ddio,
+                                     [this, done = std::move(done)](Nanos t) {
+                                       ++stats_.writes_completed;
+                                       if (done) done(t);
+                                     },
+                                     expect_read);
                      });
 }
 
@@ -36,7 +41,7 @@ void DmaEngine::start_read(ReadRequest req) {
   ++stats_.reads;
   stats_.read_bytes += req.size;
   // 1. Post the read request: doorbell + a small request TLP downstream.
-  const Nanos at_nic = link_.downstream(sched_.now() + config_.doorbell_latency, 0);
+  const Nanos at_nic = link_.downstream(sched_.now() + config_.doorbell_latency, Bytes{0});
   sched_.schedule_at(at_nic, [this, req = std::move(req)]() mutable {
     // 2. NIC fetches the data from its local source.
     const Nanos ready = req.fetch ? req.fetch(sched_.now()) : sched_.now();
@@ -56,6 +61,7 @@ void DmaEngine::start_read(ReadRequest req) {
 }
 
 void DmaEngine::finish_read() {
+  ++stats_.reads_completed;
   --outstanding_reads_;
   if (!read_queue_.empty() && outstanding_reads_ < config_.max_outstanding_reads) {
     ReadRequest next = std::move(read_queue_.front());

@@ -25,14 +25,18 @@ namespace ceio {
 
 struct DmaEngineConfig {
   int max_outstanding_reads = 64;  // read requests in flight at once
-  Nanos doorbell_latency = 100;    // MMIO doorbell for posting a request
+  Nanos doorbell_latency{100};    // MMIO doorbell for posting a request
 };
 
 struct DmaEngineStats {
-  std::int64_t writes = 0;
-  std::int64_t reads = 0;
-  Bytes write_bytes = 0;
-  Bytes read_bytes = 0;
+  std::int64_t writes = 0;  // write requests issued
+  std::int64_t reads = 0;   // read requests issued (not counting queued)
+  // Completion ledger: issued == completed + in-flight at every instant —
+  // the invariant the model auditor checks (audit/invariants.h).
+  std::int64_t writes_completed = 0;
+  std::int64_t reads_completed = 0;
+  Bytes write_bytes{0};
+  Bytes read_bytes{0};
   std::int64_t read_queue_peak = 0;
 };
 

@@ -13,15 +13,15 @@ namespace ceio {
 struct PcieLinkConfig {
   // PCIe 5.0 x16: 32 GT/s * 16 lanes * 128b/130b ~= 63 GB/s per direction.
   BitsPerSec bandwidth = gbps(504.0);
-  Nanos propagation = 250;  // one-way TLP traversal latency
+  Nanos propagation{250};  // one-way TLP traversal latency
   TlpConfig tlp;
 };
 
 struct PcieLinkStats {
   std::int64_t upstream_transfers = 0;
   std::int64_t downstream_transfers = 0;
-  Bytes upstream_wire_bytes = 0;
-  Bytes downstream_wire_bytes = 0;
+  Bytes upstream_wire_bytes{0};
+  Bytes downstream_wire_bytes{0};
 };
 
 class PcieLink {
@@ -46,8 +46,8 @@ class PcieLink {
                 std::int64_t& transfer_counter);
 
   PcieLinkConfig config_;
-  Nanos up_free_ = 0;
-  Nanos down_free_ = 0;
+  Nanos up_free_{0};
+  Nanos down_free_{0};
   PcieLinkStats stats_;
 };
 

@@ -13,28 +13,28 @@
 namespace ceio {
 
 struct TlpConfig {
-  Bytes max_payload = 256;     // typical negotiated MPS
-  Bytes header_bytes = 16;     // TLP header (4 DW) incl. address
-  Bytes framing_bytes = 8;     // start/end framing + LCRC
-  Bytes dllp_bytes = 6;        // amortized ACK/flow-control DLLPs per TLP
+  Bytes max_payload{256};     // typical negotiated MPS
+  Bytes header_bytes{16};     // TLP header (4 DW) incl. address
+  Bytes framing_bytes{8};     // start/end framing + LCRC
+  Bytes dllp_bytes{6};        // amortized ACK/flow-control DLLPs per TLP
 };
 
 /// Number of TLPs needed for a payload of `size` bytes.
 constexpr int tlp_count(const TlpConfig& cfg, Bytes size) {
-  if (size <= 0) return 1;  // zero-length read request still costs one TLP
-  return static_cast<int>((size + cfg.max_payload - 1) / cfg.max_payload);
+  if (size <= Bytes{0}) return 1;  // zero-length read request still costs one TLP
+  return static_cast<int>((size + cfg.max_payload - Bytes{1}) / cfg.max_payload);
 }
 
 /// Total wire bytes (payload + per-TLP overhead) for a transfer.
 constexpr Bytes wire_bytes(const TlpConfig& cfg, Bytes size) {
   const Bytes per_tlp = cfg.header_bytes + cfg.framing_bytes + cfg.dllp_bytes;
-  return size + static_cast<Bytes>(tlp_count(cfg, size)) * per_tlp;
+  return size + per_tlp * tlp_count(cfg, size);
 }
 
 /// Wire efficiency of a transfer (payload / wire bytes).
 constexpr double wire_efficiency(const TlpConfig& cfg, Bytes size) {
   const Bytes wire = wire_bytes(cfg, size);
-  return wire > 0 ? static_cast<double>(size) / static_cast<double>(wire) : 0.0;
+  return wire > Bytes{0} ? static_cast<double>(size) / static_cast<double>(wire) : 0.0;
 }
 
 }  // namespace ceio

@@ -63,7 +63,7 @@ class EventScheduler {
 
   /// Schedules `cb` to run `delay` ns from now.
   EventHandle schedule_after(Nanos delay, Callback cb) {
-    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+    return schedule_at(now_ + (delay > Nanos{0} ? delay : Nanos{0}), std::move(cb));
   }
 
   /// Cancels a pending event, destroying its callback (and any captured
@@ -124,7 +124,7 @@ class EventScheduler {
   std::vector<Slot> slots_;
   std::vector<HeapNode> heap_;  // 4-ary min-heap
   std::uint32_t free_head_ = kNoFreeSlot;
-  Nanos now_ = 0;
+  Nanos now_{0};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
 };

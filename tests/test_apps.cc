@@ -24,7 +24,7 @@ Packet make_packet(FlowId flow, Bytes size, std::uint32_t message_pkts = 1) {
 
 TEST(KvStore, FunctionalPutGet) {
   Rng rng(1);
-  KvStore kv(rng, KvConfig{10, 16, 64, 0.5, 0.99, 120, 40, true});
+  KvStore kv(rng, KvConfig{10, Bytes{16}, Bytes{64}, 0.5, 0.99, Nanos{120}, Nanos{40}, true});
   EXPECT_EQ(kv.size(), 10u);
   kv.put("alpha", "one");
   const std::string* v = kv.get("alpha");
@@ -36,11 +36,11 @@ TEST(KvStore, FunctionalPutGet) {
 TEST(KvStore, CostModelChargesLookupAndResponse) {
   Rng rng(2);
   KvConfig cfg;
-  cfg.lookup_cost = 100;
-  cfg.response_cost = 50;
+  cfg.lookup_cost = Nanos{100};
+  cfg.response_cost = Nanos{50};
   KvStore kv(rng, cfg);
-  const auto costs = kv.packet_costs(make_packet(1, 144));
-  EXPECT_EQ(costs.app_cost, 150);
+  const auto costs = kv.packet_costs(make_packet(1, Bytes{144}));
+  EXPECT_EQ(costs.app_cost, Nanos{150});
   EXPECT_TRUE(costs.read_buffer);
   EXPECT_EQ(costs.copy_to, 0u);  // zero-copy
 }
@@ -50,8 +50,8 @@ TEST(KvStore, NonZeroCopyVariantCopiesOut) {
   KvConfig cfg;
   cfg.zero_copy = false;
   KvStore kv(rng, cfg);
-  const auto a = kv.packet_costs(make_packet(1, 144));
-  const auto b = kv.packet_costs(make_packet(1, 144));
+  const auto a = kv.packet_costs(make_packet(1, Bytes{144}));
+  const auto b = kv.packet_costs(make_packet(1, Bytes{144}));
   EXPECT_NE(a.copy_to, 0u);
   EXPECT_NE(a.copy_to, b.copy_to);  // distinct app buffers
 }
@@ -61,7 +61,7 @@ TEST(KvStore, GetPutMixApproximatesConfiguredFraction) {
   KvConfig cfg;
   cfg.get_fraction = 0.5;
   KvStore kv(rng, cfg);
-  for (int i = 0; i < 10'000; ++i) kv.packet_costs(make_packet(1, 144));
+  for (int i = 0; i < 10'000; ++i) kv.packet_costs(make_packet(1, Bytes{144}));
   const double frac =
       static_cast<double>(kv.gets()) / static_cast<double>(kv.gets() + kv.puts());
   EXPECT_NEAR(frac, 0.5, 0.03);
@@ -70,9 +70,9 @@ TEST(KvStore, GetPutMixApproximatesConfiguredFraction) {
 TEST(KvStore, NoMessageWork) {
   Rng rng(5);
   KvStore kv(rng);
-  const auto costs = kv.message_costs(make_packet(1, 144));
-  EXPECT_EQ(costs.app_cost, 0);
-  EXPECT_EQ(costs.copy_bytes, 0);
+  const auto costs = kv.message_costs(make_packet(1, Bytes{144}));
+  EXPECT_EQ(costs.app_cost, Nanos{0});
+  EXPECT_EQ(costs.copy_bytes, Bytes{0});
 }
 
 TEST(KvStore, IsCpuInvolved) {
@@ -86,25 +86,25 @@ TEST(KvStore, IsCpuInvolved) {
 
 TEST(LineFs, ChunkCommitTracksFiles) {
   LineFs fs;
-  EXPECT_EQ(fs.append_chunk(7, 1024), 1024);
-  EXPECT_EQ(fs.append_chunk(7, 1024), 2048);
-  EXPECT_EQ(fs.append_chunk(8, 512), 512);
-  EXPECT_EQ(fs.file_size(7), 2048);
-  EXPECT_EQ(fs.file_size(9), 0);
+  EXPECT_EQ(fs.append_chunk(7, Bytes{1024}), Bytes{1024});
+  EXPECT_EQ(fs.append_chunk(7, Bytes{1024}), Bytes{2048});
+  EXPECT_EQ(fs.append_chunk(8, Bytes{512}), Bytes{512});
+  EXPECT_EQ(fs.file_size(7), Bytes{2048});
+  EXPECT_EQ(fs.file_size(9), Bytes{0});
   EXPECT_EQ(fs.chunks_committed(), 3);
 }
 
 TEST(LineFs, MessageCostsScaleWithChunkAndReplication) {
   LineFsConfig cfg;
   cfg.replication_factor = 2;
-  cfg.log_append_cost = 400;
+  cfg.log_append_cost = Nanos{400};
   cfg.copy_cost_ns_per_byte = 0.1;
   LineFs fs(cfg);
   const auto costs = fs.message_costs(make_packet(1, 2 * kKiB, 512));  // 1 MiB chunk
   EXPECT_EQ(costs.copy_bytes, 2 * kMiB);
   EXPECT_TRUE(costs.read_source);
   EXPECT_TRUE(costs.stream_dest);
-  EXPECT_EQ(costs.app_cost, 400 + static_cast<Nanos>(0.1 * 2.0 * 1024 * 1024));
+  EXPECT_EQ(costs.app_cost, Nanos{400} + nanos(0.1 * 2.0 * 1024 * 1024));
   EXPECT_EQ(fs.log_records(), 1);
 }
 
@@ -125,11 +125,11 @@ TEST(LineFs, IsCpuBypass) {
 // ---------- Echo / RawRdma ----------
 
 TEST(EchoApp, CountsAndCosts) {
-  EchoApp echo(EchoConfig{25});
-  const auto costs = echo.packet_costs(make_packet(1, 512));
-  EXPECT_EQ(costs.app_cost, 25);
+  EchoApp echo(EchoConfig{Nanos{25}});
+  const auto costs = echo.packet_costs(make_packet(1, Bytes{512}));
+  EXPECT_EQ(costs.app_cost, Nanos{25});
   EXPECT_TRUE(costs.read_buffer);
-  echo.packet_costs(make_packet(1, 512));
+  echo.packet_costs(make_packet(1, Bytes{512}));
   EXPECT_EQ(echo.echoed(), 2);
   EXPECT_TRUE(echo.per_packet_cpu());
 }
@@ -138,25 +138,25 @@ TEST(RawRdma, PureSink) {
   RawRdmaApp rdma;
   EXPECT_FALSE(rdma.per_packet_cpu());
   EXPECT_FALSE(rdma.reads_delivered_data());
-  const auto pc = rdma.packet_costs(make_packet(1, 512));
-  EXPECT_EQ(pc.app_cost, 0);
+  const auto pc = rdma.packet_costs(make_packet(1, Bytes{512}));
+  EXPECT_EQ(pc.app_cost, Nanos{0});
   EXPECT_FALSE(pc.read_buffer);
-  const auto mc = rdma.message_costs(make_packet(1, 512));
-  EXPECT_EQ(mc.app_cost, 0);
+  const auto mc = rdma.message_costs(make_packet(1, Bytes{512}));
+  EXPECT_EQ(mc.app_cost, Nanos{0});
   EXPECT_EQ(rdma.messages(), 1);
 }
 
 TEST(VxlanApp, DecapCostsAndCounting) {
-  VxlanApp nf(VxlanConfig{30, 45});
-  const auto costs = nf.packet_costs(make_packet(1, 64));
-  EXPECT_EQ(costs.app_cost, 75);
+  VxlanApp nf(VxlanConfig{Nanos{30}, Nanos{45}});
+  const auto costs = nf.packet_costs(make_packet(1, Bytes{64}));
+  EXPECT_EQ(costs.app_cost, Nanos{75});
   EXPECT_TRUE(costs.read_buffer);
   EXPECT_EQ(costs.copy_to, 0u);  // headers rewritten in place
-  nf.packet_costs(make_packet(1, 64));
+  nf.packet_costs(make_packet(1, Bytes{64}));
   EXPECT_EQ(nf.decapsulated(), 2);
   EXPECT_TRUE(nf.per_packet_cpu());
-  const auto mc = nf.message_costs(make_packet(1, 64));
-  EXPECT_EQ(mc.app_cost, 0);
+  const auto mc = nf.message_costs(make_packet(1, Bytes{64}));
+  EXPECT_EQ(mc.app_cost, Nanos{0});
 }
 
 }  // namespace

@@ -11,7 +11,7 @@
 namespace ceio {
 namespace {
 
-FlowConfig involved(FlowId id, double rate_gbps = 25.0, Bytes pkt = 512) {
+FlowConfig involved(FlowId id, double rate_gbps = 25.0, Bytes pkt = Bytes{512}) {
   FlowConfig fc;
   fc.id = id;
   fc.kind = FlowKind::kCpuInvolved;
@@ -232,9 +232,9 @@ TEST(CeioRuntime, ControllerLatencyAddsFastPathDelay) {
     bed.run_for(millis(2));
     return bed.report(1).p50;
   };
-  const Nanos base = p50(0);
-  const Nanos delayed = p50(1'000);
-  EXPECT_GT(delayed, base + 800);
+  const Nanos base = p50(Nanos{0});
+  const Nanos delayed = p50(Nanos{1'000});
+  EXPECT_GT(delayed, base + Nanos{800});
 }
 
 TEST(CeioRuntime, StatsExposeControllerActivity) {

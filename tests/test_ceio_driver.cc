@@ -13,7 +13,7 @@ FlowConfig flow(FlowId id, double rate_gbps = 5.0) {
   FlowConfig fc;
   fc.id = id;
   fc.kind = FlowKind::kCpuInvolved;
-  fc.packet_size = 512;
+  fc.packet_size = Bytes{512};
   fc.offered_rate = gbps(rate_gbps);
   return fc;
 }

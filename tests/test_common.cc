@@ -17,35 +17,35 @@ namespace {
 // ---------- units ----------
 
 TEST(Units, DurationBuilders) {
-  EXPECT_EQ(micros(1.0), 1'000);
-  EXPECT_EQ(millis(1.0), 1'000'000);
-  EXPECT_EQ(seconds(1.0), 1'000'000'000);
-  EXPECT_DOUBLE_EQ(to_micros(1'500), 1.5);
+  EXPECT_EQ(micros(1.0), Nanos{1'000});
+  EXPECT_EQ(millis(1.0), Nanos{1'000'000});
+  EXPECT_EQ(seconds(1.0), Nanos{1'000'000'000});
+  EXPECT_DOUBLE_EQ(to_micros(Nanos{1'500}), 1.5);
   EXPECT_DOUBLE_EQ(to_seconds(kNanosPerSec), 1.0);
 }
 
 TEST(Units, TransmitTimeBasics) {
   // 1500 B at 1 Gbps = 12 us.
-  EXPECT_EQ(transmit_time(1500, gbps(1.0)), 12'000);
+  EXPECT_EQ(transmit_time(Bytes{1500}, gbps(1.0)), Nanos{12'000});
   // 200 Gbps, 1024 B: the paper's 41.8 ns per-packet budget (§1, rounded).
-  EXPECT_NEAR(static_cast<double>(transmit_time(1024, gbps(200.0))), 41.0, 1.0);
-  EXPECT_EQ(transmit_time(0, gbps(1.0)), 0);
-  EXPECT_EQ(transmit_time(100, 0.0), 0);
+  EXPECT_NEAR(static_cast<double>(transmit_time(Bytes{1024}, gbps(200.0))), 41.0, 1.0);
+  EXPECT_EQ(transmit_time(Bytes{0}, gbps(1.0)), Nanos{0});
+  EXPECT_EQ(transmit_time(Bytes{100}, BitsPerSec{0.0}), Nanos{0});
   // Tiny transfers still take at least 1 ns (forward progress).
-  EXPECT_GE(transmit_time(1, gbps(1000.0)), 1);
+  EXPECT_GE(transmit_time(Bytes{1}, gbps(1000.0)), Nanos{1});
 }
 
 TEST(Units, RateOfInvertsTransmitTime) {
-  const Bytes size = 4096;
+  const Bytes size{4096};
   const BitsPerSec rate = gbps(10.0);
   const Nanos t = transmit_time(size, rate);
   EXPECT_NEAR(rate_of(size, t) / rate, 1.0, 0.01);
 }
 
 TEST(Units, Interarrival) {
-  EXPECT_EQ(interarrival(1e9), 1);
+  EXPECT_EQ(interarrival(1e9), Nanos{1});
   EXPECT_EQ(interarrival(0.0), kNanosPerSec);
-  EXPECT_EQ(interarrival(1e6), 1'000);
+  EXPECT_EQ(interarrival(1e6), Nanos{1'000});
 }
 
 // ---------- rng ----------
@@ -164,19 +164,19 @@ TEST(PercentileTracker, ReservoirApproximatesBeyondCap) {
 
 TEST(LatencyHistogram, PercentilesBracketInputs) {
   LatencyHistogram h;
-  for (Nanos v = 1; v <= 1'000; ++v) h.add(v);
+  for (Nanos v{1}; v <= Nanos{1'000}; v += Nanos{1}) h.add(v);
   EXPECT_EQ(h.count(), 1'000);
   const Nanos p50 = h.p50();
-  EXPECT_GE(p50, 450);
-  EXPECT_LE(p50, 560);  // log-bucket resolution ~6%
+  EXPECT_GE(p50, Nanos{450});
+  EXPECT_LE(p50, Nanos{560});  // log-bucket resolution ~6%
   const Nanos p99 = h.p99();
-  EXPECT_GE(p99, 950);
-  EXPECT_LE(p99, 1'100);
+  EXPECT_GE(p99, Nanos{950});
+  EXPECT_LE(p99, Nanos{1'100});
 }
 
 TEST(LatencyHistogram, HandlesWideRange) {
   LatencyHistogram h;
-  h.add(1);
+  h.add(Nanos{1});
   h.add(seconds(10.0));
   EXPECT_EQ(h.count(), 2);
   EXPECT_GE(h.percentile(100), seconds(9.0));
@@ -184,22 +184,22 @@ TEST(LatencyHistogram, HandlesWideRange) {
 
 TEST(LatencyHistogram, ClearResets) {
   LatencyHistogram h;
-  h.add(100);
+  h.add(Nanos{100});
   h.clear();
   EXPECT_EQ(h.count(), 0);
-  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.p99(), Nanos{0});
 }
 
 TEST(RateMeter, ComputesRates) {
   RateMeter m;
-  m.record(0, 500, 1);
-  m.record(1'000, 500, 1);
+  m.record(Nanos{0}, Bytes{500}, 1);
+  m.record(Nanos{1'000}, Bytes{500}, 1);
   // 2 packets over a 1 us span = 2 Mpps.
-  EXPECT_NEAR(m.mpps(0, 1'000), 2.0, 0.01);
-  EXPECT_NEAR(m.gbps(0, 1'000), 8.0, 0.1);
+  EXPECT_NEAR(m.mpps(Nanos{0}, Nanos{1'000}), 2.0, 0.01);
+  EXPECT_NEAR(m.gbps(Nanos{0}, Nanos{1'000}), 8.0, 0.1);
   m.reset();
   EXPECT_EQ(m.total_packets(), 0);
-  EXPECT_EQ(m.mpps(0, 1'000), 0.0);
+  EXPECT_EQ(m.mpps(Nanos{0}, Nanos{1'000}), 0.0);
 }
 
 TEST(TablePrinterFmt, Precision) {

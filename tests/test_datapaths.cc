@@ -12,7 +12,7 @@
 namespace ceio {
 namespace {
 
-FlowConfig kv_flow(FlowId id, double rate_gbps = 25.0, Bytes pkt = 512) {
+FlowConfig kv_flow(FlowId id, double rate_gbps = 25.0, Bytes pkt = Bytes{512}) {
   FlowConfig fc;
   fc.id = id;
   fc.kind = FlowKind::kCpuInvolved;
@@ -179,7 +179,7 @@ TEST(AllDatapaths, MessageLatencyReported) {
     bed.add_flow(kv_flow(1, 5.0), echo);
     bed.run_for(millis(3));
     const auto r = bed.report(1);
-    EXPECT_GT(r.p50, 0) << to_string(system);
+    EXPECT_GT(r.p50, Nanos{0}) << to_string(system);
     EXPECT_GE(r.p999, r.p50) << to_string(system);
     EXPECT_GT(r.messages, 100) << to_string(system);
   }

@@ -29,7 +29,7 @@ struct Harness {
         with_gate ? ElasticBuffer::IssueGate([this]() { return gate_open; }) : nullptr);
   }
 
-  Packet pkt(std::uint64_t seq, Bytes size = 512) {
+  Packet pkt(std::uint64_t seq, Bytes size = Bytes{512}) {
     Packet p;
     p.flow = 1;
     p.seq = seq;
@@ -109,26 +109,26 @@ TEST(ElasticBuffer, GatePausesAndResumes) {
 TEST(ElasticBuffer, NicMemoryExhaustionDrops) {
   Harness h;
   NicMemoryConfig tiny;
-  tiny.capacity = 1'024;
+  tiny.capacity = Bytes{1'024};
   NicMemory small(tiny);
   ElasticBuffer eb(h.sched, small, h.dma, 8,
                    [&](Packet, Nanos) {});
-  EXPECT_TRUE(eb.buffer_packet(h.pkt(1, 512)));
-  EXPECT_TRUE(eb.buffer_packet(h.pkt(2, 512)));
-  EXPECT_FALSE(eb.buffer_packet(h.pkt(3, 512)));
+  EXPECT_TRUE(eb.buffer_packet(h.pkt(1, Bytes{512})));
+  EXPECT_TRUE(eb.buffer_packet(h.pkt(2, Bytes{512})));
+  EXPECT_FALSE(eb.buffer_packet(h.pkt(3, Bytes{512})));
   EXPECT_EQ(eb.stats().dropped_pkts, 1);
   // Draining frees capacity again.
   eb.drain();
   h.sched.run_all();
-  EXPECT_TRUE(eb.buffer_packet(h.pkt(4, 512)));
+  EXPECT_TRUE(eb.buffer_packet(h.pkt(4, Bytes{512})));
 }
 
 TEST(ElasticBuffer, AccountsBufferedBytes) {
   Harness h;
   auto eb = h.make(8);
-  eb->buffer_packet(h.pkt(1, 1'000));
-  eb->buffer_packet(h.pkt(2, 500));
-  EXPECT_EQ(eb->stats().buffered_bytes, 1'500);
+  eb->buffer_packet(h.pkt(1, Bytes{1'000}));
+  eb->buffer_packet(h.pkt(2, Bytes{500}));
+  EXPECT_EQ(eb->stats().buffered_bytes, Bytes{1'500});
   EXPECT_EQ(eb->stats().buffered_pkts, 2);
 }
 

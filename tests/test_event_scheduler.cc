@@ -41,19 +41,19 @@ namespace {
 TEST(EventScheduler, RunsInTimeOrder) {
   EventScheduler sched;
   std::vector<int> order;
-  sched.schedule_at(30, [&]() { order.push_back(3); });
-  sched.schedule_at(10, [&]() { order.push_back(1); });
-  sched.schedule_at(20, [&]() { order.push_back(2); });
+  sched.schedule_at(Nanos{30}, [&]() { order.push_back(3); });
+  sched.schedule_at(Nanos{10}, [&]() { order.push_back(1); });
+  sched.schedule_at(Nanos{20}, [&]() { order.push_back(2); });
   sched.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(sched.now(), 30);
+  EXPECT_EQ(sched.now(), Nanos{30});
 }
 
 TEST(EventScheduler, EqualTimestampsAreFifo) {
   EventScheduler sched;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sched.schedule_at(5, [&order, i]() { order.push_back(i); });
+    sched.schedule_at(Nanos{5}, [&order, i]() { order.push_back(i); });
   }
   sched.run_all();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -61,28 +61,28 @@ TEST(EventScheduler, EqualTimestampsAreFifo) {
 
 TEST(EventScheduler, PastTimesClampToNow) {
   EventScheduler sched;
-  sched.schedule_at(100, []() {});
+  sched.schedule_at(Nanos{100}, []() {});
   sched.run_all();
-  Nanos fired_at = -1;
-  sched.schedule_at(50, [&]() { fired_at = sched.now(); });
+  Nanos fired_at{-1};
+  sched.schedule_at(Nanos{50}, [&]() { fired_at = sched.now(); });
   sched.run_all();
-  EXPECT_EQ(fired_at, 100);
+  EXPECT_EQ(fired_at, Nanos{100});
 }
 
 TEST(EventScheduler, ScheduleAfterNegativeDelayIsNow) {
   EventScheduler sched;
-  sched.schedule_at(10, []() {});
+  sched.schedule_at(Nanos{10}, []() {});
   sched.run_all();
-  Nanos fired_at = -1;
-  sched.schedule_after(-5, [&]() { fired_at = sched.now(); });
+  Nanos fired_at{-1};
+  sched.schedule_after(Nanos{-5}, [&]() { fired_at = sched.now(); });
   sched.run_all();
-  EXPECT_EQ(fired_at, 10);
+  EXPECT_EQ(fired_at, Nanos{10});
 }
 
 TEST(EventScheduler, CancelPreventsExecution) {
   EventScheduler sched;
   bool ran = false;
-  const auto handle = sched.schedule_at(10, [&]() { ran = true; });
+  const auto handle = sched.schedule_at(Nanos{10}, [&]() { ran = true; });
   EXPECT_TRUE(sched.is_pending(handle));
   EXPECT_TRUE(sched.cancel(handle));
   EXPECT_FALSE(sched.is_pending(handle));
@@ -94,7 +94,7 @@ TEST(EventScheduler, CancelPreventsExecution) {
 
 TEST(EventScheduler, CancelAfterFireIsNoop) {
   EventScheduler sched;
-  const auto handle = sched.schedule_at(1, []() {});
+  const auto handle = sched.schedule_at(Nanos{1}, []() {});
   sched.run_all();
   EXPECT_FALSE(sched.cancel(handle));
   EXPECT_EQ(sched.pending(), 0u);
@@ -103,34 +103,34 @@ TEST(EventScheduler, CancelAfterFireIsNoop) {
 TEST(EventScheduler, RunUntilStopsAtDeadline) {
   EventScheduler sched;
   int count = 0;
-  sched.schedule_at(10, [&]() { ++count; });
-  sched.schedule_at(20, [&]() { ++count; });
-  sched.schedule_at(30, [&]() { ++count; });
-  EXPECT_EQ(sched.run_until(20), 2u);
+  sched.schedule_at(Nanos{10}, [&]() { ++count; });
+  sched.schedule_at(Nanos{20}, [&]() { ++count; });
+  sched.schedule_at(Nanos{30}, [&]() { ++count; });
+  EXPECT_EQ(sched.run_until(Nanos{20}), 2u);
   EXPECT_EQ(count, 2);
-  EXPECT_EQ(sched.now(), 20);  // time advances exactly to the deadline
+  EXPECT_EQ(sched.now(), Nanos{20});  // time advances exactly to the deadline
   EXPECT_EQ(sched.pending(), 1u);
-  sched.run_until(100);
+  sched.run_until(Nanos{100});
   EXPECT_EQ(count, 3);
-  EXPECT_EQ(sched.now(), 100);
+  EXPECT_EQ(sched.now(), Nanos{100});
 }
 
 TEST(EventScheduler, EventsScheduledDuringRunExecute) {
   EventScheduler sched;
   std::vector<Nanos> fire_times;
-  sched.schedule_at(10, [&]() {
+  sched.schedule_at(Nanos{10}, [&]() {
     fire_times.push_back(sched.now());
-    sched.schedule_after(5, [&]() { fire_times.push_back(sched.now()); });
+    sched.schedule_after(Nanos{5}, [&]() { fire_times.push_back(sched.now()); });
   });
-  sched.run_until(100);
-  EXPECT_EQ(fire_times, (std::vector<Nanos>{10, 15}));
+  sched.run_until(Nanos{100});
+  EXPECT_EQ(fire_times, (std::vector<Nanos>{Nanos{10}, Nanos{15}}));
 }
 
 TEST(EventScheduler, StepExecutesExactlyOne) {
   EventScheduler sched;
   int count = 0;
-  sched.schedule_at(1, [&]() { ++count; });
-  sched.schedule_at(2, [&]() { ++count; });
+  sched.schedule_at(Nanos{1}, [&]() { ++count; });
+  sched.schedule_at(Nanos{2}, [&]() { ++count; });
   EXPECT_TRUE(sched.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(sched.step());
@@ -140,8 +140,8 @@ TEST(EventScheduler, StepExecutesExactlyOne) {
 
 TEST(EventScheduler, PendingCountsExcludeCancelled) {
   EventScheduler sched;
-  const auto a = sched.schedule_at(1, []() {});
-  sched.schedule_at(2, []() {});
+  const auto a = sched.schedule_at(Nanos{1}, []() {});
+  sched.schedule_at(Nanos{2}, []() {});
   EXPECT_EQ(sched.pending(), 2u);
   sched.cancel(a);
   EXPECT_EQ(sched.pending(), 1u);
@@ -152,7 +152,7 @@ TEST(EventScheduler, PendingCountsExcludeCancelled) {
 
 TEST(EventScheduler, ExecutedCounter) {
   EventScheduler sched;
-  for (int i = 0; i < 5; ++i) sched.schedule_at(i, []() {});
+  for (int i = 0; i < 5; ++i) sched.schedule_at(Nanos{i}, []() {});
   sched.run_all();
   EXPECT_EQ(sched.executed(), 5u);
 }
@@ -166,12 +166,12 @@ TEST(EventScheduler, CancelReleasesCapturedStateImmediately) {
   auto payload = std::make_shared<int>(42);
   EXPECT_EQ(payload.use_count(), 1);
   const auto handle =
-      sched.schedule_at(1'000'000'000, [payload]() { (void)*payload; });
+      sched.schedule_at(Nanos{1'000'000'000}, [payload]() { (void)*payload; });
   EXPECT_EQ(payload.use_count(), 2);
   EXPECT_TRUE(sched.cancel(handle));
   // Released at cancel time, long before t=1s would fire.
   EXPECT_EQ(payload.use_count(), 1);
-  EXPECT_EQ(sched.now(), 0);
+  EXPECT_EQ(sched.now(), Nanos{0});
 }
 
 // Firing an event must also drop its callback promptly (the pool slot is
@@ -179,7 +179,7 @@ TEST(EventScheduler, CancelReleasesCapturedStateImmediately) {
 TEST(EventScheduler, FireReleasesCapturedState) {
   EventScheduler sched;
   auto payload = std::make_shared<int>(7);
-  sched.schedule_at(5, [payload]() {});
+  sched.schedule_at(Nanos{5}, [payload]() {});
   EXPECT_EQ(payload.use_count(), 2);
   sched.run_all();
   EXPECT_EQ(payload.use_count(), 1);
@@ -189,10 +189,10 @@ TEST(EventScheduler, FireReleasesCapturedState) {
 TEST(EventScheduler, StaleHandleCannotCancelRecycledSlot) {
   EventScheduler sched;
   bool second_ran = false;
-  const auto first = sched.schedule_at(10, []() {});
+  const auto first = sched.schedule_at(Nanos{10}, []() {});
   EXPECT_TRUE(sched.cancel(first));  // slot returns to the free list
   // The next schedule reuses the freed slot (fresh scheduler: only one slot).
-  const auto second = sched.schedule_at(20, [&]() { second_ran = true; });
+  const auto second = sched.schedule_at(Nanos{20}, [&]() { second_ran = true; });
   EXPECT_FALSE(sched.cancel(first));      // stale: generation mismatch
   EXPECT_FALSE(sched.is_pending(first));  // stale handles are not pending
   EXPECT_TRUE(sched.is_pending(second));
@@ -204,10 +204,10 @@ TEST(EventScheduler, StaleHandleCannotCancelRecycledSlot) {
 // occupant must be immune to it.
 TEST(EventScheduler, HandleOfFiredEventCannotCancelReusedSlot) {
   EventScheduler sched;
-  const auto first = sched.schedule_at(1, []() {});
+  const auto first = sched.schedule_at(Nanos{1}, []() {});
   sched.run_all();
   bool ran = false;
-  sched.schedule_at(2, [&]() { ran = true; });
+  sched.schedule_at(Nanos{2}, [&]() { ran = true; });
   EXPECT_FALSE(sched.cancel(first));
   sched.run_all();
   EXPECT_TRUE(ran);
@@ -224,7 +224,7 @@ std::vector<int> run_stress_trace(std::uint64_t seed) {
   // Burst of same-timestamp events (FIFO tiebreak exercised), some of which
   // reschedule or cancel others when they fire.
   for (int round = 0; round < 20; ++round) {
-    const Nanos base = sched.now() + 10;
+    const Nanos base = sched.now() + Nanos{10};
     for (int i = 0; i < 50; ++i) {
       const int tag = round * 1000 + i;
       handles.push_back(sched.schedule_at(base, [&, tag]() {
@@ -235,7 +235,7 @@ std::vector<int> run_stress_trace(std::uint64_t seed) {
           sched.cancel(handles[pick]);
         }
         if (rng.chance(0.4)) {
-          handles.push_back(sched.schedule_after(rng.uniform(0, 5),
+          handles.push_back(sched.schedule_after(Nanos{rng.uniform(0, 5)},
                                                  [&, tag]() { trace.push_back(-tag); }));
         }
       }));
@@ -246,7 +246,7 @@ std::vector<int> run_stress_trace(std::uint64_t seed) {
           rng.uniform(0, static_cast<std::int64_t>(handles.size()) - 1));
       sched.cancel(handles[pick]);
     }
-    sched.run_until(base + 100);
+    sched.run_until(base + Nanos{100});
   }
   sched.run_all();
   return trace;
@@ -272,7 +272,7 @@ TEST(EventScheduler, SteadyStateScheduleFireIsAllocationFree) {
   std::uint64_t pad1 = 0, pad2 = 0;  // widen the capture towards the budget
   // Warm up: grow the slot pool and heap vector to steady-state capacity.
   for (int i = 0; i < 512; ++i) {
-    sched.schedule_after(i % 17, [&fired, &pad1, &pad2]() {
+    sched.schedule_after(Nanos{i % 17}, [&fired, &pad1, &pad2]() {
       ++fired;
       pad1 += pad2;
     });
@@ -281,7 +281,7 @@ TEST(EventScheduler, SteadyStateScheduleFireIsAllocationFree) {
   const std::uint64_t before = g_allocations.load();
   // Steady state: one live event at a time, recycled through the pool.
   for (int i = 0; i < 10'000; ++i) {
-    const auto h = sched.schedule_after(3, [&fired, &pad1, &pad2]() {
+    const auto h = sched.schedule_after(Nanos{3}, [&fired, &pad1, &pad2]() {
       ++fired;
       pad1 += pad2;
     });
@@ -303,12 +303,12 @@ TEST(EventScheduler, DeepQueueChurnIsAllocationFree) {
   std::uint64_t fired = 0;
   Rng rng(99);
   for (int i = 0; i < 4096; ++i) {
-    sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    sched.schedule_after(Nanos{rng.uniform(1, 1000)}, [&fired]() { ++fired; });
   }
   const std::uint64_t before = g_allocations.load();
   for (int i = 0; i < 20'000; ++i) {
     sched.step();
-    sched.schedule_after(rng.uniform(1, 1000), [&fired]() { ++fired; });
+    sched.schedule_after(Nanos{rng.uniform(1, 1000)}, [&fired]() { ++fired; });
   }
   EXPECT_EQ(g_allocations.load(), before) << "deep-queue churn allocated";
   sched.run_all();
@@ -321,7 +321,7 @@ TEST(EventScheduler, OversizedCapturesStillExecute) {
   std::string a(100, 'x'), b(100, 'y');
   std::vector<int> big(32, 7);
   std::string got;
-  sched.schedule_at(5, [a, b, big, &got]() { got = a.substr(0, 1) + b.substr(0, 1); });
+  sched.schedule_at(Nanos{5}, [a, b, big, &got]() { got = a.substr(0, 1) + b.substr(0, 1); });
   sched.run_all();
   EXPECT_EQ(got, "xy");
 }
@@ -332,12 +332,12 @@ TEST(EventScheduler, SelfRescheduleLoop) {
   int ticks = 0;
   std::function<void()> tick = [&]() {
     ++ticks;
-    if (ticks < 10) sched.schedule_after(100, tick);
+    if (ticks < 10) sched.schedule_after(Nanos{100}, tick);
   };
-  sched.schedule_after(100, tick);
-  sched.run_until(10'000);
+  sched.schedule_after(Nanos{100}, tick);
+  sched.run_until(Nanos{10'000});
   EXPECT_EQ(ticks, 10);
-  EXPECT_EQ(sched.now(), 10'000);
+  EXPECT_EQ(sched.now(), Nanos{10'000});
 }
 
 }  // namespace

@@ -13,43 +13,43 @@ namespace {
 // ---------- DRAM ----------
 
 TEST(Dram, LatencyFloor) {
-  DramModel dram(DramConfig{95, gbps(1000.0)});
-  const Nanos done = dram.access(0, 64);
-  EXPECT_GE(done, 95);
-  EXPECT_LT(done, 105);
+  DramModel dram(DramConfig{Nanos{95}, gbps(1000.0)});
+  const Nanos done = dram.access(Nanos{0}, Bytes{64});
+  EXPECT_GE(done, Nanos{95});
+  EXPECT_LT(done, Nanos{105});
 }
 
 TEST(Dram, BandwidthSerializes) {
-  DramModel dram(DramConfig{0, gbps(8.0)});  // 1 GB/s: 1 KiB = 1024 ns
-  const Nanos a = dram.access(0, 1024);
-  const Nanos b = dram.access(0, 1024);
+  DramModel dram(DramConfig{Nanos{0}, gbps(8.0)});  // 1 GB/s: 1 KiB = 1024 ns
+  const Nanos a = dram.access(Nanos{0}, Bytes{1024});
+  const Nanos b = dram.access(Nanos{0}, Bytes{1024});
   EXPECT_NEAR(static_cast<double>(a), 1024.0, 2.0);
   EXPECT_NEAR(static_cast<double>(b), 2048.0, 4.0);
-  EXPECT_GT(dram.queueing_delay(0), 0);
+  EXPECT_GT(dram.queueing_delay(Nanos{0}), Nanos{0});
 }
 
 TEST(Dram, PipeIdlesBetweenBursts) {
-  DramModel dram(DramConfig{10, gbps(8.0)});
-  dram.access(0, 1024);
+  DramModel dram(DramConfig{Nanos{10}, gbps(8.0)});
+  dram.access(Nanos{0}, Bytes{1024});
   // A request long after the first sees no queueing.
-  const Nanos done = dram.access(1'000'000, 1024);
-  EXPECT_NEAR(static_cast<double>(done - 1'000'000), 1024.0 + 10.0, 2.0);
-  EXPECT_EQ(dram.queueing_delay(5'000'000), 0);
+  const Nanos done = dram.access(Nanos{1'000'000}, Bytes{1024});
+  EXPECT_NEAR(static_cast<double>(done - Nanos{1'000'000}), 1024.0 + 10.0, 2.0);
+  EXPECT_EQ(dram.queueing_delay(Nanos{5'000'000}), Nanos{0});
 }
 
 TEST(Dram, StatsAccumulate) {
   DramModel dram(DramConfig{});
-  dram.access(0, 512);
-  dram.access(0, 512);
+  dram.access(Nanos{0}, Bytes{512});
+  dram.access(Nanos{0}, Bytes{512});
   EXPECT_EQ(dram.stats().requests, 2);
-  EXPECT_EQ(dram.stats().bytes, 1024);
-  EXPECT_GT(dram.utilization(1'000), 0.0);
+  EXPECT_EQ(dram.stats().bytes, Bytes{1024});
+  EXPECT_GT(dram.utilization(Nanos{1'000}), 0.0);
 }
 
 TEST(Dram, PeekDoesNotReserve) {
-  DramModel dram(DramConfig{0, gbps(8.0)});
-  const Nanos peek1 = dram.peek_completion(0, 1024);
-  const Nanos peek2 = dram.peek_completion(0, 1024);
+  DramModel dram(DramConfig{Nanos{0}, gbps(8.0)});
+  const Nanos peek1 = dram.peek_completion(Nanos{0}, Bytes{1024});
+  const Nanos peek2 = dram.peek_completion(Nanos{0}, Bytes{1024});
   EXPECT_EQ(peek1, peek2);  // no state mutated
 }
 
@@ -57,29 +57,29 @@ TEST(Dram, PeekDoesNotReserve) {
 
 TEST(Iio, AdmitDrainOccupancy) {
   IioBuffer iio(IioConfig{4 * kKiB});
-  EXPECT_TRUE(iio.admit(1024));
-  EXPECT_TRUE(iio.admit(1024));
-  EXPECT_EQ(iio.occupancy(), 2048);
+  EXPECT_TRUE(iio.admit(Bytes{1024}));
+  EXPECT_TRUE(iio.admit(Bytes{1024}));
+  EXPECT_EQ(iio.occupancy(), Bytes{2048});
   EXPECT_DOUBLE_EQ(iio.occupancy_fraction(), 0.5);
-  iio.drain(1024);
-  EXPECT_EQ(iio.occupancy(), 1024);
-  EXPECT_EQ(iio.peak_occupancy(), 2048);
+  iio.drain(Bytes{1024});
+  EXPECT_EQ(iio.occupancy(), Bytes{1024});
+  EXPECT_EQ(iio.peak_occupancy(), Bytes{2048});
 }
 
 TEST(Iio, RejectsWhenFull) {
   IioBuffer iio(IioConfig{2 * kKiB});
-  EXPECT_TRUE(iio.admit(2048));
-  EXPECT_FALSE(iio.admit(1));
+  EXPECT_TRUE(iio.admit(Bytes{2048}));
+  EXPECT_FALSE(iio.admit(Bytes{1}));
   EXPECT_EQ(iio.rejects(), 1);
-  iio.drain(1);
-  EXPECT_TRUE(iio.admit(1));
+  iio.drain(Bytes{1});
+  EXPECT_TRUE(iio.admit(Bytes{1}));
 }
 
 TEST(Iio, DrainClampsAtZero) {
   IioBuffer iio(IioConfig{});
-  iio.admit(100);
-  iio.drain(1'000'000);
-  EXPECT_EQ(iio.occupancy(), 0);
+  iio.admit(Bytes{100});
+  iio.drain(Bytes{1'000'000});
+  EXPECT_EQ(iio.occupancy(), Bytes{0});
 }
 
 // ---------- MemoryController ----------
@@ -94,18 +94,18 @@ struct McHarness {
 
 TEST(MemoryController, DdioWriteCompletesFastAndCaches) {
   McHarness h;
-  Nanos done = -1;
-  h.mc.dma_write(1, 512, /*ddio=*/true, [&](Nanos t) { done = t; });
+  Nanos done{-1};
+  h.mc.dma_write(1, Bytes{512}, /*ddio=*/true, [&](Nanos t) { done = t; });
   h.sched.run_all();
-  EXPECT_GE(done, 0);
-  EXPECT_LT(done, 100);  // LLC write latency, no DRAM involved
+  EXPECT_GE(done, Nanos{0});
+  EXPECT_LT(done, Nanos{100});  // LLC write latency, no DRAM involved
   EXPECT_TRUE(h.llc.resident(1));
 }
 
 TEST(MemoryController, NonDdioWriteGoesToDram) {
   McHarness h;
-  Nanos done = -1;
-  h.mc.dma_write(1, 512, /*ddio=*/false, [&](Nanos t) { done = t; });
+  Nanos done{-1};
+  h.mc.dma_write(1, Bytes{512}, /*ddio=*/false, [&](Nanos t) { done = t; });
   h.sched.run_all();
   EXPECT_GE(done, h.dram.config().access_latency);
   EXPECT_FALSE(h.llc.resident(1));
@@ -114,20 +114,20 @@ TEST(MemoryController, NonDdioWriteGoesToDram) {
 
 TEST(MemoryController, IioDrainsOnCompletion) {
   McHarness h;
-  h.mc.dma_write(1, 512, true, nullptr);
-  EXPECT_EQ(h.iio.occupancy(), 512);
+  h.mc.dma_write(1, Bytes{512}, true, nullptr);
+  EXPECT_EQ(h.iio.occupancy(), Bytes{512});
   h.sched.run_all();
-  EXPECT_EQ(h.iio.occupancy(), 0);
+  EXPECT_EQ(h.iio.occupancy(), Bytes{0});
 }
 
 TEST(MemoryController, IioBackpressureRetries) {
   McHarness h;
   // Tiny IIO forces the stall-and-retry path.
-  IioBuffer tiny(IioConfig{600});
+  IioBuffer tiny(IioConfig{Bytes{600}});
   MemoryController mc(h.sched, h.llc, h.dram, tiny);
   int completions = 0;
-  mc.dma_write(1, 512, true, [&](Nanos) { ++completions; });
-  mc.dma_write(2, 512, true, [&](Nanos) { ++completions; });  // stalls first
+  mc.dma_write(1, Bytes{512}, true, [&](Nanos) { ++completions; });
+  mc.dma_write(2, Bytes{512}, true, [&](Nanos) { ++completions; });  // stalls first
   h.sched.run_all();
   EXPECT_EQ(completions, 2);
   EXPECT_GE(mc.stats().iio_stalls, 1);
@@ -135,20 +135,20 @@ TEST(MemoryController, IioBackpressureRetries) {
 
 TEST(MemoryController, CpuReadHitVsMissLatency) {
   McHarness h;
-  h.mc.dma_write(1, 512, true, nullptr);
+  h.mc.dma_write(1, Bytes{512}, true, nullptr);
   h.sched.run_all();
-  const Nanos hit = h.mc.cpu_read(1, 512);
-  const Nanos miss = h.mc.cpu_read(999, 512);
-  EXPECT_LT(hit, 30);
+  const Nanos hit = h.mc.cpu_read(1, Bytes{512});
+  const Nanos miss = h.mc.cpu_read(999, Bytes{512});
+  EXPECT_LT(hit, Nanos{30});
   // The miss pays the dependent descriptor line plus the payload.
-  EXPECT_GT(miss, 2 * h.dram.config().access_latency - 10);
+  EXPECT_GT(miss, 2 * h.dram.config().access_latency - Nanos{10});
 }
 
 TEST(MemoryController, DirtyEvictionChargesDram) {
   McHarness h;
   const auto before = h.dram.stats().bytes;
   // Overflow the DDIO partition (32 entries) so dirty victims write back.
-  for (BufferId id = 1; id <= 256; ++id) h.mc.dma_write(id, 512, true, nullptr);
+  for (BufferId id = 1; id <= 256; ++id) h.mc.dma_write(id, Bytes{512}, true, nullptr);
   h.sched.run_all();
   EXPECT_GT(h.dram.stats().bytes, before);
   EXPECT_GT(h.mc.stats().writebacks, 0);
@@ -157,7 +157,7 @@ TEST(MemoryController, DirtyEvictionChargesDram) {
 TEST(MemoryController, StreamWriteChargesBandwidthOnly) {
   McHarness h;
   const Nanos t = h.mc.cpu_stream_write(1 * kMiB);
-  EXPECT_GT(t, 0);
+  EXPECT_GT(t, Nanos{0});
   // Much cheaper than a serialized read of the same bytes.
   const Nanos miss_read = h.mc.cpu_read(12'345, 1 * kMiB);
   EXPECT_LT(t, miss_read);
@@ -165,10 +165,10 @@ TEST(MemoryController, StreamWriteChargesBandwidthOnly) {
 
 TEST(MemoryController, BulkReadHitsAreCheapMissesPipelined) {
   McHarness h;
-  for (BufferId id = 1; id <= 16; ++id) h.mc.dma_write(id, 2048, true, nullptr);
+  for (BufferId id = 1; id <= 16; ++id) h.mc.dma_write(id, Bytes{2048}, true, nullptr);
   h.sched.run_all();
-  const Nanos hot = h.mc.cpu_bulk_read(1, 16, 2048);
-  const Nanos cold = h.mc.cpu_bulk_read(1'000, 16, 2048);
+  const Nanos hot = h.mc.cpu_bulk_read(1, 16, Bytes{2048});
+  const Nanos cold = h.mc.cpu_bulk_read(1'000, 16, Bytes{2048});
   EXPECT_LT(hot, cold);
   // Pipelined cold read must be far cheaper than a per-cache-line serial
   // walk (16 x 2 KiB = 512 lines) but still pay real DRAM stalls.
@@ -180,13 +180,13 @@ TEST(MemoryController, BulkReadHitsAreCheapMissesPipelined) {
 
 TEST(CpuCore, ProcessesSeriallyInOrder) {
   McHarness h;
-  CpuCore core(h.sched, h.mc, CpuCoreConfig{100, 0.0});
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{Nanos{100}, 0.0});
   std::vector<int> done_order;
   std::vector<Nanos> done_times;
   for (int i = 0; i < 3; ++i) {
     PacketWork w;
     w.buffer = 0;
-    w.size = 0;
+    w.size = Bytes{0};
     w.read_buffer = false;
     w.on_done = [&, i](Nanos t) {
       done_order.push_back(i);
@@ -196,49 +196,49 @@ TEST(CpuCore, ProcessesSeriallyInOrder) {
   }
   h.sched.run_all();
   EXPECT_EQ(done_order, (std::vector<int>{0, 1, 2}));
-  EXPECT_EQ(done_times[0], 100);
-  EXPECT_EQ(done_times[1], 200);
-  EXPECT_EQ(done_times[2], 300);
+  EXPECT_EQ(done_times[0], Nanos{100});
+  EXPECT_EQ(done_times[1], Nanos{200});
+  EXPECT_EQ(done_times[2], Nanos{300});
   EXPECT_TRUE(core.idle());
 }
 
 TEST(CpuCore, ChargesPayloadAndAppCosts) {
   McHarness h;
-  CpuCore core(h.sched, h.mc, CpuCoreConfig{50, 0.1});
-  Nanos done = -1;
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{Nanos{50}, 0.1});
+  Nanos done{-1};
   PacketWork w;
   w.buffer = 0;
-  w.size = 1000;  // 100 ns payload cost at 0.1 ns/B
+  w.size = Bytes{1000};  // 100 ns payload cost at 0.1 ns/B
   w.read_buffer = false;
-  w.app_cost = 25;
+  w.app_cost = Nanos{25};
   w.on_done = [&](Nanos t) { done = t; };
   core.submit(std::move(w));
   h.sched.run_all();
-  EXPECT_EQ(done, 50 + 100 + 25);
+  EXPECT_EQ(done, Nanos{50 + 100 + 25});
 }
 
 TEST(CpuCore, MemStallTracked) {
   McHarness h;
-  CpuCore core(h.sched, h.mc, CpuCoreConfig{10, 0.0});
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{Nanos{10}, 0.0});
   PacketWork w;
   w.buffer = 777;  // cold: will miss
-  w.size = 512;
+  w.size = Bytes{512};
   w.read_buffer = true;
   core.submit(std::move(w));
   h.sched.run_all();
-  EXPECT_GT(core.stats().mem_stall_time, 0);
+  EXPECT_GT(core.stats().mem_stall_time, Nanos{0});
   EXPECT_GT(core.stats().busy_time, core.stats().mem_stall_time);
   EXPECT_EQ(core.stats().packets, 1);
 }
 
 TEST(CpuCore, UtilizationFraction) {
   McHarness h;
-  CpuCore core(h.sched, h.mc, CpuCoreConfig{100, 0.0});
+  CpuCore core(h.sched, h.mc, CpuCoreConfig{Nanos{100}, 0.0});
   PacketWork w;
   w.read_buffer = false;
   core.submit(std::move(w));
-  h.sched.run_until(1'000);
-  EXPECT_NEAR(core.utilization(1'000), 0.1, 0.01);
+  h.sched.run_until(Nanos{1'000});
+  EXPECT_NEAR(core.utilization(Nanos{1'000}), 0.1, 0.01);
 }
 
 }  // namespace

@@ -26,14 +26,14 @@ TEST_P(SmokeTest, SingleEchoFlowDeliversPackets) {
   cfg.system = GetParam();
   Testbed bed(cfg);
   auto& echo = bed.make_echo();
-  bed.add_flow(echo_flow(1, 512, 10.0), echo);
+  bed.add_flow(echo_flow(1, Bytes{512}, 10.0), echo);
   bed.run_for(millis(2));
   bed.reset_measurement();
   bed.run_for(millis(3));
   const auto r = bed.report(1);
   EXPECT_GT(r.mpps, 0.5) << to_string(GetParam());
   EXPECT_GT(r.messages, 1'000) << to_string(GetParam());
-  EXPECT_GT(r.p50, 0) << to_string(GetParam());
+  EXPECT_GT(r.p50, Nanos{0}) << to_string(GetParam());
 }
 
 TEST_P(SmokeTest, EightFlowsSaturating) {
@@ -41,7 +41,7 @@ TEST_P(SmokeTest, EightFlowsSaturating) {
   cfg.system = GetParam();
   Testbed bed(cfg);
   auto& echo = bed.make_echo();
-  for (FlowId id = 1; id <= 8; ++id) bed.add_flow(echo_flow(id, 512, 25.0), echo);
+  for (FlowId id = 1; id <= 8; ++id) bed.add_flow(echo_flow(id, Bytes{512}, 25.0), echo);
   bed.run_for(millis(2));
   bed.reset_measurement();
   bed.run_for(millis(5));
@@ -64,7 +64,7 @@ TEST(SmokeComparison, CeioEliminatesMissesUnderOverload) {
     Testbed bed(cfg);
     auto& kv = bed.make_kv_store();
     for (FlowId id = 1; id <= 8; ++id) {
-      FlowConfig fc = echo_flow(id, 512, 25.0);
+      FlowConfig fc = echo_flow(id, Bytes{512}, 25.0);
       bed.add_flow(fc, kv);
     }
     bed.run_for(millis(2));

@@ -21,25 +21,25 @@ LlcConfig small_config(int ddio_ways = 2) {
 
 TEST(Llc, DdioWriteThenReadHits) {
   LlcModel llc(small_config());
-  llc.ddio_write(1, 512);
+  llc.ddio_write(1, Bytes{512});
   EXPECT_TRUE(llc.resident(1));
-  EXPECT_TRUE(llc.cpu_read(1, 512));
+  EXPECT_TRUE(llc.cpu_read(1, Bytes{512}));
   EXPECT_EQ(llc.stats().cpu_hits, 1);
   EXPECT_EQ(llc.stats().cpu_misses, 0);
 }
 
 TEST(Llc, ColdReadMissesAndFills) {
   LlcModel llc(small_config());
-  EXPECT_FALSE(llc.cpu_read(42, 512));
+  EXPECT_FALSE(llc.cpu_read(42, Bytes{512}));
   EXPECT_EQ(llc.stats().cpu_misses, 1);
   // Filled into the non-DDIO partition; second read hits.
-  EXPECT_TRUE(llc.cpu_read(42, 512));
+  EXPECT_TRUE(llc.cpu_read(42, Bytes{512}));
 }
 
 TEST(Llc, DdioOverflowEvictsPrematurely) {
   LlcModel llc(small_config(/*ddio_ways=*/2));
   // Fill far beyond the DDIO partition without any CPU reads.
-  for (BufferId id = 1; id <= 64; ++id) llc.ddio_write(id, 512);
+  for (BufferId id = 1; id <= 64; ++id) llc.ddio_write(id, Bytes{512});
   EXPECT_GT(llc.stats().evictions, 0);
   EXPECT_EQ(llc.stats().premature_evictions, llc.stats().evictions);
   // Evicted-as-dirty lines are write-backs.
@@ -50,10 +50,10 @@ TEST(Llc, DdioOverflowEvictsPrematurely) {
 
 TEST(Llc, ReadBeforeEvictionIsNotPremature) {
   LlcModel llc(small_config(2));
-  llc.ddio_write(1, 512);
-  llc.cpu_read(1, 512);
+  llc.ddio_write(1, Bytes{512});
+  llc.cpu_read(1, Bytes{512});
   // Now force eviction of buffer 1 by flooding.
-  for (BufferId id = 2; id <= 200; ++id) llc.ddio_write(id, 512);
+  for (BufferId id = 2; id <= 200; ++id) llc.ddio_write(id, Bytes{512});
   EXPECT_FALSE(llc.resident(1));
   EXPECT_LT(llc.stats().premature_evictions, llc.stats().evictions);
 }
@@ -61,7 +61,7 @@ TEST(Llc, ReadBeforeEvictionIsNotPremature) {
 TEST(Llc, ExpectReadFalseSuppressesPrematureAccounting) {
   LlcModel llc(small_config(2));
   for (BufferId id = 1; id <= 64; ++id) {
-    llc.ddio_write(id, 512, /*expect_read=*/false);
+    llc.ddio_write(id, Bytes{512}, /*expect_read=*/false);
   }
   EXPECT_GT(llc.stats().evictions, 0);
   EXPECT_EQ(llc.stats().premature_evictions, 0);
@@ -72,16 +72,16 @@ TEST(Llc, VictimBytesMatchWrittenSize) {
   // Write many 128 B packets; victims must carry 128 B, not 2 KiB.
   LlcModel::Evicted last;
   for (BufferId id = 1; id <= 64; ++id) {
-    const auto ev = llc.ddio_write(id, 128);
+    const auto ev = llc.ddio_write(id, Bytes{128});
     if (ev.happened) last = ev;
   }
   ASSERT_TRUE(last.happened);
-  EXPECT_EQ(last.victim_bytes, 128);
+  EXPECT_EQ(last.victim_bytes, Bytes{128});
 }
 
 TEST(Llc, InvalidateDropsWithoutWriteback) {
   LlcModel llc(small_config());
-  llc.ddio_write(1, 512);
+  llc.ddio_write(1, Bytes{512});
   const auto before = llc.stats().writebacks;
   llc.invalidate(1);
   EXPECT_FALSE(llc.resident(1));
@@ -92,19 +92,19 @@ TEST(Llc, InvalidateDropsWithoutWriteback) {
 
 TEST(Llc, RewriteRefreshesInPlace) {
   LlcModel llc(small_config());
-  llc.ddio_write(1, 512);
+  llc.ddio_write(1, Bytes{512});
   const auto occ = llc.ddio_occupancy();
-  llc.ddio_write(1, 512);  // recycled buffer, same id
+  llc.ddio_write(1, Bytes{512});  // recycled buffer, same id
   EXPECT_EQ(llc.ddio_occupancy(), occ);
   EXPECT_EQ(llc.stats().evictions, 0);
 }
 
 TEST(Llc, CpuWriteAllocatesDirty) {
   LlcModel llc(small_config());
-  EXPECT_FALSE(llc.cpu_write(7, 512));
+  EXPECT_FALSE(llc.cpu_write(7, Bytes{512}));
   EXPECT_TRUE(llc.resident(7));
   // Flood its set via many cpu fills; the dirty victim must be written back.
-  for (BufferId id = 100; id < 400; ++id) llc.cpu_write(id, 512);
+  for (BufferId id = 100; id < 400; ++id) llc.cpu_write(id, Bytes{512});
   EXPECT_GT(llc.stats().writebacks, 0);
 }
 
@@ -116,10 +116,10 @@ TEST(Llc, LruEvictsOldestWithinSet) {
   cfg.ddio_ways = 4;
   cfg.buffer_bytes = 2 * kKiB;
   LlcModel llc(cfg);
-  for (BufferId id = 1; id <= 4; ++id) llc.ddio_write(id, 512);
+  for (BufferId id = 1; id <= 4; ++id) llc.ddio_write(id, Bytes{512});
   // Touch 1 so it becomes MRU; the next insert must evict 2 (the LRU).
-  llc.cpu_read(1, 512);
-  const auto ev = llc.ddio_write(5, 512);
+  llc.cpu_read(1, Bytes{512});
+  const auto ev = llc.ddio_write(5, Bytes{512});
   ASSERT_TRUE(ev.happened);
   EXPECT_EQ(ev.victim, 2u);
   EXPECT_TRUE(llc.resident(1));
@@ -127,7 +127,7 @@ TEST(Llc, LruEvictsOldestWithinSet) {
 
 TEST(Llc, DdioDisabledMeansNoCaching) {
   LlcModel llc(small_config(/*ddio_ways=*/0));
-  const auto ev = llc.ddio_write(1, 512);
+  const auto ev = llc.ddio_write(1, Bytes{512});
   EXPECT_FALSE(ev.happened);
   EXPECT_FALSE(llc.resident(1));
   EXPECT_EQ(llc.ddio_capacity(), 0u);
@@ -135,9 +135,9 @@ TEST(Llc, DdioDisabledMeansNoCaching) {
 
 TEST(Llc, MissRateComputation) {
   LlcModel llc(small_config());
-  llc.ddio_write(1, 512);
-  llc.cpu_read(1, 512);   // hit
-  llc.cpu_read(99, 512);  // miss
+  llc.ddio_write(1, Bytes{512});
+  llc.cpu_read(1, Bytes{512});   // hit
+  llc.cpu_read(99, Bytes{512});  // miss
   EXPECT_DOUBLE_EQ(llc.stats().miss_rate(), 0.5);
   llc.reset_stats();
   EXPECT_DOUBLE_EQ(llc.stats().miss_rate(), 0.0);
@@ -157,7 +157,7 @@ TEST_P(LlcPartitionProperty, OccupancyBounded) {
   cfg.buffer_bytes = 2 * kKiB;
   LlcModel llc(cfg);
   for (BufferId id = 1; id <= 4'096; ++id) {
-    llc.ddio_write(id, 512);
+    llc.ddio_write(id, Bytes{512});
     ASSERT_LE(llc.ddio_occupancy(), llc.ddio_capacity());
   }
   if (ddio_ways > 0) {
@@ -183,9 +183,9 @@ TEST_P(LlcWorkingSetProperty, FitDecidesMisses) {
   LlcModel llc(cfg);
   // FIFO stream: write id, read id-window (a consumer lagging by `window`).
   for (BufferId id = 1; id <= 2'000; ++id) {
-    llc.ddio_write(id, 512);
+    llc.ddio_write(id, Bytes{512});
     if (id > static_cast<BufferId>(window)) {
-      llc.cpu_read(id - window, 512);
+      llc.cpu_read(id - window, Bytes{512});
     }
   }
   const double miss = llc.stats().miss_rate();
@@ -214,7 +214,7 @@ TEST(Llc, ZeroOpStatsAreFiniteZeros) {
 
 TEST(Llc, MissRateIsFiniteAfterMissesOnly) {
   LlcModel llc(small_config());
-  llc.cpu_read(1, 512);  // pure miss, zero hits
+  llc.cpu_read(1, Bytes{512});  // pure miss, zero hits
   EXPECT_EQ(llc.stats().miss_rate(), 1.0);
   EXPECT_TRUE(std::isfinite(llc.stats().miss_rate()));
 }
@@ -229,9 +229,9 @@ TEST(Llc, MruCacheDoesNotServeEvictedEntry) {
   // Find two ids mapping to the same set by brute force.
   LlcModel probe(cfg);
   BufferId a = 1, b = 0;
-  probe.ddio_write(a, 512);
+  probe.ddio_write(a, Bytes{512});
   for (BufferId cand = 2; cand < 10'000; ++cand) {
-    LlcModel::Evicted ev = probe.ddio_write(cand, 512);
+    LlcModel::Evicted ev = probe.ddio_write(cand, Bytes{512});
     if (ev.happened && ev.victim == a) {
       b = cand;
       break;
@@ -239,21 +239,21 @@ TEST(Llc, MruCacheDoesNotServeEvictedEntry) {
   }
   ASSERT_NE(b, 0u) << "no conflicting id found";
   // Access `a` (primes the MRU cache), then evict it via the conflicting `b`.
-  llc.ddio_write(a, 512);
+  llc.ddio_write(a, Bytes{512});
   EXPECT_TRUE(llc.resident(a));
-  llc.ddio_write(b, 512);  // evicts a from the 1-way DDIO partition
+  llc.ddio_write(b, Bytes{512});  // evicts a from the 1-way DDIO partition
   EXPECT_FALSE(llc.resident(a));   // stale MRU entry must not report a hit
   EXPECT_TRUE(llc.resident(b));
-  EXPECT_FALSE(llc.cpu_read(a, 512));  // miss, refills
+  EXPECT_FALSE(llc.cpu_read(a, Bytes{512}));  // miss, refills
 }
 
 TEST(Llc, MruCacheDoesNotServeInvalidatedEntry) {
   LlcModel llc(small_config());
-  llc.ddio_write(9, 512);
-  EXPECT_TRUE(llc.cpu_read(9, 512));  // primes the MRU cache
+  llc.ddio_write(9, Bytes{512});
+  EXPECT_TRUE(llc.cpu_read(9, Bytes{512}));  // primes the MRU cache
   llc.invalidate(9);
   EXPECT_FALSE(llc.resident(9));
-  EXPECT_FALSE(llc.cpu_read(9, 512));  // must miss, not hit via stale cache
+  EXPECT_FALSE(llc.cpu_read(9, Bytes{512}));  // must miss, not hit via stale cache
 }
 
 }  // namespace

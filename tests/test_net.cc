@@ -21,7 +21,7 @@ struct CollectSink : PacketSink {
 
 struct NetHarness {
   EventScheduler sched;
-  Nic nic{sched, NicConfig{0}};
+  Nic nic{sched, NicConfig{Nanos{0}}};
   CollectSink sink;
   Rng rng{1};
 
@@ -34,27 +34,27 @@ TEST(NetworkLink, DeliversWithSerializationAndPropagation) {
   NetHarness h;
   NetworkLinkConfig cfg;
   cfg.rate = gbps(8.0);  // 1 GB/s
-  cfg.propagation = 500;
+  cfg.propagation = Nanos{500};
   NetworkLink link(h.sched, h.nic, cfg);
   Packet pkt;
-  pkt.size = 1000;
+  pkt.size = Bytes{1000};
   link.send(std::move(pkt));
   h.sched.run_all();
   ASSERT_EQ(h.sink.packets.size(), 1u);
-  EXPECT_EQ(h.sched.now(), 1'000 + 500);
+  EXPECT_EQ(h.sched.now(), Nanos{1'000 + 500});
 }
 
 TEST(NetworkLink, EcnMarksAboveThreshold) {
   NetHarness h;
   NetworkLinkConfig cfg;
   cfg.rate = gbps(8.0);
-  cfg.ecn_threshold = 2'000;
+  cfg.ecn_threshold = Bytes{2'000};
   cfg.queue_capacity = 1 * kMiB;
   NetworkLink link(h.sched, h.nic, cfg);
   // Burst of back-to-back sends at t=0 builds an instantaneous queue.
   for (int i = 0; i < 10; ++i) {
     Packet pkt;
-    pkt.size = 1'000;
+    pkt.size = Bytes{1'000};
     link.send(std::move(pkt));
   }
   h.sched.run_all();
@@ -68,14 +68,14 @@ TEST(NetworkLink, DropsWhenQueueFull) {
   NetHarness h;
   NetworkLinkConfig cfg;
   cfg.rate = gbps(8.0);
-  cfg.queue_capacity = 4'000;
-  cfg.ecn_threshold = 1'000'000;  // never mark
+  cfg.queue_capacity = Bytes{4'000};
+  cfg.ecn_threshold = Bytes{1'000'000};  // never mark
   NetworkLink link(h.sched, h.nic, cfg);
   int drops = 0;
   link.set_drop_handler([&](const Packet&) { ++drops; });
   for (int i = 0; i < 10; ++i) {
     Packet pkt;
-    pkt.size = 1'000;
+    pkt.size = Bytes{1'000};
     link.send(std::move(pkt));
   }
   h.sched.run_all();
@@ -89,10 +89,10 @@ TEST(NetworkLink, QueueDepthDecays) {
   cfg.rate = gbps(8.0);
   NetworkLink link(h.sched, h.nic, cfg);
   Packet pkt;
-  pkt.size = 10'000;
+  pkt.size = Bytes{10'000};
   link.send(std::move(pkt));
-  EXPECT_GT(link.queue_depth(0), 0);
-  EXPECT_EQ(link.queue_depth(1'000'000), 0);
+  EXPECT_GT(link.queue_depth(Nanos{0}), Bytes{0});
+  EXPECT_EQ(link.queue_depth(Nanos{1'000'000}), Bytes{0});
 }
 
 // ---------- DCTCP ----------
@@ -100,7 +100,7 @@ TEST(NetworkLink, QueueDepthDecays) {
 TEST(Dctcp, AdditiveIncreaseWhenClean) {
   Dctcp cc(DctcpConfig{}, gbps(10.0));
   for (int i = 0; i < 50; ++i) cc.on_ack(false);
-  cc.on_window(0);
+  cc.on_window(Nanos{0});
   EXPECT_NEAR(to_gbps(cc.rate()), 12.0, 0.01);
   EXPECT_DOUBLE_EQ(cc.alpha(), 0.0);
 }
@@ -110,7 +110,7 @@ TEST(Dctcp, MarkedWindowCutsByAlphaHalf) {
   cfg.g = 1.0;  // alpha follows the instantaneous fraction
   Dctcp cc(cfg, gbps(100.0));
   for (int i = 0; i < 10; ++i) cc.on_ack(i < 5);  // 50% marked
-  cc.on_window(0);
+  cc.on_window(Nanos{0});
   EXPECT_NEAR(cc.alpha(), 0.5, 1e-9);
   EXPECT_NEAR(to_gbps(cc.rate()), 75.0, 0.01);  // cut by alpha/2
 }
@@ -121,12 +121,12 @@ TEST(Dctcp, HostCongestionMarksRestOfWindow) {
   Dctcp cc(cfg, gbps(100.0));
   cc.on_host_congestion();
   for (int i = 0; i < 99; ++i) cc.on_ack(false);  // clean acks don't dilute
-  cc.on_window(0);
+  cc.on_window(Nanos{0});
   EXPECT_NEAR(cc.alpha(), 1.0, 1e-9);
   EXPECT_NEAR(to_gbps(cc.rate()), 50.0, 0.01);
   // Next window without congestion recovers additively.
   cc.on_ack(false);
-  cc.on_window(0);
+  cc.on_window(Nanos{0});
   EXPECT_GT(to_gbps(cc.rate()), 50.0);
 }
 
@@ -146,7 +146,7 @@ TEST(Dctcp, RateClamps) {
   EXPECT_DOUBLE_EQ(to_gbps(cc.rate()), 1.0);
   for (int i = 0; i < 100; ++i) {
     cc.on_ack(false);
-    cc.on_window(0);
+    cc.on_window(Nanos{0});
   }
   EXPECT_DOUBLE_EQ(to_gbps(cc.rate()), 10.0);
 }
@@ -160,7 +160,7 @@ TEST_P(DctcpConvergence, ConvergesToBound) {
   Dctcp cc(DctcpConfig{}, gbps(50.0));
   for (int w = 0; w < 500; ++w) {
     for (int i = 0; i < 20; ++i) cc.on_ack(congested);
-    cc.on_window(0);
+    cc.on_window(Nanos{0});
   }
   if (congested) {
     EXPECT_LT(to_gbps(cc.rate()), 1.0);
@@ -175,7 +175,7 @@ INSTANTIATE_TEST_SUITE_P(Both, DctcpConvergence, ::testing::Values(true, false))
 
 struct SourceHarness {
   EventScheduler sched;
-  Nic nic{sched, NicConfig{0}};
+  Nic nic{sched, NicConfig{Nanos{0}}};
   CollectSink sink;
   Rng rng{7};
   NetworkLink link{sched, nic, NetworkLinkConfig{}};
@@ -187,7 +187,7 @@ TEST(FlowSource, OpenLoopPacesAtOfferedRate) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 1'000;
+  fc.packet_size = Bytes{1'000};
   fc.offered_rate = gbps(8.0);  // 1 us per packet
   FlowSource src(h.sched, h.rng, h.link, fc);
   src.start();
@@ -215,7 +215,7 @@ TEST(FlowSource, MessageFraming) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 500;
+  fc.packet_size = Bytes{500};
   fc.message_pkts = 4;
   fc.offered_rate = gbps(100.0);
   FlowSource src(h.sched, h.rng, h.link, fc);
@@ -237,7 +237,7 @@ TEST(FlowSource, ClosedLoopKeepsOutstandingBound) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 500;
+  fc.packet_size = Bytes{500};
   fc.closed_loop_outstanding = 4;
   fc.offered_rate = gbps(100.0);
   FlowSource src(h.sched, h.rng, h.link, fc);
@@ -262,14 +262,14 @@ TEST(FlowSource, CompletionRecordsLatency) {
   h.sched.run_until(micros(5));
   src.notify_message_complete(1, h.sched.now());
   EXPECT_EQ(src.latency().count(), 1);
-  EXPECT_GT(src.latency().p50(), 0);
+  EXPECT_GT(src.latency().p50(), Nanos{0});
 }
 
 TEST(FlowSource, DroppedPacketsRetransmitPaced) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 500;
+  fc.packet_size = Bytes{500};
   fc.offered_rate = gbps(1.0);
   FlowSource src(h.sched, h.rng, h.link, fc);
   src.start();
@@ -277,7 +277,7 @@ TEST(FlowSource, DroppedPacketsRetransmitPaced) {
   const auto sent_before = src.stats().packets_sent;
   Packet lost;
   lost.flow = 1;
-  lost.size = 500;
+  lost.size = Bytes{500};
   lost.seq = 424242;
   src.notify_dropped(lost);
   h.sched.run_until(micros(100));
@@ -303,7 +303,7 @@ TEST(FlowSource, EcnFeedbackReducesRate) {
   const auto initial = src.current_rate();
   Packet marked;
   marked.flow = 1;
-  marked.size = 500;
+  marked.size = Bytes{500};
   marked.ecn = true;
   for (int i = 0; i < 10; ++i) src.notify_delivered(marked);
   h.sched.run_until(micros(100));  // past a DCTCP window
@@ -315,7 +315,7 @@ TEST(FlowSource, BurstModeGatesEmission) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 500;
+  fc.packet_size = Bytes{500};
   fc.offered_rate = gbps(40.0);  // 100 ns per packet when on
   fc.burst_on = micros(50);
   fc.burst_off = micros(150);
@@ -331,7 +331,7 @@ TEST(FlowSource, BurstModeGatesEmission) {
   h.sched.run_all();
   for (const auto& pkt : h.sink.packets) {
     const Nanos sent_at = pkt.created % (fc.burst_on + fc.burst_off);
-    EXPECT_LT(sent_at, fc.burst_on + 1'000);  // small slack for pacing gap
+    EXPECT_LT(sent_at, fc.burst_on + Nanos{1'000});  // small slack for pacing gap
   }
 }
 
@@ -339,7 +339,7 @@ TEST(FlowSource, PoissonModeVariesGaps) {
   SourceHarness h;
   FlowConfig fc;
   fc.id = 1;
-  fc.packet_size = 500;
+  fc.packet_size = Bytes{500};
   fc.offered_rate = gbps(4.0);  // 1 us mean gap
   fc.poisson = true;
   FlowSource src(h.sched, h.rng, h.link, fc);

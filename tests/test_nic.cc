@@ -12,7 +12,7 @@
 namespace ceio {
 namespace {
 
-Packet make_packet(FlowId flow, Bytes size = 512) {
+Packet make_packet(FlowId flow, Bytes size = Bytes{512}) {
   Packet pkt;
   pkt.flow = flow;
   pkt.size = size;
@@ -23,7 +23,7 @@ Packet make_packet(FlowId flow, Bytes size = 512) {
 
 TEST(Rmt, DefaultActionForUnknownFlow) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{1'000, 16, SteerAction::kToHost});
+  RmtEngine rmt(sched, RmtConfig{Nanos{1'000}, 16, SteerAction::kToHost});
   EXPECT_EQ(rmt.steer(make_packet(99)), SteerAction::kToHost);
   // Unknown flows don't create counters.
   EXPECT_EQ(rmt.counters(99).hits, 0);
@@ -31,30 +31,30 @@ TEST(Rmt, DefaultActionForUnknownFlow) {
 
 TEST(Rmt, RuleUpdateTakesEffectAfterLatency) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{1'000, 16, SteerAction::kToHost});
+  RmtEngine rmt(sched, RmtConfig{Nanos{1'000}, 16, SteerAction::kToHost});
   rmt.install_rule(1, SteerAction::kToNicMem);
   // Before the reprogram completes, the default action applies.
   EXPECT_EQ(rmt.current_action(1), SteerAction::kToHost);
-  sched.run_until(999);
+  sched.run_until(Nanos{999});
   EXPECT_EQ(rmt.current_action(1), SteerAction::kToHost);
-  sched.run_until(1'000);
+  sched.run_until(Nanos{1'000});
   EXPECT_EQ(rmt.current_action(1), SteerAction::kToNicMem);
 }
 
 TEST(Rmt, CountersTrackHitsAndBytes) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{0, 16, SteerAction::kToHost});
+  RmtEngine rmt(sched, RmtConfig{Nanos{0}, 16, SteerAction::kToHost});
   rmt.install_rule(1, SteerAction::kToHost);
   sched.run_all();
-  rmt.steer(make_packet(1, 100));
-  rmt.steer(make_packet(1, 200));
+  rmt.steer(make_packet(1, Bytes{100}));
+  rmt.steer(make_packet(1, Bytes{200}));
   EXPECT_EQ(rmt.counters(1).hits, 2);
-  EXPECT_EQ(rmt.counters(1).bytes, 300);
+  EXPECT_EQ(rmt.counters(1).bytes, Bytes{300});
 }
 
 TEST(Rmt, RemoveRuleRevertsToDefault) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{0, 16, SteerAction::kDrop});
+  RmtEngine rmt(sched, RmtConfig{Nanos{0}, 16, SteerAction::kDrop});
   rmt.install_rule(1, SteerAction::kToHost);
   sched.run_all();
   EXPECT_EQ(rmt.steer(make_packet(1)), SteerAction::kToHost);
@@ -65,7 +65,7 @@ TEST(Rmt, RemoveRuleRevertsToDefault) {
 
 TEST(Rmt, RemoveInvalidatesInFlightUpdates) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{1'000, 16, SteerAction::kDrop});
+  RmtEngine rmt(sched, RmtConfig{Nanos{1'000}, 16, SteerAction::kDrop});
   rmt.install_rule(1, SteerAction::kToHost);
   rmt.remove_rule(1);  // before the install lands
   sched.run_all();
@@ -75,7 +75,7 @@ TEST(Rmt, RemoveInvalidatesInFlightUpdates) {
 
 TEST(Rmt, TableCapacityRejectsNewFlows) {
   EventScheduler sched;
-  RmtEngine rmt(sched, RmtConfig{0, 2, SteerAction::kToHost});
+  RmtEngine rmt(sched, RmtConfig{Nanos{0}, 2, SteerAction::kToHost});
   EXPECT_TRUE(rmt.install_rule(1, SteerAction::kToHost));
   EXPECT_TRUE(rmt.install_rule(2, SteerAction::kToHost));
   sched.run_all();
@@ -87,45 +87,45 @@ TEST(Rmt, TableCapacityRejectsNewFlows) {
 // ---------- NicMemory ----------
 
 TEST(NicMemory, AllocateFreeOccupancy) {
-  NicMemory mem(NicMemoryConfig{4 * kKiB, gbps(100), 10, 20, 5});
-  EXPECT_TRUE(mem.allocate(2048));
-  EXPECT_TRUE(mem.allocate(2048));
-  EXPECT_FALSE(mem.allocate(1));
+  NicMemory mem(NicMemoryConfig{4 * kKiB, gbps(100), Nanos{10}, Nanos{20}, Nanos{5}});
+  EXPECT_TRUE(mem.allocate(Bytes{2048}));
+  EXPECT_TRUE(mem.allocate(Bytes{2048}));
+  EXPECT_FALSE(mem.allocate(Bytes{1}));
   EXPECT_EQ(mem.stats().alloc_failures, 1);
-  mem.free(2048);
-  EXPECT_TRUE(mem.allocate(1024));
-  EXPECT_EQ(mem.occupancy(), 3072);
+  mem.free(Bytes{2048});
+  EXPECT_TRUE(mem.allocate(Bytes{1024}));
+  EXPECT_EQ(mem.occupancy(), Bytes{3072});
 }
 
 TEST(NicMemory, ReadAddsSwitchLatency) {
-  NicMemory mem(NicMemoryConfig{kGiB, gbps(1000), 100, 300, 0});
-  const Nanos w = mem.write(0, 64);
-  const Nanos r = mem.read(10'000, 64);
+  NicMemory mem(NicMemoryConfig{kGiB, gbps(1000), Nanos{100}, Nanos{300}, Nanos{0}});
+  const Nanos w = mem.write(Nanos{0}, Bytes{64});
+  const Nanos r = mem.read(Nanos{10'000}, Bytes{64});
   EXPECT_NEAR(static_cast<double>(w), 100.0, 5.0);
-  EXPECT_NEAR(static_cast<double>(r - 10'000), 400.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(r - Nanos{10'000}), 400.0, 5.0);
 }
 
 TEST(NicMemory, PerRequestOverheadBindsSmallAccesses) {
   NicMemoryConfig cfg;
   cfg.bandwidth = gbps(1000);
-  cfg.per_request_overhead = 50;
-  cfg.access_latency = 0;
-  cfg.switch_latency = 0;
+  cfg.per_request_overhead = Nanos{50};
+  cfg.access_latency = Nanos{0};
+  cfg.switch_latency = Nanos{0};
   NicMemory mem(cfg);
   // 64 B at 1000 Gbps would be ~0.5 ns; the 50 ns request floor dominates.
-  Nanos t = 0;
-  for (int i = 0; i < 10; ++i) t = mem.write(0, 64);
-  EXPECT_GE(t, 10 * 50 - 5);
+  Nanos t{0};
+  for (int i = 0; i < 10; ++i) t = mem.write(Nanos{0}, Bytes{64});
+  EXPECT_GE(t, Nanos{10 * 50 - 5});
 }
 
 TEST(NicMemory, BandwidthBindsLargeAccesses) {
   NicMemoryConfig cfg;
   cfg.bandwidth = gbps(8.0);  // 1 GB/s
-  cfg.per_request_overhead = 25;
-  cfg.access_latency = 0;
-  cfg.switch_latency = 0;
+  cfg.per_request_overhead = Nanos{25};
+  cfg.access_latency = Nanos{0};
+  cfg.switch_latency = Nanos{0};
   NicMemory mem(cfg);
-  const Nanos t = mem.write(0, 64 * kKiB);
+  const Nanos t = mem.write(Nanos{0}, 64 * kKiB);
   EXPECT_NEAR(static_cast<double>(t), 65'536.0, 100.0);
 }
 
@@ -188,7 +188,7 @@ struct CollectSink : PacketSink {
 
 TEST(Nic, DeliversToSinkWithPipelineCost) {
   EventScheduler sched;
-  Nic nic(sched, NicConfig{10});
+  Nic nic(sched, NicConfig{Nanos{10}});
   CollectSink sink;
   nic.attach(&sink);
   nic.receive(make_packet(1));
@@ -198,7 +198,7 @@ TEST(Nic, DeliversToSinkWithPipelineCost) {
   EXPECT_EQ(sink.packets[0].flow, 1u);
   EXPECT_EQ(sink.packets[1].flow, 2u);
   // Serialized: second packet leaves the pipeline 10 ns after the first.
-  EXPECT_EQ(sink.packets[1].nic_arrival - sink.packets[0].nic_arrival, 10);
+  EXPECT_EQ(sink.packets[1].nic_arrival - sink.packets[0].nic_arrival, Nanos{10});
   EXPECT_EQ(nic.stats().packets, 2);
 }
 

@@ -15,12 +15,12 @@ namespace {
 
 TEST(Tlp, CountsAndOverhead) {
   TlpConfig cfg;  // MPS 256
-  EXPECT_EQ(tlp_count(cfg, 0), 1);
-  EXPECT_EQ(tlp_count(cfg, 256), 1);
-  EXPECT_EQ(tlp_count(cfg, 257), 2);
-  EXPECT_EQ(tlp_count(cfg, 2048), 8);
+  EXPECT_EQ(tlp_count(cfg, Bytes{0}), 1);
+  EXPECT_EQ(tlp_count(cfg, Bytes{256}), 1);
+  EXPECT_EQ(tlp_count(cfg, Bytes{257}), 2);
+  EXPECT_EQ(tlp_count(cfg, Bytes{2048}), 8);
   const Bytes per_tlp = cfg.header_bytes + cfg.framing_bytes + cfg.dllp_bytes;
-  EXPECT_EQ(wire_bytes(cfg, 2048), 2048 + 8 * per_tlp);
+  EXPECT_EQ(wire_bytes(cfg, Bytes{2048}), Bytes{2048} + per_tlp * 8);
 }
 
 // Property: wire efficiency is monotonically non-decreasing in payload size
@@ -47,20 +47,21 @@ INSTANTIATE_TEST_SUITE_P(Sizes, TlpEfficiencyProperty,
 TEST(PcieLink, SerializationPlusPropagation) {
   PcieLinkConfig cfg;
   cfg.bandwidth = gbps(8.0);  // 1 GB/s for easy math
-  cfg.propagation = 100;
+  cfg.propagation = Nanos{100};
   PcieLink link(cfg);
-  const Bytes wire = wire_bytes(cfg.tlp, 1024);
-  const Nanos arrival = link.upstream(0, 1024);
-  EXPECT_EQ(arrival, wire + 100);
+  const Bytes wire = wire_bytes(cfg.tlp, Bytes{1024});
+  const Nanos arrival = link.upstream(Nanos{0}, Bytes{1024});
+  // 1 GB/s: one wire byte serializes in exactly 1 ns.
+  EXPECT_EQ(arrival, Nanos{wire.count()} + Nanos{100});
 }
 
 TEST(PcieLink, DirectionsAreIndependent) {
   PcieLinkConfig cfg;
   cfg.bandwidth = gbps(8.0);
-  cfg.propagation = 0;
+  cfg.propagation = Nanos{0};
   PcieLink link(cfg);
-  const Nanos up = link.upstream(0, 4096);
-  const Nanos down = link.downstream(0, 4096);
+  const Nanos up = link.upstream(Nanos{0}, Bytes{4096});
+  const Nanos down = link.downstream(Nanos{0}, Bytes{4096});
   // Full duplex: both complete at the same time, no cross-queueing.
   EXPECT_EQ(up, down);
 }
@@ -68,10 +69,10 @@ TEST(PcieLink, DirectionsAreIndependent) {
 TEST(PcieLink, BackToBackQueues) {
   PcieLinkConfig cfg;
   cfg.bandwidth = gbps(8.0);
-  cfg.propagation = 0;
+  cfg.propagation = Nanos{0};
   PcieLink link(cfg);
-  const Nanos a = link.upstream(0, 1024);
-  const Nanos b = link.upstream(0, 1024);
+  const Nanos a = link.upstream(Nanos{0}, Bytes{1024});
+  const Nanos b = link.upstream(Nanos{0}, Bytes{1024});
   EXPECT_NEAR(static_cast<double>(b), 2.0 * static_cast<double>(a), 4.0);
   EXPECT_EQ(link.stats().upstream_transfers, 2);
 }
@@ -85,27 +86,27 @@ struct DmaHarness {
   IioBuffer iio{IioConfig{}};
   MemoryController mc{sched, llc, dram, iio};
   PcieLink link{PcieLinkConfig{}};
-  DmaEngine dma{sched, link, mc, DmaEngineConfig{4, 100}};
+  DmaEngine dma{sched, link, mc, DmaEngineConfig{4, Nanos{100}}};
 };
 
 TEST(DmaEngine, WriteLandsInHostMemory) {
   DmaHarness h;
-  Nanos done = -1;
-  h.dma.write_to_host(9, 1024, /*ddio=*/true, [&](Nanos t) { done = t; });
+  Nanos done{-1};
+  h.dma.write_to_host(9, Bytes{1024}, /*ddio=*/true, [&](Nanos t) { done = t; });
   h.sched.run_all();
-  EXPECT_GT(done, 0);
+  EXPECT_GT(done, Nanos{0});
   EXPECT_TRUE(h.llc.resident(9));
   EXPECT_EQ(h.dma.stats().writes, 1);
 }
 
 TEST(DmaEngine, ReadRoundTripLatency) {
   DmaHarness h;
-  Nanos done = -1;
-  h.dma.read_from_nic(512, [](Nanos issue) { return issue + 200; },
+  Nanos done{-1};
+  h.dma.read_from_nic(Bytes{512}, [](Nanos issue) { return issue + Nanos{200}; },
                       [&](Nanos t) { done = t; });
   h.sched.run_all();
   // Doorbell + downstream prop + source fetch (200) + upstream prop at least.
-  EXPECT_GE(done, 100 + 250 + 200 + 250);
+  EXPECT_GE(done, Nanos{100 + 250 + 200 + 250});
   EXPECT_EQ(h.dma.stats().reads, 1);
 }
 
@@ -113,7 +114,7 @@ TEST(DmaEngine, OutstandingWindowQueuesExcessReads) {
   DmaHarness h;  // window = 4
   int completed = 0;
   for (int i = 0; i < 10; ++i) {
-    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 10'000; },
+    h.dma.read_from_nic(Bytes{512}, [](Nanos issue) { return issue + Nanos{10'000}; },
                         [&](Nanos) { ++completed; });
   }
   EXPECT_EQ(h.dma.outstanding_reads(), 4);
@@ -128,7 +129,7 @@ TEST(DmaEngine, ReadsCompleteInIssueOrder) {
   DmaHarness h;
   std::vector<int> order;
   for (int i = 0; i < 6; ++i) {
-    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 500; },
+    h.dma.read_from_nic(Bytes{512}, [](Nanos issue) { return issue + Nanos{500}; },
                         [&order, i](Nanos) { order.push_back(i); });
   }
   h.sched.run_all();
@@ -142,13 +143,13 @@ TEST(DmaEngine, WindowBoundsSmallReadThroughput) {
   int completed = 0;
   const int n = 64;
   for (int i = 0; i < n; ++i) {
-    h.dma.read_from_nic(512, [](Nanos issue) { return issue + 1'000; },
+    h.dma.read_from_nic(Bytes{512}, [](Nanos issue) { return issue + Nanos{1'000}; },
                         [&](Nanos) { ++completed; });
   }
   h.sched.run_all();
   const Nanos elapsed = h.sched.now();
   // ~n/W batches of ~1 us each.
-  EXPECT_GT(elapsed, (n / 4 - 2) * 1'000);
+  EXPECT_GT(elapsed, Nanos{(n / 4 - 2) * 1'000});
   EXPECT_EQ(completed, n);
 }
 

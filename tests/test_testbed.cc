@@ -18,7 +18,7 @@ TEST(Testbed, ConstructsEverySystem) {
     Testbed bed(cfg);
     EXPECT_STREQ(to_string(system), to_string(bed.config().system));
     EXPECT_EQ(bed.ceio() != nullptr, system == SystemKind::kCeio);
-    EXPECT_EQ(bed.now(), 0);
+    EXPECT_EQ(bed.now(), Nanos{0});
   }
 }
 

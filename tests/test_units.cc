@@ -1,0 +1,178 @@
+// Tests for the strong unit types (common/units.h): the compile-time
+// guarantees (unit mixing is ill-formed — checked with static_asserts over
+// detection traits, the negative-compile suite), the saturating conversion
+// guards, and the numeric_limits specialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/ring_buffer.h"
+#include "common/units.h"
+
+namespace ceio {
+namespace {
+
+// ---------- Negative-compile suite ----------
+//
+// Detection traits: whether an expression over two types compiles. Each
+// static_assert below is a deliberate unit-mixing bug that must stay a
+// compile error; if someone weakens Quantity, this test file stops
+// compiling or the asserts fire.
+
+template <class A, class B, class = void>
+struct can_add : std::false_type {};
+template <class A, class B>
+struct can_add<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct can_less : std::false_type {};
+template <class A, class B>
+struct can_less<A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct can_multiply : std::false_type {};
+template <class A, class B>
+struct can_multiply<A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+// Mixing tags does not compile.
+static_assert(!can_add<Nanos, Bytes>::value, "Nanos + Bytes must not compile");
+static_assert(!can_add<Bytes, Nanos>::value, "Bytes + Nanos must not compile");
+static_assert(!can_less<Nanos, Bytes>::value, "Nanos < Bytes must not compile");
+static_assert(can_add<Nanos, Nanos>::value);
+static_assert(can_less<Bytes, Bytes>::value);
+
+// No implicit conversions in either direction.
+static_assert(!std::is_convertible_v<std::int64_t, Nanos>, "raw -> Nanos must be explicit");
+static_assert(!std::is_convertible_v<int, Bytes>, "raw -> Bytes must be explicit");
+static_assert(!std::is_convertible_v<Nanos, std::int64_t>, "Nanos -> raw must be explicit");
+static_assert(!std::is_convertible_v<Nanos, Bytes>);
+static_assert(!std::is_convertible_v<Bytes, Nanos>);
+
+// Integral-rep quantities refuse floating scalars (construction + scaling):
+// every float-math site must spell out its rounding via count().
+static_assert(!std::is_constructible_v<Nanos, double>, "Nanos{double} must not compile");
+static_assert(!std::is_constructible_v<Bytes, float>, "Bytes{float} must not compile");
+static_assert(std::is_constructible_v<Nanos, int>);
+static_assert(std::is_constructible_v<BitsPerSec, double>);
+static_assert(!can_multiply<Nanos, double>::value, "Nanos * double must not compile");
+static_assert(can_multiply<Nanos, int>::value);
+static_assert(can_multiply<BitsPerSec, double>::value);
+
+// No truthiness: `if (bytes)` stays a compile error.
+static_assert(!std::is_constructible_v<bool, Bytes>, "bool(Bytes) must not compile");
+static_assert(!std::is_convertible_v<Nanos, bool>);
+
+// Ratios of same-tag quantities are raw scalars.
+static_assert(std::is_same_v<decltype(std::declval<Nanos>() / std::declval<Nanos>()),
+                             std::int64_t>);
+static_assert(std::is_same_v<decltype(std::declval<BitsPerSec>() / std::declval<BitsPerSec>()),
+                             double>);
+
+// ---------- Arithmetic semantics ----------
+
+TEST(Units, SameTagArithmetic) {
+  EXPECT_EQ(Nanos{3} + Nanos{4}, Nanos{7});
+  EXPECT_EQ(Bytes{10} - Bytes{4}, Bytes{6});
+  EXPECT_EQ(-Nanos{5}, Nanos{-5});
+  Nanos t{10};
+  t += Nanos{5};
+  t -= Nanos{3};
+  EXPECT_EQ(t, Nanos{12});
+}
+
+TEST(Units, RatioUsesRepresentationDivision) {
+  // Integer division, exactly as the former int64_t alias behaved.
+  EXPECT_EQ(Nanos{7} / Nanos{2}, 3);
+  EXPECT_EQ(Nanos{7} % Nanos{3}, Nanos{1});
+  EXPECT_DOUBLE_EQ(BitsPerSec{3.0} / BitsPerSec{2.0}, 1.5);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_EQ(Bytes{4} * 3, Bytes{12});
+  EXPECT_EQ(3 * Bytes{4}, Bytes{12});
+  EXPECT_EQ(Bytes{9} / 2, Bytes{4});  // integer division preserved
+  EXPECT_EQ(2 * kKiB, Bytes{2'048});
+}
+
+TEST(Units, ExplicitCastsOut) {
+  EXPECT_DOUBLE_EQ(static_cast<double>(Nanos{5}), 5.0);
+  EXPECT_EQ(static_cast<std::int64_t>(Bytes{7}), 7);
+  EXPECT_EQ(Nanos{5}.count(), 5);
+}
+
+// ---------- Saturating conversion guards ----------
+
+TEST(Units, NanosSaturatesOnOverflow) {
+  EXPECT_EQ(nanos(1e30), Nanos::max());
+  EXPECT_EQ(nanos(-1e30), Nanos::min());
+  EXPECT_EQ(seconds(1e30), Nanos::max());
+  EXPECT_EQ(millis(-1e30), Nanos::min());
+  // The largest double below 2^63 still converts normally.
+  EXPECT_LT(nanos(9.2e18), Nanos::max());
+}
+
+TEST(Units, NanConvertsToZeroNotUb) {
+  const double nan = std::nan("");
+  EXPECT_EQ(nanos(nan), Nanos{0});
+  EXPECT_EQ(micros(nan), Nanos{0});
+  EXPECT_EQ(seconds(nan), Nanos{0});
+}
+
+TEST(Units, TransmitTimeGuards) {
+  EXPECT_EQ(transmit_time(Bytes{0}, gbps(100)), Nanos{0});
+  EXPECT_EQ(transmit_time(Bytes{100}, BitsPerSec{0.0}), Nanos{0});
+  EXPECT_EQ(transmit_time(Bytes{100}, BitsPerSec{std::nan("")}), Nanos{0});
+  EXPECT_EQ(transmit_time(Bytes{100}, BitsPerSec{-1.0}), Nanos{0});
+  // Positive size at a sane rate always makes forward progress.
+  EXPECT_GE(transmit_time(Bytes{1}, gbps(1e6)), Nanos{1});
+  // Saturates instead of overflowing: enormous size over a trickle rate.
+  EXPECT_EQ(transmit_time(Bytes::max(), BitsPerSec{1e-3}), Nanos::max());
+}
+
+TEST(Units, InterarrivalGuards) {
+  EXPECT_EQ(interarrival(0.0), kNanosPerSec);
+  EXPECT_EQ(interarrival(-5.0), kNanosPerSec);
+  EXPECT_EQ(interarrival(std::nan("")), kNanosPerSec);
+  // Faster than 1 packet/ns still advances the clock.
+  EXPECT_EQ(interarrival(1e30), Nanos{1});
+  EXPECT_EQ(interarrival(1e9), Nanos{1});
+  EXPECT_EQ(interarrival(1'000.0), Nanos{1'000'000});
+}
+
+TEST(Units, RateOfGuards) {
+  EXPECT_EQ(rate_of(Bytes{100}, Nanos{0}), BitsPerSec{0.0});
+  EXPECT_EQ(rate_of(Bytes{100}, Nanos{-5}), BitsPerSec{0.0});
+  EXPECT_DOUBLE_EQ(to_gbps(rate_of(kKiB, Nanos{1'000})), 8.192);
+}
+
+// ---------- numeric_limits specialization ----------
+
+TEST(Units, NumericLimitsIsSpecialized) {
+  // The primary template would silently return zero here — the trap that
+  // made FlowConfig::stop_time default to 0 and every source idle.
+  static_assert(std::numeric_limits<Nanos>::is_specialized);
+  EXPECT_EQ(std::numeric_limits<Nanos>::max(), Nanos::max());
+  EXPECT_EQ(std::numeric_limits<Nanos>::max().count(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(std::numeric_limits<Bytes>::lowest(), Bytes::min());
+  EXPECT_LT(std::numeric_limits<BitsPerSec>::lowest(), BitsPerSec{0.0});
+  EXPECT_GT(std::numeric_limits<Nanos>::max(), Nanos{0});
+}
+
+// ---------- RingBuffer checked capacity ----------
+
+TEST(RingBufferChecked, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>{0}, std::invalid_argument);
+  RingBuffer<int> one(1);
+  EXPECT_TRUE(one.push(42));
+  EXPECT_FALSE(one.push(43));
+  EXPECT_EQ(one.pop(), 42);
+}
+
+}  // namespace
+}  // namespace ceio

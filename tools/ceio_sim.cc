@@ -30,11 +30,11 @@ struct Options {
   SystemKind system = SystemKind::kCeio;
   int flows = 8;
   double rate_gbps = 25.0;
-  Bytes pkt = 512;
+  Bytes pkt{512};
   std::string app = "kv";
   double ms = 5.0;
   double warmup_ms = 2.0;
-  Bytes chunk_kb = 1024;  // linefs/rdma message size
+  std::int64_t chunk_kb = 1024;  // linefs/rdma message size, in KiB
   bool poisson = false;
   int closed_loop = 0;
   double burst_on_us = 0.0;
@@ -94,7 +94,7 @@ Options parse(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--rate-gbps", &v)) {
       opt.rate_gbps = std::atof(v.c_str());
     } else if (parse_flag(argv[i], "--pkt", &v)) {
-      opt.pkt = std::atoll(v.c_str());
+      opt.pkt = Bytes{std::atoll(v.c_str())};
     } else if (parse_flag(argv[i], "--app", &v)) {
       opt.app = v;
     } else if (parse_flag(argv[i], "--chunk-kb", &v)) {
@@ -117,7 +117,7 @@ Options parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opt.flows <= 0 || opt.pkt <= 0 || opt.ms <= 0) usage(argv[0]);
+  if (opt.flows <= 0 || opt.pkt <= Bytes{0} || opt.ms <= 0) usage(argv[0]);
   return opt;
 }
 
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
     fc.packet_size = bypass ? std::max<Bytes>(opt.pkt, 2 * kKiB) : opt.pkt;
     fc.message_pkts =
         bypass ? static_cast<std::uint32_t>(
-                     std::max<Bytes>(opt.chunk_kb * kKiB / fc.packet_size, 1))
+                     std::max<std::int64_t>(kKiB * opt.chunk_kb / fc.packet_size, 1))
                : 1;
     fc.offered_rate = gbps(opt.rate_gbps);
     fc.poisson = opt.poisson;
@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
 
   std::printf("ceio_sim: system=%s app=%s flows=%d pkt=%lldB rate=%.1fG/flow ms=%.1f\n\n",
               to_string(opt.system), opt.app.c_str(), opt.flows,
-              static_cast<long long>(opt.pkt), opt.rate_gbps, opt.ms);
+              static_cast<long long>(opt.pkt.count()), opt.rate_gbps, opt.ms);
   TablePrinter table({"flow", "Mpps", "Gbps", "msg Gbps", "p50(us)", "p99(us)",
                       "p99.9(us)", "msgs", "drops"});
   for (const auto& r : bed.all_reports()) {

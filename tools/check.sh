@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Full pre-merge gate for the CEIO simulator.
+#
+# Stages (each skips gracefully when its tool is absent):
+#   1. repo lint            tools/lint/ceio_lint.py
+#   2. release build + test cmake Release, ctest
+#   3. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
+#   4. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
+#   5. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
+#   6. clang-tidy           over src/ using the .clang-tidy profile
+#
+# Usage: tools/check.sh [--quick]
+#   --quick runs stages 1-2 only (lint + release tests).
+#
+# Build trees live under build-check/<stage> so the gate never disturbs a
+# developer's primary build/ tree.
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CHECK_ROOT="${REPO_ROOT}/build-check"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+failures=()
+note() { printf '\n== %s ==\n' "$*"; }
+stage_result() {  # stage_result <name> <status>
+  if [[ "$2" -ne 0 ]]; then
+    failures+=("$1")
+    printf -- '-- %s: FAIL\n' "$1"
+  else
+    printf -- '-- %s: ok\n' "$1"
+  fi
+}
+
+build_and_test() {  # build_and_test <tree-name> <cmake-args...>
+  local tree="${CHECK_ROOT}/$1"
+  shift
+  cmake -S "${REPO_ROOT}" -B "${tree}" "$@" >/dev/null || return 1
+  cmake --build "${tree}" -j "${JOBS}" >/dev/null || return 1
+  ctest --test-dir "${tree}" --output-on-failure -j "${JOBS}" | tail -n 3
+}
+
+# -- 1: repo-specific lint ---------------------------------------------------
+note "lint (tools/lint/ceio_lint.py)"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "${REPO_ROOT}/tools/lint/ceio_lint.py"
+  stage_result lint $?
+else
+  echo "python3 not found; skipping"
+fi
+
+# -- 2: release build + tests ------------------------------------------------
+note "release build + ctest"
+build_and_test release -DCMAKE_BUILD_TYPE=Release
+stage_result release $?
+
+if [[ "${QUICK}" -eq 1 ]]; then
+  note "quick mode: skipping audit/sanitizer/clang-tidy stages"
+else
+  # -- 3: audited build + tests ----------------------------------------------
+  note "audited build + ctest (CEIO_AUDIT=ON)"
+  build_and_test audit -DCMAKE_BUILD_TYPE=Release -DCEIO_AUDIT=ON
+  stage_result audit $?
+
+  # -- 4/5: sanitizers, with auditing on so sweeps run under them ------------
+  note "asan build + ctest (CEIO_AUDIT=ON, CEIO_SANITIZE=address)"
+  build_and_test asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCEIO_AUDIT=ON \
+    -DCEIO_SANITIZE=address
+  stage_result asan $?
+
+  note "ubsan build + ctest (CEIO_AUDIT=ON, CEIO_SANITIZE=undefined)"
+  build_and_test ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCEIO_AUDIT=ON \
+    -DCEIO_SANITIZE=undefined
+  stage_result ubsan $?
+
+  # -- 6: clang-tidy ---------------------------------------------------------
+  note "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
+    tidy_tree="${CHECK_ROOT}/tidy"
+    cmake -S "${REPO_ROOT}" -B "${tidy_tree}" -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+      run-clang-tidy -quiet -p "${tidy_tree}" "${REPO_ROOT}/src/.*" \
+        >"${tidy_tree}/clang-tidy.log" 2>&1
+    tidy_status=$?
+    grep -E "warning:|error:" "${tidy_tree}/clang-tidy.log" | sort -u | head -n 40 || true
+    stage_result clang-tidy "${tidy_status}"
+  else
+    echo "clang-tidy / run-clang-tidy not found; skipping (install LLVM tools to enable)"
+  fi
+fi
+
+note "summary"
+if [[ "${#failures[@]}" -gt 0 ]]; then
+  echo "FAILED stages: ${failures[*]}"
+  exit 1
+fi
+echo "all stages passed"

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for the CEIO simulator.
+
+These encode project conventions that clang-tidy cannot express; they
+complement the compile-time unit types (src/common/units.h) and the runtime
+invariant auditor (src/audit/). Run directly or via `make check`
+(tools/check.sh); exits non-zero when any rule fires.
+
+Rules
+-----
+raw-unit-param
+    Model headers must not declare int64_t/double variables or parameters
+    whose names say they are times, sizes or rates — those are exactly the
+    values the strong unit types exist for. Use Nanos/Bytes/BitsPerSec.
+
+std-function-hot-path
+    The event core (src/sim/) is allocation-free (callbacks are
+    InlineFunction); std::function there reintroduces per-event heap
+    traffic. Banned in src/sim/ and src/common/ headers other than
+    inline_function.h itself.
+
+past-schedule
+    EventScheduler::schedule_at clamps past timestamps to now(), so a call
+    site computing `t - something` can silently distort timing instead of
+    failing. Subtractions in the time argument need an explicit
+    acknowledgement.
+
+Suppression: append `// lint: allow-<rule>` to the offending line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Directories scanned per rule.
+MODEL_HEADER_DIRS = ("src",)
+HOT_PATH_DIRS = ("src/sim", "src/common")
+SCHEDULE_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# Names that mark a raw scalar as a time, size or rate quantity.
+UNIT_NAME = (
+    r"(?:[A-Za-z0-9_]*_)?(?:ns|nanos|micros|millis|time|latency|delay|timeout|"
+    r"duration|deadline|bytes|gbps|bps)(?:_[A-Za-z0-9_]*)?"
+)
+RAW_UNIT_RE = re.compile(
+    rf"\b(?:std::)?(?:int64_t|uint64_t|double)\s+({UNIT_NAME})\s*[;,={{)]"
+)
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+SCHEDULE_AT_RE = re.compile(r"\bschedule_at\s*\(([^;{]*?),")
+
+SUPPRESS_FMT = "lint: allow-{rule}"
+
+
+def is_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*") or stripped.startswith("/*")
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, lineno: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def iter_files(dirs: tuple[str, ...], suffixes: tuple[str, ...]) -> list[Path]:
+    out: list[Path] = []
+    for d in dirs:
+        base = REPO_ROOT / d
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                out.append(path)
+    return out
+
+
+def check_raw_unit_params(findings: list[Finding]) -> None:
+    rule = "raw-unit-param"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(MODEL_HEADER_DIRS, (".h",)):
+        if path.name == "units.h":  # the one place raw reps are the point
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            m = RAW_UNIT_RE.search(line)
+            if m:
+                findings.append(
+                    Finding(rule, path, lineno,
+                            f"'{m.group(1)}' is a unit quantity declared as a raw scalar; "
+                            "use Nanos/Bytes/BitsPerSec (common/units.h)"))
+
+
+def check_std_function_hot_path(findings: list[Finding]) -> None:
+    rule = "std-function-hot-path"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(HOT_PATH_DIRS, (".h",)):
+        if path.name == "inline_function.h":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            if STD_FUNCTION_RE.search(line):
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "std::function in the allocation-free event core; "
+                            "use InlineFunction (common/inline_function.h)"))
+
+
+def check_past_schedule(findings: list[Finding]) -> None:
+    rule = "past-schedule"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(SCHEDULE_DIRS, (".h", ".cc", ".cpp")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            m = SCHEDULE_AT_RE.search(line)
+            if m is None:
+                continue
+            time_arg = m.group(1)
+            # Negative literals / subtractions in the time argument silently
+            # clamp to now(); tests deliberately probing the clamp annotate.
+            if "-" in time_arg:
+                findings.append(
+                    Finding(rule, path, lineno,
+                            f"time argument '{time_arg.strip()}' subtracts; schedule_at "
+                            "clamps past times to now() — clamp explicitly or annotate"))
+
+
+RULES = {
+    "raw-unit-param": check_raw_unit_params,
+    "std-function-hot-path": check_std_function_hot_path,
+    "past-schedule": check_past_schedule,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only this rule (repeatable; default: all)")
+    parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+
+    findings: list[Finding] = []
+    for name in args.rule or sorted(RULES):
+        RULES[name](findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"ceio_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("ceio_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
