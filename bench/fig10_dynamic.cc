@@ -1,9 +1,14 @@
 // Figure 10 — end-to-end I/O performance of CEIO vs Baseline/HostCC/ShRing
 // under (a) dynamic flow distribution and (b) network burst.
+//
+// The time-series section also records itself through the telemetry
+// subsystem and writes fig10_dynamic.timeseries.csv (gauge snapshots) plus
+// fig10_dynamic.trace.json (Perfetto) next to the working directory.
 #include <cstdio>
 
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "telemetry/telemetry.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -57,6 +62,7 @@ void print_timeseries() {
   std::printf("\nCEIO time series, dynamic flow distribution (500us samples):\n");
   TestbedConfig tc;
   tc.system = SystemKind::kCeio;
+  tc.telemetry.sample_interval = micros(100);
   Testbed bed(tc);
   auto& kv = bed.make_kv_store();
   auto& dfs = bed.make_linefs();
@@ -68,6 +74,11 @@ void print_timeseries() {
     fc.offered_rate = gbps(25.0);
     bed.add_flow(fc, kv);
   }
+  // Record the same schedule through the telemetry subsystem: gauge
+  // snapshots every 100 us, exported below for offline plotting.
+  Telemetry& tele = bed.enable_telemetry();
+  tele.start_sampling();
+
   int involved = 8;
   TablePrinter table({"t(ms)", "involved", "rpc Mpps", "dfs Gbps", "miss%"});
   for (int phase = 0; phase < 4; ++phase) {
@@ -91,6 +102,19 @@ void print_timeseries() {
     }
   }
   table.print();
+
+  tele.set_enabled(false);
+  if (std::FILE* f = std::fopen("fig10_dynamic.timeseries.csv", "w")) {
+    tele.write_timeseries_csv(f);
+    std::fclose(f);
+  }
+  if (std::FILE* f = std::fopen("fig10_dynamic.trace.json", "w")) {
+    tele.write_trace_json(f);
+    std::fclose(f);
+  }
+  std::printf("telemetry: %zu gauge samples -> fig10_dynamic.timeseries.csv, "
+              "%zu trace events -> fig10_dynamic.trace.json\n",
+              tele.sampler().rows(), tele.trace().size());
 }
 
 int main() {

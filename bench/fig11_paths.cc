@@ -7,6 +7,7 @@
 #include "apps/raw_rdma.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "telemetry/telemetry.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -44,6 +45,83 @@ double run_bw(SystemKind system, Bytes message, bool force_slow) {
   return bed.aggregate_gbps();
 }
 
+// Re-runs one representative configuration (16 KiB messages) with telemetry
+// recording on and reports where sampled packets spend their time, fast path
+// vs forced slow path. Also writes fig11_paths.timeseries.csv and
+// fig11_paths.trace.json (from the slow-path run) for offline inspection.
+// Per-hop rows need a -DCEIO_TELEMETRY=ON build; gauge series work anywhere.
+void record_path_hops() {
+  std::printf("\nSampled packet paths, CEIO, 16K messages (every 64th segment):\n");
+  TablePrinter table({"segment", "fast n", "fast mean(us)", "slow n", "slow mean(us)"});
+  constexpr auto kN = static_cast<std::size_t>(PathHop::kCount);
+  double mean[2][kN] = {};
+  std::int64_t count[2][kN] = {};
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool force_slow = mode == 1;
+    TestbedConfig tc;
+    tc.system = SystemKind::kCeio;
+    if (force_slow) {
+      tc.ceio_auto_credits = false;
+      tc.ceio.total_credits = 0;
+      tc.ceio.reactivations_per_sec = 0.0;
+    }
+    Testbed bed(tc);
+    auto& app = bed.make_raw_rdma();
+    FlowConfig fc;
+    fc.id = 1;
+    fc.kind = FlowKind::kCpuBypass;
+    fc.packet_size = 2 * kKiB;
+    fc.message_pkts = 8;
+    fc.offered_rate = gbps(200.0);
+    fc.closed_loop_outstanding = 32;
+    bed.add_flow(fc, app);
+    bed.run_for(millis(1));
+    Telemetry& tele = bed.enable_telemetry();
+    tele.start_sampling();
+    bed.run_for(millis(4));
+    tele.set_enabled(false);
+
+    double sum[kN] = {};
+    for (const PathRecord& r : tele.paths().records()) {
+      bool have_prev = false;
+      Nanos prev{0};
+      for (std::size_t h = 0; h < kN; ++h) {
+        if (!r.seen[h]) continue;
+        if (have_prev) {
+          sum[h] += static_cast<double>((r.t[h] - prev).count());
+          ++count[mode][h];
+        }
+        prev = r.t[h];
+        have_prev = true;
+      }
+    }
+    for (std::size_t h = 0; h < kN; ++h) {
+      if (count[mode][h] > 0) mean[mode][h] = sum[h] / static_cast<double>(count[mode][h]) / 1e3;
+    }
+
+    if (force_slow) {
+      if (std::FILE* f = std::fopen("fig11_paths.timeseries.csv", "w")) {
+        tele.write_timeseries_csv(f);
+        std::fclose(f);
+      }
+      if (std::FILE* f = std::fopen("fig11_paths.trace.json", "w")) {
+        tele.write_trace_json(f);
+        std::fclose(f);
+      }
+      std::printf("telemetry: %zu gauge samples -> fig11_paths.timeseries.csv, "
+                  "%zu trace events -> fig11_paths.trace.json\n",
+                  tele.sampler().rows(), tele.trace().size());
+    }
+  }
+  for (std::size_t h = 1; h < kN; ++h) {
+    if (count[0][h] == 0 && count[1][h] == 0) continue;
+    table.add_row({std::string("-> ") + to_string(static_cast<PathHop>(h)),
+                   std::to_string(count[0][h]), TablePrinter::fmt(mean[0][h], 2),
+                   std::to_string(count[1][h]), TablePrinter::fmt(mean[1][h], 2)});
+  }
+  table.print();
+}
+
 }  // namespace
 
 int main() {
@@ -65,5 +143,6 @@ int main() {
   table.print();
   std::printf("slow-path gap for messages >= 4K: %.0f%% (paper: under 22%%)\n",
               worst_gap * 100.0);
+  record_path_hops();
   return 0;
 }

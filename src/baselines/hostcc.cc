@@ -1,5 +1,7 @@
 #include "baselines/hostcc.h"
 
+#include "telemetry/telemetry.h"
+
 namespace ceio {
 
 HostccDatapath::HostccDatapath(EventScheduler& sched, DmaEngine& dma, MemoryController& mc,
@@ -43,6 +45,8 @@ void HostccDatapath::monitor_poll() {
       (last_signal_ < Nanos{0} || now - last_signal_ >= config_.signal_min_gap)) {
     last_signal_ = now;
     ++signals_;
+    CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "hostcc_signal", now,
+                   iio_.occupancy_fraction(), 0);
     for (auto& [id, fs] : flows_) {
       if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
     }

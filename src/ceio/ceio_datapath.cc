@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ceio {
 namespace {
@@ -134,6 +135,7 @@ void CeioDatapath::on_flow_registered(FlowState& fs) {
           const std::int64_t budget = credits_.fair_share();
           return e->unreleased + std::max<std::int64_t>(e->slow_landed_unworked, 0) < budget;
         });
+    ext.elastic->set_telemetry(tele_);
     // Rotating driver-posted landing buffers for slow-path drains, disjoint
     // from every pool range.
     ext.next_landing_buffer = kSlowLandingBase + (static_cast<BufferId>(id) << 20);
@@ -210,6 +212,7 @@ void CeioDatapath::driver_complete(FlowId id, const Packet& pkt) {
   if (fs == nullptr || ext == nullptr) return;
   if (is_pool_buffer(pkt.host_buffer)) host_pool_.release(pkt.host_buffer);
   if (pkt.host_buffer != 0) mc_.release_buffer(pkt.host_buffer);
+  CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kProcessed, sched_.now());
   // Lazy release keys on fast-path buffers only (pool or app-posted); slow
   // landings never consumed a credit.
   if (!is_slow_landing(pkt.host_buffer)) {
@@ -254,6 +257,8 @@ void CeioDatapath::on_packet(Packet pkt) {
   if (!credits_.active(pkt.flow) && take_reactivation_token()) {
     credits_.reactivate(pkt.flow);
     ++rt_stats_.reactivations;
+    CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "reactivate", sched_.now(),
+                   static_cast<double>(credits_.credits(pkt.flow)), pkt.flow);
   }
   ext->bytes_seen += pkt.size;
   const SteerAction action = rmt_.steer(pkt);
@@ -305,6 +310,7 @@ void CeioDatapath::deliver_fast_path(FlowState& fs, Ext& ext, Packet pkt) {
   sched_.schedule_after(
       config_.controller_latency,
       [this, id, buffer, expect_read, pkt = std::move(pkt)]() mutable {
+        CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kDmaIssue, sched_.now());
         dma_.write_to_host(
             buffer, pkt.size, /*ddio=*/true,
             [this, id, pkt = std::move(pkt)](Nanos) mutable {
@@ -328,10 +334,12 @@ void CeioDatapath::on_fast_landed(FlowId flow, Packet pkt) {
     // Bypass flow: message progress at DMA granularity; credits replenish
     // once the message *work* retires (write-with-immediate -> driver ->
     // app processing -> ownership returns), via on_message_work_done.
+    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, sched_.now());
     ++ext->msg_path_counts[pkt.message_id].first;
     note_delivered_message_progress(*fs, pkt, sched_.now());
     return;
   }
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, sched_.now());
   if (!fs->ring->post(pkt)) {
     // Ring overflow after steering: the SW ring already recorded the
     // segment entry, so account the loss for the consumer to skip.
@@ -353,6 +361,7 @@ void CeioDatapath::deliver_slow_path(FlowState& fs, Ext& ext, Packet pkt) {
     return;
   }
   ++fs.stats.slow_path_pkts;
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kNicBuffered, sched_.now());
   if (involved) ext.sw.note_steered(/*fast=*/false);
   // Drain triggers: eager with the async optimization; event-driven on
   // message completion for bypass flows (write-with-immediate).
@@ -382,6 +391,7 @@ void CeioDatapath::on_slow_read_complete(FlowId flow, Packet pkt, Nanos /*now*/)
             ++ext2->slow_landed_unworked;
             ++ext2->msg_path_counts[pkt.message_id].second;
           }
+          CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, done);
           if (fs2->rt.source != nullptr) fs2->rt.source->notify_delivered(pkt);
           note_delivered_message_progress(*fs2, pkt, done);
         },
@@ -404,6 +414,7 @@ void CeioDatapath::land_slow_involved(FlowId flow, Packet pkt) {
                   FlowState* fs2 = state_of(flow);
                   Ext* ext2 = ext_of(flow);
                   if (fs2 == nullptr || ext2 == nullptr) return;
+                  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, sched_.now());
                   if (fs2->rt.source != nullptr) fs2->rt.source->notify_delivered(pkt);
                   ext2->landed_slow.push_back(std::move(pkt));
                   pump(flow);
@@ -502,6 +513,7 @@ void CeioDatapath::process_one(FlowState& fs, Ext& ext, Packet pkt, bool was_slo
   }
   const FlowId flow = fs.rt.config.id;
   const bool slow_buffer = was_slow;
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kCpuStart, sched_.now());
   work.on_done = [this, flow, pkt = std::move(pkt), slow_buffer](Nanos done) {
     FlowState* fs2 = state_of(flow);
     Ext* ext2 = ext_of(flow);
@@ -510,6 +522,7 @@ void CeioDatapath::process_one(FlowState& fs, Ext& ext, Packet pkt, bool was_slo
       mc_.release_buffer(pkt.host_buffer);
     }
     if (fs2 == nullptr || ext2 == nullptr) return;
+    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kProcessed, done);
     // Lazy release keys strictly on *fast-path* ring-head advancement:
     // slow-path packets never consumed a credit, so their processing must
     // not replenish credits whose buffers are still held in the fast ring.
@@ -595,6 +608,8 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       credits_.reclaim(id);
       ext.bytes_seen = Bytes{0};  // PIAS aging: an idle flow regains top priority
       ++rt_stats_.inactive_reclaims;
+      CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "inactive_reclaim", now,
+                     static_cast<double>(credits_.free_pool()), id);
       if (!ext.slow_mode) {
         ext.slow_mode = true;
         rmt_.update_action(id, SteerAction::kToNicMem);
@@ -633,6 +648,8 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       if (fs->rt.source != nullptr) fs->rt.source->notify_host_congestion();
       ext.last_cca_at = now;
       ++rt_stats_.cca_triggers;
+      CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "cca_trigger", now,
+                     static_cast<double>(slow_bk), id);
     }
     ext.slow_backlog_last_poll = slow_bk;
 
@@ -644,11 +661,15 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       if (want_slow && !ext.slow_mode) {
         ext.slow_mode = true;
         ++rt_stats_.credit_switches_to_slow;
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", now,
+                       static_cast<double>(mpq_level(id)), id);
         rmt_.update_action(id, SteerAction::kToNicMem);
       } else if (!want_slow && ext.slow_mode &&
                  slow_bk <= config_.reenable_backlog) {
         ext.slow_mode = false;
         ++rt_stats_.switches_back_to_fast;
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_fast", now,
+                       static_cast<double>(mpq_level(id)), id);
         rmt_.update_action(id, SteerAction::kToHost);
       }
       if (ext.slow_mode) kick_drain(id, ext);
@@ -659,6 +680,8 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       if (credits_.credits(id) <= 0) {
         ext.slow_mode = true;
         ++rt_stats_.credit_switches_to_slow;
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", now,
+                       static_cast<double>(credits_.credits(id)), id);
         rmt_.update_action(id, SteerAction::kToNicMem);
       }
       return;
@@ -674,9 +697,49 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
     if (drained && credits_.active(id) && credits_.credits(id) >= reenable_threshold()) {
       ext.slow_mode = false;
       ++rt_stats_.switches_back_to_fast;
+      CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_fast", now,
+                     static_cast<double>(credits_.credits(id)), id);
       rmt_.update_action(id, SteerAction::kToHost);
     }
   }
+}
+
+void CeioDatapath::set_telemetry(Telemetry* tele) {
+  DatapathBase::set_telemetry(tele);
+  for (auto& [id, ext] : ext_) {
+    if (ext.elastic) ext.elastic->set_telemetry(tele);
+  }
+}
+
+void CeioDatapath::register_metrics(MetricRegistry& registry) {
+  DatapathBase::register_metrics(registry);
+  registry.add_gauge("ceio.credits.free_pool",
+                     [this]() { return static_cast<double>(credits_.free_pool()); });
+  registry.add_gauge("ceio.credits.fair_share",
+                     [this]() { return static_cast<double>(credits_.fair_share()); });
+  registry.add_gauge("ceio.credits.active_flows",
+                     [this]() { return static_cast<double>(credits_.active_count()); });
+  registry.add_gauge("ceio.credits.balance_sum",
+                     [this]() { return static_cast<double>(credits_.balance_sum()); });
+  registry.add_gauge("ceio.slow.backlog", [this]() {
+    double total = 0;
+    for (const auto& [id, ext] : ext_) total += static_cast<double>(slow_backlog(id));
+    return total;
+  });
+  registry.add_gauge("ceio.slow.flows_in_slow_mode", [this]() {
+    double total = 0;
+    for (const auto& [id, ext] : ext_) total += ext.slow_mode ? 1.0 : 0.0;
+    return total;
+  });
+  registry.add_gauge("ceio.rt.cca_triggers",
+                     [this]() { return static_cast<double>(rt_stats_.cca_triggers); });
+  registry.add_gauge("ceio.rt.reactivations",
+                     [this]() { return static_cast<double>(rt_stats_.reactivations); });
+  registry.add_gauge("ceio.rt.switches_to_slow", [this]() {
+    return static_cast<double>(rt_stats_.credit_switches_to_slow);
+  });
+  registry.add_gauge("ceio.rt.switches_to_fast",
+                     [this]() { return static_cast<double>(rt_stats_.switches_back_to_fast); });
 }
 
 void CeioDatapath::reactivation_round() {

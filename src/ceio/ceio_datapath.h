@@ -119,6 +119,10 @@ class CeioDatapath final : public DatapathBase {
 
   const char* name() const override { return "ceio"; }
   void on_packet(Packet pkt) override;
+  /// Base path.* aggregates plus ceio.credits.* / ceio.slow.* gauges.
+  void register_metrics(MetricRegistry& registry) override;
+  /// Base hookup plus propagation into the per-flow elastic buffers.
+  void set_telemetry(Telemetry* tele) override;
 
   const CreditController& credits() const { return credits_; }
   const CeioConfig& config() const { return config_; }

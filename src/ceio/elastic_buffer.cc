@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace ceio {
 
 ElasticBuffer::ElasticBuffer(EventScheduler& sched, NicMemory& nic_mem, DmaEngine& dma,
@@ -27,6 +29,8 @@ bool ElasticBuffer::buffer_packet(Packet pkt) {
   sched_.schedule_at(written, [this, pkt = std::move(pkt)]() mutable {
     --pending_writes_;
     ring_.push_back(std::move(pkt));
+    CEIO_T_COUNTER(tele_, TraceTrack::kElasticBuffer, "elastic.ring_depth", sched_.now(),
+                   static_cast<double>(ring_.size()));
     if (draining_) issue_ready();
   });
   return true;
@@ -43,6 +47,8 @@ void ElasticBuffer::issue_ready() {
     Packet pkt = std::move(ring_.front());
     ring_.pop_front();
     ++in_flight_;
+    CEIO_T_COUNTER(tele_, TraceTrack::kElasticBuffer, "elastic.in_flight", sched_.now(),
+                   static_cast<double>(in_flight_));
     const Bytes size = pkt.size;
     dma_.read_from_nic(
         size, [this, size](Nanos issue) { return nic_mem_.read(issue, size); },

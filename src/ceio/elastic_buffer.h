@@ -24,6 +24,8 @@
 
 namespace ceio {
 
+class Telemetry;
+
 struct ElasticBufferStats {
   std::int64_t buffered_pkts = 0;
   std::int64_t drained_pkts = 0;
@@ -64,6 +66,10 @@ class ElasticBuffer {
 
   const ElasticBufferStats& stats() const { return stats_; }
 
+  /// Attaches a trace sink: ring depth + in-flight reads show up as counters
+  /// on the elastic-buffer track.
+  void set_telemetry(Telemetry* tele) { tele_ = tele; }
+
  private:
   void issue_ready();
 
@@ -78,6 +84,7 @@ class ElasticBuffer {
   int pending_writes_ = 0;  // packets still being written into on-NIC DRAM
   bool draining_ = false;
   ElasticBufferStats stats_;
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace ceio

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace ceio {
 
@@ -149,5 +150,19 @@ void LlcModel::invalidate(BufferId id) {
 }
 
 bool LlcModel::resident(BufferId id) const { return find(id) != nullptr; }
+
+void LlcModel::register_metrics(MetricRegistry& registry) const {
+  registry.add_gauge("host.llc.ddio_occupancy",
+                     [this]() { return static_cast<double>(ddio_occupancy()); });
+  registry.add_gauge("host.llc.ddio_capacity",
+                     [this]() { return static_cast<double>(ddio_capacity()); });
+  registry.add_gauge("host.llc.miss_rate", [this]() { return stats_.miss_rate(); });
+  registry.add_gauge("host.llc.cpu_misses",
+                     [this]() { return static_cast<double>(stats_.cpu_misses); });
+  registry.add_gauge("host.llc.premature_evictions",
+                     [this]() { return static_cast<double>(stats_.premature_evictions); });
+  registry.add_gauge("host.llc.writebacks",
+                     [this]() { return static_cast<double>(stats_.writebacks); });
+}
 
 }  // namespace ceio

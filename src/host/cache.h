@@ -17,6 +17,8 @@
 
 namespace ceio {
 
+class MetricRegistry;
+
 /// Identifies one cached I/O buffer (or app buffer). Allocated monotonically
 /// by whoever owns the memory (host buffer pool, app pools).
 using BufferId = std::uint64_t;
@@ -85,6 +87,10 @@ class LlcModel {
   const LlcStats& stats() const { return stats_; }
   const LlcConfig& config() const { return config_; }
   void reset_stats() { stats_ = LlcStats{}; }
+
+  /// Exposes the cache's observables as pull gauges under "host.llc.*"
+  /// (telemetry subsystem; no-op cost until a sampler reads them).
+  void register_metrics(MetricRegistry& registry) const;
 
  private:
   // Per-entry metadata; LRU is per (set, partition) via a timestamp stamp.

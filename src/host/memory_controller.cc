@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace ceio {
 
 MemoryController::MemoryController(EventScheduler& sched, LlcModel& llc, DramModel& dram,
@@ -9,6 +11,10 @@ MemoryController::MemoryController(EventScheduler& sched, LlcModel& llc, DramMod
     : sched_(sched), llc_(llc), dram_(dram), iio_(iio), config_(config) {}
 
 void MemoryController::charge_eviction(const LlcModel::Evicted& ev) {
+  if (ev.happened && ev.never_read) {
+    CEIO_T_INSTANT(tele_, TraceTrack::kLlc, "premature_evict", sched_.now(),
+                   static_cast<double>(ev.victim_bytes.count()), 0);
+  }
   if (ev.happened && ev.dirty) {
     // The write-back consumes DRAM bandwidth but nobody waits on it. Only
     // the victim's dirty bytes travel (a 128 B packet in a 2 KiB buffer
@@ -25,6 +31,8 @@ void MemoryController::dma_write(BufferId id, Bytes size, bool ddio, Completion 
     // IIO full: PCIe backpressure. Retry until space frees up; this models
     // the exhausted-PCIe-credit stall described for CPU-bypass flows (§2.2).
     ++stats_.iio_stalls;
+    CEIO_T_INSTANT(tele_, TraceTrack::kPcieLink, "iio_stall", sched_.now(),
+                   static_cast<double>(iio_.occupancy().count()), 0);
     sched_.schedule_after(config_.iio_retry_delay,
                           [this, id, size, ddio, expect_read, done = std::move(done)]() mutable {
                             dma_write(id, size, ddio, std::move(done), expect_read);
@@ -107,6 +115,29 @@ Nanos MemoryController::cpu_bulk_read(BufferId begin, std::uint32_t count, Bytes
     total += std::max(latency_bound, bw_bound);
   }
   return total;
+}
+
+void MemoryController::register_metrics(MetricRegistry& registry) const {
+  llc_.register_metrics(registry);
+  registry.add_gauge("host.iio.occupancy_bytes",
+                     [this]() { return static_cast<double>(iio_.occupancy().count()); });
+  registry.add_gauge("host.iio.occupancy_frac",
+                     [this]() { return iio_.occupancy_fraction(); });
+  registry.add_gauge("host.iio.rejects",
+                     [this]() { return static_cast<double>(iio_.rejects()); });
+  registry.add_gauge("host.dram.utilization",
+                     [this]() { return dram_.utilization(sched_.now()); });
+  registry.add_gauge("host.dram.queue_delay_ns", [this]() {
+    return static_cast<double>(dram_.queueing_delay(sched_.now()).count());
+  });
+  registry.add_gauge("host.mc.iio_stalls",
+                     [this]() { return static_cast<double>(stats_.iio_stalls); });
+  registry.add_gauge("host.mc.ddio_writes",
+                     [this]() { return static_cast<double>(stats_.ddio_writes); });
+  registry.add_gauge("host.mc.dram_writes",
+                     [this]() { return static_cast<double>(stats_.dram_writes); });
+  registry.add_gauge("host.mc.writebacks",
+                     [this]() { return static_cast<double>(stats_.writebacks); });
 }
 
 Nanos MemoryController::cpu_stream_write(Bytes size) {

@@ -21,6 +21,9 @@
 
 namespace ceio {
 
+class MetricRegistry;
+class Telemetry;
+
 struct MemoryControllerConfig {
   Nanos llc_write_latency{15};   // DDIO write absorbed by LLC
   Nanos llc_hit_latency{20};     // CPU load served by LLC
@@ -87,6 +90,12 @@ class MemoryController {
   DramModel& dram() { return dram_; }
   IioBuffer& iio() { return iio_; }
 
+  /// Attaches a trace sink for IIO-stall / premature-eviction instants.
+  void set_telemetry(Telemetry* tele) { tele_ = tele; }
+  /// Registers host.iio.* / host.dram.* / host.mc.* gauges and forwards to
+  /// the LLC's host.llc.* set.
+  void register_metrics(MetricRegistry& registry) const;
+
  private:
   void start_dma_write(BufferId id, Bytes size, bool ddio, bool expect_read, Completion done);
   void charge_eviction(const LlcModel::Evicted& ev);
@@ -97,6 +106,7 @@ class MemoryController {
   IioBuffer& iio_;
   MemoryControllerConfig config_;
   MemoryControllerStats stats_;
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace ceio

@@ -1,6 +1,7 @@
 #include "iopath/datapath.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace ceio {
 
@@ -45,6 +46,8 @@ DatapathBase::FlowState* DatapathBase::state_of(FlowId id) {
 
 void DatapathBase::drop_packet(FlowState& fs, const Packet& pkt) {
   ++fs.stats.dropped_pkts;
+  CEIO_T_INSTANT(tele_, TraceTrack::kDatapath, "drop", sched_.now(),
+                 static_cast<double>(pkt.size.count()), pkt.flow);
   if (fs.rt.source != nullptr) fs.rt.source->notify_dropped(pkt);
 }
 
@@ -65,6 +68,7 @@ void DatapathBase::deliver_fast(FlowState& fs, Packet pkt, RxRing* ring) {
   pkt.host_buffer = buffer;
   ++fs.stats.fast_path_pkts;
   const FlowId flow = fs.rt.config.id;
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kDmaIssue, sched_.now());
   const bool expect_read = fs.rt.app->reads_delivered_data();
   dma_.write_to_host(
       buffer, pkt.size, /*ddio=*/true,
@@ -86,9 +90,12 @@ void DatapathBase::on_host_landed(FlowId flow, Packet pkt, RxRing* ring) {
   }
   if (fs->rt.source != nullptr) fs->rt.source->notify_delivered(pkt);
   if (!fs->rt.app->per_packet_cpu()) {
+    // Bypass flows never touch a core: the path ends where the data lands.
+    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, sched_.now());
     note_delivered_message_progress(*fs, pkt, sched_.now());
     return;
   }
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kHostLanded, sched_.now());
   if (ring == nullptr || !ring->post(pkt)) {
     host_pool_.release(pkt.host_buffer);
     mc_.release_buffer(pkt.host_buffer);
@@ -115,6 +122,7 @@ void DatapathBase::process_packet(FlowState& fs, Packet pkt, RxRing* ring) {
   work.read_buffer = costs.read_buffer;
   work.copy_to = costs.copy_to;
   const FlowId flow = fs.rt.config.id;
+  CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kCpuStart, sched_.now());
   work.on_done = [this, flow, pkt = std::move(pkt), ring](Nanos done) {
     FlowState* fs2 = state_of(flow);
     if (fs2 == nullptr) {
@@ -123,6 +131,7 @@ void DatapathBase::process_packet(FlowState& fs, Packet pkt, RxRing* ring) {
     }
     host_pool_.release(pkt.host_buffer);
     mc_.release_buffer(pkt.host_buffer);
+    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kProcessed, done);
     on_packet_processed_hook(*fs2, pkt);
     note_processed_message_progress(*fs2, pkt, done);
     fs2->pumping = false;
@@ -188,6 +197,29 @@ void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos
     if (fs2 != nullptr) on_message_work_done(*fs2, last_pkt, done);
   };
   fs.rt.core->submit(std::move(work));
+}
+
+void DatapathBase::register_metrics(MetricRegistry& registry) {
+  registry.add_gauge("path.fast_pkts", [this]() {
+    double total = 0;
+    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.fast_path_pkts);
+    return total;
+  });
+  registry.add_gauge("path.slow_pkts", [this]() {
+    double total = 0;
+    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.slow_path_pkts);
+    return total;
+  });
+  registry.add_gauge("path.dropped_pkts", [this]() {
+    double total = 0;
+    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.dropped_pkts);
+    return total;
+  });
+  registry.add_gauge("path.ring_depth", [this]() {
+    double depth = 0;
+    for_each_ring([&depth](const RxRing& ring) { depth += static_cast<double>(ring.size()); });
+    return depth;
+  });
 }
 
 }  // namespace ceio

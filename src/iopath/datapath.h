@@ -30,6 +30,9 @@
 
 namespace ceio {
 
+class MetricRegistry;
+class Telemetry;
+
 /// Buffer ids at or above this base are rotating application-memory ids
 /// (CPU-bypass flows), never pool buffers — they must not be released into
 /// the host RX pool.
@@ -60,6 +63,13 @@ class IoDatapath : public PacketSink {
 
   /// Invokes `fn` on every live RX descriptor ring (model-auditor sweeps).
   virtual void for_each_ring(const std::function<void(const RxRing&)>& fn) const { (void)fn; }
+
+  /// Attaches a trace sink (per-packet path hops, drop instants). Policies
+  /// extend this to trace their own machinery (CEIO: credits, steering).
+  virtual void set_telemetry(Telemetry* tele) { (void)tele; }
+
+  /// Registers the policy's gauges (path.* aggregates; policies add theirs).
+  virtual void register_metrics(MetricRegistry& registry) { (void)registry; }
 };
 
 class DatapathBase : public IoDatapath {
@@ -70,6 +80,8 @@ class DatapathBase : public IoDatapath {
   void register_flow(const FlowRuntime& rt) override;
   void unregister_flow(FlowId id) override;
   void for_each_ring(const std::function<void(const RxRing&)>& fn) const override;
+  void set_telemetry(Telemetry* tele) override { tele_ = tele; }
+  void register_metrics(MetricRegistry& registry) override;
 
   const FlowPathStats* flow_stats(FlowId id) const;
 
@@ -131,6 +143,7 @@ class DatapathBase : public IoDatapath {
   MemoryController& mc_;
   BufferPool& host_pool_;
   std::unordered_map<FlowId, FlowState> flows_;
+  Telemetry* tele_ = nullptr;
 
  private:
   void on_host_landed(FlowId flow, Packet pkt, RxRing* ring);

@@ -172,6 +172,27 @@ std::vector<FlowId> Testbed::flow_ids() const {
   return ids;
 }
 
+Telemetry& Testbed::enable_telemetry() {
+  if (!telemetry_) {
+    telemetry_ = std::make_unique<Telemetry>(sched_, config_.telemetry);
+    Telemetry* tele = telemetry_.get();
+    MetricRegistry& reg = tele->metrics();
+    mc_->register_metrics(reg);
+    dma_->register_metrics(reg);
+    nic_->register_metrics(reg);
+    nic_mem_->register_metrics(reg);
+    rmt_->register_metrics(reg);
+    datapath_->register_metrics(reg);
+    mc_->set_telemetry(tele);
+    dma_->set_telemetry(tele);
+    nic_->set_telemetry(tele);
+    rmt_->set_telemetry(tele);
+    datapath_->set_telemetry(tele);
+  }
+  telemetry_->set_enabled(true);
+  return *telemetry_;
+}
+
 ModelAuditor& Testbed::enable_audit(Nanos interval) {
   if (!auditor_) {
     auditor_ = std::make_unique<ModelAuditor>();

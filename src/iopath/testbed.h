@@ -25,6 +25,7 @@
 #include "iopath/datapath.h"
 #include "net/flow_source.h"
 #include "net/network_link.h"
+#include "telemetry/telemetry.h"
 
 namespace ceio {
 
@@ -64,6 +65,9 @@ struct TestbedConfig {
   /// Derive CEIO C_total from the LLC config (Eq. 1) minus a poll-lag
   /// margin; when false, ceio.total_credits is used as given.
   bool ceio_auto_credits = true;
+
+  /// Telemetry subsystem parameters (only consulted by enable_telemetry).
+  TelemetryConfig telemetry;
 
   std::uint64_t seed = 1;
 };
@@ -118,6 +122,17 @@ class Testbed {
   ModelAuditor& enable_audit(Nanos interval = micros(100));
   /// Non-null once enable_audit has run.
   ModelAuditor* auditor() { return auditor_.get(); }
+
+  // ---- Telemetry (src/telemetry/) ----
+  /// Constructs the telemetry facade (idempotent), attaches it to every
+  /// model layer, registers all gauges, and enables the trace hooks.
+  /// Deliberately NOT called from the constructor, in any build type:
+  /// simulation results must stay bit-identical until the caller opts in.
+  /// Periodic gauge sampling starts only when the caller additionally
+  /// invokes telemetry()->start_sampling().
+  Telemetry& enable_telemetry();
+  /// Non-null once enable_telemetry has run.
+  Telemetry* telemetry() { return telemetry_.get(); }
 
   // ---- Measurement ----
   /// Clears per-flow meters and host-level stats; reports cover the window
@@ -199,6 +214,7 @@ class Testbed {
   void run_audit_sweep();
   void schedule_audit_sweep();
   std::unique_ptr<ModelAuditor> auditor_;
+  std::unique_ptr<Telemetry> telemetry_;
   Nanos audit_interval_{0};
   bool audit_sweep_scheduled_ = false;
   std::size_t audit_logged_ = 0;

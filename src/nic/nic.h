@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "nic/packet.h"
 #include "sim/event_scheduler.h"
+#include "telemetry/telemetry.h"
 
 namespace ceio {
 
@@ -40,6 +41,17 @@ class Nic {
 
   void attach(PacketSink* sink) { sink_ = sink; }
 
+  /// Attaches a trace sink: records the per-packet path-trace origin hop.
+  void set_telemetry(Telemetry* tele) { tele_ = tele; }
+
+  /// Registers nic.rx.* gauges.
+  void register_metrics(MetricRegistry& registry) const {
+    registry.add_gauge("nic.rx.packets",
+                       [this]() { return static_cast<double>(stats_.packets); });
+    registry.add_gauge("nic.rx.bytes",
+                       [this]() { return static_cast<double>(stats_.bytes.count()); });
+  }
+
   /// Entry point for the network link: packet hits the RX MAC.
   void receive(Packet pkt) {
     ++stats_.packets;
@@ -47,6 +59,7 @@ class Nic {
     const Nanos start = sched_.now() > pipeline_free_ ? sched_.now() : pipeline_free_;
     pipeline_free_ = start + config_.per_packet_cost;
     pkt.nic_arrival = pipeline_free_;
+    CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kNicArrival, pipeline_free_);
     sched_.schedule_at(pipeline_free_, [this, pkt = std::move(pkt)]() mutable {
       if (sink_ != nullptr) sink_->on_packet(std::move(pkt));
     });
@@ -60,6 +73,7 @@ class Nic {
   PacketSink* sink_ = nullptr;
   Nanos pipeline_free_{0};
   NicRxStats stats_;
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace ceio

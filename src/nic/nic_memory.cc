@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace ceio {
 
 bool NicMemory::allocate(Bytes size) {
@@ -34,6 +36,19 @@ Nanos NicMemory::read(Nanos now, Bytes size) {
   ++stats_.reads;
   stats_.bytes_read += size;
   return reserve_pipe(now, size) + config_.access_latency + config_.switch_latency;
+}
+
+void NicMemory::register_metrics(MetricRegistry& registry) const {
+  registry.add_gauge("nic.mem.occupancy_bytes",
+                     [this]() { return static_cast<double>(occupancy_.count()); });
+  registry.add_gauge("nic.mem.occupancy_frac",
+                     [this]() { return occupancy_fraction(); });
+  registry.add_gauge("nic.mem.reads",
+                     [this]() { return static_cast<double>(stats_.reads); });
+  registry.add_gauge("nic.mem.writes",
+                     [this]() { return static_cast<double>(stats_.writes); });
+  registry.add_gauge("nic.mem.alloc_failures",
+                     [this]() { return static_cast<double>(stats_.alloc_failures); });
 }
 
 }  // namespace ceio

@@ -14,6 +14,8 @@
 
 namespace ceio {
 
+class MetricRegistry;
+
 struct NicMemoryConfig {
   Bytes capacity = 16 * kGiB;        // BlueField-3 onboard DRAM
   BitsPerSec bandwidth = gbps(480);  // effective onboard DDR5 bandwidth
@@ -61,6 +63,9 @@ class NicMemory {
   }
   const NicMemoryStats& stats() const { return stats_; }
   const NicMemoryConfig& config() const { return config_; }
+
+  /// Registers nic.mem.* gauges (occupancy, reads/writes, alloc failures).
+  void register_metrics(MetricRegistry& registry) const;
 
  private:
   Nanos reserve_pipe(Nanos now, Bytes size);

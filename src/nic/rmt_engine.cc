@@ -1,6 +1,19 @@
 #include "nic/rmt_engine.h"
 
+#include "telemetry/telemetry.h"
+
 namespace ceio {
+
+namespace {
+[[maybe_unused]] const char* action_name(SteerAction action) {
+  switch (action) {
+    case SteerAction::kToHost: return "steer:to_host";
+    case SteerAction::kToNicMem: return "steer:to_nic_mem";
+    case SteerAction::kDrop: return "steer:drop";
+  }
+  return "steer:?";
+}
+}  // namespace
 
 RmtEngine::RmtEngine(EventScheduler& sched, const RmtConfig& config)
     : sched_(sched), config_(config) {}
@@ -18,6 +31,7 @@ void RmtEngine::update_action(FlowId flow, SteerAction action) {
   sched_.schedule_after(config_.rule_update_latency, [this, flow, action, gen]() {
     if (gen != generation_) return;  // table was torn down meanwhile
     rules_[flow].action = action;
+    CEIO_T_INSTANT(tele_, TraceTrack::kRmt, action_name(action), sched_.now(), 0.0, flow);
   });
 }
 
@@ -45,6 +59,11 @@ SteerAction RmtEngine::current_action(FlowId flow) const {
 RuleCounters RmtEngine::counters(FlowId flow) const {
   const auto it = rules_.find(flow);
   return it == rules_.end() ? RuleCounters{} : it->second.counters;
+}
+
+void RmtEngine::register_metrics(MetricRegistry& registry) const {
+  registry.add_gauge("nic.rmt.rule_count",
+                     [this]() { return static_cast<double>(rules_.size()); });
 }
 
 }  // namespace ceio

@@ -18,6 +18,9 @@
 
 namespace ceio {
 
+class MetricRegistry;
+class Telemetry;
+
 enum class SteerAction {
   kToHost,    // fast path: DMA to host memory (DDIO)
   kToNicMem,  // slow path: buffer in on-NIC memory
@@ -61,6 +64,12 @@ class RmtEngine {
 
   std::size_t rule_count() const { return rules_.size(); }
 
+  /// Attaches a trace sink: rule reprogram completions show up as instants
+  /// on the RMT track.
+  void set_telemetry(Telemetry* tele) { tele_ = tele; }
+  /// Registers nic.rmt.* gauges.
+  void register_metrics(MetricRegistry& registry) const;
+
  private:
   struct Rule {
     SteerAction action;
@@ -71,6 +80,7 @@ class RmtEngine {
   RmtConfig config_;
   std::unordered_map<FlowId, Rule> rules_;
   std::uint64_t generation_ = 0;  // invalidates in-flight updates on remove
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace ceio

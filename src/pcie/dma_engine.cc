@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace ceio {
 
 DmaEngine::DmaEngine(EventScheduler& sched, PcieLink& link, MemoryController& mc,
@@ -40,6 +42,8 @@ void DmaEngine::start_read(ReadRequest req) {
   ++outstanding_reads_;
   ++stats_.reads;
   stats_.read_bytes += req.size;
+  CEIO_T_COUNTER(tele_, TraceTrack::kDmaEngine, "dma.outstanding_reads", sched_.now(),
+                 static_cast<double>(outstanding_reads_));
   // 1. Post the read request: doorbell + a small request TLP downstream.
   const Nanos at_nic = link_.downstream(sched_.now() + config_.doorbell_latency, Bytes{0});
   sched_.schedule_at(at_nic, [this, req = std::move(req)]() mutable {
@@ -63,11 +67,32 @@ void DmaEngine::start_read(ReadRequest req) {
 void DmaEngine::finish_read() {
   ++stats_.reads_completed;
   --outstanding_reads_;
+  CEIO_T_COUNTER(tele_, TraceTrack::kDmaEngine, "dma.outstanding_reads", sched_.now(),
+                 static_cast<double>(outstanding_reads_));
   if (!read_queue_.empty() && outstanding_reads_ < config_.max_outstanding_reads) {
     ReadRequest next = std::move(read_queue_.front());
     read_queue_.pop_front();
     start_read(std::move(next));
   }
+}
+
+void DmaEngine::register_metrics(MetricRegistry& registry) const {
+  registry.add_gauge("pcie.dma.outstanding_reads",
+                     [this]() { return static_cast<double>(outstanding_reads_); });
+  registry.add_gauge("pcie.dma.queued_reads",
+                     [this]() { return static_cast<double>(read_queue_.size()); });
+  registry.add_gauge("pcie.dma.reads",
+                     [this]() { return static_cast<double>(stats_.reads); });
+  registry.add_gauge("pcie.dma.writes",
+                     [this]() { return static_cast<double>(stats_.writes); });
+  registry.add_gauge("pcie.dma.read_queue_peak",
+                     [this]() { return static_cast<double>(stats_.read_queue_peak); });
+  registry.add_gauge("pcie.link.upstream_wire_bytes", [this]() {
+    return static_cast<double>(link_.stats().upstream_wire_bytes.count());
+  });
+  registry.add_gauge("pcie.link.downstream_wire_bytes", [this]() {
+    return static_cast<double>(link_.stats().downstream_wire_bytes.count());
+  });
 }
 
 }  // namespace ceio

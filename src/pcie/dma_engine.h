@@ -23,6 +23,8 @@
 
 namespace ceio {
 
+class Telemetry;
+
 struct DmaEngineConfig {
   int max_outstanding_reads = 64;  // read requests in flight at once
   Nanos doorbell_latency{100};    // MMIO doorbell for posting a request
@@ -64,6 +66,12 @@ class DmaEngine {
   std::size_t queued_reads() const { return read_queue_.size(); }
   const DmaEngineStats& stats() const { return stats_; }
 
+  /// Attaches a trace sink: emits outstanding/queued read counters on the
+  /// DMA-engine track as the read window fills and drains.
+  void set_telemetry(Telemetry* tele) { tele_ = tele; }
+  /// Registers pcie.dma.* gauges.
+  void register_metrics(MetricRegistry& registry) const;
+
  private:
   struct ReadRequest {
     Bytes size;
@@ -81,6 +89,7 @@ class DmaEngine {
   std::deque<ReadRequest> read_queue_;
   int outstanding_reads_ = 0;
   DmaEngineStats stats_;
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace ceio

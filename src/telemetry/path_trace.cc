@@ -1,0 +1,72 @@
+#include "telemetry/path_trace.h"
+
+namespace ceio {
+
+const char* to_string(PathHop hop) {
+  switch (hop) {
+    case PathHop::kNicArrival:
+      return "nic_arrival";
+    case PathHop::kNicBuffered:
+      return "nic_buffered";
+    case PathHop::kDmaIssue:
+      return "dma_issue";
+    case PathHop::kHostLanded:
+      return "host_landed";
+    case PathHop::kCpuStart:
+      return "cpu_start";
+    case PathHop::kProcessed:
+      return "processed";
+    case PathHop::kCount:
+      break;
+  }
+  return "?";
+}
+
+Nanos PathRecord::begin_ts() const {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(PathHop::kCount); ++i) {
+    if (seen[i]) return t[i];
+  }
+  return Nanos{0};
+}
+
+Nanos PathRecord::end_ts() const {
+  for (std::size_t i = static_cast<std::size_t>(PathHop::kCount); i > 0; --i) {
+    if (seen[i - 1]) return t[i - 1];
+  }
+  return Nanos{0};
+}
+
+void PathTracer::hop(std::uint32_t flow, std::uint64_t seq, PathHop h, Nanos now) {
+  if (!sampled(seq)) return;
+  PathRecord& rec = open_[key(flow, seq)];
+  rec.flow = flow;
+  rec.seq = seq;
+  const auto idx = static_cast<std::size_t>(h);
+  // Retries (e.g. an IIO-stalled DMA re-issue) keep the first timestamp.
+  if (!rec.seen[idx]) {
+    rec.seen[idx] = true;
+    rec.t[idx] = now;
+  }
+  if (h == PathHop::kNicBuffered) rec.slow_path = true;
+}
+
+void PathTracer::finish(std::uint32_t flow, std::uint64_t seq, PathHop h, Nanos now) {
+  if (!sampled(seq)) return;
+  hop(flow, seq, h, now);
+  const auto it = open_.find(key(flow, seq));
+  if (it == open_.end()) return;
+  if (completed_.size() < max_records_) {
+    completed_.push_back(it->second);
+  } else {
+    ++dropped_;
+  }
+  open_.erase(it);
+}
+
+void PathTracer::clear() {
+  open_.clear();
+  completed_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace ceio

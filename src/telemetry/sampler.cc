@@ -1,0 +1,89 @@
+#include "telemetry/sampler.h"
+
+namespace ceio {
+
+TimeSeriesSampler::TimeSeriesSampler(EventScheduler& sched, MetricRegistry& registry,
+                                     TraceSink* trace)
+    : sched_(sched), registry_(registry), trace_(trace) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::freeze_schema() {
+  refs_ = registry_.gauge_names();  // registry map keys: stable storage
+  columns_.clear();
+  columns_.reserve(refs_.size());
+  for (const std::string* name : refs_) columns_.push_back(*name);
+}
+
+void TimeSeriesSampler::start(Nanos interval) {
+  if (interval <= Nanos{0}) return;
+  stop();
+  if (columns_.size() != registry_.gauge_count() || columns_.empty()) freeze_schema();
+  interval_ = interval;
+  running_ = true;
+  schedule_next();
+}
+
+void TimeSeriesSampler::stop() {
+  if (pending_.valid()) sched_.cancel(pending_);
+  pending_ = EventHandle{};
+  running_ = false;
+}
+
+void TimeSeriesSampler::schedule_next() {
+  pending_ = sched_.schedule_after(interval_, [this]() {
+    sample_now();
+    if (running_) schedule_next();
+  });
+}
+
+void TimeSeriesSampler::sample_now() {
+  if (columns_.empty()) freeze_schema();
+  const Nanos now = sched_.now();
+  times_.push_back(now);
+  for (std::size_t c = 0; c < refs_.size(); ++c) {
+    const double v = registry_.read_gauge(*refs_[c]);
+    values_.push_back(v);
+    if (trace_ != nullptr) trace_->counter(TraceTrack::kSampler, refs_[c]->c_str(), now, v);
+  }
+}
+
+void TimeSeriesSampler::clear() {
+  times_.clear();
+  values_.clear();
+}
+
+void TimeSeriesSampler::write_csv(std::FILE* out) const {
+  std::fputs("t_ns", out);
+  for (const auto& col : columns_) std::fprintf(out, ",%s", col.c_str());
+  std::fputc('\n', out);
+  for (std::size_t r = 0; r < times_.size(); ++r) {
+    std::fprintf(out, "%lld", static_cast<long long>(times_[r].count()));
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::fprintf(out, ",%.6g", value_at(r, c));
+    }
+    std::fputc('\n', out);
+  }
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = "t_ns";
+  char buf[64];
+  for (const auto& col : columns_) {
+    out += ',';
+    out += col;
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < times_.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(times_[r].count()));
+    out += buf;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), ",%.6g", value_at(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ceio

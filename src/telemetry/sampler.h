@@ -1,0 +1,91 @@
+// Time-series sampler: EventScheduler-driven periodic gauge snapshots.
+//
+// At a fixed simulated-time interval the sampler evaluates every gauge
+// registered in the MetricRegistry and appends one row to a columnar buffer
+// (column set frozen at start()). Rows are exported as CSV (one column per
+// gauge, nanosecond timestamps) or JSON, and each snapshot also emits
+// counter events into the trace sink (when attached) so Perfetto renders the
+// same series as counter tracks alongside the component spans.
+//
+// Sampling is read-only with respect to the models: the only interaction
+// with the simulation is the periodic callback itself, which consumes event
+// slots but never mutates model state. The sampler is started explicitly
+// (Testbed::enable_telemetry); nothing is scheduled while telemetry is off,
+// which is what keeps disabled-telemetry runs bit-identical.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/event_scheduler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace ceio {
+
+class TimeSeriesSampler {
+ public:
+  /// `trace` may be null (no counter events are mirrored into the trace).
+  TimeSeriesSampler(EventScheduler& sched, MetricRegistry& registry,
+                    TraceSink* trace = nullptr);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Freezes the current gauge set as the column schema and schedules
+  /// snapshots every `interval` (> 0), the first one `interval` from now.
+  /// Restarting with a different interval re-freezes the schema.
+  void start(Nanos interval);
+
+  /// Cancels the pending snapshot; already-collected rows are retained.
+  void stop();
+
+  bool running() const { return running_; }
+  Nanos interval() const { return interval_; }
+
+  /// Takes one snapshot immediately (also usable while stopped, e.g. a
+  /// final end-of-run row). Freezes the schema on first use.
+  void sample_now();
+
+  /// Number of snapshots a run of `duration` at `interval` produces: one at
+  /// every whole multiple of the interval (the deadline-boundary snapshot
+  /// included). Zero for non-positive intervals or durations.
+  static std::size_t expected_samples(Nanos duration, Nanos interval) {
+    if (interval <= Nanos{0} || duration < interval) return 0;
+    return static_cast<std::size_t>(duration / interval);  // integer ratio
+  }
+
+  // ---- Collected data ----
+  std::size_t rows() const { return times_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  Nanos time_at(std::size_t row) const { return times_[row]; }
+  double value_at(std::size_t row, std::size_t col) const {
+    return values_[row * columns_.size() + col];
+  }
+  void clear();
+
+  /// CSV export: header "t_ns,<col>,..." then one row per snapshot.
+  void write_csv(std::FILE* out) const;
+  std::string to_csv() const;
+
+ private:
+  void freeze_schema();
+  void schedule_next();
+
+  EventScheduler& sched_;
+  MetricRegistry& registry_;
+  TraceSink* trace_;
+  // Column names twice: copies for the export API, and pointers into the
+  // registry's stable key storage for zero-copy trace counter names.
+  std::vector<std::string> columns_;
+  std::vector<const std::string*> refs_;
+  std::vector<Nanos> times_;
+  std::vector<double> values_;  // row-major, columns_.size() per row
+  Nanos interval_{0};
+  bool running_ = false;
+  EventHandle pending_;
+};
+
+}  // namespace ceio

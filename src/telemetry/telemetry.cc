@@ -1,0 +1,35 @@
+#include "telemetry/telemetry.h"
+
+#include "telemetry/trace_export.h"
+
+namespace ceio {
+
+Telemetry::Telemetry(EventScheduler& sched, const TelemetryConfig& config)
+    : config_(config),
+      trace_(config.trace_capacity > 0 ? config.trace_capacity : 1),
+      sampler_(sched, metrics_, &trace_),
+      paths_(config.path_sample_every, config.path_max_records) {}
+
+void Telemetry::set_enabled(bool on) {
+  enabled_ = on;
+  if (!on) sampler_.stop();
+}
+
+void Telemetry::start_sampling() {
+  enabled_ = true;
+  if (config_.sample_interval > Nanos{0}) sampler_.start(config_.sample_interval);
+}
+
+std::string Telemetry::trace_json() const {
+  return ChromeTraceExporter(trace_, &paths_).to_json();
+}
+
+void Telemetry::write_trace_json(std::FILE* out) const {
+  ChromeTraceExporter(trace_, &paths_).write(out);
+}
+
+void Telemetry::write_timeseries_csv(std::FILE* out) const {
+  sampler_.write_csv(out);
+}
+
+}  // namespace ceio

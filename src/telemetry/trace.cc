@@ -1,0 +1,47 @@
+#include "telemetry/trace.h"
+
+#include <stdexcept>
+
+namespace ceio {
+
+const char* to_string(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kNicFw:
+      return "NIC firmware";
+    case TraceTrack::kRmt:
+      return "RMT steering";
+    case TraceTrack::kDmaEngine:
+      return "DMA engine";
+    case TraceTrack::kPcieLink:
+      return "PCIe link";
+    case TraceTrack::kLlc:
+      return "LLC/DDIO";
+    case TraceTrack::kDram:
+      return "DRAM";
+    case TraceTrack::kCpuCore:
+      return "CPU core";
+    case TraceTrack::kCreditController:
+      return "credit controller";
+    case TraceTrack::kElasticBuffer:
+      return "elastic buffer";
+    case TraceTrack::kDatapath:
+      return "datapath";
+    case TraceTrack::kSampler:
+      return "metric sampler";
+    case TraceTrack::kPathTrace:
+      return "packet paths";
+    case TraceTrack::kCount:
+      break;
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : events_(capacity) {
+  // A zero-capacity ring has no slot for `next_ % capacity` to name; check
+  // here rather than faulting on the first emit.
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceSink capacity must be at least 1");
+  }
+}
+
+}  // namespace ceio

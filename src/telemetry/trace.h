@@ -1,0 +1,121 @@
+// Trace engine: nanosecond-timestamped event recording for every model layer.
+//
+// The sink is a preallocated overwrite-oldest ring of fixed-size POD events —
+// no allocation ever happens on the emit path, so tracing can sit inside the
+// per-packet hot loops (DMA issue, LLC fills, credit transitions) without
+// perturbing the perf harness. When the ring wraps, the *oldest* events are
+// overwritten (a flight-recorder: the tail of a run is always retained) and
+// the overwrite count is reported so exports are honest about truncation.
+//
+// Event names are `const char*` and are stored by pointer, not copied: emit
+// sites pass string literals, and the metric sampler passes registry-owned
+// names whose storage is stable for the registry's lifetime. This is the
+// same contract Chrome's own trace macros use, and it is what keeps the
+// event POD at 32 bytes.
+//
+// Events carry a track (which hardware component they belong to) so the
+// Chrome trace-event exporter (trace_export.h) can lay each component out as
+// its own named row in Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+/// One row per hardware component in the exported trace.
+enum class TraceTrack : std::uint8_t {
+  kNicFw = 0,       // NIC RX firmware pipeline
+  kRmt,             // match-action steering engine
+  kDmaEngine,       // PCIe DMA engine (writes + slow-path reads)
+  kPcieLink,        // PCIe serialization pipes
+  kLlc,             // LLC / DDIO partition
+  kDram,            // DRAM bandwidth pipe
+  kCpuCore,         // per-flow pinned cores
+  kCreditController,  // CEIO credit controller / steering policy
+  kElasticBuffer,   // on-NIC elastic buffering + drain engine
+  kDatapath,        // datapath policy layer (delivery, drops)
+  kSampler,         // periodic metric snapshots
+  kPathTrace,       // sampled per-packet path traces
+  kCount,
+};
+
+const char* to_string(TraceTrack track);
+
+enum class TraceType : std::uint8_t {
+  kSpanBegin,  // duration slice opens on the track
+  kSpanEnd,    // duration slice closes
+  kInstant,    // zero-duration marker
+  kCounter,    // numeric series point
+};
+
+/// Fixed-size POD record; `name` must outlive the sink (string literal or
+/// registry-owned storage).
+struct TraceEvent {
+  Nanos ts{0};
+  const char* name = nullptr;
+  double value = 0.0;        // counter value / instant or span argument
+  std::uint32_t flow = 0;    // owning flow id, 0 when not flow-scoped
+  TraceType type = TraceType::kInstant;
+  TraceTrack track = TraceTrack::kNicFw;
+};
+
+/// Preallocated overwrite-oldest ring of trace events.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity);
+
+  /// Records an event; O(1), allocation-free. When the ring is full the
+  /// oldest retained event is overwritten.
+  void emit(const TraceEvent& ev) {
+    events_[static_cast<std::size_t>(next_ % events_.size())] = ev;
+    ++next_;
+  }
+
+  // ---- Typed emit helpers (the macros in telemetry.h funnel here) ----
+  void span_begin(TraceTrack track, const char* name, Nanos now, std::uint32_t flow = 0) {
+    emit({now, name, 0.0, flow, TraceType::kSpanBegin, track});
+  }
+  void span_end(TraceTrack track, const char* name, Nanos now, std::uint32_t flow = 0) {
+    emit({now, name, 0.0, flow, TraceType::kSpanEnd, track});
+  }
+  void instant(TraceTrack track, const char* name, Nanos now, double value = 0.0,
+               std::uint32_t flow = 0) {
+    emit({now, name, value, flow, TraceType::kInstant, track});
+  }
+  void counter(TraceTrack track, const char* name, Nanos now, double value) {
+    emit({now, name, value, 0, TraceType::kCounter, track});
+  }
+
+  /// Events currently retained (<= capacity).
+  std::size_t size() const {
+    return next_ < events_.size() ? static_cast<std::size_t>(next_) : events_.size();
+  }
+  std::size_t capacity() const { return events_.size(); }
+  /// Total events ever emitted (monotonic).
+  std::uint64_t total_emitted() const { return next_; }
+  /// Events lost to wraparound (oldest-first overwrites).
+  std::uint64_t overwritten() const {
+    return next_ < events_.size() ? 0 : next_ - events_.size();
+  }
+
+  /// Visits retained events oldest to newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint64_t begin = overwritten();
+    for (std::uint64_t i = begin; i < next_; ++i) {
+      fn(events_[static_cast<std::size_t>(i % events_.size())]);
+    }
+  }
+
+  void clear() { next_ = 0; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_ = 0;  // monotonic write index
+};
+
+}  // namespace ceio

@@ -1,0 +1,198 @@
+#include "telemetry/trace_export.h"
+
+#include <cinttypes>
+#include <cstdint>
+
+namespace ceio {
+
+namespace {
+
+/// Appends `ts` (nanoseconds) as the format's microsecond unit with
+/// nanosecond resolution.
+void append_ts(std::string& out, Nanos ts) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ts.count()) / 1000.0);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+int tid_of(TraceTrack track) { return static_cast<int>(track) + 1; }
+
+char phase_of(TraceType type) {
+  switch (type) {
+    case TraceType::kSpanBegin:
+      return 'B';
+    case TraceType::kSpanEnd:
+      return 'E';
+    case TraceType::kInstant:
+      return 'i';
+    case TraceType::kCounter:
+      return 'C';
+  }
+  return 'i';
+}
+
+}  // namespace
+
+std::string escape_json(const char* s) {
+  std::string out;
+  if (s == nullptr) return out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+template <typename Emit>
+void ChromeTraceExporter::render(Emit&& emit) const {
+  std::string line;
+  bool first = true;
+  const auto entry = [&](const std::string& body) {
+    line.clear();
+    line += first ? "  " : ",\n  ";
+    first = false;
+    line += body;
+    emit(line);
+  };
+
+  emit("{\n\"traceEvents\": [\n");
+
+  // Metadata: name the process and one thread per component track.
+  entry("{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"ceio simulated host\"}}");
+  for (int t = 0; t < static_cast<int>(TraceTrack::kCount); ++t) {
+    const auto track = static_cast<TraceTrack>(t);
+    std::string body = "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    body += std::to_string(tid_of(track));
+    body += ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+    body += escape_json(to_string(track));
+    body += "\"}}";
+    entry(body);
+    // sort_index keeps the rows in path order instead of alphabetical.
+    body = "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    body += std::to_string(tid_of(track));
+    body += ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": ";
+    body += std::to_string(t);
+    body += "}}";
+    entry(body);
+  }
+
+  sink_.for_each([&](const TraceEvent& ev) {
+    std::string body = "{\"ph\": \"";
+    body += phase_of(ev.type);
+    body += "\", \"pid\": 1, \"tid\": ";
+    body += std::to_string(tid_of(ev.track));
+    body += ", \"ts\": ";
+    append_ts(body, ev.ts);
+    body += ", \"name\": \"";
+    body += escape_json(ev.name);
+    body += '"';
+    if (ev.type == TraceType::kInstant) body += ", \"s\": \"t\"";
+    if (ev.type == TraceType::kCounter) {
+      body += ", \"args\": {\"value\": ";
+      append_double(body, ev.value);
+      body += '}';
+    } else if (ev.type != TraceType::kSpanEnd) {
+      body += ", \"args\": {\"flow\": ";
+      body += std::to_string(ev.flow);
+      if (ev.value != 0.0) {
+        body += ", \"value\": ";
+        append_double(body, ev.value);
+      }
+      body += '}';
+    }
+    body += '}';
+    entry(body);
+  });
+
+  if (paths_ != nullptr) {
+    constexpr auto kHops = static_cast<std::size_t>(PathHop::kCount);
+    for (const PathRecord& rec : paths_->records()) {
+      // One "X" slice per hop-to-hop leg; per-hop latency reads directly
+      // off the slice duration in Perfetto.
+      std::size_t prev = kHops;
+      for (std::size_t h = 0; h < kHops; ++h) {
+        if (!rec.seen[h]) continue;
+        if (prev != kHops) {
+          std::string body = "{\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+          body += std::to_string(tid_of(TraceTrack::kPathTrace));
+          body += ", \"ts\": ";
+          append_ts(body, rec.t[prev]);
+          body += ", \"dur\": ";
+          append_ts(body, rec.t[h] - rec.t[prev]);
+          body += ", \"name\": \"";
+          body += escape_json(to_string(static_cast<PathHop>(prev)));
+          body += "->";
+          body += escape_json(to_string(static_cast<PathHop>(h)));
+          body += "\", \"args\": {\"flow\": ";
+          body += std::to_string(rec.flow);
+          body += ", \"seq\": ";
+          body += std::to_string(rec.seq);
+          body += ", \"slow_path\": ";
+          body += rec.slow_path ? "true" : "false";
+          body += "}}";
+          entry(body);
+        }
+        prev = h;
+      }
+    }
+  }
+
+  std::string tail = "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {";
+  tail += "\"emitted\": " + std::to_string(sink_.total_emitted());
+  tail += ", \"overwritten\": " + std::to_string(sink_.overwritten());
+  if (paths_ != nullptr) {
+    tail += ", \"path_records\": " + std::to_string(paths_->records().size());
+    tail += ", \"path_dropped\": " + std::to_string(paths_->dropped());
+  }
+  tail += "}\n}\n";
+  emit(tail);
+}
+
+std::string ChromeTraceExporter::to_json() const {
+  std::string out;
+  render([&out](const std::string& chunk) { out += chunk; });
+  return out;
+}
+
+void ChromeTraceExporter::write(std::FILE* out) const {
+  render([out](const std::string& chunk) { std::fputs(chunk.c_str(), out); });
+}
+
+}  // namespace ceio

@@ -1,0 +1,56 @@
+// Chrome trace-event JSON exporter.
+//
+// Serializes a TraceSink (and optionally a PathTracer's completed journeys)
+// into the Chrome trace-event format's JSON-object flavour, so any recorded
+// run opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   {"traceEvents": [...], "displayTimeUnit": "ns", ...}
+//
+// Layout choices:
+//   * one pid (the simulated host), one tid per TraceTrack, named via "M"
+//     (metadata) thread_name events so each component renders as its own row;
+//   * span begin/end -> "B"/"E", instants -> "i" (thread scope), counters ->
+//     "C" with {"value": v} args;
+//   * path records -> "X" (complete) slices on the packet-paths track, one
+//     slice per hop-to-hop leg, so per-hop latency is directly visible;
+//   * "ts" is microseconds (the format's unit) as a decimal with nanosecond
+//     resolution — simulated time starts at 0, so no epoch offset applies.
+//
+// All emitted name strings pass through `escape_json`, which handles quotes,
+// backslashes and control characters (\u00XX); the schema test feeds hostile
+// names through a round trip.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/path_trace.h"
+#include "telemetry/trace.h"
+
+namespace ceio {
+
+/// Escapes `s` for embedding inside a JSON string literal (no surrounding
+/// quotes added). Control characters become \u00XX escapes.
+std::string escape_json(const char* s);
+
+class ChromeTraceExporter {
+ public:
+  /// `paths` may be null (no packet-path slices emitted).
+  explicit ChromeTraceExporter(const TraceSink& sink, const PathTracer* paths = nullptr)
+      : sink_(sink), paths_(paths) {}
+
+  /// Serializes the full trace to a string (tests, small traces).
+  std::string to_json() const;
+
+  /// Streams the trace to `out` without building it in memory.
+  void write(std::FILE* out) const;
+
+ private:
+  template <typename Emit>
+  void render(Emit&& emit) const;
+
+  const TraceSink& sink_;
+  const PathTracer* paths_;
+};
+
+}  // namespace ceio

@@ -1,0 +1,224 @@
+// ceio_trace — scenario recorder for the telemetry subsystem.
+//
+// Runs a ceio_sim-style scenario with telemetry enabled and writes
+//   <prefix>.trace.json       Chrome trace-event JSON (open in Perfetto or
+//                             chrome://tracing)
+//   <prefix>.timeseries.csv   periodic gauge snapshots (one column per gauge)
+//
+//   ceio_trace --system=ceio --flows=8 --rate-gbps=25 --app=kv --ms=2 --out=ceio_kv
+//   ceio_trace --system=legacy --app=echo --sample-us=20 --path-every=16
+//
+// Per-packet path hops (NIC -> PCIe -> LLC/DRAM -> app) require a build with
+// -DCEIO_TELEMETRY=ON (the Debug default); gauge time series and the summary
+// work in every build.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "apps/vxlan.h"
+#include "iopath/testbed.h"
+#include "telemetry/trace_export.h"
+
+using namespace ceio;
+
+namespace {
+
+struct Options {
+  SystemKind system = SystemKind::kCeio;
+  int flows = 8;
+  double rate_gbps = 25.0;
+  Bytes pkt{512};
+  std::string app = "kv";
+  double ms = 2.0;
+  double warmup_ms = 0.5;
+  std::int64_t chunk_kb = 1024;
+  bool poisson = false;
+  std::uint64_t seed = 1;
+  std::string out = "ceio";
+  double sample_us = 50.0;       // gauge-snapshot interval
+  std::uint32_t path_every = 64; // per-packet path sampling (0 disables)
+  std::size_t trace_cap = 1 << 18;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --system=ceio|legacy|hostcc|shring   datapath under test (default ceio)\n"
+      "  --flows=N                            number of flows (default 8)\n"
+      "  --rate-gbps=R                        offered rate per flow (default 25)\n"
+      "  --pkt=BYTES                          packet size (default 512)\n"
+      "  --app=kv|echo|vxlan|linefs|rdma      application (default kv)\n"
+      "  --chunk-kb=K                         message size for linefs/rdma (default 1024)\n"
+      "  --ms=T                               recorded simulated time (default 2)\n"
+      "  --warmup-ms=T                        unrecorded warmup (default 0.5)\n"
+      "  --poisson                            Poisson interarrivals\n"
+      "  --seed=S                             RNG seed (default 1)\n"
+      "  --out=PREFIX                         output prefix (default ceio)\n"
+      "  --sample-us=T                        gauge sample interval (default 50)\n"
+      "  --path-every=N                       trace every Nth packet (default 64, 0 off)\n"
+      "  --trace-cap=N                        trace ring capacity in events (default 262144)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--system", &v)) {
+      if (v == "ceio") {
+        opt.system = SystemKind::kCeio;
+      } else if (v == "legacy") {
+        opt.system = SystemKind::kLegacy;
+      } else if (v == "hostcc") {
+        opt.system = SystemKind::kHostcc;
+      } else if (v == "shring") {
+        opt.system = SystemKind::kShring;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "--flows", &v)) {
+      opt.flows = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--rate-gbps", &v)) {
+      opt.rate_gbps = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--pkt", &v)) {
+      opt.pkt = Bytes{std::atoll(v.c_str())};
+    } else if (parse_flag(argv[i], "--app", &v)) {
+      opt.app = v;
+    } else if (parse_flag(argv[i], "--chunk-kb", &v)) {
+      opt.chunk_kb = std::atoll(v.c_str());
+    } else if (parse_flag(argv[i], "--ms", &v)) {
+      opt.ms = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--warmup-ms", &v)) {
+      opt.warmup_ms = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--poisson", &v)) {
+      opt.poisson = true;
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--out", &v)) {
+      opt.out = v;
+    } else if (parse_flag(argv[i], "--sample-us", &v)) {
+      opt.sample_us = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--path-every", &v)) {
+      opt.path_every = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--trace-cap", &v)) {
+      opt.trace_cap = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.flows <= 0 || opt.pkt <= Bytes{0} || opt.ms <= 0 || opt.out.empty() ||
+      opt.trace_cap == 0) {
+    usage(argv[0]);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  TestbedConfig config;
+  config.system = opt.system;
+  config.seed = opt.seed;
+  config.telemetry.trace_capacity = opt.trace_cap;
+  config.telemetry.sample_interval = Nanos{static_cast<std::int64_t>(opt.sample_us * 1000.0)};
+  config.telemetry.path_sample_every = opt.path_every;
+  Testbed bed(config);
+
+  Application* app = nullptr;
+  bool bypass = false;
+  if (opt.app == "kv") {
+    app = &bed.make_kv_store();
+  } else if (opt.app == "echo") {
+    app = &bed.make_echo();
+  } else if (opt.app == "vxlan") {
+    app = &bed.make_vxlan();
+  } else if (opt.app == "linefs") {
+    app = &bed.make_linefs();
+    bypass = true;
+  } else if (opt.app == "rdma") {
+    app = &bed.make_raw_rdma();
+    bypass = true;
+  } else {
+    usage(argv[0]);
+  }
+
+  for (FlowId id = 1; id <= static_cast<FlowId>(opt.flows); ++id) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.kind = bypass ? FlowKind::kCpuBypass : FlowKind::kCpuInvolved;
+    fc.packet_size = bypass ? std::max<Bytes>(opt.pkt, 2 * kKiB) : opt.pkt;
+    fc.message_pkts =
+        bypass ? static_cast<std::uint32_t>(
+                     std::max<std::int64_t>(kKiB * opt.chunk_kb / fc.packet_size, 1))
+               : 1;
+    fc.offered_rate = gbps(opt.rate_gbps);
+    fc.poisson = opt.poisson;
+    bed.add_flow(fc, *app);
+  }
+
+  // Warm up with telemetry off so the recording covers steady state only.
+  bed.run_for(millis(opt.warmup_ms));
+  bed.reset_measurement();
+  Telemetry& tele = bed.enable_telemetry();
+  tele.start_sampling();
+  bed.run_for(millis(opt.ms));
+  tele.set_enabled(false);
+
+  const std::string trace_path = opt.out + ".trace.json";
+  const std::string csv_path = opt.out + ".timeseries.csv";
+  if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+    tele.write_trace_json(f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "ceio_trace: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
+    tele.write_timeseries_csv(f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "ceio_trace: cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+
+  const TraceSink& sink = tele.trace();
+  const PathTracer& paths = tele.paths();
+  std::printf("ceio_trace: system=%s app=%s flows=%d pkt=%lldB ms=%.1f\n",
+              to_string(opt.system), opt.app.c_str(), opt.flows,
+              static_cast<long long>(opt.pkt.count()), opt.ms);
+  std::printf("  %s: %zu events (%llu emitted, %llu overwritten)\n", trace_path.c_str(),
+              sink.size(), static_cast<unsigned long long>(sink.total_emitted()),
+              static_cast<unsigned long long>(sink.overwritten()));
+  std::printf("  %s: %zu samples x %zu gauges\n", csv_path.c_str(),
+              tele.sampler().rows(), tele.sampler().columns().size());
+  std::printf("  path records: %zu complete, %zu open, %llu dropped\n",
+              paths.records().size(), paths.open_count(),
+              static_cast<unsigned long long>(paths.dropped()));
+#if !defined(CEIO_TELEMETRY) || !CEIO_TELEMETRY
+  std::printf("  note: model trace hooks compiled out (build with -DCEIO_TELEMETRY=ON "
+              "for spans, instants and packet paths)\n");
+#endif
+  std::printf("  open %s in https://ui.perfetto.dev or chrome://tracing\n",
+              trace_path.c_str());
+  return 0;
+}

@@ -4,10 +4,12 @@
 # Stages (each skips gracefully when its tool is absent):
 #   1. repo lint            tools/lint/ceio_lint.py
 #   2. release build + test cmake Release, ctest
-#   3. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
-#   4. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
-#   5. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
-#   6. clang-tidy           over src/ using the .clang-tidy profile
+#   3. telemetry identity   same scenario, hooks compiled out vs compiled
+#                           in-but-disabled — outputs must be byte-identical
+#   4. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
+#   5. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
+#   6. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
+#   7. clang-tidy           over src/ using the .clang-tidy profile
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -56,14 +58,39 @@ build_and_test release -DCMAKE_BUILD_TYPE=Release
 stage_result release $?
 
 if [[ "${QUICK}" -eq 1 ]]; then
-  note "quick mode: skipping audit/sanitizer/clang-tidy stages"
+  note "quick mode: skipping telemetry/audit/sanitizer/clang-tidy stages"
 else
-  # -- 3: audited build + tests ----------------------------------------------
+  # -- 3: telemetry bit-identity ---------------------------------------------
+  # The telemetry hooks must never perturb simulation results. Run one paper
+  # scenario in the stage-2 tree (CEIO_TELEMETRY compiled out in Release) and
+  # again with the hooks compiled in but left disabled; any byte of
+  # difference in the report is a hook leaking into model behaviour.
+  note "telemetry bit-identity (compiled out vs compiled in, disabled)"
+  tele_scenario() {  # tele_scenario <tree>
+    "${CHECK_ROOT}/$1/tools/ceio_sim" --system=ceio --app=kv --flows=8 \
+      --rate-gbps=25 --ms=2
+  }
+  tele_tree="${CHECK_ROOT}/telemetry"
+  tele_status=1
+  if cmake -S "${REPO_ROOT}" -B "${tele_tree}" -DCMAKE_BUILD_TYPE=Release \
+      -DCEIO_TELEMETRY=ON >/dev/null &&
+      cmake --build "${tele_tree}" -j "${JOBS}" --target ceio_sim_cli >/dev/null &&
+      cmake --build "${CHECK_ROOT}/release" -j "${JOBS}" --target ceio_sim_cli >/dev/null; then
+    if diff <(tele_scenario release) <(tele_scenario telemetry); then
+      echo "outputs byte-identical"
+      tele_status=0
+    else
+      echo "telemetry-enabled build diverges from telemetry-free build"
+    fi
+  fi
+  stage_result telemetry-identity "${tele_status}"
+
+  # -- 4: audited build + tests ----------------------------------------------
   note "audited build + ctest (CEIO_AUDIT=ON)"
   build_and_test audit -DCMAKE_BUILD_TYPE=Release -DCEIO_AUDIT=ON
   stage_result audit $?
 
-  # -- 4/5: sanitizers, with auditing on so sweeps run under them ------------
+  # -- 5/6: sanitizers, with auditing on so sweeps run under them ------------
   note "asan build + ctest (CEIO_AUDIT=ON, CEIO_SANITIZE=address)"
   build_and_test asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCEIO_AUDIT=ON \
     -DCEIO_SANITIZE=address
@@ -74,7 +101,7 @@ else
     -DCEIO_SANITIZE=undefined
   stage_result ubsan $?
 
-  # -- 6: clang-tidy ---------------------------------------------------------
+  # -- 7: clang-tidy ---------------------------------------------------------
   note "clang-tidy"
   if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
     tidy_tree="${CHECK_ROOT}/tidy"

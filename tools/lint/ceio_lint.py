@@ -25,7 +25,15 @@ past-schedule
     failing. Subtractions in the time argument need an explicit
     acknowledgement.
 
-Suppression: append `// lint: allow-<rule>` to the offending line.
+raw-stdout
+    Model code must not print: diagnostics go through common/logging.h and
+    measurements through src/telemetry/. Raw printf/std::cout/std::cerr in
+    src/ is almost always a stray debug line. The logging backend itself
+    (common/logging.*) is exempt; deliberate display helpers annotate with
+    `// lint: allow-stdout`.
+
+Suppression: append `// lint: allow-<rule>` to the offending line
+(`// lint: allow-stdout` for raw-stdout).
 """
 
 from __future__ import annotations
@@ -52,6 +60,9 @@ RAW_UNIT_RE = re.compile(
 )
 STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
 SCHEDULE_AT_RE = re.compile(r"\bschedule_at\s*\(([^;{]*?),")
+# \bprintf does not match fprintf (no word boundary inside "fprintf"), so
+# FILE*-targeted exporters stay legal; bare console printing does not.
+RAW_STDOUT_RE = re.compile(r"\bprintf\s*\(|\bstd::cout\b|\bstd::cerr\b")
 
 SUPPRESS_FMT = "lint: allow-{rule}"
 
@@ -138,10 +149,28 @@ def check_past_schedule(findings: list[Finding]) -> None:
                             "clamps past times to now() — clamp explicitly or annotate"))
 
 
+def check_raw_stdout(findings: list[Finding]) -> None:
+    rule = "raw-stdout"
+    suppress = "lint: allow-stdout"
+    for path in iter_files(("src",), (".h", ".cc", ".cpp")):
+        if path.parent.name == "common" and path.stem == "logging":
+            continue  # the logging backend is where the printing belongs
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            if RAW_STDOUT_RE.search(line):
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "raw console output in model code; use CEIO_LOG "
+                            "(common/logging.h) or telemetry, or annotate "
+                            "'// lint: allow-stdout' for deliberate display code"))
+
+
 RULES = {
     "raw-unit-param": check_raw_unit_params,
     "std-function-hot-path": check_std_function_hot_path,
     "past-schedule": check_past_schedule,
+    "raw-stdout": check_raw_stdout,
 }
 
 
