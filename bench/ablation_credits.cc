@@ -8,6 +8,7 @@
 
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -21,22 +22,13 @@ struct Row {
 };
 
 Row run_kv(const TestbedConfig& tc) {
-  Testbed bed(tc);
-  auto& kv = bed.make_kv_store();
-  for (FlowId id = 1; id <= 8; ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{512};
-    fc.offered_rate = gbps(25.0);
-    bed.add_flow(fc, kv);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
+  harness::ExperimentSpec spec;  // workload defaults: kv, 8 flows, 512 B, 25 G/flow
+  spec.testbed = tc;
+  spec.measure = millis(4);
+  const harness::RunResult run = harness::run_experiment(spec);
   Nanos p99{0};
-  for (const auto& r : bed.all_reports()) p99 = std::max(p99, r.p99);
-  return {bed.aggregate_mpps(), bed.llc_miss_rate(), p99};
+  for (const auto& r : run.flows) p99 = std::max(p99, r.p99);
+  return {run.aggregate_mpps, run.llc_miss_rate, p99};
 }
 
 }  // namespace

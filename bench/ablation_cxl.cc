@@ -11,6 +11,7 @@
 #include "apps/raw_rdma.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -20,9 +21,7 @@ namespace {
 TestbedConfig slow_path_config(bool cxl) {
   TestbedConfig tc;
   tc.system = SystemKind::kCeio;
-  tc.ceio_auto_credits = false;
-  tc.ceio.total_credits = 0;  // force the slow path
-  tc.ceio.reactivations_per_sec = 0.0;
+  force_slow_path(tc);
   if (cxl) {
     // CPU-attached SRAM: no internal PCIe switch, SRAM-class access, and a
     // hardware pipeline instead of wimpy-core request handling.
@@ -36,34 +35,16 @@ TestbedConfig slow_path_config(bool cxl) {
 double run_bw(bool cxl, Bytes message) {
   Testbed bed(slow_path_config(cxl));
   auto& app = bed.make_raw_rdma();
-  FlowConfig fc;
-  fc.id = 1;
-  fc.kind = FlowKind::kCpuBypass;
-  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
-  fc.offered_rate = gbps(200.0);
-  fc.closed_loop_outstanding = 32;
-  bed.add_flow(fc, app);
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(3));
+  bed.add_flow(rdma_message_flow(message, 32), app);
+  harness::settle_and_measure(bed, millis(2), millis(3));
   return bed.aggregate_gbps();
 }
 
 Nanos run_lat(bool cxl, Bytes message) {
   Testbed bed(slow_path_config(cxl));
   auto& app = bed.make_raw_rdma();
-  FlowConfig fc;
-  fc.id = 1;
-  fc.kind = FlowKind::kCpuBypass;
-  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
-  fc.offered_rate = gbps(200.0);
-  fc.closed_loop_outstanding = 1;
-  bed.add_flow(fc, app);
-  bed.run_for(millis(1));
-  bed.reset_measurement();
-  bed.run_for(millis(3));
+  bed.add_flow(rdma_message_flow(message, /*outstanding=*/1), app);
+  harness::settle_and_measure(bed, millis(1), millis(3));
   return bed.source(1)->latency().p50();
 }
 

@@ -9,10 +9,9 @@
 // difference measured is the steering decision.
 #include <cstdio>
 
-#include "apps/kv_store.h"
-#include "apps/linefs.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -32,29 +31,21 @@ Row run(SteerPolicy policy, bool with_bypass) {
   Testbed bed(tc);
   auto& kv = bed.make_kv_store();
   auto& dfs = bed.make_linefs();
+  harness::WorkloadSpec rpc;  // kv @ 512 B, 25 G/flow (the WorkloadSpec defaults)
+  harness::WorkloadSpec chunks;
+  chunks.app = "linefs";
+  chunks.packet_size = 2 * kKiB;
+  chunks.message_pkts = 512;
   const int involved = with_bypass ? 4 : 8;
   for (FlowId id = 1; id <= static_cast<FlowId>(involved); ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{512};
-    fc.offered_rate = gbps(25.0);
-    bed.add_flow(fc, kv);
+    bed.add_flow(harness::flow_config(id, rpc), kv);
   }
   if (with_bypass) {
     for (FlowId id = 100; id < 104; ++id) {
-      FlowConfig fc;
-      fc.id = id;
-      fc.kind = FlowKind::kCpuBypass;
-      fc.packet_size = 2 * kKiB;
-      fc.message_pkts = 512;
-      fc.offered_rate = gbps(25.0);
-      bed.add_flow(fc, dfs);
+      bed.add_flow(harness::flow_config(id, chunks), dfs);
     }
   }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
+  harness::settle_and_measure(bed, millis(2), millis(4));
   Row out{};
   out.involved_mpps = bed.aggregate_mpps(FlowKind::kCpuInvolved);
   out.miss = bed.llc_miss_rate();

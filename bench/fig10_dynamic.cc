@@ -8,6 +8,7 @@
 
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 #include "telemetry/telemetry.h"
 
 using namespace ceio;
@@ -66,13 +67,13 @@ void print_timeseries() {
   Testbed bed(tc);
   auto& kv = bed.make_kv_store();
   auto& dfs = bed.make_linefs();
+  harness::WorkloadSpec rpc;  // kv @ 512 B, 25 G/flow (the WorkloadSpec defaults)
+  harness::WorkloadSpec chunks;
+  chunks.app = "linefs";
+  chunks.packet_size = 2 * kKiB;
+  chunks.message_pkts = 512;
   for (FlowId id = 1; id <= 8; ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{512};
-    fc.offered_rate = gbps(25.0);
-    bed.add_flow(fc, kv);
+    bed.add_flow(harness::flow_config(id, rpc), kv);
   }
   // Record the same schedule through the telemetry subsystem: gauge
   // snapshots every 100 us, exported below for offline plotting.
@@ -92,13 +93,7 @@ void print_timeseries() {
     bed.remove_flow(static_cast<FlowId>(involved - 1));
     involved -= 2;
     for (int j = 0; j < 2; ++j) {
-      FlowConfig fc;
-      fc.id = static_cast<FlowId>(100 + 2 * phase + j);
-      fc.kind = FlowKind::kCpuBypass;
-      fc.packet_size = 2 * kKiB;
-      fc.message_pkts = 512;
-      fc.offered_rate = gbps(25.0);
-      bed.add_flow(fc, dfs);
+      bed.add_flow(harness::flow_config(static_cast<FlowId>(100 + 2 * phase + j), chunks), dfs);
     }
   }
   table.print();

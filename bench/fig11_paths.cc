@@ -7,6 +7,7 @@
 #include "apps/raw_rdma.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 #include "telemetry/telemetry.h"
 
 using namespace ceio;
@@ -20,28 +21,12 @@ constexpr Bytes kMessageSizes[] = {Bytes{512}, 1 * kKiB, 2 * kKiB, 4 * kKiB,
 double run_bw(SystemKind system, Bytes message, bool force_slow) {
   TestbedConfig tc;
   tc.system = system;
-  if (system == SystemKind::kCeio && force_slow) {
-    // Zero credits: the controller immediately steers the flow to on-NIC
-    // memory, so every byte takes NIC -> on-NIC DRAM -> PCIe -> host.
-    tc.ceio_auto_credits = false;
-    tc.ceio.total_credits = 0;
-    // The token bucket would hand the flow fresh credits on its next packet;
-    // disable traffic-triggered reactivation for the forced-slow experiment.
-    tc.ceio.reactivations_per_sec = 0.0;
-  }
+  if (system == SystemKind::kCeio && force_slow) force_slow_path(tc);
   Testbed bed(tc);
   auto& app = bed.make_raw_rdma();
-  FlowConfig fc;
-  fc.id = 1;
-  fc.kind = FlowKind::kCpuBypass;
-  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
-  fc.offered_rate = gbps(200.0);
-  fc.closed_loop_outstanding = 32;  // ib_write_bw keeps a deep posting queue
-  bed.add_flow(fc, app);
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
+  // 32 outstanding: ib_write_bw keeps a deep posting queue.
+  bed.add_flow(rdma_message_flow(message, 32), app);
+  harness::settle_and_measure(bed, millis(2), millis(4));
   return bed.aggregate_gbps();
 }
 
@@ -60,21 +45,10 @@ void record_path_hops() {
     const bool force_slow = mode == 1;
     TestbedConfig tc;
     tc.system = SystemKind::kCeio;
-    if (force_slow) {
-      tc.ceio_auto_credits = false;
-      tc.ceio.total_credits = 0;
-      tc.ceio.reactivations_per_sec = 0.0;
-    }
+    if (force_slow) force_slow_path(tc);
     Testbed bed(tc);
     auto& app = bed.make_raw_rdma();
-    FlowConfig fc;
-    fc.id = 1;
-    fc.kind = FlowKind::kCpuBypass;
-    fc.packet_size = 2 * kKiB;
-    fc.message_pkts = 8;
-    fc.offered_rate = gbps(200.0);
-    fc.closed_loop_outstanding = 32;
-    bed.add_flow(fc, app);
+    bed.add_flow(rdma_message_flow(16 * kKiB, 32), app);
     bed.run_for(millis(1));
     Telemetry& tele = bed.enable_telemetry();
     tele.start_sampling();

@@ -6,9 +6,9 @@
 // which flows fall to slow-path performance — the paper's observation.
 #include <cstdio>
 
-#include "apps/echo.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -26,14 +26,12 @@ double run_scale(int flows, Nanos slot) {
   tc.ceio.inactive_timeout = millis(2);  // scaled from the paper's testbed
   Testbed bed(tc);
   auto& echo = bed.make_echo();
+  harness::WorkloadSpec w;  // echo @ 512 B, line rate split across the active set
+  w.app = "echo";
+  w.offered_rate = gbps(200.0 / kActive);
   std::vector<FlowId> ids;
   for (FlowId id = 1; id <= static_cast<FlowId>(flows); ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{512};
-    fc.offered_rate = gbps(200.0 / kActive);
-    bed.add_flow(fc, echo);
+    bed.add_flow(harness::flow_config(id, w), echo);
     ids.push_back(id);
     bed.source(id)->stop();  // activated per slot below
   }

@@ -6,10 +6,9 @@
 //      high miss rate, because per-packet overheads amortise.
 #include <cstdio>
 
-#include "apps/echo.h"
-#include "apps/vxlan.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -23,48 +22,31 @@ struct Row {
 };
 
 Row run_vxlan(SystemKind system) {
-  TestbedConfig tc;
-  tc.system = system;
-  Testbed bed(tc);
-  auto& vxlan = bed.make_vxlan();
   // 64 B packets + VxLAN decap: tiny footprint, light per-packet work. The
   // aggregate load (~78 Mpps, cf. the paper's 89 Mpps) stays under the
   // cores' capacity, so no backlog forms and the byte footprint stays
   // inside the DDIO ways for every system.
-  for (FlowId id = 1; id <= 8; ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{64};
-    fc.offered_rate = gbps(3.0);
-    bed.add_flow(fc, vxlan);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
-  return {bed.aggregate_mpps(), bed.aggregate_gbps(), bed.llc_miss_rate()};
+  harness::ExperimentSpec spec;
+  spec.testbed.system = system;
+  spec.workload.app = "vxlan";
+  spec.workload.packet_size = Bytes{64};
+  spec.workload.offered_rate = gbps(3.0);
+  spec.measure = millis(4);
+  const harness::RunResult run = harness::run_experiment(spec);
+  return {run.aggregate_mpps, run.aggregate_gbps, run.llc_miss_rate};
 }
 
 Row run_jumbo(SystemKind system) {
-  TestbedConfig tc;
-  tc.system = system;
+  harness::ExperimentSpec spec;
+  spec.testbed.system = system;
   // Jumbo frames need jumbo buffers; track the LLC at 16 KiB granularity so
   // a 9000 B frame occupies one buffer (MTU 9000 configuration).
-  tc.llc.buffer_bytes = 16 * kKiB;
-  Testbed bed(tc);
-  auto& echo = bed.make_echo();
-  for (FlowId id = 1; id <= 8; ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{9000};
-    fc.offered_rate = gbps(25.0);
-    bed.add_flow(fc, echo);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
-  return {bed.aggregate_mpps(), bed.aggregate_gbps(), bed.llc_miss_rate()};
+  spec.testbed.llc.buffer_bytes = 16 * kKiB;
+  spec.workload.app = "echo";
+  spec.workload.packet_size = Bytes{9000};
+  spec.measure = millis(4);
+  const harness::RunResult run = harness::run_experiment(spec);
+  return {run.aggregate_mpps, run.aggregate_gbps, run.llc_miss_rate};
 }
 
 void print(const char* title, Row (*runner)(SystemKind), bool bytes) {

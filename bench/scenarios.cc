@@ -1,26 +1,31 @@
 #include "bench/scenarios.h"
 
+#include <algorithm>
+
+#include "harness/experiment.h"
+
 namespace ceio::bench {
 namespace {
 
-FlowConfig involved_flow(FlowId id, const ScenarioConfig& cfg) {
-  FlowConfig fc;
-  fc.id = id;
-  fc.kind = FlowKind::kCpuInvolved;
-  fc.packet_size = cfg.packet_size;
-  fc.offered_rate = gbps(cfg.offered_gbps_per_flow);
-  return fc;
+using harness::ExperimentSpec;
+using harness::WorkloadSpec;
+
+WorkloadSpec involved_workload(const ScenarioConfig& cfg) {
+  WorkloadSpec w;
+  w.app = "kv";
+  w.packet_size = cfg.packet_size;
+  w.offered_rate = gbps(cfg.offered_gbps_per_flow);
+  return w;
 }
 
-FlowConfig bypass_flow(FlowId id, const ScenarioConfig& cfg) {
-  FlowConfig fc;
-  fc.id = id;
-  fc.kind = FlowKind::kCpuBypass;
-  fc.packet_size = 2 * kKiB;
+WorkloadSpec bypass_workload(const ScenarioConfig& cfg) {
+  WorkloadSpec w;
+  w.app = "linefs";
+  w.packet_size = 2 * kKiB;
   // 1 MiB chunks (LineFS write granularity).
-  fc.message_pkts = 512;
-  fc.offered_rate = gbps(cfg.offered_gbps_per_flow);
-  return fc;
+  w.message_pkts = 512;
+  w.offered_rate = gbps(cfg.offered_gbps_per_flow);
+  return w;
 }
 
 TestbedConfig testbed_config(SystemKind system, std::uint64_t seed) {
@@ -32,9 +37,7 @@ TestbedConfig testbed_config(SystemKind system, std::uint64_t seed) {
 
 PhaseResult measure_phase(Testbed& bed, const ScenarioConfig& cfg, int involved, int bypass,
                           double reference_mpps) {
-  bed.run_for(cfg.phase_warmup);
-  bed.reset_measurement();
-  bed.run_for(cfg.phase_length - cfg.phase_warmup);
+  harness::settle_and_measure(bed, cfg.phase_warmup, cfg.phase_length - cfg.phase_warmup);
   PhaseResult out;
   out.involved_flows = involved;
   out.bypass_flows = bypass;
@@ -51,14 +54,14 @@ PhaseResult measure_phase(Testbed& bed, const ScenarioConfig& cfg, int involved,
 }  // namespace
 
 double single_core_reference_mpps(const ScenarioConfig& cfg) {
-  TestbedConfig tc = testbed_config(SystemKind::kShring, cfg.seed);
-  Testbed bed(tc);
-  auto& kv = bed.make_kv_store();
-  bed.add_flow(involved_flow(1, cfg), kv);
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(4));
-  return bed.aggregate_mpps(FlowKind::kCpuInvolved);
+  ExperimentSpec spec;
+  spec.testbed = testbed_config(SystemKind::kShring, cfg.seed);
+  spec.workload = involved_workload(cfg);
+  spec.workload.flows = 1;
+  spec.warmup = millis(2);
+  spec.measure = millis(4);
+  const harness::RunResult run = harness::run_experiment(spec);
+  return harness::aggregate_mpps(run.flows, FlowKind::kCpuInvolved);
 }
 
 std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
@@ -70,7 +73,7 @@ std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
 
   const int n = cfg.initial_involved_flows;
   for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
-    bed.add_flow(involved_flow(id, cfg), kv);
+    bed.add_flow(harness::flow_config(id, involved_workload(cfg)), kv);
   }
   std::vector<PhaseResult> results;
   int involved = n;
@@ -83,8 +86,10 @@ std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
     bed.remove_flow(victim_a);
     bed.remove_flow(victim_b);
     involved -= 2;
-    bed.add_flow(bypass_flow(static_cast<FlowId>(100 + 2 * phase), cfg), dfs);
-    bed.add_flow(bypass_flow(static_cast<FlowId>(101 + 2 * phase), cfg), dfs);
+    bed.add_flow(harness::flow_config(static_cast<FlowId>(100 + 2 * phase), bypass_workload(cfg)),
+                 dfs);
+    bed.add_flow(harness::flow_config(static_cast<FlowId>(101 + 2 * phase), bypass_workload(cfg)),
+                 dfs);
     bypass += 2;
     results.push_back(measure_phase(bed, cfg, involved, bypass, reference));
   }
@@ -98,15 +103,17 @@ std::vector<PhaseResult> run_network_burst(SystemKind system, const ScenarioConf
 
   const int n = cfg.initial_involved_flows;
   for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
-    bed.add_flow(involved_flow(id, cfg), kv);
+    bed.add_flow(harness::flow_config(id, involved_workload(cfg)), kv);
   }
   std::vector<PhaseResult> results;
   int involved = n;
   results.push_back(measure_phase(bed, cfg, involved, 0, reference));
   for (int phase = 1; phase < cfg.phases; ++phase) {
     // Two additional burst flows arrive, each with its own core.
-    bed.add_flow(involved_flow(static_cast<FlowId>(200 + 2 * phase), cfg), kv);
-    bed.add_flow(involved_flow(static_cast<FlowId>(201 + 2 * phase), cfg), kv);
+    bed.add_flow(harness::flow_config(static_cast<FlowId>(200 + 2 * phase), involved_workload(cfg)),
+                 kv);
+    bed.add_flow(harness::flow_config(static_cast<FlowId>(201 + 2 * phase), involved_workload(cfg)),
+                 kv);
     involved += 2;
     results.push_back(measure_phase(bed, cfg, involved, 0, reference));
   }
@@ -127,93 +134,86 @@ const char* to_string(AppSetup setup) {
 
 StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
                         const ScenarioConfig& cfg) {
-  TestbedConfig tc = testbed_config(system, cfg.seed);
+  ExperimentSpec spec;
+  spec.testbed = testbed_config(system, cfg.seed);
   if (setup == AppSetup::kErpcRdma) {
     // RDMA transport: thinner per-packet driver path than DPDK's ethdev.
-    tc.cpu.per_packet_cost = Nanos{50};
+    spec.testbed.cpu.per_packet_cost = Nanos{50};
   }
-  Testbed bed(tc);
-  Application* app = nullptr;
+  spec.workload = involved_workload(cfg);
+  spec.workload.flows = cfg.initial_involved_flows;
+  spec.workload.packet_size = packet_size;
   if (setup == AppSetup::kLinefs) {
-    app = &bed.make_linefs();
-  } else {
-    app = &bed.make_kv_store();
+    // LineFS over RDMA always moves MTU-sized wire packets; the sweep
+    // parameter scales the *chunk* (I/O) size, 64x the nominal packet
+    // size (8-64 KiB chunks). Per-chunk working sets at this scale are
+    // what an LLC-managed datapath can keep resident for the replication
+    // worker — the effect Figure 9c measures. (The dynamic scenarios use
+    // 1 MiB chunks, whose whole point is to flush the cache.)
+    spec.workload.app = "linefs";
+    spec.workload.packet_size = 2 * kKiB;
+    spec.workload.message_pkts = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(packet_size * 64 / (2 * kKiB), 1));
   }
-  const int n = cfg.initial_involved_flows;
-  for (FlowId id = 1; id <= static_cast<FlowId>(n); ++id) {
-    FlowConfig fc = involved_flow(id, cfg);
-    fc.packet_size = packet_size;
-    if (setup == AppSetup::kLinefs) {
-      fc.kind = FlowKind::kCpuBypass;
-      // LineFS over RDMA always moves MTU-sized wire packets; the sweep
-      // parameter scales the *chunk* (I/O) size, 64x the nominal packet
-      // size (8-64 KiB chunks). Per-chunk working sets at this scale are
-      // what an LLC-managed datapath can keep resident for the replication
-      // worker — the effect Figure 9c measures. (The dynamic scenarios use
-      // 1 MiB chunks, whose whole point is to flush the cache.)
-      fc.packet_size = 2 * kKiB;
-      fc.message_pkts = static_cast<std::uint32_t>(
-          std::max<std::int64_t>(packet_size * 64 / fc.packet_size, 1));
-    }
-    bed.add_flow(fc, *app);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(5));
+  spec.warmup = millis(2);
+  spec.measure = millis(5);
+  const harness::RunResult run = harness::run_experiment(spec);
 
   StaticResult out;
-  out.mpps = bed.aggregate_mpps();
-  out.gbps = setup == AppSetup::kLinefs ? bed.aggregate_message_gbps()
-                                        : bed.aggregate_gbps();
-  out.miss_rate = bed.llc_miss_rate();
-  Nanos p99_sum{}, p999_sum{};
-  std::int64_t count = 0;
-  for (const auto& r : bed.all_reports()) {
-    p99_sum += r.p99;
-    p999_sum += r.p999;
-    out.drops += r.drops;
-    ++count;
-  }
-  if (count > 0) {
-    out.p99 = p99_sum / count;
-    out.p999 = p999_sum / count;
-  }
+  out.mpps = run.aggregate_mpps;
+  out.gbps = setup == AppSetup::kLinefs ? run.aggregate_message_gbps : run.aggregate_gbps;
+  out.miss_rate = run.llc_miss_rate;
+  const harness::TailSummary tails = harness::average_tails(run.flows);
+  out.p99 = tails.p99;
+  out.p999 = tails.p999;
+  out.drops = tails.drops;
   return out;
 }
 
 StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
                               Bytes packet_size, int closed_loop_outstanding) {
-  Testbed bed(testbed_config(system, 1));
-  auto& echo = bed.make_echo();
-  for (FlowId id = 1; id <= static_cast<FlowId>(flows); ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = packet_size;
-    fc.offered_rate = gbps(offered_gbps);
-    fc.closed_loop_outstanding = closed_loop_outstanding;
-    bed.add_flow(fc, echo);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(5));
+  ExperimentSpec spec;
+  spec.testbed = testbed_config(system, 1);
+  spec.workload.app = "echo";
+  spec.workload.flows = flows;
+  spec.workload.packet_size = packet_size;
+  spec.workload.offered_rate = gbps(offered_gbps);
+  spec.workload.closed_loop = closed_loop_outstanding;
+  spec.warmup = millis(2);
+  spec.measure = millis(5);
+  const harness::RunResult run = harness::run_experiment(spec);
+
   StaticResult out;
-  out.mpps = bed.aggregate_mpps();
-  out.gbps = bed.aggregate_gbps();
-  out.miss_rate = bed.llc_miss_rate();
-  Nanos p99_sum{}, p999_sum{};
-  std::int64_t count = 0;
-  for (const auto& r : bed.all_reports()) {
-    p99_sum += r.p99;
-    p999_sum += r.p999;
-    out.drops += r.drops;
-    ++count;
-  }
-  if (count > 0) {
-    out.p99 = p99_sum / count;
-    out.p999 = p999_sum / count;
-  }
+  out.mpps = run.aggregate_mpps;
+  out.gbps = run.aggregate_gbps;
+  out.miss_rate = run.llc_miss_rate;
+  const harness::TailSummary tails = harness::average_tails(run.flows);
+  out.p99 = tails.p99;
+  out.p999 = tails.p999;
+  out.drops = tails.drops;
   return out;
+}
+
+void force_slow_path(TestbedConfig& tc) {
+  // Zero credits: the controller immediately steers the flow to on-NIC
+  // memory, so every byte takes NIC -> on-NIC DRAM -> PCIe -> host. The
+  // token bucket would hand the flow fresh credits on its next packet;
+  // disabling traffic-triggered reactivation keeps it exiled.
+  tc.ceio_auto_credits = false;
+  tc.ceio.total_credits = 0;
+  tc.ceio.reactivations_per_sec = 0.0;
+}
+
+FlowConfig rdma_message_flow(Bytes message, int outstanding) {
+  FlowConfig fc;
+  fc.id = 1;
+  fc.kind = FlowKind::kCpuBypass;
+  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
+  fc.message_pkts =
+      static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
+  fc.offered_rate = gbps(200.0);
+  fc.closed_loop_outstanding = outstanding;
+  return fc;
 }
 
 }  // namespace ceio::bench

@@ -11,9 +11,6 @@
 #include <string>
 #include <vector>
 
-#include "apps/echo.h"
-#include "apps/kv_store.h"
-#include "apps/linefs.h"
 #include "iopath/testbed.h"
 
 namespace ceio::bench {
@@ -78,5 +75,14 @@ StaticResult run_static(SystemKind system, AppSetup setup, Bytes packet_size,
 /// eRPC-style closed loop (each client keeps that many requests in flight).
 StaticResult run_echo_latency(SystemKind system, int flows, double offered_gbps,
                               Bytes packet_size = Bytes{512}, int closed_loop_outstanding = 0);
+
+/// Forces every CEIO flow onto the slow path: zero credits and no
+/// traffic-triggered reactivation (the Figure 11 / Table 3 configuration).
+void force_slow_path(TestbedConfig& tc);
+
+/// Single CPU-bypass RDMA flow (id 1) carrying `message`-sized messages in
+/// <= 2 KiB packets at line rate, with `outstanding` messages in flight
+/// (ib_write_bw style; 1 == ib_write_lat ping-pong).
+FlowConfig rdma_message_flow(Bytes message, int outstanding);
 
 }  // namespace ceio::bench

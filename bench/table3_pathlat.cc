@@ -5,6 +5,7 @@
 #include "apps/raw_rdma.h"
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -14,24 +15,11 @@ namespace {
 Nanos run_lat(SystemKind system, Bytes message, bool force_slow) {
   TestbedConfig tc;
   tc.system = system;
-  if (system == SystemKind::kCeio && force_slow) {
-    tc.ceio_auto_credits = false;
-    tc.ceio.total_credits = 0;
-    tc.ceio.reactivations_per_sec = 0.0;
-  }
+  if (system == SystemKind::kCeio && force_slow) force_slow_path(tc);
   Testbed bed(tc);
   auto& app = bed.make_raw_rdma();
-  FlowConfig fc;
-  fc.id = 1;
-  fc.kind = FlowKind::kCpuBypass;
-  fc.packet_size = std::min<Bytes>(message, 2 * kKiB);
-  fc.message_pkts = static_cast<std::uint32_t>((message + fc.packet_size - Bytes{1}) / fc.packet_size);
-  fc.offered_rate = gbps(200.0);
-  fc.closed_loop_outstanding = 1;  // ping-pong
-  bed.add_flow(fc, app);
-  bed.run_for(millis(1));
-  bed.reset_measurement();
-  bed.run_for(millis(3));
+  bed.add_flow(rdma_message_flow(message, /*outstanding=*/1), app);  // ping-pong
+  harness::settle_and_measure(bed, millis(1), millis(3));
   return bed.source(1)->latency().p50();
 }
 

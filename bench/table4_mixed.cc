@@ -6,6 +6,7 @@
 
 #include "bench/scenarios.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
 
 using namespace ceio;
 using namespace ceio::bench;
@@ -22,27 +23,17 @@ double run_mixed(SystemKind system, int involved, int bypass, bool optimizations
   Testbed bed(tc);
   auto& kv = bed.make_kv_store();
   auto& dfs = bed.make_linefs();
+  harness::WorkloadSpec rpc;  // kv @ 512 B (WorkloadSpec defaults)
+  rpc.offered_rate = gbps(200.0 / 8.0);
+  harness::WorkloadSpec chunks;
+  chunks.app = "linefs";
+  chunks.packet_size = 2 * kKiB;
+  chunks.message_pkts = 512;
+  chunks.offered_rate = gbps(200.0 / 8.0);
   FlowId next = 1;
-  for (int i = 0; i < involved; ++i) {
-    FlowConfig fc;
-    fc.id = next++;
-    fc.kind = FlowKind::kCpuInvolved;
-    fc.packet_size = Bytes{512};
-    fc.offered_rate = gbps(200.0 / 8.0);
-    bed.add_flow(fc, kv);
-  }
-  for (int i = 0; i < bypass; ++i) {
-    FlowConfig fc;
-    fc.id = next++;
-    fc.kind = FlowKind::kCpuBypass;
-    fc.packet_size = 2 * kKiB;
-    fc.message_pkts = 512;
-    fc.offered_rate = gbps(200.0 / 8.0);
-    bed.add_flow(fc, dfs);
-  }
-  bed.run_for(millis(2));
-  bed.reset_measurement();
-  bed.run_for(millis(5));
+  for (int i = 0; i < involved; ++i) bed.add_flow(harness::flow_config(next++, rpc), kv);
+  for (int i = 0; i < bypass; ++i) bed.add_flow(harness::flow_config(next++, chunks), dfs);
+  harness::settle_and_measure(bed, millis(2), millis(5));
   return bed.aggregate_mpps(FlowKind::kCpuInvolved);
 }
 

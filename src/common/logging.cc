@@ -1,10 +1,16 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace ceio {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The sweep runner logs from worker threads: the level is an atomic so the
+// CEIO_LOG filter check is race-free, and a mutex serialises the three
+// writes composing one line so concurrent lines never interleave.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,11 +29,12 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 namespace detail {
 void log_line(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s:%d: ", level_name(level), file, line);
   va_list args;
   va_start(args, fmt);

@@ -17,6 +17,14 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Jump the SplitMix64 stream directly to its (index+1)-th state — the
+  // generator's state advance is a fixed increment, so this is exactly the
+  // (index+1)-th output of a stream seeded at `base`.
+  std::uint64_t state = base + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) w = splitmix64(s);

@@ -12,6 +12,14 @@
 
 namespace ceio {
 
+/// Derives the `index`-th child seed from a base seed: the (index+1)-th
+/// output of a SplitMix64 stream seeded at `base`. Children of one base are
+/// mutually uncorrelated and distinct from the base itself, so a sweep can
+/// hand run i the seed `derive_seed(cfg.seed, i)` and every run gets an
+/// independent stream while the whole sweep stays reproducible from one
+/// seed.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);

@@ -1,0 +1,54 @@
+// Field-visitor reflection protocol for config structs.
+//
+// Every `*Config` struct in src/ registers a free function in src/config/schema.h:
+//
+//     template <class V>
+//     void visit_fields(LlcConfig& c, V&& v) {
+//       v.field("total_bytes", c.total_bytes);
+//       v.field("ways", c.ways, 1, 64);            // with a valid range
+//       v.nested("tlp", c.tlp);                     // recurse into a sub-config
+//     }
+//
+// A visitor is any object providing:
+//
+//     template <class T> void field(const char* name, T& ref);
+//     template <class T> void field(const char* name, T& ref, T lo, T hi);
+//     template <class T> void nested(const char* name, T& ref);
+//
+// From that one list per struct, config_ops.h derives parsing (dotted paths,
+// `llc.ddio_ways=4`), printing, diff-from-default, range validation and
+// unknown-key errors; value_codec.h supplies the text codec (unit-aware for
+// Nanos/Bytes/BitsPerSec). The ceio_lint `unreflected-config` rule fails any
+// `struct *Config` in src/ that is missing from schema.h.
+#pragma once
+
+#include <string_view>
+
+namespace ceio::config {
+
+/// Splits a dotted path at its first '.': "llc.ddio_ways" -> {"llc",
+/// "ddio_ways"}. When there is no dot, `head` is the whole path and `tail`
+/// is empty.
+struct PathSplit {
+  std::string_view head;
+  std::string_view tail;
+};
+
+inline PathSplit split_path(std::string_view path) {
+  const std::size_t dot = path.find('.');
+  if (dot == std::string_view::npos) return {path, {}};
+  return {path.substr(0, dot), path.substr(dot + 1)};
+}
+
+/// Joins a prefix and a field name with '.' (prefix may be empty).
+inline std::string join_path(std::string_view prefix, std::string_view name) {
+  if (prefix.empty()) return std::string(name);
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out.push_back('.');
+  out.append(name);
+  return out;
+}
+
+}  // namespace ceio::config

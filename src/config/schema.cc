@@ -1,0 +1,11 @@
+#include "config/schema.h"
+
+namespace ceio::config {
+
+std::vector<std::string> registered_struct_names() {
+  std::vector<std::string> names;
+  for_each_registered_config([&names](const char* name, auto) { names.emplace_back(name); });
+  return names;
+}
+
+}  // namespace ceio::config

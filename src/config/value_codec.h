@@ -1,0 +1,364 @@
+// Text <-> value codec for the reflective config schema (src/config/).
+//
+// Every leaf type that can appear in a `*Config` struct encodes to a string
+// and decodes back, with two hard guarantees the round-trip tests rely on:
+//
+//   * encode(decode(s)) may normalise spelling, but decode(encode(v)) == v
+//     exactly — including Nanos/Bytes at their int64 extremes and every
+//     double bit pattern (shortest-round-trip formatting via to_chars);
+//   * unit quantities go through their unit types: Nanos accepts ns/us/ms/s
+//     suffixes, Bytes accepts B/KiB/MiB/GiB, BitsPerSec accepts bps through
+//     Gbps — so a scenario file reads `dram.access_latency = 95ns` and
+//     `net.rate = 200Gbps`, not raw counts in unstated units.
+//
+// decode() returns false and fills *error on malformed input; it never
+// partially writes the output value on failure.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio::config {
+
+// ---- helpers ---------------------------------------------------------------
+
+namespace codec_detail {
+
+inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+inline bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] - 'A' + 'a') : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? static_cast<char>(b[i] - 'A' + 'a') : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+/// Shortest string that parses back to exactly the same double.
+inline std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+inline bool parse_double(std::string_view s, double* out, std::string* error) {
+  s = trim(s);
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    *error = "expected a number, got '" + std::string(s) + "'";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+inline bool parse_int64(std::string_view s, std::int64_t* out, std::string* error) {
+  s = trim(s);
+  std::int64_t v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec == std::errc::result_out_of_range) {
+    *error = "integer out of range: '" + std::string(s) + "'";
+    return false;
+  }
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    *error = "expected an integer, got '" + std::string(s) + "'";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits "<number><suffix>" where suffix is the longest trailing run of
+/// letters (possibly empty). "2.5us" -> {"2.5", "us"}.
+inline void split_suffix(std::string_view s, std::string_view* num, std::string_view* suffix) {
+  s = trim(s);
+  std::size_t i = s.size();
+  while (i > 0 && ((s[i - 1] >= 'a' && s[i - 1] <= 'z') || (s[i - 1] >= 'A' && s[i - 1] <= 'Z'))) {
+    --i;
+  }
+  *num = trim(s.substr(0, i));
+  *suffix = s.substr(i);
+}
+
+/// a * b with int64 saturation instead of overflow UB.
+inline std::int64_t saturating_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (!__builtin_mul_overflow(a, b, &r)) return r;
+  return (a < 0) == (b < 0) ? std::numeric_limits<std::int64_t>::max()
+                            : std::numeric_limits<std::int64_t>::min();
+}
+
+/// Decodes "<number><unit>" into an integer count of base units, where the
+/// unit multiplier is integral. Pure-integer mantissas take an exact int64
+/// path (so INT64_MAX round-trips); fractional mantissas go through double
+/// with saturation.
+inline bool parse_scaled_int64(std::string_view num, std::int64_t scale, std::int64_t* out,
+                               std::string* error) {
+  if (num.find('.') == std::string_view::npos && num.find('e') == std::string_view::npos &&
+      num.find('E') == std::string_view::npos) {
+    std::int64_t n = 0;
+    if (!parse_int64(num, &n, error)) return false;
+    *out = saturating_mul(n, scale);
+    return true;
+  }
+  double d = 0.0;
+  if (!parse_double(num, &d, error)) return false;
+  *out = unit_detail::saturate_to_int64(d * static_cast<double>(scale));
+  return true;
+}
+
+}  // namespace codec_detail
+
+// ---- enum name tables ------------------------------------------------------
+
+/// Specialise for every enum that appears in a config struct:
+///   template <> struct EnumNames<SystemKind> {
+///     static constexpr std::pair<SystemKind, const char*> entries[] = {...};
+///   };
+/// The first listed name for a value is its canonical encoding; decode
+/// accepts any listed name (case-insensitive).
+template <class E>
+struct EnumNames;
+
+// ---- encode ----------------------------------------------------------------
+
+inline std::string encode_value(bool v) { return v ? "true" : "false"; }
+
+template <class T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+std::string encode_value(T v) {
+  return std::to_string(v);
+}
+
+inline std::string encode_value(double v) { return codec_detail::format_double(v); }
+
+inline std::string encode_value(const std::string& v) { return v; }
+
+/// Nanos encode with the largest exact unit (never loses precision).
+inline std::string encode_value(Nanos v) {
+  const std::int64_t n = v.count();
+  if (n != 0 && n % 1'000'000'000 == 0) return std::to_string(n / 1'000'000'000) + "s";
+  if (n != 0 && n % 1'000'000 == 0) return std::to_string(n / 1'000'000) + "ms";
+  if (n != 0 && n % 1'000 == 0) return std::to_string(n / 1'000) + "us";
+  return std::to_string(n) + "ns";
+}
+
+inline std::string encode_value(Bytes v) {
+  const std::int64_t n = v.count();
+  if (n != 0 && n % kGiB.count() == 0) return std::to_string(n / kGiB.count()) + "GiB";
+  if (n != 0 && n % kMiB.count() == 0) return std::to_string(n / kMiB.count()) + "MiB";
+  if (n != 0 && n % kKiB.count() == 0) return std::to_string(n / kKiB.count()) + "KiB";
+  return std::to_string(n) + "B";
+}
+
+inline std::string encode_value(BitsPerSec v) {
+  const double raw = v.count();
+  const double g = raw / 1e9;
+  // Only use the Gbps spelling when it survives the round trip exactly.
+  if (g * 1e9 == raw) return codec_detail::format_double(g) + "Gbps";
+  return codec_detail::format_double(raw) + "bps";
+}
+
+template <class E>
+  requires(std::is_enum_v<E>)
+std::string encode_value(E v) {
+  for (const auto& [value, name] : EnumNames<E>::entries) {
+    if (value == v) return name;
+  }
+  return "<enum:" + std::to_string(static_cast<long long>(v)) + ">";
+}
+
+template <class T>
+std::string encode_value(const std::vector<T>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += encode_value(v[i]);
+  }
+  return out;
+}
+
+// ---- decode ----------------------------------------------------------------
+
+inline bool decode_value(std::string_view s, bool* out, std::string* error) {
+  s = codec_detail::trim(s);
+  using codec_detail::iequals;
+  if (iequals(s, "true") || iequals(s, "on") || s == "1") {
+    *out = true;
+    return true;
+  }
+  if (iequals(s, "false") || iequals(s, "off") || s == "0") {
+    *out = false;
+    return true;
+  }
+  *error = "expected true/false, got '" + std::string(s) + "'";
+  return false;
+}
+
+template <class T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+bool decode_value(std::string_view s, T* out, std::string* error) {
+  std::int64_t v = 0;
+  if constexpr (std::is_unsigned_v<T> && sizeof(T) == 8) {
+    // uint64 needs its own parse: INT64_MAX < seed values < UINT64_MAX.
+    s = codec_detail::trim(s);
+    std::uint64_t u = 0;
+    const auto res = std::from_chars(s.data(), s.data() + s.size(), u);
+    if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+      *error = "expected an unsigned integer, got '" + std::string(s) + "'";
+      return false;
+    }
+    *out = static_cast<T>(u);
+    return true;
+  } else {
+    if (!codec_detail::parse_int64(s, &v, error)) return false;
+    if (v < static_cast<std::int64_t>(std::numeric_limits<T>::min()) ||
+        (static_cast<std::uint64_t>(v) > std::numeric_limits<T>::max() && v > 0)) {
+      *error = "value " + std::to_string(v) + " does not fit the field's integer type";
+      return false;
+    }
+    *out = static_cast<T>(v);
+    return true;
+  }
+}
+
+inline bool decode_value(std::string_view s, double* out, std::string* error) {
+  return codec_detail::parse_double(s, out, error);
+}
+
+inline bool decode_value(std::string_view s, std::string* out, std::string* error) {
+  (void)error;
+  *out = std::string(codec_detail::trim(s));
+  return true;
+}
+
+inline bool decode_value(std::string_view s, Nanos* out, std::string* error) {
+  std::string_view num, suffix;
+  codec_detail::split_suffix(s, &num, &suffix);
+  std::int64_t scale = 1;
+  using codec_detail::iequals;
+  if (suffix.empty() || iequals(suffix, "ns")) {
+    scale = 1;
+  } else if (iequals(suffix, "us")) {
+    scale = 1'000;
+  } else if (iequals(suffix, "ms")) {
+    scale = 1'000'000;
+  } else if (iequals(suffix, "s")) {
+    scale = 1'000'000'000;
+  } else {
+    *error = "unknown time unit '" + std::string(suffix) + "' (use ns, us, ms or s)";
+    return false;
+  }
+  std::int64_t n = 0;
+  if (!codec_detail::parse_scaled_int64(num, scale, &n, error)) return false;
+  *out = Nanos{n};
+  return true;
+}
+
+inline bool decode_value(std::string_view s, Bytes* out, std::string* error) {
+  std::string_view num, suffix;
+  codec_detail::split_suffix(s, &num, &suffix);
+  std::int64_t scale = 1;
+  using codec_detail::iequals;
+  if (suffix.empty() || iequals(suffix, "b")) {
+    scale = 1;
+  } else if (iequals(suffix, "kib") || iequals(suffix, "kb") || iequals(suffix, "k")) {
+    scale = kKiB.count();
+  } else if (iequals(suffix, "mib") || iequals(suffix, "mb") || iequals(suffix, "m")) {
+    scale = kMiB.count();
+  } else if (iequals(suffix, "gib") || iequals(suffix, "gb") || iequals(suffix, "g")) {
+    scale = kGiB.count();
+  } else {
+    *error = "unknown size unit '" + std::string(suffix) + "' (use B, KiB, MiB or GiB)";
+    return false;
+  }
+  std::int64_t n = 0;
+  if (!codec_detail::parse_scaled_int64(num, scale, &n, error)) return false;
+  *out = Bytes{n};
+  return true;
+}
+
+inline bool decode_value(std::string_view s, BitsPerSec* out, std::string* error) {
+  std::string_view num, suffix;
+  codec_detail::split_suffix(s, &num, &suffix);
+  double scale = 1.0;
+  using codec_detail::iequals;
+  if (suffix.empty() || iequals(suffix, "bps")) {
+    scale = 1.0;
+  } else if (iequals(suffix, "kbps")) {
+    scale = 1e3;
+  } else if (iequals(suffix, "mbps")) {
+    scale = 1e6;
+  } else if (iequals(suffix, "gbps")) {
+    scale = 1e9;
+  } else if (iequals(suffix, "tbps")) {
+    scale = 1e12;
+  } else {
+    *error = "unknown rate unit '" + std::string(suffix) + "' (use bps, Kbps, Mbps, Gbps or Tbps)";
+    return false;
+  }
+  double v = 0.0;
+  if (!codec_detail::parse_double(num, &v, error)) return false;
+  *out = BitsPerSec{v * scale};
+  return true;
+}
+
+template <class E>
+  requires(std::is_enum_v<E>)
+bool decode_value(std::string_view s, E* out, std::string* error) {
+  s = codec_detail::trim(s);
+  for (const auto& [value, name] : EnumNames<E>::entries) {
+    if (codec_detail::iequals(s, name)) {
+      *out = value;
+      return true;
+    }
+  }
+  std::string msg("'");
+  msg += s;
+  msg += "' is not one of: ";
+  bool first = true;
+  for (const auto& [value, name] : EnumNames<E>::entries) {
+    if (!first) msg += ", ";
+    msg += name;
+    first = false;
+  }
+  *error = std::move(msg);
+  return false;
+}
+
+template <class T>
+bool decode_value(std::string_view s, std::vector<T>* out, std::string* error) {
+  std::vector<T> parsed;
+  s = codec_detail::trim(s);
+  if (!s.empty()) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = s.find(',', start);
+      const std::string_view item =
+          comma == std::string_view::npos ? s.substr(start) : s.substr(start, comma - start);
+      T v{};
+      if (!decode_value(item, &v, error)) return false;
+      parsed.push_back(v);
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace ceio::config

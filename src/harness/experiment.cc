@@ -1,0 +1,138 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "apps/vxlan.h"
+#include "config/config_ops.h"
+
+namespace ceio::harness {
+
+bool is_bypass_app(const std::string& app) { return app == "linefs" || app == "rdma"; }
+
+bool is_known_app(const std::string& app) {
+  return app == "kv" || app == "echo" || app == "vxlan" || app == "linefs" || app == "rdma";
+}
+
+Application* make_app(Testbed& bed, const std::string& app) {
+  if (app == "kv") return &bed.make_kv_store();
+  if (app == "echo") return &bed.make_echo();
+  if (app == "vxlan") return &bed.make_vxlan();
+  if (app == "linefs") return &bed.make_linefs();
+  if (app == "rdma") return &bed.make_raw_rdma();
+  return nullptr;
+}
+
+FlowConfig flow_config(FlowId id, const WorkloadSpec& w) {
+  const bool bypass = is_bypass_app(w.app);
+  FlowConfig fc;
+  fc.id = id;
+  fc.kind = bypass ? FlowKind::kCpuBypass : FlowKind::kCpuInvolved;
+  fc.packet_size = bypass ? std::max<Bytes>(w.packet_size, 2 * kKiB) : w.packet_size;
+  if (w.message_pkts > 0) {
+    fc.message_pkts = w.message_pkts;
+  } else if (bypass) {
+    fc.message_pkts = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(kKiB * w.chunk_kb / fc.packet_size, 1));
+  } else {
+    fc.message_pkts = 1;
+  }
+  fc.offered_rate = w.offered_rate;
+  fc.poisson = w.poisson;
+  fc.closed_loop_outstanding = w.closed_loop;
+  fc.burst_on = w.burst_on;
+  fc.burst_off = w.burst_off;
+  return fc;
+}
+
+void settle_and_measure(Testbed& bed, Nanos warmup, Nanos measure) {
+  bed.run_for(warmup);
+  bed.reset_measurement();
+  bed.run_for(measure);
+}
+
+RunResult collect_result(Testbed& bed) {
+  RunResult out;
+  out.flows = bed.all_reports();
+  out.aggregate_mpps = bed.aggregate_mpps();
+  out.aggregate_gbps = bed.aggregate_gbps();
+  out.aggregate_message_gbps = bed.aggregate_message_gbps();
+  out.llc_miss_rate = bed.llc_miss_rate();
+  out.premature_evictions = bed.llc().stats().premature_evictions;
+  out.dram_utilization = bed.dram().utilization(bed.now());
+  if (auto* ceio = bed.ceio()) {
+    const auto& rs = ceio->runtime_stats();
+    out.has_ceio = true;
+    out.ceio_total_credits = ceio->credits().total();
+    out.ceio_to_slow = rs.credit_switches_to_slow;
+    out.ceio_to_fast = rs.switches_back_to_fast;
+    out.ceio_cca_triggers = rs.cca_triggers;
+    out.ceio_reclaims = rs.inactive_reclaims;
+  }
+  return out;
+}
+
+RunResult run_experiment(const ExperimentSpec& spec) {
+  std::vector<std::string> errors;
+  if (!config::validate(spec, &errors)) {
+    throw std::invalid_argument("invalid experiment spec: " + errors.front());
+  }
+  if (!is_known_app(spec.workload.app)) {
+    throw std::invalid_argument("unknown app '" + spec.workload.app + "'");
+  }
+  Testbed bed(spec.testbed);
+  Application* app = make_app(bed, spec.workload.app);
+  for (FlowId id = 1; id <= static_cast<FlowId>(spec.workload.flows); ++id) {
+    bed.add_flow(flow_config(id, spec.workload), *app);
+  }
+  settle_and_measure(bed, spec.warmup, spec.measure);
+  return collect_result(bed);
+}
+
+double aggregate_mpps(const std::vector<FlowReport>& reports, std::optional<FlowKind> kind) {
+  double sum = 0.0;
+  for (const auto& r : reports) {
+    if (!kind || r.kind == *kind) sum += r.mpps;
+  }
+  return sum;
+}
+
+double aggregate_gbps(const std::vector<FlowReport>& reports, std::optional<FlowKind> kind) {
+  double sum = 0.0;
+  for (const auto& r : reports) {
+    if (!kind || r.kind == *kind) sum += r.gbps;
+  }
+  return sum;
+}
+
+double aggregate_message_gbps(const std::vector<FlowReport>& reports,
+                              std::optional<FlowKind> kind) {
+  double sum = 0.0;
+  for (const auto& r : reports) {
+    if (!kind || r.kind == *kind) sum += r.message_gbps;
+  }
+  return sum;
+}
+
+TailSummary average_tails(const std::vector<FlowReport>& reports) {
+  TailSummary out;
+  Nanos p99_sum{}, p999_sum{};
+  std::int64_t count = 0;
+  for (const auto& r : reports) {
+    p99_sum += r.p99;
+    p999_sum += r.p999;
+    out.drops += r.drops;
+    ++count;
+  }
+  if (count > 0) {
+    out.p99 = p99_sum / count;
+    out.p999 = p999_sum / count;
+  }
+  return out;
+}
+
+}  // namespace ceio::harness

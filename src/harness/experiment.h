@@ -1,0 +1,148 @@
+// Declarative experiment spec + runner over the Testbed.
+//
+// An ExperimentSpec is a complete, reflected description of one run: the
+// full TestbedConfig, a workload (application + flow shape), and the
+// warmup/measure windows. Because the spec is reflected (see visit_fields
+// below), it parses from scenario files and `--set key=value` overrides,
+// prints, diffs and validates exactly like any config struct — and the
+// TestbedConfig fields are inlined at the top level, so `llc.ddio_ways=4`
+// and `workload.flows=16` address one spec.
+//
+// run_experiment() reproduces the canonical run loop every CLI/bench used
+// to hand-roll: build the Testbed, create the application, add
+// `workload.flows` identical flows (ids 1..N), warm up, reset measurement,
+// run the measure window, and collect a RunResult. The construction order
+// (app first, then flows in id order) is part of the contract: the KV store
+// populates itself from the Testbed Rng, so reordering would change every
+// downstream random draw and break bit-reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/schema.h"
+#include "iopath/testbed.h"
+
+namespace ceio::harness {
+
+/// Application + flow shape for the canonical single-phase experiment.
+struct WorkloadSpec {
+  /// kv | echo | vxlan | linefs | rdma (linefs/rdma are CPU-bypass).
+  std::string app = "kv";
+  int flows = 8;
+  BitsPerSec offered_rate = gbps(25.0);
+  Bytes packet_size{512};
+  /// Bypass message size in KiB (linefs/rdma); ignored for involved apps.
+  std::int64_t chunk_kb = 1024;
+  /// Explicit packets per message; 0 derives it (bypass: chunk_kb over the
+  /// effective packet size; involved: 1).
+  std::uint32_t message_pkts = 0;
+  bool poisson = false;
+  int closed_loop = 0;
+  Nanos burst_on{0};
+  Nanos burst_off{0};
+};
+
+struct ExperimentSpec {
+  TestbedConfig testbed;
+  WorkloadSpec workload;
+  Nanos warmup = millis(2);
+  Nanos measure = millis(5);
+};
+
+/// Everything a run produces; formatting stays in the callers so existing
+/// outputs remain byte-identical.
+struct RunResult {
+  std::vector<FlowReport> flows;
+  double aggregate_mpps = 0.0;
+  double aggregate_gbps = 0.0;          // display metric (lint: allow-raw-unit-param)
+  double aggregate_message_gbps = 0.0;  // display metric (lint: allow-raw-unit-param)
+  double llc_miss_rate = 0.0;
+  std::int64_t premature_evictions = 0;
+  double dram_utilization = 0.0;
+  // CEIO runtime counters (valid when has_ceio).
+  bool has_ceio = false;
+  std::int64_t ceio_total_credits = 0;
+  std::int64_t ceio_to_slow = 0;
+  std::int64_t ceio_to_fast = 0;
+  std::int64_t ceio_cca_triggers = 0;
+  std::int64_t ceio_reclaims = 0;
+};
+
+/// True for the CPU-bypass applications (linefs, rdma).
+bool is_bypass_app(const std::string& app);
+
+/// True when `app` names a known application.
+bool is_known_app(const std::string& app);
+
+/// Creates the named application on `bed` (kv | echo | vxlan | linefs |
+/// rdma). Returns nullptr for an unknown name.
+Application* make_app(Testbed& bed, const std::string& app);
+
+/// The FlowConfig the canonical runner gives flow `id` under `w` — exposed
+/// so callers composing custom phase logic build identical flows.
+FlowConfig flow_config(FlowId id, const WorkloadSpec& w);
+
+/// Warm up for `warmup`, reset measurement, then run `measure` — the
+/// settle-then-measure window every scenario uses.
+void settle_and_measure(Testbed& bed, Nanos warmup, Nanos measure);
+
+/// Collects a RunResult from the testbed's current measurement window.
+RunResult collect_result(Testbed& bed);
+
+/// The canonical single-phase experiment (see file comment for the exact
+/// sequence). The spec must pass config::validate and name a known app.
+RunResult run_experiment(const ExperimentSpec& spec);
+
+/// Flow-count-weighted mean of per-flow p99/p999 (integer Nanos division,
+/// matching the historical bench arithmetic) plus total drops.
+struct TailSummary {
+  Nanos p99{0};
+  Nanos p999{0};
+  std::int64_t drops = 0;
+};
+TailSummary average_tails(const std::vector<FlowReport>& reports);
+
+/// Kind-filtered aggregates over collected reports — same summation order
+/// as Testbed::aggregate_*, so results are bit-identical to querying the
+/// live testbed.
+double aggregate_mpps(const std::vector<FlowReport>& reports,
+                      std::optional<FlowKind> kind = std::nullopt);
+double aggregate_gbps(const std::vector<FlowReport>& reports,
+                      std::optional<FlowKind> kind = std::nullopt);
+double aggregate_message_gbps(const std::vector<FlowReport>& reports,
+                              std::optional<FlowKind> kind = std::nullopt);
+
+}  // namespace ceio::harness
+
+// ---- reflection ------------------------------------------------------------
+
+namespace ceio::harness {
+
+template <class V>
+void visit_fields(WorkloadSpec& c, V&& v) {
+  v.field("app", c.app);
+  v.field("flows", c.flows, 1, 1 << 20);
+  v.field("offered_rate", c.offered_rate);
+  v.field("packet_size", c.packet_size, Bytes{1}, Bytes{64 * kKiB});
+  v.field("chunk_kb", c.chunk_kb, std::int64_t{1}, std::int64_t{1} << 30);
+  v.field("message_pkts", c.message_pkts);
+  v.field("poisson", c.poisson);
+  v.field("closed_loop", c.closed_loop, 0, 1 << 20);
+  v.field("burst_on", c.burst_on, Nanos{0}, Nanos::max());
+  v.field("burst_off", c.burst_off, Nanos{0}, Nanos::max());
+}
+
+template <class V>
+void visit_fields(ExperimentSpec& c, V&& v) {
+  // Testbed fields are inlined (no prefix): `llc.ddio_ways`, `system`,
+  // `seed`, ... address the testbed directly, as the CLI documents.
+  visit_fields(c.testbed, v);
+  v.nested("workload", c.workload);
+  v.field("warmup", c.warmup, Nanos{0}, seconds(100));
+  v.field("measure", c.measure, Nanos{1}, seconds(100));
+}
+
+}  // namespace ceio::harness

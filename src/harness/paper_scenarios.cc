@@ -1,0 +1,64 @@
+// Paper scenario presets. Registered explicitly from
+// ScenarioRegistry::instance() (not via static registrars: this TU lives in
+// a static library, where an unreferenced object file — and its
+// initializers — would be dropped by the linker). These are the base specs
+// the figure/table binaries and the check.sh migration-safety stage start
+// from; `ceio_sim --list-scenarios` enumerates them and `--scenario NAME`
+// loads one.
+#include "harness/scenario_registry.h"
+
+namespace ceio::harness {
+namespace {
+
+/// Common base: the paper's receiver (defaults) with `system` selected.
+ExperimentSpec base_spec(SystemKind system) {
+  ExperimentSpec s;
+  s.testbed.system = system;
+  return s;
+}
+
+}  // namespace
+
+void register_paper_scenarios(ScenarioRegistry& registry) {
+  // Figure 4 / 10's "expected performance" definition: one CPU-involved KV
+  // flow on ShRing with ample LLC (warmup 2 ms, measure 4 ms).
+  {
+    ExperimentSpec s = base_spec(SystemKind::kShring);
+    s.workload.flows = 1;
+    s.measure = millis(4);
+    registry.add({"fig04-reference",
+                  "single-core expected-performance reference (Fig. 4)", s});
+  }
+  // Figure 9's static grid base point: 8 eRPC-KV flows at 512 B on CEIO.
+  registry.add({"fig09-erpc-kv", "8 eRPC-KV flows, 512 B packets, CEIO (Fig. 9 base point)",
+                base_spec(SystemKind::kCeio)});
+  // The telemetry-identity scenario check.sh has always used: CEIO, KV,
+  // 8 flows, 25 G/flow, 2 ms measure.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.measure = millis(2);
+    registry.add({"ceio-kv-short", "CEIO + KV smoke scenario (check.sh identity stages)", s});
+  }
+  // Table 2's echo-latency shape: 4 closed-loop echo flows.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.workload.app = "echo";
+    s.workload.flows = 4;
+    s.workload.offered_rate = gbps(50.0);
+    s.workload.closed_loop = 1024;
+    registry.add({"table2-echo", "4 closed-loop echo flows at 50 G (Table 2 shape)", s});
+  }
+  // Figure 9c's bypass workload: LineFS chunk writes over 2 KiB packets.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.workload.app = "linefs";
+    s.workload.flows = 2;
+    registry.add({"fig09-linefs", "2 LineFS bypass flows writing 1 MiB chunks (Fig. 9c shape)",
+                  s});
+  }
+  // Legacy DDIO under the same load — the motivating contrast (Fig. 4).
+  registry.add({"legacy-kv", "8 eRPC-KV flows on legacy DDIO (motivating baseline)",
+                base_spec(SystemKind::kLegacy)});
+}
+
+}  // namespace ceio::harness

@@ -1,0 +1,40 @@
+#include "harness/scenario_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ceio::harness {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  static const bool seeded = (register_paper_scenarios(registry), true);
+  (void)seeded;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (find(scenario.name) != nullptr) {
+    std::fprintf(stderr, "duplicate scenario registration: %s\n", scenario.name.c_str());
+    std::abort();
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) { return a->name < b->name; });
+  return out;
+}
+
+}  // namespace ceio::harness

@@ -1,0 +1,66 @@
+// Named scenario registry: experiment specs registered at static-init time
+// and looked up by name (`ceio_sim --scenario fig04-reference`).
+//
+// Registration is one line at namespace scope:
+//
+//     CEIO_REGISTER_SCENARIO(fig04_reference, "fig04-reference",
+//                            "single-core expected-performance run", [] {
+//       harness::ExperimentSpec s;
+//       s.testbed.system = SystemKind::kShring;
+//       ...
+//       return s;
+//     });
+//
+// The paper's figure presets live in paper_scenarios.cc (linked into the
+// harness library so every binary sees them); bench binaries may register
+// additional ones the same way.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace ceio::harness {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ExperimentSpec spec;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario. Duplicate names are a programming error and abort
+  /// (names are compile-time constants, so this can only fire at startup).
+  void add(Scenario scenario);
+
+  /// nullptr when no scenario has that name.
+  const Scenario* find(std::string_view name) const;
+
+  /// All scenarios, sorted by name (stable listing for --list-scenarios).
+  std::vector<const Scenario*> all() const;
+
+ private:
+  ScenarioRegistry() = default;
+  std::vector<Scenario> scenarios_;
+};
+
+/// Registers the paper's figure/table presets (paper_scenarios.cc); called
+/// once from ScenarioRegistry::instance().
+void register_paper_scenarios(ScenarioRegistry& registry);
+
+struct ScenarioRegistrar {
+  template <class Factory>
+  ScenarioRegistrar(const char* name, const char* description, Factory&& factory) {
+    ScenarioRegistry::instance().add(Scenario{name, description, factory()});
+  }
+};
+
+#define CEIO_REGISTER_SCENARIO(ident, name, description, factory) \
+  static const ::ceio::harness::ScenarioRegistrar ceio_scenario_##ident{name, description, factory}
+
+}  // namespace ceio::harness

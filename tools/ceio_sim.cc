@@ -1,181 +1,225 @@
-// ceio_sim — command-line scenario runner.
+// ceio_sim — command-line scenario runner over the experiment harness.
 //
 // Run custom workloads against any of the four datapaths without writing
 // code:
 //
 //   ceio_sim --system=ceio --flows=8 --rate-gbps=25 --pkt=512 --app=kv --ms=5
-//   ceio_sim --system=legacy --flows=4 --app=echo --poisson
-//   ceio_sim --system=ceio --flows=2 --app=linefs --chunk-kb=1024
-//   ceio_sim --system=ceio --flows=8 --app=kv --burst-on-us=100 --burst-off-us=400
+//   ceio_sim --scenario=fig04-reference
+//   ceio_sim --config=scenario.conf --set workload.flows=16
+//   ceio_sim --sweep llc.ddio_ways=2,4,6 --sweep run=0,1,2,3 --jobs 4
 //
-// Prints per-flow and aggregate reports plus host-level cache statistics.
+// Every field of the experiment spec is addressable through the reflective
+// config schema: `--set llc.ddio_ways=4`, `--set workload.app=echo`,
+// `--set ceio.release_batch=64`, ... (`--help-keys` lists them all). The
+// classic short flags (--flows, --pkt, ...) remain as aliases.
+//
+// Without --sweep, prints the per-flow and aggregate reports plus host-level
+// cache statistics. With --sweep, expands the axes' cartesian product, runs
+// the grid on --jobs worker threads, and prints one row per run — rows are
+// ordered by run index, so output is byte-identical at any --jobs level.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "apps/echo.h"
-#include "apps/kv_store.h"
-#include "apps/linefs.h"
-#include "apps/raw_rdma.h"
-#include "apps/vxlan.h"
 #include "common/stats.h"
-#include "iopath/testbed.h"
+#include "config/config_ops.h"
+#include "harness/scenario_registry.h"
+#include "harness/sweep.h"
 
 using namespace ceio;
 
 namespace {
 
-struct Options {
-  SystemKind system = SystemKind::kCeio;
-  int flows = 8;
-  double rate_gbps = 25.0;
-  Bytes pkt{512};
-  std::string app = "kv";
-  double ms = 5.0;
-  double warmup_ms = 2.0;
-  std::int64_t chunk_kb = 1024;  // linefs/rdma message size, in KiB
-  bool poisson = false;
-  int closed_loop = 0;
-  double burst_on_us = 0.0;
-  double burst_off_us = 0.0;
-  std::uint64_t seed = 1;
+struct CliOptions {
+  harness::ExperimentSpec spec;
+  std::vector<harness::SweepAxis> axes;
+  int jobs = 1;
+  bool print_config = false;
+  bool print_overrides = false;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --system=ceio|legacy|hostcc|shring   datapath under test (default ceio)\n"
-      "  --flows=N                            number of flows (default 8)\n"
-      "  --rate-gbps=R                        offered rate per flow (default 25)\n"
-      "  --pkt=BYTES                          packet size (default 512)\n"
-      "  --app=kv|echo|vxlan|linefs|rdma      application (default kv)\n"
-      "  --chunk-kb=K                         message size for linefs/rdma (default 1024)\n"
-      "  --ms=T                               measured simulated time (default 5)\n"
-      "  --warmup-ms=T                        warmup before measuring (default 2)\n"
-      "  --poisson                            Poisson interarrivals\n"
-      "  --closed-loop=N                      N outstanding messages per flow\n"
-      "  --burst-on-us=T --burst-off-us=T     on/off bursting\n"
-      "  --seed=S                             RNG seed (default 1)\n",
-      argv0);
-  std::exit(2);
+[[noreturn]] void usage(const char* argv0, int status) {
+  std::FILE* out = status == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "\n"
+               "workload (aliases for --set workload.*):\n"
+               "  --system=ceio|legacy|hostcc|shring   datapath under test (default ceio)\n"
+               "  --flows=N                            number of flows (default 8)\n"
+               "  --rate-gbps=R                        offered rate per flow (default 25)\n"
+               "  --pkt=BYTES                          packet size (default 512)\n"
+               "  --app=kv|echo|vxlan|linefs|rdma      application (default kv)\n"
+               "  --chunk-kb=K                         message size for linefs/rdma (default 1024)\n"
+               "  --ms=T                               measured simulated time (default 5)\n"
+               "  --warmup-ms=T                        warmup before measuring (default 2)\n"
+               "  --poisson                            Poisson interarrivals\n"
+               "  --closed-loop=N                      N outstanding messages per flow\n"
+               "  --burst-on-us=T --burst-off-us=T     on/off bursting\n"
+               "  --seed=S                             RNG seed (default 1)\n"
+               "\n"
+               "configuration (reflective schema, dotted keys):\n"
+               "  --scenario=NAME        start from a registered scenario\n"
+               "  --config=FILE          apply a scenario file (key = value lines)\n"
+               "  --set KEY=VALUE        override one field (e.g. llc.ddio_ways=4)\n"
+               "  --list-scenarios       list registered scenarios and exit\n"
+               "  --help-keys            list every settable key and exit\n"
+               "  --print-config         print the effective config and exit\n"
+               "  --print-overrides      print only non-default fields and exit\n"
+               "\n"
+               "sweeps:\n"
+               "  --sweep KEY=V1,V2,...  sweep axis (repeatable; cartesian product;\n"
+               "                         the reserved axis 'run' derives per-run seeds)\n"
+               "  --runs=N               shorthand for --sweep run=0,1,...,N-1\n"
+               "  --jobs=N               worker threads for the sweep (default 1)\n",
+               argv0);
+  std::exit(status);
 }
 
-bool parse_flag(const char* arg, const char* name, std::string* value) {
+/// Matches `--name=value`, `--name value` (consuming the next arg) or a bare
+/// `--name` (empty value).
+bool parse_flag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  const char* arg = argv[*i];
   const std::size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = "";
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
     return true;
   }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
+  if (arg[len] != '\0') return false;
+  if (*i + 1 < argc && argv[*i + 1][0] != '-') {
+    *value = argv[++*i];
+  } else {
+    *value = "";
+  }
   return true;
 }
 
-Options parse(int argc, char** argv) {
-  Options opt;
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "ceio_sim: %s\n", message.c_str());
+  std::exit(2);
+}
+
+void apply_set(harness::ExperimentSpec& spec, const std::string& kv) {
+  const std::size_t eq = kv.find('=');
+  if (eq == std::string::npos) fail("--set expects KEY=VALUE, got '" + kv + "'");
+  std::string error;
+  if (!config::set(spec, kv.substr(0, eq), kv.substr(eq + 1), &error)) fail(error);
+}
+
+void apply_config_file(harness::ExperimentSpec& spec, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open config file '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!config::apply_text(spec, buffer.str(), &error)) fail(path + ": " + error);
+}
+
+void list_scenarios() {
+  for (const auto* s : harness::ScenarioRegistry::instance().all()) {
+    std::printf("%-18s %s\n", s->name.c_str(), s->description.c_str());
+  }
+}
+
+void list_keys(const harness::ExperimentSpec& spec) {
+  for (const auto& [key, value] : config::entries(spec)) {
+    std::printf("%s = %s\n", key.c_str(), value.c_str());
+  }
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  harness::ExperimentSpec& spec = opt.spec;
+  int runs = 0;
   for (int i = 1; i < argc; ++i) {
     std::string v;
-    if (parse_flag(argv[i], "--system", &v)) {
-      if (v == "ceio") {
-        opt.system = SystemKind::kCeio;
-      } else if (v == "legacy") {
-        opt.system = SystemKind::kLegacy;
-      } else if (v == "hostcc") {
-        opt.system = SystemKind::kHostcc;
-      } else if (v == "shring") {
-        opt.system = SystemKind::kShring;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (parse_flag(argv[i], "--flows", &v)) {
-      opt.flows = std::atoi(v.c_str());
-    } else if (parse_flag(argv[i], "--rate-gbps", &v)) {
-      opt.rate_gbps = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--pkt", &v)) {
-      opt.pkt = Bytes{std::atoll(v.c_str())};
-    } else if (parse_flag(argv[i], "--app", &v)) {
-      opt.app = v;
-    } else if (parse_flag(argv[i], "--chunk-kb", &v)) {
-      opt.chunk_kb = std::atoll(v.c_str());
-    } else if (parse_flag(argv[i], "--ms", &v)) {
-      opt.ms = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--warmup-ms", &v)) {
-      opt.warmup_ms = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--poisson", &v)) {
-      opt.poisson = true;
-    } else if (parse_flag(argv[i], "--closed-loop", &v)) {
-      opt.closed_loop = std::atoi(v.c_str());
-    } else if (parse_flag(argv[i], "--burst-on-us", &v)) {
-      opt.burst_on_us = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--burst-off-us", &v)) {
-      opt.burst_off_us = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--seed", &v)) {
-      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    std::string error;
+    if (parse_flag(argc, argv, &i, "--help", &v) || parse_flag(argc, argv, &i, "-h", &v)) {
+      usage(argv[0], 0);
+    } else if (parse_flag(argc, argv, &i, "--system", &v)) {
+      if (!config::set(spec, "system", v, &error)) usage(argv[0], 2);
+    } else if (parse_flag(argc, argv, &i, "--flows", &v)) {
+      spec.workload.flows = std::atoi(v.c_str());
+    } else if (parse_flag(argc, argv, &i, "--rate-gbps", &v)) {
+      spec.workload.offered_rate = gbps(std::atof(v.c_str()));
+    } else if (parse_flag(argc, argv, &i, "--pkt", &v)) {
+      spec.workload.packet_size = Bytes{std::atoll(v.c_str())};
+    } else if (parse_flag(argc, argv, &i, "--app", &v)) {
+      spec.workload.app = v;
+    } else if (parse_flag(argc, argv, &i, "--chunk-kb", &v)) {
+      spec.workload.chunk_kb = std::atoll(v.c_str());
+    } else if (parse_flag(argc, argv, &i, "--ms", &v)) {
+      spec.measure = millis(std::atof(v.c_str()));
+    } else if (parse_flag(argc, argv, &i, "--warmup-ms", &v)) {
+      spec.warmup = millis(std::atof(v.c_str()));
+    } else if (parse_flag(argc, argv, &i, "--poisson", &v)) {
+      spec.workload.poisson = true;
+    } else if (parse_flag(argc, argv, &i, "--closed-loop", &v)) {
+      spec.workload.closed_loop = std::atoi(v.c_str());
+    } else if (parse_flag(argc, argv, &i, "--burst-on-us", &v)) {
+      spec.workload.burst_on = micros(std::atof(v.c_str()));
+    } else if (parse_flag(argc, argv, &i, "--burst-off-us", &v)) {
+      spec.workload.burst_off = micros(std::atof(v.c_str()));
+    } else if (parse_flag(argc, argv, &i, "--seed", &v)) {
+      spec.testbed.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argc, argv, &i, "--scenario", &v)) {
+      const auto* s = harness::ScenarioRegistry::instance().find(v);
+      if (s == nullptr) fail("unknown scenario '" + v + "' (--list-scenarios)");
+      spec = s->spec;
+    } else if (parse_flag(argc, argv, &i, "--config", &v)) {
+      apply_config_file(spec, v);
+    } else if (parse_flag(argc, argv, &i, "--set", &v)) {
+      apply_set(spec, v);
+    } else if (parse_flag(argc, argv, &i, "--sweep", &v)) {
+      harness::SweepAxis axis;
+      if (!harness::parse_axis(v, &axis, &error)) fail("--sweep: " + error);
+      opt.axes.push_back(std::move(axis));
+    } else if (parse_flag(argc, argv, &i, "--runs", &v)) {
+      runs = std::atoi(v.c_str());
+      if (runs <= 0) fail("--runs expects a positive count");
+    } else if (parse_flag(argc, argv, &i, "--jobs", &v)) {
+      opt.jobs = std::atoi(v.c_str());
+      if (opt.jobs < 1) fail("--jobs expects a positive count");
+    } else if (parse_flag(argc, argv, &i, "--list-scenarios", &v)) {
+      list_scenarios();
+      std::exit(0);
+    } else if (parse_flag(argc, argv, &i, "--help-keys", &v)) {
+      list_keys(spec);
+      std::exit(0);
+    } else if (parse_flag(argc, argv, &i, "--print-config", &v)) {
+      opt.print_config = true;
+    } else if (parse_flag(argc, argv, &i, "--print-overrides", &v)) {
+      opt.print_overrides = true;
     } else {
-      usage(argv[0]);
+      usage(argv[0], 2);
     }
   }
-  if (opt.flows <= 0 || opt.pkt <= Bytes{0} || opt.ms <= 0) usage(argv[0]);
+  if (runs > 0) {
+    harness::SweepAxis axis;
+    axis.key = "run";
+    for (int r = 0; r < runs; ++r) axis.values.push_back(std::to_string(r));
+    opt.axes.push_back(std::move(axis));
+  }
+  std::vector<std::string> errors;
+  if (!config::validate(spec, &errors)) fail(errors.front());
+  if (!harness::is_known_app(spec.workload.app)) {
+    fail("unknown app '" + spec.workload.app + "'");
+  }
   return opt;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-
-  TestbedConfig config;
-  config.system = opt.system;
-  config.seed = opt.seed;
-  Testbed bed(config);
-
-  Application* app = nullptr;
-  bool bypass = false;
-  if (opt.app == "kv") {
-    app = &bed.make_kv_store();
-  } else if (opt.app == "echo") {
-    app = &bed.make_echo();
-  } else if (opt.app == "vxlan") {
-    app = &bed.make_vxlan();
-  } else if (opt.app == "linefs") {
-    app = &bed.make_linefs();
-    bypass = true;
-  } else if (opt.app == "rdma") {
-    app = &bed.make_raw_rdma();
-    bypass = true;
-  } else {
-    usage(argv[0]);
-  }
-
-  for (FlowId id = 1; id <= static_cast<FlowId>(opt.flows); ++id) {
-    FlowConfig fc;
-    fc.id = id;
-    fc.kind = bypass ? FlowKind::kCpuBypass : FlowKind::kCpuInvolved;
-    fc.packet_size = bypass ? std::max<Bytes>(opt.pkt, 2 * kKiB) : opt.pkt;
-    fc.message_pkts =
-        bypass ? static_cast<std::uint32_t>(
-                     std::max<std::int64_t>(kKiB * opt.chunk_kb / fc.packet_size, 1))
-               : 1;
-    fc.offered_rate = gbps(opt.rate_gbps);
-    fc.poisson = opt.poisson;
-    fc.closed_loop_outstanding = opt.closed_loop;
-    fc.burst_on = micros(opt.burst_on_us);
-    fc.burst_off = micros(opt.burst_off_us);
-    bed.add_flow(fc, *app);
-  }
-
-  bed.run_for(millis(opt.warmup_ms));
-  bed.reset_measurement();
-  bed.run_for(millis(opt.ms));
-
+void print_single(const harness::ExperimentSpec& spec, const harness::RunResult& result) {
   std::printf("ceio_sim: system=%s app=%s flows=%d pkt=%lldB rate=%.1fG/flow ms=%.1f\n\n",
-              to_string(opt.system), opt.app.c_str(), opt.flows,
-              static_cast<long long>(opt.pkt.count()), opt.rate_gbps, opt.ms);
+              to_string(spec.testbed.system), spec.workload.app.c_str(), spec.workload.flows,
+              static_cast<long long>(spec.workload.packet_size.count()),
+              to_gbps(spec.workload.offered_rate), to_millis(spec.measure));
   TablePrinter table({"flow", "Mpps", "Gbps", "msg Gbps", "p50(us)", "p99(us)",
                       "p99.9(us)", "msgs", "drops"});
-  for (const auto& r : bed.all_reports()) {
+  for (const auto& r : result.flows) {
     table.add_row({std::to_string(r.id), TablePrinter::fmt(r.mpps),
                    TablePrinter::fmt(r.gbps), TablePrinter::fmt(r.message_gbps),
                    TablePrinter::fmt(to_micros(r.p50), 1),
@@ -185,19 +229,62 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\naggregate: %.2f Mpps, %.1f Gbps delivered, %.1f Gbps committed\n",
-              bed.aggregate_mpps(), bed.aggregate_gbps(), bed.aggregate_message_gbps());
+              result.aggregate_mpps, result.aggregate_gbps, result.aggregate_message_gbps);
   std::printf("LLC: miss %.2f%%, %lld premature evictions; DRAM util %.1f%%\n",
-              bed.llc_miss_rate() * 100.0,
-              static_cast<long long>(bed.llc().stats().premature_evictions),
-              bed.dram().utilization(bed.now()) * 100.0);
-  if (auto* ceio = bed.ceio()) {
-    const auto& rs = ceio->runtime_stats();
+              result.llc_miss_rate * 100.0,
+              static_cast<long long>(result.premature_evictions),
+              result.dram_utilization * 100.0);
+  if (result.has_ceio) {
     std::printf("CEIO: C_total=%lld, to_slow=%lld, to_fast=%lld, cca=%lld, reclaims=%lld\n",
-                static_cast<long long>(ceio->credits().total()),
-                static_cast<long long>(rs.credit_switches_to_slow),
-                static_cast<long long>(rs.switches_back_to_fast),
-                static_cast<long long>(rs.cca_triggers),
-                static_cast<long long>(rs.inactive_reclaims));
+                static_cast<long long>(result.ceio_total_credits),
+                static_cast<long long>(result.ceio_to_slow),
+                static_cast<long long>(result.ceio_to_fast),
+                static_cast<long long>(result.ceio_cca_triggers),
+                static_cast<long long>(result.ceio_reclaims));
+  }
+}
+
+void print_sweep(const CliOptions& opt, const std::vector<harness::SweepRow>& rows) {
+  std::printf("ceio_sim sweep: %zu runs over %zu axes\n\n", rows.size(), opt.axes.size());
+  std::vector<std::string> header{"#"};
+  for (const auto& axis : opt.axes) header.push_back(axis.key);
+  header.insert(header.end(), {"Mpps", "Gbps", "msg Gbps", "miss%", "drops"});
+  TablePrinter table(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{std::to_string(row.index)};
+    for (const auto& [key, value] : row.coordinates) cells.push_back(value);
+    std::int64_t drops = 0;
+    for (const auto& r : row.result.flows) drops += r.drops;
+    cells.push_back(TablePrinter::fmt(row.result.aggregate_mpps));
+    cells.push_back(TablePrinter::fmt(row.result.aggregate_gbps, 1));
+    cells.push_back(TablePrinter::fmt(row.result.aggregate_message_gbps, 1));
+    cells.push_back(TablePrinter::fmt(row.result.llc_miss_rate * 100.0, 1));
+    cells.push_back(std::to_string(drops));
+    table.add_row(std::move(cells));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  if (opt.print_config) {
+    std::fputs(config::print(opt.spec).c_str(), stdout);
+    return 0;
+  }
+  if (opt.print_overrides) {
+    for (const auto& [key, value] : config::diff_from_default(opt.spec)) {
+      std::printf("%s = %s\n", key.c_str(), value.c_str());
+    }
+    return 0;
+  }
+
+  if (opt.axes.empty()) {
+    print_single(opt.spec, harness::run_experiment(opt.spec));
+  } else {
+    print_sweep(opt, harness::run_sweep(opt.spec, opt.axes, opt.jobs));
   }
   return 0;
 }

@@ -6,10 +6,14 @@
 #   2. release build + test cmake Release, ctest
 #   3. telemetry identity   same scenario, hooks compiled out vs compiled
 #                           in-but-disabled — outputs must be byte-identical
-#   4. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
-#   5. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
-#   6. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
-#   7. clang-tidy           over src/ using the .clang-tidy profile
+#   4. migration safety     fig04_motivation + a registered ceio_sim scenario
+#                           diffed against the goldens in tools/golden/
+#   5. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
+#   6. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
+#   7. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
+#   8. tsan sweep           CEIO_SANITIZE=thread; a multi-axis ceio_sim sweep
+#                           at --jobs 4, byte-compared against --jobs 1
+#   9. clang-tidy           over src/ using the .clang-tidy profile
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -85,12 +89,34 @@ else
   fi
   stage_result telemetry-identity "${tele_status}"
 
-  # -- 4: audited build + tests ----------------------------------------------
+  # -- 4: migration safety (committed golden outputs) ------------------------
+  # Refactors of the experiment plumbing must not change what the paper
+  # binaries print. Run fig04_motivation and one registered ceio_sim
+  # scenario from the release tree and compare byte-for-byte against the
+  # goldens committed in tools/golden/. After an *intentional* model change,
+  # regenerate them:
+  #   build/bench/fig04_motivation > tools/golden/fig04_motivation.txt
+  #   build/tools/ceio_sim --scenario ceio-kv-short \
+  #     > tools/golden/ceio_sim_ceio-kv-short.txt
+  note "migration safety (diff vs tools/golden/)"
+  golden_status=1
+  if cmake --build "${CHECK_ROOT}/release" -j "${JOBS}" \
+      --target fig04_motivation ceio_sim_cli >/dev/null; then
+    golden_status=0
+    diff "${REPO_ROOT}/tools/golden/fig04_motivation.txt" \
+      <("${CHECK_ROOT}/release/bench/fig04_motivation") || golden_status=1
+    diff "${REPO_ROOT}/tools/golden/ceio_sim_ceio-kv-short.txt" \
+      <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario ceio-kv-short) || golden_status=1
+    [[ "${golden_status}" -eq 0 ]] && echo "outputs match committed goldens"
+  fi
+  stage_result migration-safety "${golden_status}"
+
+  # -- 5: audited build + tests ----------------------------------------------
   note "audited build + ctest (CEIO_AUDIT=ON)"
   build_and_test audit -DCMAKE_BUILD_TYPE=Release -DCEIO_AUDIT=ON
   stage_result audit $?
 
-  # -- 5/6: sanitizers, with auditing on so sweeps run under them ------------
+  # -- 6/7: sanitizers, with auditing on so sweeps run under them ------------
   note "asan build + ctest (CEIO_AUDIT=ON, CEIO_SANITIZE=address)"
   build_and_test asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCEIO_AUDIT=ON \
     -DCEIO_SANITIZE=address
@@ -101,7 +127,32 @@ else
     -DCEIO_SANITIZE=undefined
   stage_result ubsan $?
 
-  # -- 7: clang-tidy ---------------------------------------------------------
+  # -- 8: tsan sweep ---------------------------------------------------------
+  # The sweep runner fans experiments out on a thread pool; run a small
+  # multi-axis sweep at --jobs 4 under ThreadSanitizer and require the rows
+  # to be byte-identical to the single-threaded expansion. TSan reports make
+  # ceio_sim exit non-zero (halt_on_error), failing the stage.
+  note "tsan sweep (CEIO_SANITIZE=thread, --jobs 4 vs --jobs 1)"
+  tsan_tree="${CHECK_ROOT}/tsan"
+  tsan_status=1
+  tsan_sweep() {  # tsan_sweep <jobs>
+    TSAN_OPTIONS="halt_on_error=1" "${tsan_tree}/tools/ceio_sim" \
+      --scenario ceio-kv-short --ms 1 --sweep llc.ddio_ways=2,4 --runs 2 \
+      --jobs "$1"
+  }
+  if cmake -S "${REPO_ROOT}" -B "${tsan_tree}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCEIO_SANITIZE=thread >/dev/null &&
+      cmake --build "${tsan_tree}" -j "${JOBS}" --target ceio_sim_cli >/dev/null; then
+    if diff <(tsan_sweep 1) <(tsan_sweep 4); then
+      echo "sweep rows byte-identical under TSan at --jobs 4"
+      tsan_status=0
+    else
+      echo "parallel sweep diverges or raced under TSan"
+    fi
+  fi
+  stage_result tsan-sweep "${tsan_status}"
+
+  # -- 9: clang-tidy ---------------------------------------------------------
   note "clang-tidy"
   if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
     tidy_tree="${CHECK_ROOT}/tidy"

@@ -32,8 +32,16 @@ raw-stdout
     (common/logging.*) is exempt; deliberate display helpers annotate with
     `// lint: allow-stdout`.
 
+unreflected-config
+    Every `struct *Config` defined in src/ must have a field-visitor
+    registration (`visit_fields(XConfig&, ...)`, normally in
+    src/config/schema.h) so scenario files, `--set` overrides, printing and
+    validation see it. A config type that genuinely cannot be reflected
+    annotates its definition line with `// lint: allow-unreflected`.
+
 Suppression: append `// lint: allow-<rule>` to the offending line
-(`// lint: allow-stdout` for raw-stdout).
+(`// lint: allow-stdout` for raw-stdout, `// lint: allow-unreflected` for
+unreflected-config).
 """
 
 from __future__ import annotations
@@ -166,11 +174,37 @@ def check_raw_stdout(findings: list[Finding]) -> None:
                             "'// lint: allow-stdout' for deliberate display code"))
 
 
+CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Config)\b\s*(?:\{|$)")
+VISIT_FIELDS_RE = re.compile(r"\bvisit_fields\(\s*(?:\w+::)*(\w+)\s*&")
+
+
+def check_unreflected_config(findings: list[Finding]) -> None:
+    rule = "unreflected-config"
+    suppress = "lint: allow-unreflected"
+    files = iter_files(("src",), (".h", ".cc", ".cpp"))
+    reflected: set[str] = set()
+    for path in files:
+        for m in VISIT_FIELDS_RE.finditer(path.read_text()):
+            reflected.add(m.group(1))
+    for path in iter_files(("src",), (".h",)):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            m = CONFIG_STRUCT_RE.search(line)
+            if m and m.group(1) not in reflected:
+                findings.append(
+                    Finding(rule, path, lineno,
+                            f"'{m.group(1)}' has no visit_fields registration; add one "
+                            "(src/config/schema.h) so scenario files and --set can reach "
+                            "it, or annotate '// lint: allow-unreflected'"))
+
+
 RULES = {
     "raw-unit-param": check_raw_unit_params,
     "std-function-hot-path": check_std_function_hot_path,
     "past-schedule": check_past_schedule,
     "raw-stdout": check_raw_stdout,
+    "unreflected-config": check_unreflected_config,
 }
 
 
