@@ -12,13 +12,11 @@ HostccDatapath::HostccDatapath(EventScheduler& sched, DmaEngine& dma, MemoryCont
       dram_(dram),
       llc_(llc),
       config_(config) {
-  auto alive = alive_;
-  sched_.schedule_after(config_.poll_interval, [this, alive]() {
-    if (*alive) monitor_poll();
-  });
+  monitor_timer_ = sched_.schedule_after(config_.poll_interval,
+                                         [this]() { monitor_poll(); });
 }
 
-HostccDatapath::~HostccDatapath() { *alive_ = false; }
+HostccDatapath::~HostccDatapath() { sched_.cancel(monitor_timer_); }
 
 void HostccDatapath::on_flow_registered(FlowState& fs) {
   if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, "hostcc-rx");
@@ -51,10 +49,8 @@ void HostccDatapath::monitor_poll() {
       if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
     }
   }
-  auto alive = alive_;
-  sched_.schedule_after(config_.poll_interval, [this, alive]() {
-    if (*alive) monitor_poll();
-  });
+  monitor_timer_ = sched_.schedule_after(config_.poll_interval,
+                                         [this]() { monitor_poll(); });
 }
 
 }  // namespace ceio

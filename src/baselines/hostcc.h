@@ -10,8 +10,6 @@
 // already happened — the "slow response" limitation CEIO removes.
 #pragma once
 
-#include <memory>
-
 #include "host/dram.h"
 #include "host/iio.h"
 #include "iopath/datapath.h"
@@ -61,7 +59,9 @@ class HostccDatapath : public DatapathBase {
   Nanos last_signal_{-1};
   std::int64_t last_premature_ = 0;
   std::int64_t signals_ = 0;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // Periodic monitor timer; cancelled in the destructor so the scheduler can
+  // outlive the datapath without firing into freed state.
+  EventHandle monitor_timer_;
 };
 
 }  // namespace ceio

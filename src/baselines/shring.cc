@@ -5,13 +5,11 @@ namespace ceio {
 ShringDatapath::ShringDatapath(EventScheduler& sched, DmaEngine& dma, MemoryController& mc,
                                BufferPool& shared_pool, const ShringConfig& config)
     : DatapathBase(sched, dma, mc, shared_pool), config_(config) {
-  auto alive = alive_;
-  sched_.schedule_after(config_.sweep_interval, [this, alive]() {
-    if (*alive) sweep_stale_messages();
-  });
+  sweep_timer_ = sched_.schedule_after(config_.sweep_interval,
+                                       [this]() { sweep_stale_messages(); });
 }
 
-ShringDatapath::~ShringDatapath() { *alive_ = false; }
+ShringDatapath::~ShringDatapath() { sched_.cancel(sweep_timer_); }
 
 void ShringDatapath::sweep_stale_messages() {
   const Nanos now = sched_.now();
@@ -29,10 +27,8 @@ void ShringDatapath::sweep_stale_messages() {
       }
     }
   }
-  auto alive = alive_;
-  sched_.schedule_after(config_.sweep_interval, [this, alive]() {
-    if (*alive) sweep_stale_messages();
-  });
+  sweep_timer_ = sched_.schedule_after(config_.sweep_interval,
+                                       [this]() { sweep_stale_messages(); });
 }
 
 void ShringDatapath::on_flow_registered(FlowState& fs) {

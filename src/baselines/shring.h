@@ -68,7 +68,9 @@ class ShringDatapath : public DatapathBase {
   std::int64_t stale_reclaims_ = 0;
   // Shared-RQ buffers held by incomplete bypass messages, per flow.
   std::unordered_map<FlowId, std::unordered_map<std::uint64_t, HeldMessage>> msg_buffers_;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // Periodic sweep timer; cancelled in the destructor so the scheduler can
+  // outlive the datapath without firing into freed state.
+  EventHandle sweep_timer_;
 };
 
 }  // namespace ceio

@@ -27,18 +27,21 @@ CeioDatapath::CeioDatapath(EventScheduler& sched, DmaEngine& dma, MemoryControll
       rmt_(rmt),
       nic_mem_(nic_mem),
       config_(config),
-      credits_(config.total_credits) {
+      credits_(config.total_credits),
+      doorbells_(sched, [this](Nanos, CreditDoorbell db) {
+        credits_.release(db.flow, db.count);
+      }) {
   // Controller loops run on the NIC cores for the lifetime of the runtime.
-  auto alive = alive_;
-  sched_.schedule_after(config_.poll_interval, [this, alive]() {
-    if (*alive) controller_poll();
-  });
-  sched_.schedule_after(config_.reactivate_period, [this, alive]() {
-    if (*alive) reactivation_round();
-  });
+  poll_timer_ = sched_.schedule_after(config_.poll_interval,
+                                      [this]() { controller_poll(); });
+  reactivate_timer_ = sched_.schedule_after(config_.reactivate_period,
+                                            [this]() { reactivation_round(); });
 }
 
-CeioDatapath::~CeioDatapath() { *alive_ = false; }
+CeioDatapath::~CeioDatapath() {
+  sched_.cancel(poll_timer_);
+  sched_.cancel(reactivate_timer_);
+}
 
 CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) {
   const auto it = ext_.find(id);
@@ -170,23 +173,30 @@ void CeioDatapath::set_manual_consume(FlowId id, bool manual) {
   if (manual) pump(id);  // sweep anything already landed into the queue
 }
 
-std::vector<Packet> CeioDatapath::driver_recv(FlowId id, std::size_t max_pkts,
-                                              bool eager_drain) {
-  std::vector<Packet> out;
+std::size_t CeioDatapath::driver_recv(FlowId id, Packet* out, std::size_t max_pkts,
+                                      bool eager_drain) {
   FlowState* fs = state_of(id);
   Ext* ext = ext_of(id);
-  if (fs == nullptr || ext == nullptr || !ext->manual) return out;
+  if (fs == nullptr || ext == nullptr || !ext->manual) return 0;
   manual_pump(*fs, *ext);
-  while (out.size() < max_pkts && !ext->driver_queue.empty()) {
-    out.push_back(std::move(ext->driver_queue.front()));
+  std::size_t n = 0;
+  while (n < max_pkts && !ext->driver_queue.empty()) {
+    out[n++] = std::move(ext->driver_queue.front());
     ext->driver_queue.pop_front();
   }
   // Demand kick: the next in-order packet is on the slow path and has not
   // landed — start (or keep) the drain so a later call finds it. async_recv
   // arms the drain even when the queue satisfied the request.
-  if (eager_drain || (out.size() < max_pkts && ext->sw.next() == SwRing::Path::kSlow)) {
+  if (eager_drain || (n < max_pkts && ext->sw.next() == SwRing::Path::kSlow)) {
     kick_drain(id, *ext);
   }
+  return n;
+}
+
+std::vector<Packet> CeioDatapath::driver_recv(FlowId id, std::size_t max_pkts,  // lint: allow-vector-return
+                                              bool eager_drain) {
+  std::vector<Packet> out(max_pkts);
+  out.resize(driver_recv(id, out.data(), max_pkts, eager_drain));
   return out;
 }
 
@@ -575,11 +585,7 @@ void CeioDatapath::note_processed_for_release(FlowState& fs, Ext& ext, const Pac
 }
 
 void CeioDatapath::schedule_credit_release(FlowId flow, std::int64_t count) {
-  auto alive = alive_;
-  sched_.schedule_after(config_.doorbell_latency, [this, alive, flow, count]() {
-    if (!*alive) return;
-    credits_.release(flow, count);
-  });
+  doorbells_.push(sched_.now() + config_.doorbell_latency, CreditDoorbell{flow, count});
 }
 
 void CeioDatapath::controller_poll() {
@@ -592,10 +598,8 @@ void CeioDatapath::controller_poll() {
     Ext* ext = ext_of(id);
     if (ext != nullptr) poll_flow(id, *ext, now);
   }
-  auto alive = alive_;
-  sched_.schedule_after(config_.poll_interval, [this, alive]() {
-    if (*alive) controller_poll();
-  });
+  poll_timer_ = sched_.schedule_after(config_.poll_interval,
+                                      [this]() { controller_poll(); });
 }
 
 void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
@@ -761,10 +765,8 @@ void CeioDatapath::reactivation_round() {
       // poll loop performs the actual switch.
     }
   }
-  auto alive = alive_;
-  sched_.schedule_after(config_.reactivate_period, [this, alive]() {
-    if (*alive) reactivation_round();
-  });
+  reactivate_timer_ = sched_.schedule_after(config_.reactivate_period,
+                                            [this]() { reactivation_round(); });
 }
 
 }  // namespace ceio

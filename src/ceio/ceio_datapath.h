@@ -32,6 +32,7 @@
 #include "iopath/datapath.h"
 #include "nic/nic_memory.h"
 #include "nic/rmt_engine.h"
+#include "sim/coalesced_stream.h"
 
 namespace ceio {
 
@@ -137,9 +138,13 @@ class CeioDatapath final : public DatapathBase {
   /// Switches a flow between the internal pump (default) and manual
   /// consumption through a CeioDriver.
   void set_manual_consume(FlowId id, bool manual);
-  /// Pops up to `max_pkts` in-order landed packets. `eager_drain` keeps the
-  /// slow path draining in the background (async_recv).
-  std::vector<Packet> driver_recv(FlowId id, std::size_t max_pkts, bool eager_drain);
+  /// Pops up to `max_pkts` in-order landed packets into caller-provided
+  /// storage (no allocation). `eager_drain` keeps the slow path draining in
+  /// the background (async_recv). Returns the number of packets written.
+  std::size_t driver_recv(FlowId id, Packet* out, std::size_t max_pkts, bool eager_drain);
+  /// Legacy allocating overload; prefer the span form on hot paths.
+  std::vector<Packet> driver_recv(FlowId id, std::size_t max_pkts,  // lint: allow-vector-return
+                                  bool eager_drain);
   /// Grants `count` application-owned zero-copy RX buffers to the flow.
   std::vector<BufferId> driver_post_recv(FlowId id, std::size_t count);
   /// Ownership hand-back: recycles the buffer, advances message progress and
@@ -239,9 +244,19 @@ class CeioDatapath final : public DatapathBase {
   double reactivation_tokens_ = 0.0;
   Nanos last_token_refill_{0};
   CeioRuntimeStats rt_stats_;
-  // Timer callbacks capture this token by value and bail out once the
-  // datapath is destroyed (the scheduler may outlive us).
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // Periodic controller loops, cancelled in the destructor (the scheduler
+  // may outlive us; a cancelled handle can never fire into freed state).
+  EventHandle poll_timer_;
+  EventHandle reactivate_timer_;
+  /// One credit-release MMIO doorbell in flight to the NIC.
+  struct CreditDoorbell {
+    FlowId flow = 0;
+    std::int64_t count = 0;
+  };
+  // Doorbells ring a constant MMIO latency after issue, so due times are
+  // non-decreasing: a coalesced stream drains release bursts in one event.
+  // Its destructor cancels the armed event, covering datapath teardown.
+  CoalescedStream<CreditDoorbell> doorbells_;
 };
 
 }  // namespace ceio

@@ -9,11 +9,25 @@ CeioDriver::CeioDriver(CeioDatapath& datapath, FlowId flow)
 
 CeioDriver::~CeioDriver() { datapath_.set_manual_consume(flow_, false); }
 
-std::vector<Packet> CeioDriver::recv(std::size_t max_pkts) {
+std::size_t CeioDriver::recv(PacketBurst& out) {
+  const std::size_t n =
+      datapath_.driver_recv(flow_, out.tail(), out.room(), /*eager_drain=*/false);
+  out.commit(n);
+  return n;
+}
+
+std::size_t CeioDriver::async_recv(PacketBurst& out) {
+  const std::size_t n =
+      datapath_.driver_recv(flow_, out.tail(), out.room(), /*eager_drain=*/true);
+  out.commit(n);
+  return n;
+}
+
+std::vector<Packet> CeioDriver::recv(std::size_t max_pkts) {  // lint: allow-vector-return
   return datapath_.driver_recv(flow_, max_pkts, /*eager_drain=*/false);
 }
 
-std::vector<Packet> CeioDriver::async_recv(std::size_t max_pkts) {
+std::vector<Packet> CeioDriver::async_recv(std::size_t max_pkts) {  // lint: allow-vector-return
   return datapath_.driver_recv(flow_, max_pkts, /*eager_drain=*/true);
 }
 

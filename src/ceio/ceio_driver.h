@@ -36,16 +36,21 @@ class CeioDriver {
   CeioDriver(const CeioDriver&) = delete;
   CeioDriver& operator=(const CeioDriver&) = delete;
 
-  /// Returns up to `max_pkts` in-order packets that have landed in host
-  /// memory. If the next in-order packet sits in on-NIC memory, starts the
-  /// drain (demand-driven, like the blocking recv() in the paper — in a
-  /// discrete-event world the "block" is simply: run the simulator and call
-  /// again).
-  std::vector<Packet> recv(std::size_t max_pkts);
+  /// Fills `out` with in-order packets that have landed in host memory (up
+  /// to its remaining room; the burst is caller-owned, so the hot receive
+  /// loop never allocates). If the next in-order packet sits in on-NIC
+  /// memory, starts the drain (demand-driven, like the blocking recv() in
+  /// the paper — in a discrete-event world the "block" is simply: run the
+  /// simulator and call again). Returns the number of packets appended.
+  std::size_t recv(PacketBurst& out);
 
   /// Same, but also keeps the slow-path drain armed so future packets land
   /// without a demand kick (the §4.2 asynchronous access optimisation).
-  std::vector<Packet> async_recv(std::size_t max_pkts);
+  std::size_t async_recv(PacketBurst& out);
+
+  /// Legacy allocating overloads; prefer the PacketBurst forms on hot paths.
+  std::vector<Packet> recv(std::size_t max_pkts);        // lint: allow-vector-return
+  std::vector<Packet> async_recv(std::size_t max_pkts);  // lint: allow-vector-return
 
   /// Zero-copy support: grants the driver `count` application-owned RX
   /// buffers. Subsequent fast-path DMA for this flow lands in these buffers

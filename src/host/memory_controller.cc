@@ -8,7 +8,17 @@ namespace ceio {
 
 MemoryController::MemoryController(EventScheduler& sched, LlcModel& llc, DramModel& dram,
                                    IioBuffer& iio, const MemoryControllerConfig& config)
-    : sched_(sched), llc_(llc), dram_(dram), iio_(iio), config_(config) {}
+    : sched_(sched),
+      llc_(llc),
+      dram_(dram),
+      iio_(iio),
+      config_(config),
+      llc_completions_(sched, [this](Nanos when, PendingWrite w) {
+        finish_write(when, std::move(w));
+      }),
+      dram_completions_(sched, [this](Nanos when, PendingWrite w) {
+        finish_write(when, std::move(w));
+      }) {}
 
 void MemoryController::charge_eviction(const LlcModel::Evicted& ev) {
   if (ev.happened && ev.never_read) {
@@ -44,20 +54,17 @@ void MemoryController::dma_write(BufferId id, Bytes size, bool ddio, Completion 
 
 void MemoryController::start_dma_write(BufferId id, Bytes size, bool ddio, bool expect_read,
                                        Completion done) {
-  Nanos complete_at;
   if (ddio) {
     const auto ev = llc_.ddio_write(id, size, expect_read);
     charge_eviction(ev);
-    complete_at = sched_.now() + config_.llc_write_latency;
     ++stats_.ddio_writes;
+    llc_completions_.push(sched_.now() + config_.llc_write_latency,
+                          PendingWrite{size, std::move(done)});
   } else {
-    complete_at = dram_.access(sched_.now(), size);
+    const Nanos complete_at = dram_.access(sched_.now(), size);
     ++stats_.dram_writes;
+    dram_completions_.push(complete_at, PendingWrite{size, std::move(done)});
   }
-  sched_.schedule_at(complete_at, [this, size, done = std::move(done), complete_at]() {
-    iio_.drain(size);
-    if (done) done(complete_at);
-  });
 }
 
 Nanos MemoryController::cpu_read(BufferId id, Bytes size) {

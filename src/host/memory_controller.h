@@ -17,6 +17,7 @@
 #include "host/cache.h"
 #include "host/dram.h"
 #include "host/iio.h"
+#include "sim/coalesced_stream.h"
 #include "sim/event_scheduler.h"
 
 namespace ceio {
@@ -97,8 +98,18 @@ class MemoryController {
   void register_metrics(MetricRegistry& registry) const;
 
  private:
+  /// A DMA write waiting for global visibility: drains IIO and completes.
+  struct PendingWrite {
+    Bytes size{0};
+    Completion done;
+  };
+
   void start_dma_write(BufferId id, Bytes size, bool ddio, bool expect_read, Completion done);
   void charge_eviction(const LlcModel::Evicted& ev);
+  void finish_write(Nanos when, PendingWrite write) {
+    iio_.drain(write.size);
+    if (write.done) write.done(when);
+  }
 
   EventScheduler& sched_;
   LlcModel& llc_;
@@ -107,6 +118,12 @@ class MemoryController {
   MemoryControllerConfig config_;
   MemoryControllerStats stats_;
   Telemetry* tele_ = nullptr;
+  // Completion times are monotonic per drain target (LLC: now + a constant
+  // write latency; DRAM: the bandwidth pipe's free_at), but not across the
+  // two, so each is its own coalesced stream: bursts of completions drain
+  // in one event each, at exact per-write times.
+  CoalescedStream<PendingWrite> llc_completions_;
+  CoalescedStream<PendingWrite> dram_completions_;
 };
 
 }  // namespace ceio

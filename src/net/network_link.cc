@@ -30,10 +30,7 @@ void NetworkLink::send(Packet pkt) {
 
   const Nanos start = std::max(now, egress_free_);
   egress_free_ = start + transmit_time(pkt.size, config_.rate);
-  const Nanos arrival = egress_free_ + config_.propagation;
-  sched_.schedule_at(arrival, [this, pkt = std::move(pkt)]() mutable {
-    nic_.receive(std::move(pkt));
-  });
+  arrivals_.push(egress_free_ + config_.propagation, std::move(pkt));
 }
 
 }  // namespace ceio

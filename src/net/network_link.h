@@ -13,6 +13,7 @@
 #include "common/units.h"
 #include "nic/nic.h"
 #include "nic/packet.h"
+#include "sim/coalesced_stream.h"
 #include "sim/event_scheduler.h"
 
 namespace ceio {
@@ -38,7 +39,10 @@ class NetworkLink {
   using DropHandler = std::function<void(const Packet&)>;
 
   NetworkLink(EventScheduler& sched, Nic& nic, const NetworkLinkConfig& config = {})
-      : sched_(sched), nic_(nic), config_(config) {}
+      : sched_(sched),
+        nic_(nic),
+        config_(config),
+        arrivals_(sched, [this](Nanos, Packet pkt) { nic_.receive(std::move(pkt)); }) {}
 
   void set_drop_handler(DropHandler handler) { on_drop_ = std::move(handler); }
 
@@ -58,6 +62,9 @@ class NetworkLink {
   Nanos egress_free_{0};  // when the serializer finishes the current backlog
   NetworkLinkStats stats_;
   DropHandler on_drop_;
+  // Arrivals are serialisation exits + constant propagation: non-decreasing,
+  // so the wire is a coalesced stream (one event drains a burst of arrivals).
+  CoalescedStream<Packet> arrivals_;
 };
 
 }  // namespace ceio

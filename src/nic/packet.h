@@ -1,6 +1,7 @@
 // Core packet and flow vocabulary shared by the network, NIC and host layers.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "common/units.h"
@@ -33,6 +34,52 @@ struct Packet {
   std::uint32_t message_pkts = 1; // packets in the message
   bool last_in_message = false;   // completes the message (triggers app logic)
   BufferId host_buffer = 0;    // host RX buffer, assigned at DMA time
+};
+
+/// Fixed-capacity packet carrier for burst-granular delivery: a DPDK-style
+/// rx_burst array. Lives wherever the caller puts it (stack, member) and
+/// never touches the heap; callers reuse one instance across drains.
+class PacketBurst {
+ public:
+  static constexpr std::size_t kCapacity = 32;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == kCapacity; }
+  static constexpr std::size_t capacity() { return kCapacity; }
+
+  void push(Packet pkt) {
+    assert(count_ < kCapacity);
+    pkts_[count_++] = std::move(pkt);
+  }
+
+  Packet& operator[](std::size_t i) {
+    assert(i < count_);
+    return pkts_[i];
+  }
+  const Packet& operator[](std::size_t i) const {
+    assert(i < count_);
+    return pkts_[i];
+  }
+
+  Packet* begin() { return pkts_; }
+  Packet* end() { return pkts_ + count_; }
+  const Packet* begin() const { return pkts_; }
+  const Packet* end() const { return pkts_ + count_; }
+
+  void clear() { count_ = 0; }
+
+  /// Bulk-fill support: write up to room() packets at tail(), then commit(n).
+  Packet* tail() { return pkts_ + count_; }
+  std::size_t room() const { return kCapacity - count_; }
+  void commit(std::size_t n) {
+    assert(count_ + n <= kCapacity);
+    count_ += n;
+  }
+
+ private:
+  Packet pkts_[kCapacity];
+  std::size_t count_ = 0;
 };
 
 }  // namespace ceio

@@ -8,22 +8,30 @@ namespace ceio {
 
 DmaEngine::DmaEngine(EventScheduler& sched, PcieLink& link, MemoryController& mc,
                      const DmaEngineConfig& config)
-    : sched_(sched), link_(link), mc_(mc), config_(config) {}
+    : sched_(sched),
+      link_(link),
+      mc_(mc),
+      config_(config),
+      write_landings_(sched, [this](Nanos, WriteDescriptor desc) {
+        land_write(std::move(desc));
+      }) {}
 
 void DmaEngine::write_to_host(BufferId buffer, Bytes size, bool ddio, Completion done,
                               bool expect_read) {
   ++stats_.writes;
   stats_.write_bytes += size;
   const Nanos at_host = link_.upstream(sched_.now(), size);
-  sched_.schedule_at(at_host,
-                     [this, buffer, size, ddio, expect_read, done = std::move(done)]() mutable {
-                       mc_.dma_write(buffer, size, ddio,
-                                     [this, done = std::move(done)](Nanos t) {
-                                       ++stats_.writes_completed;
-                                       if (done) done(t);
-                                     },
-                                     expect_read);
-                     });
+  write_landings_.push(at_host,
+                       WriteDescriptor{buffer, size, ddio, expect_read, std::move(done)});
+}
+
+void DmaEngine::land_write(WriteDescriptor desc) {
+  mc_.dma_write(desc.buffer, desc.size, desc.ddio,
+                [this, done = std::move(desc.done)](Nanos t) {
+                  ++stats_.writes_completed;
+                  if (done) done(t);
+                },
+                desc.expect_read);
 }
 
 void DmaEngine::read_from_nic(Bytes size, SourceFetch fetch, Completion done) {

@@ -19,6 +19,7 @@
 #include "common/units.h"
 #include "host/memory_controller.h"
 #include "pcie/pcie_link.h"
+#include "sim/coalesced_stream.h"
 #include "sim/event_scheduler.h"
 
 namespace ceio {
@@ -79,8 +80,19 @@ class DmaEngine {
     Completion done;
   };
 
+  /// A write TLP in flight: everything the memory controller needs once the
+  /// payload lands on the host side of the link.
+  struct WriteDescriptor {
+    BufferId buffer = 0;
+    Bytes size{0};
+    bool ddio = false;
+    bool expect_read = true;
+    Completion done;
+  };
+
   void start_read(ReadRequest req);
   void finish_read();
+  void land_write(WriteDescriptor desc);
 
   EventScheduler& sched_;
   PcieLink& link_;
@@ -90,6 +102,10 @@ class DmaEngine {
   int outstanding_reads_ = 0;
   DmaEngineStats stats_;
   Telemetry* tele_ = nullptr;
+  // Upstream landings serialise on the link (PcieLink::upstream reserves in
+  // issue order), so write arrivals are a coalesced stream: one event drains
+  // a burst of TLPs, each landing at its exact link-computed time.
+  CoalescedStream<WriteDescriptor> write_landings_;
 };
 
 }  // namespace ceio

@@ -1,0 +1,162 @@
+// Burst-mode event coalescing with per-item timestamps.
+//
+// The simulator's hot pipeline hops (NIC firmware ingress, PCIe DMA landing,
+// memory-controller completions, credit doorbells) each used to schedule one
+// event per packet. Under backlog those events dominate scheduler traffic
+// without adding information: each hop's deadlines are generated in
+// non-decreasing order (serialisation on a link, a fixed pipeline cost, a
+// constant latency added to a monotonic clock), so the hop is really a FIFO
+// *stream* of timestamped items.
+//
+// CoalescedStream keeps that FIFO explicitly and arms a single scheduler
+// event for the front item only. When the event fires, it drains as many
+// queued items as possible in one callback ("a burst"), advancing the
+// scheduler clock to each item's exact deadline before invoking the handler
+// — so a model reading sched.now() (token-bucket refills, link reservations,
+// occupancy polls) observes precisely the times it would have seen with one
+// event per item.
+//
+// Determinism is preserved bit-for-bit, not approximately:
+//   * every push draws a seq from the scheduler (allocate_seq), so the
+//     (when, seq) key space is identical to the one-event-per-item world;
+//   * an item is drained inline only while its key precedes the earliest
+//     scheduled event (EventScheduler::peek) — i.e. exactly while the
+//     per-event world would have popped it next anyway — and only up to the
+//     innermost run_until deadline;
+//   * otherwise the stream re-arms one event carrying the *original* seq of
+//     the front item (schedule_at_with_seq), which sorts exactly where that
+//     item's own event would have.
+// EventScheduler::set_coalescing(false) turns the inline drain off (one
+// event per item again); tests assert both modes produce identical results.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "common/units.h"
+#include "sim/event_scheduler.h"
+
+namespace ceio {
+
+/// FIFO of (when, seq, Item) driven by one scheduler event. `Item` must be
+/// movable; the handler receives each item at sched.now() == its deadline.
+template <typename Item>
+class CoalescedStream {
+ public:
+  using Handler = InlineFunction<void(Nanos, Item), 48>;
+
+  CoalescedStream(EventScheduler& sched, Handler handler)
+      : sched_(sched), handler_(std::move(handler)) {}
+
+  ~CoalescedStream() {
+    if (armed_) sched_.cancel(armed_handle_);
+  }
+
+  CoalescedStream(const CoalescedStream&) = delete;
+  CoalescedStream& operator=(const CoalescedStream&) = delete;
+
+  /// Queues `item` for delivery at `when`. Deadlines must be non-decreasing
+  /// across pushes — true for every converted hop (link serialisation,
+  /// fixed pipeline costs, constant latencies on a monotonic clock).
+  void push(Nanos when, Item item) {
+    assert(when >= sched_.now());
+    assert(empty() || when >= queue_.back().when);
+    queue_.push_back(Entry{when, sched_.allocate_seq(), std::move(item)});
+    if (!armed_ && !in_fire_) arm_front();
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Nanos when;
+    std::uint64_t seq;
+    Item item;
+  };
+
+  // Minimal growable ring so steady-state push/pop never allocates (a
+  // std::deque releases its blocks when it empties, re-paying the allocator
+  // every burst). Capacity is a power of two and only ever grows.
+  class Ring {
+   public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    Entry& front() { return buf_[head_]; }
+    const Entry& back() const { return buf_[(head_ + count_ - 1) & (buf_.size() - 1)]; }
+
+    void push_back(Entry e) {
+      if (count_ == buf_.size()) grow();
+      buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(e);
+      ++count_;
+    }
+
+    Entry pop_front() {
+      Entry e = std::move(buf_[head_]);
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
+      return e;
+    }
+
+   private:
+    void grow() {
+      const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+      std::vector<Entry> next(cap);
+      for (std::size_t i = 0; i < count_; ++i) {
+        next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+      buf_ = std::move(next);
+      head_ = 0;
+    }
+
+    std::vector<Entry> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  void arm_front() {
+    const Entry& front = queue_.front();
+    armed_handle_ = sched_.schedule_at_with_seq(front.when, front.seq, [this]() { fire(); });
+    armed_ = true;
+  }
+
+  /// True while the front item is exactly what the one-event-per-item world
+  /// would execute next: its key precedes every scheduled event and it does
+  /// not cross the innermost run_until boundary.
+  bool front_is_next() {
+    const Entry& front = queue_.front();
+    if (front.when > sched_.run_deadline()) return false;
+    EventScheduler::EventKey top;
+    if (!sched_.peek(top)) return true;
+    return front.when != top.when ? front.when < top.when : front.seq < top.seq;
+  }
+
+  void fire() {
+    armed_ = false;
+    in_fire_ = true;
+    for (;;) {
+      Entry entry = queue_.pop_front();
+      handler_(entry.when, std::move(entry.item));
+      if (queue_.empty()) break;
+      if (!sched_.coalescing() || !front_is_next()) {
+        arm_front();
+        break;
+      }
+      sched_.advance_now(queue_.front().when);
+    }
+    in_fire_ = false;
+    if (!armed_ && !queue_.empty()) arm_front();
+  }
+
+  EventScheduler& sched_;
+  Handler handler_;
+  Ring queue_;
+  EventHandle armed_handle_;
+  bool armed_ = false;
+  bool in_fire_ = false;
+};
+
+}  // namespace ceio

@@ -1,14 +1,21 @@
 #include "sim/event_scheduler.h"
 
+#include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 namespace ceio {
 
+EventScheduler::EventScheduler()
+    : buckets_(kWheelSpan),
+      run_deadline_{std::numeric_limits<std::int64_t>::max()} {}
+
 std::uint32_t EventScheduler::acquire_slot() {
-  if (free_head_ != kNoFreeSlot) {
+  if (free_head_ != kNil) {
     const std::uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = kNoFreeSlot;
+    free_head_ = slots_[slot].next;
+    slots_[slot].next = kNil;
     return slot;
   }
   slots_.emplace_back();
@@ -19,8 +26,8 @@ void EventScheduler::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.cb.reset();  // eagerly destroy the callback and any captured state
   ++s.generation;  // invalidate every outstanding handle to this slot
-  s.heap_index = kNotInHeap;
-  s.next_free = free_head_;
+  s.where = kWhereFree;
+  s.next = free_head_;
   free_head_ = slot;
 }
 
@@ -30,11 +37,11 @@ void EventScheduler::sift_up(std::size_t pos) {
     const std::size_t parent = (pos - 1) / 4;
     if (!earlier(node, heap_[parent])) break;
     heap_[pos] = heap_[parent];
-    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    slots_[heap_[pos].slot].pos = static_cast<std::uint32_t>(pos);
     pos = parent;
   }
   heap_[pos] = node;
-  slots_[node.slot].heap_index = static_cast<std::uint32_t>(pos);
+  slots_[node.slot].pos = static_cast<std::uint32_t>(pos);
 }
 
 void EventScheduler::sift_down(std::size_t pos) {
@@ -51,18 +58,18 @@ void EventScheduler::sift_down(std::size_t pos) {
     }
     if (!earlier(heap_[best], node)) break;
     heap_[pos] = heap_[best];
-    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    slots_[heap_[pos].slot].pos = static_cast<std::uint32_t>(pos);
     pos = best;
   }
   heap_[pos] = node;
-  slots_[node.slot].heap_index = static_cast<std::uint32_t>(pos);
+  slots_[node.slot].pos = static_cast<std::uint32_t>(pos);
 }
 
 void EventScheduler::heap_remove(std::size_t pos) {
   const std::size_t last = heap_.size() - 1;
   if (pos != last) {
     heap_[pos] = heap_[last];
-    slots_[heap_[pos].slot].heap_index = static_cast<std::uint32_t>(pos);
+    slots_[heap_[pos].slot].pos = static_cast<std::uint32_t>(pos);
     heap_.pop_back();
     // The moved node may need to travel either direction.
     if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
@@ -75,45 +82,191 @@ void EventScheduler::heap_remove(std::size_t pos) {
   }
 }
 
-EventHandle EventScheduler::schedule_at(Nanos when, Callback cb) {
+void EventScheduler::wheel_insert(Nanos when, std::uint64_t seq, std::uint32_t slot) {
+  const std::uint32_t index = bucket_index(when);
+  WheelBucket& b = buckets_[index];
+  Slot& s = slots_[slot];
+  s.seq = seq;
+  s.where = index;
+  s.next = kNil;
+  if (b.head == kNil) {
+    b.head = b.tail = slot;
+  } else {
+    slots_[b.tail].next = slot;
+    b.tail = slot;
+    if (seq < b.max_seq) b.dirty = true;
+  }
+  if (seq > b.max_seq) b.max_seq = seq;
+  ++b.live;
+  ++wheel_live_;
+  bitmap_set(index);
+}
+
+void EventScheduler::free_front(WheelBucket& b) {
+  const std::uint32_t slot = b.head;
+  b.head = slots_[slot].next;
+  if (b.head == kNil) b.tail = kNil;
+  slots_[slot].where = kWhereFree;
+  slots_[slot].next = free_head_;
+  free_head_ = slot;
+}
+
+void EventScheduler::reset_bucket(std::uint32_t index) {
+  WheelBucket& b = buckets_[index];
+  // Only tombstones can remain once the last live slot has left.
+  skip_tombstones(b);
+  b.max_seq = 0;
+  b.dirty = false;
+  bitmap_clear(index);
+}
+
+void EventScheduler::sort_bucket(WheelBucket& b) {
+  sort_scratch_.clear();
+  for (std::uint32_t s = b.head; s != kNil; s = slots_[s].next) sort_scratch_.push_back(s);
+  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+            [this](std::uint32_t a, std::uint32_t c) { return slots_[a].seq < slots_[c].seq; });
+  for (std::size_t i = 0; i + 1 < sort_scratch_.size(); ++i) {
+    slots_[sort_scratch_[i]].next = sort_scratch_[i + 1];
+  }
+  slots_[sort_scratch_.back()].next = kNil;
+  b.head = sort_scratch_.front();
+  b.tail = sort_scratch_.back();
+  b.dirty = false;
+}
+
+std::uint32_t EventScheduler::find_set_bucket(std::uint32_t from) const {
+  const std::uint32_t w0 = from >> 6;
+  const std::uint64_t first = words_[w0] & (~0ull << (from & 63));
+  if (first != 0) {
+    return (w0 << 6) | static_cast<std::uint32_t>(std::countr_zero(first));
+  }
+  // Whole words strictly after w0, then wrap around through w0 itself
+  // (covering the bits below `from` that the masked probe skipped).
+  const std::uint64_t later = w0 == kWheelWords - 1 ? 0 : summary_ & (~0ull << (w0 + 1));
+  const std::uint64_t pool = later != 0 ? later : summary_;
+  const std::uint32_t w = static_cast<std::uint32_t>(std::countr_zero(pool));
+  return (w << 6) | static_cast<std::uint32_t>(std::countr_zero(words_[w]));
+}
+
+void EventScheduler::migrate_from_heap() {
+  while (!heap_.empty() && in_wheel_window(heap_[0].when)) {
+    const HeapNode top = heap_[0];
+    heap_remove(0);
+    wheel_insert(top.when, top.seq, top.slot);
+  }
+}
+
+EventHandle EventScheduler::schedule_at_with_seq(Nanos when, std::uint64_t seq,
+                                                 Callback cb) {
+  assert(seq < next_seq_);
   if (when < now_) when = now_;
   const std::uint32_t slot = acquire_slot();
   slots_[slot].cb = std::move(cb);
-  const std::size_t pos = heap_.size();
-  heap_.push_back(HeapNode{when, next_seq_++, slot});
-  slots_[slot].heap_index = static_cast<std::uint32_t>(pos);
-  sift_up(pos);
+  if (in_wheel_window(when)) {
+    wheel_insert(when, seq, slot);
+  } else {
+    const std::size_t pos = heap_.size();
+    heap_.push_back(HeapNode{when, seq, slot});
+    slots_[slot].where = kWhereHeap;
+    slots_[slot].pos = static_cast<std::uint32_t>(pos);
+    sift_up(pos);
+  }
+  ++pending_;
   return EventHandle{slot, slots_[slot].generation};
 }
 
 bool EventScheduler::cancel(EventHandle handle) {
   if (!is_pending(handle)) return false;
   const std::uint32_t slot = handle.slot_;
-  heap_remove(slots_[slot].heap_index);
-  release_slot(slot);
+  Slot& s = slots_[slot];
+  if (s.where == kWhereHeap) {
+    heap_remove(s.pos);
+    release_slot(slot);
+  } else {
+    // Tombstone in place: destroy the callback and invalidate the handle
+    // now; the slot rejoins the free list when the bucket reaches it.
+    const std::uint32_t index = s.where;
+    s.cb.reset();
+    ++s.generation;
+    s.where = kWhereTomb;
+    WheelBucket& b = buckets_[index];
+    --b.live;
+    --wheel_live_;
+    if (b.live == 0) reset_bucket(index);
+  }
+  --pending_;
   return true;
 }
 
-bool EventScheduler::step() {
-  if (heap_.empty()) return false;
-  const HeapNode top = heap_[0];
-  heap_remove(0);
+Nanos EventScheduler::earliest_when() const {
+  if (wheel_live_ > 0) {
+    const std::uint32_t start = bucket_index(now_);
+    const std::uint32_t index = find_set_bucket(start);
+    const std::uint32_t distance = (index - start) & kWheelMask;
+    return now_ + Nanos{distance};
+  }
+  return heap_[0].when;
+}
+
+bool EventScheduler::peek(EventKey& out) {
+  if (pending_ == 0) return false;
+  if (wheel_live_ == 0) {
+    out = EventKey{heap_[0].when, heap_[0].seq};
+    return true;
+  }
+  const Nanos when = earliest_when();
+  WheelBucket& b = buckets_[bucket_index(when)];
+  if (b.dirty) sort_bucket(b);
+  skip_tombstones(b);
+  out = EventKey{when, slots_[b.head].seq};
+  return true;
+}
+
+void EventScheduler::fire_at(Nanos when) {
+  if (when > now_) {
+    now_ = when;
+    migrate_from_heap();
+  }
+  const std::uint32_t index = bucket_index(when);
+  WheelBucket& b = buckets_[index];
+  if (b.dirty) sort_bucket(b);
+  skip_tombstones(b);
+  const std::uint32_t slot = b.head;
+  b.head = slots_[slot].next;
+  if (b.head == kNil) b.tail = kNil;
+  --b.live;
+  --wheel_live_;
+  --pending_;
+  if (b.live == 0) reset_bucket(index);
   // Move the callback out and release the slot *before* invoking, so the
   // callback can freely schedule (possibly into this very slot) or cancel.
-  Callback cb = std::move(slots_[top.slot].cb);
-  release_slot(top.slot);
-  now_ = top.when;
+  Callback cb = std::move(slots_[slot].cb);
+  release_slot(slot);
   ++executed_;
   cb();
+}
+
+bool EventScheduler::step() {
+  if (pending_ == 0) return false;
+  fire_at(earliest_when());
   return true;
 }
 
 std::uint64_t EventScheduler::run_until(Nanos deadline) {
+  const Nanos saved_deadline = run_deadline_;
+  run_deadline_ = deadline;
   std::uint64_t ran = 0;
-  while (!heap_.empty() && heap_[0].when <= deadline) {
-    if (step()) ++ran;
+  while (pending_ > 0) {
+    const Nanos when = earliest_when();
+    if (when > deadline) break;
+    fire_at(when);
+    ++ran;
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) {
+    now_ = deadline;
+    migrate_from_heap();
+  }
+  run_deadline_ = saved_deadline;
   return ran;
 }
 

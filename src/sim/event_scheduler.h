@@ -6,22 +6,40 @@
 // scheduling order (FIFO via a monotonic sequence number), which makes runs
 // bit-for-bit deterministic for a given seed.
 //
-// Implementation: allocation-free on the steady-state path.
+// Implementation: a two-tier queue, allocation-free on the steady-state path.
 //   * Events live in a contiguous slot pool (`slots_`) recycled through a
 //     free list; handles are {slot, generation} pairs so cancel() and
 //     is_pending() are O(1) array probes — no hash set.
-//   * Ordering is an indexed 4-ary min-heap over (when, seq); each heap node
-//     carries its sort key so comparisons never chase into the pool, and
-//     each slot tracks its heap position so cancellation is a true O(log n)
-//     removal (sift) instead of a lazy tombstone.
+//   * Near-future events (when < now + kWheelSpan) go into a timing wheel:
+//     kWheelSpan buckets of one tick (1 ns) each, a hierarchical bitmap
+//     (one summary word over 64 bucket words) to find the next non-empty
+//     bucket in a handful of word scans, and per-bucket FIFO lists threaded
+//     intrusively through the slot pool (reusing the free-list link), so
+//     the wheel itself owns no storage and never allocates. Insert and
+//     cancel are O(1); pop is O(1) amortised and — unlike the heap —
+//     independent of queue depth, which is what keeps deep-backlog runs
+//     (fig12_flowscale, large sweeps) fast.
+//   * Far timers (when >= now + kWheelSpan: controller polls, reactivation
+//     rounds, stale-message sweeps) sit in the original indexed 4-ary
+//     min-heap over (when, seq). Whenever now() advances, events whose
+//     deadline has entered the wheel window migrate heap -> wheel in
+//     (when, seq) order, so bucket FIFOs stay seq-sorted.
+//   * FIFO determinism across both tiers: bucket appends are normally
+//     seq-monotonic (direct inserts use fresh seqs; migration drains the
+//     heap in (when, seq) order *before* any callback at the new time
+//     runs). The one exception is re-arming a pre-allocated seq (see
+//     schedule_at_with_seq); such a bucket is marked dirty and lazily
+//     sorted by seq before its next pop, restoring the exact global order.
+//   * Cancellation: heap events are removed by sift as before; wheel events
+//     are tombstoned in place — the callback and captured state are
+//     destroyed and the handle invalidated at cancel time; only the slot's
+//     return to the free list waits until the bucket cursor passes it.
 //   * Callbacks are `InlineFunction<void(), 48>`: captures up to 48 bytes
 //     (a `this` pointer plus a few ids — every callback in this repo) are
-//     stored inline and never touch the allocator; larger captures fall
-//     back to one heap allocation. Cancellation destroys the callback
-//     eagerly, so captured owning state (shared_ptr etc.) is released at
-//     cancel time, not when the timestamp would have been reached.
+//     stored inline and never touch the allocator.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -55,16 +73,39 @@ class EventScheduler {
   /// captures; see common/inline_function.h for the fallback behaviour.
   using Callback = InlineFunction<void(), 48>;
 
+  /// Sort key of a pending event. Two events never share a key: `seq` is
+  /// unique, and (when, seq) lexicographic order is the execution order.
+  struct EventKey {
+    Nanos when;
+    std::uint64_t seq;
+  };
+
+  EventScheduler();
+
   /// Current simulation time. Monotonically non-decreasing.
   Nanos now() const { return now_; }
 
   /// Schedules `cb` to run at absolute time `when` (clamped to now()).
-  EventHandle schedule_at(Nanos when, Callback cb);
+  EventHandle schedule_at(Nanos when, Callback cb) {
+    return schedule_at_with_seq(when, next_seq_++, std::move(cb));
+  }
 
   /// Schedules `cb` to run `delay` ns from now.
   EventHandle schedule_after(Nanos delay, Callback cb) {
     return schedule_at(now_ + (delay > Nanos{0} ? delay : Nanos{0}), std::move(cb));
   }
+
+  /// Reserves the sequence number the next schedule_at would have used.
+  /// CoalescedStream pulls one per queued item at push time, so the seq
+  /// space is identical whether an item is later executed inline or via its
+  /// own scheduler event — the determinism guarantee hangs on this.
+  std::uint64_t allocate_seq() { return next_seq_++; }
+
+  /// Schedules `cb` under a seq previously obtained from allocate_seq()
+  /// (clamped to now()). The event sorts exactly where a schedule_at call
+  /// made at allocation time would have. Each allocated seq must be used at
+  /// most once; reuse would break the strict-weak ordering.
+  EventHandle schedule_at_with_seq(Nanos when, std::uint64_t seq, Callback cb);
 
   /// Cancels a pending event, destroying its callback (and any captured
   /// owning state) immediately. No-op for already-fired, stale or invalid
@@ -75,8 +116,29 @@ class EventScheduler {
   bool is_pending(EventHandle handle) const {
     return handle.slot_ < slots_.size() &&
            slots_[handle.slot_].generation == handle.generation_ &&
-           slots_[handle.slot_].heap_index != kNotInHeap;
+           slots_[handle.slot_].where != kWhereFree;
   }
+
+  /// Sort key of the earliest pending event, or false when empty. Non-const
+  /// because it may lazily seq-sort a dirty bucket (a pure reordering of
+  /// internal storage; observable state is unchanged).
+  bool peek(EventKey& out);
+
+  /// Advances now() to `when` without executing anything. `when` must not
+  /// precede now() or the earliest pending event — callers (CoalescedStream)
+  /// use it to stamp per-item times while draining a batch inline, after
+  /// proving via peek() that no scheduled event intervenes.
+  void advance_now(Nanos when) {
+    assert(when >= now_);
+    now_ = when;
+    migrate_from_heap();
+  }
+
+  /// Deadline of the innermost run_until() in progress, or Nanos max when
+  /// running unbounded (run_all / manual step). Inline batch draining must
+  /// not cross this boundary: an item beyond it stays queued behind a
+  /// scheduled event, exactly as a per-event execution would have left it.
+  Nanos run_deadline() const { return run_deadline_; }
 
   /// Runs events until the queue drains or `deadline` is passed; time stops
   /// exactly at the deadline if events remain beyond it. Returns the number
@@ -89,19 +151,35 @@ class EventScheduler {
   /// Executes exactly one event if any is pending. Returns false when empty.
   bool step();
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return pending_ == 0; }
+  std::size_t pending() const { return pending_; }
   std::uint64_t executed() const { return executed_; }
 
+  /// When false, CoalescedStream arms one scheduler event per item instead
+  /// of draining batches inline — the pre-burst execution mode. Results are
+  /// identical by construction; tests assert that bit-for-bit.
+  void set_coalescing(bool on) { coalescing_ = on; }
+  bool coalescing() const { return coalescing_; }
+
+  /// Near-future window covered by the timing wheel, in ticks (= ns).
+  static constexpr std::uint32_t kWheelSpan = 4096;
+
  private:
-  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
-  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kWheelMask = kWheelSpan - 1;
+  static constexpr std::uint32_t kWheelWords = kWheelSpan / 64;
+  // `where` values: a bucket index [0, kWheelSpan), or one of these.
+  static constexpr std::uint32_t kWhereFree = 0xffffffffu;
+  static constexpr std::uint32_t kWhereHeap = 0xfffffffeu;
+  static constexpr std::uint32_t kWhereTomb = 0xfffffffdu;  // cancelled, in a bucket list
 
   struct Slot {
     Callback cb;
+    std::uint64_t seq = 0;  // sort key while queued in a wheel bucket
     std::uint32_t generation = 0;  // bumped every release; 0 never matches a live handle twice
-    std::uint32_t heap_index = kNotInHeap;  // position in heap_, kNotInHeap when free
-    std::uint32_t next_free = kNoFreeSlot;  // free-list link while unused
+    std::uint32_t where = kWhereFree;  // kWhereHeap/kWhereTomb, a bucket index, or kWhereFree
+    std::uint32_t pos = 0;             // index within heap_ while where == kWhereHeap
+    std::uint32_t next = kNil;  // free-list link when free, FIFO link when in a bucket
   };
 
   // Heap nodes carry the full sort key so sifts stay inside this array.
@@ -109,6 +187,17 @@ class EventScheduler {
     Nanos when;
     std::uint64_t seq;   // monotonic: FIFO tiebreak at equal timestamps
     std::uint32_t slot;
+  };
+
+  // One wheel tick's FIFO: a singly linked list of pool slots. Cancelled
+  // slots stay linked as tombstones (where == kWhereTomb) and return to the
+  // free list when the pop cursor or a bucket reset reaches them.
+  struct WheelBucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t live = 0;     // non-tombstone slots in the list
+    std::uint64_t max_seq = 0;  // largest seq appended since last reset
+    bool dirty = false;         // an append broke seq order; sort before pop
   };
 
   static bool earlier(const HeapNode& a, const HeapNode& b) {
@@ -121,12 +210,55 @@ class EventScheduler {
   void sift_down(std::size_t pos);
   void heap_remove(std::size_t pos);
 
+  bool in_wheel_window(Nanos when) const {
+    return when.count() < now_.count() + static_cast<std::int64_t>(kWheelSpan);
+  }
+  std::uint32_t bucket_index(Nanos when) const {
+    return static_cast<std::uint32_t>(when.count()) & kWheelMask;
+  }
+  void wheel_insert(Nanos when, std::uint64_t seq, std::uint32_t slot);
+  /// Unlinks the bucket's front slot and pushes it onto the free list.
+  void free_front(WheelBucket& b);
+  /// Frees leading tombstones; afterwards head is live or the list is empty.
+  void skip_tombstones(WheelBucket& b) {
+    while (b.head != kNil && slots_[b.head].where == kWhereTomb) free_front(b);
+  }
+  void reset_bucket(std::uint32_t index);
+  void sort_bucket(WheelBucket& b);
+  /// First bucket, in circular order from `from`, whose bitmap bit is set.
+  std::uint32_t find_set_bucket(std::uint32_t from) const;
+  void bitmap_set(std::uint32_t index) {
+    words_[index >> 6] |= 1ull << (index & 63);
+    summary_ |= 1ull << (index >> 6);
+  }
+  void bitmap_clear(std::uint32_t index) {
+    words_[index >> 6] &= ~(1ull << (index & 63));
+    if (words_[index >> 6] == 0) summary_ &= ~(1ull << (index >> 6));
+  }
+  /// Moves every heap event whose deadline entered [now, now + span) into
+  /// the wheel. Must run after every now_ advance and before any callback
+  /// at the new time executes, so bucket FIFOs see migrated (smaller-seq)
+  /// entries ahead of same-tick direct inserts.
+  void migrate_from_heap();
+  /// Timestamp of the earliest pending event. Precondition: pending_ > 0.
+  Nanos earliest_when() const;
+  /// Advances to `when` and executes the front event of its bucket.
+  void fire_at(Nanos when);
+
   std::vector<Slot> slots_;
-  std::vector<HeapNode> heap_;  // 4-ary min-heap
-  std::uint32_t free_head_ = kNoFreeSlot;
+  std::vector<HeapNode> heap_;  // 4-ary min-heap over far-future events
+  std::vector<WheelBucket> buckets_;  // kWheelSpan near-future FIFOs
+  std::vector<std::uint32_t> sort_scratch_;  // slot ids; reused across sorts
+  std::uint64_t words_[kWheelWords] = {};
+  std::uint64_t summary_ = 0;  // bit w set iff words_[w] != 0
+  std::uint32_t wheel_live_ = 0;  // live (non-tombstone) wheel entries
+  std::size_t pending_ = 0;       // live events across both tiers
+  std::uint32_t free_head_ = kNil;
   Nanos now_{0};
+  Nanos run_deadline_;  // initialised to Nanos max in the constructor
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  bool coalescing_ = true;
 };
 
 }  // namespace ceio

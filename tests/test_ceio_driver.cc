@@ -162,5 +162,28 @@ TEST(CeioDriver, DetachRestoresAutomaticPump) {
   EXPECT_GT(bed.report(1).mpps, 0.5);
 }
 
+// The allocation-free receive form drains into a caller-owned PacketBurst
+// and matches the legacy vector overload packet-for-packet.
+TEST(CeioDriver, BurstRecvMatchesVectorRecv) {
+  DriverHarness h;
+  h.bed->run_for(micros(200));
+  PacketBurst burst;
+  const std::size_t got = h.driver->recv(burst);
+  ASSERT_GT(got, 0u);
+  EXPECT_EQ(burst.size(), got);
+  std::uint64_t prev = 0;
+  for (const Packet& pkt : burst) {
+    if (prev != 0) EXPECT_EQ(pkt.seq, prev + 1);
+    prev = pkt.seq;
+    h.driver->complete(pkt);
+  }
+  // A partially-filled burst appends on the next call instead of rewinding.
+  h.bed->run_for(micros(50));
+  const std::size_t before = burst.size();
+  const std::size_t more = h.driver->async_recv(burst);
+  EXPECT_EQ(burst.size(), before + more);
+  for (std::size_t i = before; i < burst.size(); ++i) h.driver->complete(burst[i]);
+}
+
 }  // namespace
 }  // namespace ceio

@@ -326,6 +326,83 @@ TEST(EventScheduler, OversizedCapturesStillExecute) {
   EXPECT_EQ(got, "xy");
 }
 
+// ---- Two-tier edge cases: timing wheel front-end + heap back-end ----
+
+// Events beyond the wheel horizon park in the heap and migrate into the
+// wheel as time advances; execution order stays exact (time, then FIFO).
+TEST(EventScheduler, FarFutureSpillsToHeapAndFiresInOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Nanos{100'000}, [&]() { order.push_back(2); });  // far: heap
+  sched.schedule_at(Nanos{10}, [&]() { order.push_back(0); });       // near: wheel
+  sched.schedule_at(Nanos{5'000}, [&]() { order.push_back(1); });    // heap, then migrates
+  sched.schedule_at(Nanos{100'000}, [&]() { order.push_back(3); });  // same-tick FIFO in heap
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sched.now(), Nanos{100'000});
+}
+
+// A far event that migrated out of the heap keeps FIFO priority over
+// same-tick events scheduled later directly into the wheel: FIFO is decided
+// by schedule order, not by which tier the event waited in.
+TEST(EventScheduler, SameTickFifoSurvivesHeapMigration) {
+  EventScheduler sched;
+  std::vector<int> order;
+  const Nanos t{50'000};
+  sched.schedule_at(t, [&]() { order.push_back(1); });  // far: heap
+  sched.run_until(Nanos{49'000});                       // pulls it into the wheel
+  sched.schedule_at(t, [&]() { order.push_back(2); });  // direct wheel inserts
+  sched.schedule_at(t, [&]() { order.push_back(3); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Cancel tombstones a wheel slot / unlinks a heap slot; either way the slot
+// recycles and the stale handle must not touch its new occupant.
+TEST(EventScheduler, CancelThenReuseAcrossTiers) {
+  EventScheduler sched;
+  int fired = 0;
+  auto near = sched.schedule_at(Nanos{100}, [&]() { fired += 100; });        // wheel
+  auto far = sched.schedule_at(Nanos{1'000'000}, [&]() { fired += 1000; });  // heap
+  EXPECT_TRUE(sched.cancel(near));
+  EXPECT_TRUE(sched.cancel(far));
+  EXPECT_FALSE(sched.is_pending(near));
+  EXPECT_FALSE(sched.is_pending(far));
+  // New events reuse the freed slots (LIFO free list).
+  sched.schedule_at(Nanos{200}, [&]() { ++fired; });
+  sched.schedule_at(Nanos{2'000'000}, [&]() { ++fired; });
+  EXPECT_FALSE(sched.cancel(near));
+  EXPECT_FALSE(sched.cancel(far));
+  sched.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+// A handle from an event that migrated heap->wheel still cancels it, and a
+// cancel-after-fire across the migration stays a no-op.
+TEST(EventScheduler, CancelTracksEventAcrossMigration) {
+  EventScheduler sched;
+  int fired = 0;
+  auto h1 = sched.schedule_at(Nanos{30'000}, [&]() { ++fired; });
+  auto h2 = sched.schedule_at(Nanos{30'001}, [&]() { ++fired; });
+  sched.run_until(Nanos{29'000});  // both migrate into the wheel
+  EXPECT_TRUE(sched.cancel(h1));
+  sched.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.cancel(h2));  // already fired
+}
+
+// Past timestamps still clamp to now() after the wheel has wrapped several
+// full rotations (cursor far from slot zero).
+TEST(EventScheduler, PastTimesClampAfterWheelWrap) {
+  EventScheduler sched;
+  sched.run_until(Nanos{20'000});  // > 4 wheel rotations of 4096 ticks
+  int fired = 0;
+  sched.schedule_at(Nanos{3'000}, [&]() { ++fired; });  // long past
+  sched.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), Nanos{20'000});
+}
+
 // Recurring self-scheduling pattern used by controller loops.
 TEST(EventScheduler, SelfRescheduleLoop) {
   EventScheduler sched;

@@ -14,6 +14,10 @@
 #   8. tsan sweep           CEIO_SANITIZE=thread; a multi-axis ceio_sim sweep
 #                           at --jobs 4, byte-compared against --jobs 1
 #   9. clang-tidy           over src/ using the .clang-tidy profile
+#  10. perf gate            bench/perf_core from the release tree vs the
+#                           committed BENCH_perf_core.json baseline; fails on
+#                           a >25% drop in events_per_sec or llc_ops_per_sec
+#                           (one rerun absorbs machine noise)
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -165,6 +169,47 @@ else
     stage_result clang-tidy "${tidy_status}"
   else
     echo "clang-tidy / run-clang-tidy not found; skipping (install LLVM tools to enable)"
+  fi
+
+  # -- 10: perf gate ----------------------------------------------------------
+  # Wall-clock regression guard over the event core. Compares the release
+  # tree's perf_core headline rates against the committed baseline; a >25%
+  # drop on either metric fails. Perf is noisy, so a failing first run gets
+  # exactly one rerun before the verdict. After an intentional perf change,
+  # refresh the baseline:
+  #   build/bench/perf_core perf_core.json BENCH_perf_core.json
+  note "perf gate (perf_core vs BENCH_perf_core.json, >25% regression fails)"
+  if command -v python3 >/dev/null 2>&1; then
+    perf_status=1
+    if cmake --build "${CHECK_ROOT}/release" -j "${JOBS}" --target perf_core >/dev/null; then
+      perf_compare() {  # perf_compare <fresh.json>
+        python3 - "${REPO_ROOT}/BENCH_perf_core.json" "$1" <<'PYEOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+ok = True
+for key in ("events_per_sec", "llc_ops_per_sec"):
+    b, f = float(base[key]), float(fresh[key])
+    ratio = f / b if b else 1.0
+    print(f"  {key}: baseline {b:.0f}  fresh {f:.0f}  ({ratio:.2f}x)")
+    if ratio < 0.75:
+        ok = False
+sys.exit(0 if ok else 1)
+PYEOF
+      }
+      perf_json="${CHECK_ROOT}/release/perf_core_gate.json"
+      for attempt in 1 2; do
+        "${CHECK_ROOT}/release/bench/perf_core" "${perf_json}" >/dev/null || break
+        if perf_compare "${perf_json}"; then
+          perf_status=0
+          break
+        fi
+        [[ "${attempt}" -eq 1 ]] && echo "regression on first run; rerunning once to rule out noise"
+      done
+    fi
+    stage_result perf-gate "${perf_status}"
+  else
+    echo "python3 not found; skipping"
   fi
 fi
 

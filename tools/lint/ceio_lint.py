@@ -32,6 +32,12 @@ raw-stdout
     (common/logging.*) is exempt; deliberate display helpers annotate with
     `// lint: allow-stdout`.
 
+vector-return
+    Hot-path delivery APIs in src/ must not return std::vector<Packet> by
+    value — that is one heap allocation per receive call, exactly what the
+    PacketBurst / caller-provided-buffer forms exist to avoid. Legacy
+    convenience wrappers annotate with `// lint: allow-vector-return`.
+
 unreflected-config
     Every `struct *Config` defined in src/ must have a field-visitor
     registration (`visit_fields(XConfig&, ...)`, normally in
@@ -174,6 +180,29 @@ def check_raw_stdout(findings: list[Finding]) -> None:
                             "'// lint: allow-stdout' for deliberate display code"))
 
 
+# Headers: any function-looking declarator returning std::vector<Packet>.
+# Sources: only qualified member definitions (Class::name), so locals like
+# `std::vector<Packet> out(n);` don't trip the rule.
+VECTOR_RETURN_DECL_RE = re.compile(r"\bstd::vector<\s*Packet\s*>\s+(?:\w+::)*\w+\s*\(")
+VECTOR_RETURN_DEF_RE = re.compile(r"\bstd::vector<\s*Packet\s*>\s+(?:\w+::)+\w+\s*\(")
+
+
+def check_vector_return(findings: list[Finding]) -> None:
+    rule = "vector-return"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(("src",), (".h", ".cc", ".cpp")):
+        pattern = VECTOR_RETURN_DECL_RE if path.suffix == ".h" else VECTOR_RETURN_DEF_RE
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            if pattern.search(line):
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "std::vector<Packet> returned by value on a delivery path; "
+                            "drain into a caller-provided PacketBurst/span instead, or "
+                            "annotate '// lint: allow-vector-return' on a legacy wrapper"))
+
+
 CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Config)\b\s*(?:\{|$)")
 VISIT_FIELDS_RE = re.compile(r"\bvisit_fields\(\s*(?:\w+::)*(\w+)\s*&")
 
@@ -204,6 +233,7 @@ RULES = {
     "std-function-hot-path": check_std_function_hot_path,
     "past-schedule": check_past_schedule,
     "raw-stdout": check_raw_stdout,
+    "vector-return": check_vector_return,
     "unreflected-config": check_unreflected_config,
 }
 
