@@ -163,6 +163,36 @@ Result bench_testbed_pipeline() {
   return r;
 }
 
+/// Sharded pipeline throughput: the same deployment partitioned into 8
+/// conservative-lookahead event domains, advanced by `shards` worker
+/// threads. Run at shards=1 and shards=4 the pair gives the parallel
+/// speedup; the multi-shard ops/sec is the `sharded_pkts_per_sec` headline.
+/// (On a single-core container the speedup degenerates to ~1x — barrier
+/// overhead without parallelism — so the perf gate tracks regression of the
+/// headline, not the speedup ratio.)
+Result bench_sharded_pipeline(int shards) {
+  ceio::harness::ExperimentSpec spec;
+  spec.testbed.system = ceio::SystemKind::kCeio;
+  spec.testbed.seed = 7;
+  spec.testbed.sim.domains = 8;
+  spec.testbed.sim.shards = shards;
+  spec.workload.app = "kv";
+  spec.workload.flows = 16;
+  spec.workload.offered_rate = ceio::gbps(25.0);
+  spec.workload.packet_size = ceio::Bytes{512};
+  spec.warmup = ceio::millis(2);
+  spec.measure = ceio::millis(10);
+  const double t0 = now_seconds();
+  const ceio::harness::RunResult run = ceio::harness::run_experiment(spec);
+  const double t1 = now_seconds();
+  const double measure_us = static_cast<double>(spec.measure.count()) / 1000.0;
+  Result r;
+  r.name = "sharded_pipeline_kv16_shards" + std::to_string(shards);
+  r.ops = static_cast<std::uint64_t>(run.aggregate_mpps * measure_us);
+  r.seconds = t1 - t0;
+  return r;
+}
+
 LlcConfig default_llc() { return LlcConfig{}; }  // 12 MiB / 12-way / 2 DDIO ways
 
 /// Hit-heavy: working set well inside capacity, uniform re-reads.
@@ -214,17 +244,21 @@ Result bench_llc_premature(std::uint64_t total_ops) {
 
 void emit_json(std::FILE* f, const std::vector<Result>& sched,
                const std::vector<Result>& llc, const std::vector<Result>& testbed,
-               double sched_events_per_sec, double llc_ops_per_sec, double wall) {
+               double sched_events_per_sec, double llc_ops_per_sec,
+               double sharded_pkts_per_sec, double sharded_speedup, double wall) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n", sched_events_per_sec);
   std::fprintf(f, "  \"llc_ops_per_sec\": %.0f,\n", llc_ops_per_sec);
   double testbed_pkts = 0.0, testbed_secs = 0.0;
   for (const auto& r : testbed) {
+    if (r.name.rfind("sharded_", 0) == 0) continue;  // own headline below
     testbed_pkts += static_cast<double>(r.ops);
     testbed_secs += r.seconds;
   }
   std::fprintf(f, "  \"testbed_pkts_per_sec\": %.0f,\n",
                ceio::safe_rate(testbed_pkts, testbed_secs));
+  std::fprintf(f, "  \"sharded_pkts_per_sec\": %.0f,\n", sharded_pkts_per_sec);
+  std::fprintf(f, "  \"sharded_speedup\": %.2f,\n", sharded_speedup);
   std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
   std::fprintf(f, "  \"scheduler\": [\n");
   for (std::size_t i = 0; i < sched.size(); ++i) {
@@ -280,6 +314,11 @@ int main(int argc, char** argv) {
 
   std::vector<Result> testbed;
   testbed.push_back(bench_testbed_pipeline());
+  testbed.push_back(bench_sharded_pipeline(1));
+  testbed.push_back(bench_sharded_pipeline(4));
+  const double sharded_base = testbed[testbed.size() - 2].ops_per_sec();
+  const double sharded_pps = testbed.back().ops_per_sec();
+  const double sharded_speedup = ceio::safe_rate(sharded_pps, sharded_base);
 
   // Headline numbers: total ops / total seconds over each family.
   std::uint64_t sched_ops = 0, llc_ops = 0;
@@ -289,13 +328,13 @@ int main(int argc, char** argv) {
   const double wall = now_seconds() - wall0;
 
   emit_json(stdout, sched, llc, testbed, rate(sched_ops, sched_secs),
-            rate(llc_ops, llc_secs), wall);
+            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, wall);
   const char* paths[] = {out_path, argc > 2 ? argv[2] : nullptr};
   for (const char* path : paths) {
     if (path == nullptr) continue;
     if (std::FILE* f = std::fopen(path, "w")) {
       emit_json(f, sched, llc, testbed, rate(sched_ops, sched_secs),
-                rate(llc_ops, llc_secs), wall);
+                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, wall);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "warning: could not write %s\n", path);

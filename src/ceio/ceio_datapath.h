@@ -126,6 +126,9 @@ class CeioDatapath final : public DatapathBase {
   void set_telemetry(Telemetry* tele) override;
 
   const CreditController& credits() const { return credits_; }
+  /// Host-shard credit arbitration (sharded runs): installs this domain's
+  /// rebalanced share of the global C_total.
+  void set_total_credits(std::int64_t v) { credits_.set_total(v); }
   const CeioConfig& config() const { return config_; }
   const CeioRuntimeStats& runtime_stats() const { return rt_stats_; }
 

@@ -7,6 +7,11 @@ namespace ceio {
 CreditController::CreditController(std::int64_t total_credits)
     : total_(total_credits), free_pool_(total_credits) {}
 
+void CreditController::set_total(std::int64_t total_credits) {
+  free_pool_ += total_credits - total_;
+  total_ = total_credits;
+}
+
 std::int64_t CreditController::fair_share() const {
   return active_count_ > 0 ? total_ / static_cast<std::int64_t>(active_count_) : total_;
 }

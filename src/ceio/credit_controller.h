@@ -46,6 +46,13 @@ class CreditController {
   /// assignment path (free pool first, then donations from active flows).
   void reactivate(FlowId id);
 
+  /// Rebalances the total budget (multi-domain credit arbitration: the host
+  /// shard shifts C_total between per-domain controllers). The delta lands
+  /// in the free pool — which may go negative when shrinking below the
+  /// currently assigned sum; future releases repay it, the same bounded
+  /// overshoot the poll-lag path already tolerates.
+  void set_total(std::int64_t total_credits);
+
   // ---- Data-path accounting ----
 
   /// Consumes `n` credits for a fast-path packet burst. Unconditional: the

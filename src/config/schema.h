@@ -310,6 +310,16 @@ void visit_fields(TelemetryConfig& c, V&& v) {
   v.field("path_max_records", c.path_max_records, std::size_t{0}, std::size_t{1} << 28);
 }
 
+// -- sim/ --------------------------------------------------------------------
+
+template <class V>
+void visit_fields(SimConfig& c, V&& v) {
+  v.field("domains", c.domains, 1, 1024);
+  v.field("shards", c.shards, 1, 1024);
+  v.field("credit_epoch", c.credit_epoch, Nanos{1}, seconds(1));
+  v.field("mailbox_entries", c.mailbox_entries, std::size_t{2}, std::size_t{1} << 24);
+}
+
 // -- iopath/ -----------------------------------------------------------------
 
 template <class V>
@@ -335,6 +345,7 @@ void visit_fields(TestbedConfig& c, V&& v) {
   v.field("shring_pool_entries", c.shring_pool_entries, std::size_t{1}, std::size_t{1} << 28);
   v.field("ceio_auto_credits", c.ceio_auto_credits);
   v.nested("telemetry", c.telemetry);
+  v.nested("sim", c.sim);
   v.field("seed", c.seed);
 }
 
@@ -370,6 +381,7 @@ void for_each_registered_config(F&& f) {
   f("EchoConfig", EchoConfig{});
   f("VxlanConfig", VxlanConfig{});
   f("TelemetryConfig", TelemetryConfig{});
+  f("SimConfig", SimConfig{});
   f("TestbedConfig", TestbedConfig{});
 }
 

@@ -9,6 +9,7 @@
 #include "apps/raw_rdma.h"
 #include "apps/vxlan.h"
 #include "config/config_ops.h"
+#include "harness/sharded_testbed.h"
 
 namespace ceio::harness {
 
@@ -84,6 +85,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   if (!is_known_app(spec.workload.app)) {
     throw std::invalid_argument("unknown app '" + spec.workload.app + "'");
   }
+  if (spec.testbed.sim.domains > 1) return run_sharded_experiment(spec);
   Testbed bed(spec.testbed);
   Application* app = make_app(bed, spec.workload.app);
   for (FlowId id = 1; id <= static_cast<FlowId>(spec.workload.flows); ++id) {

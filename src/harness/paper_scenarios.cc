@@ -59,6 +59,38 @@ void register_paper_scenarios(ScenarioRegistry& registry) {
   // Legacy DDIO under the same load — the motivating contrast (Fig. 4).
   registry.add({"legacy-kv", "8 eRPC-KV flows on legacy DDIO (motivating baseline)",
                 base_spec(SystemKind::kLegacy)});
+  // Sharded counterpart of ceio-kv-short: same workload split across 4
+  // event domains (the check.sh shards=4-vs-1 byte-identity gate runs it).
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.testbed.sim.domains = 4;
+    s.measure = millis(2);
+    registry.add({"sharded-kv-short",
+                  "CEIO + KV across 4 event domains (check.sh shards gate)", s});
+  }
+  // Figure 12's flow-scaling question pushed to a million flows: 2^20 echo
+  // flows over 8 event domains (one port/NUMA slice each), ~1.28 Mbps per
+  // flow so every per-domain 200 G link runs at ~84% load. Poisson
+  // interarrivals matter at this scale: the mean packet gap (3.2 ms)
+  // exceeds the measure window, so paced flows would all fire at t=0 and
+  // then fall silent — exponential gaps spread the load across the run the
+  // way a million independent users would. Tiny fast rings and a bounded
+  // poll scan keep per-flow state and poll cost sane. Run it with
+  // `ceio_sim --scenario flowscale-1m --shards N`.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.testbed.sim.domains = 8;
+    s.testbed.ceio.fast_ring_entries = 16;
+    s.testbed.ceio.poll_scan_limit = 4096;
+    s.workload.app = "echo";
+    s.workload.flows = 1 << 20;
+    s.workload.offered_rate = gbps(0.00128);
+    s.workload.poisson = true;
+    s.warmup = micros(500);
+    s.measure = millis(2);
+    registry.add({"flowscale-1m",
+                  "1,048,576 echo flows over 8 sharded domains (Fig. 12 at scale)", s});
+  }
 }
 
 }  // namespace ceio::harness

@@ -161,7 +161,7 @@ void DatapathBase::note_processed_message_progress(FlowState& fs, const Packet& 
 void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos now) {
   const AppMessageCosts costs = fs.rt.app->message_costs(last_pkt);
   const std::uint64_t message_id = last_pkt.message_id;
-  FlowSource* source = fs.rt.source;
+  FlowFeedback* source = fs.rt.source;
   if (costs.app_cost == Nanos{0} && costs.copy_bytes == Bytes{0}) {
     if (source != nullptr) source->notify_message_complete(message_id, now);
     on_message_work_done(fs, last_pkt, now);

@@ -20,7 +20,8 @@
 
 #include "apps/application.h"
 #include "host/cpu_core.h"
-#include "net/flow_source.h"
+#include "net/flow.h"
+#include "net/flow_feedback.h"
 #include "nic/buffer_pool.h"
 #include "nic/nic.h"
 #include "nic/packet.h"
@@ -38,12 +39,14 @@ class Telemetry;
 /// the host RX pool.
 inline constexpr BufferId kBypassBufferBase = 1ULL << 44;
 
-/// Everything a datapath needs to know about one registered flow.
+/// Everything a datapath needs to know about one registered flow. `source`
+/// is the feedback interface only: in sharded runs the actual FlowSource
+/// lives in another event domain and `source` is a mailbox-backed proxy.
 struct FlowRuntime {
   FlowConfig config;
-  FlowSource* source = nullptr;  // feedback + completion reporting
-  Application* app = nullptr;    // cost model
-  CpuCore* core = nullptr;       // pinned core (per-packet or message work)
+  FlowFeedback* source = nullptr;  // feedback + completion reporting
+  Application* app = nullptr;      // cost model
+  CpuCore* core = nullptr;         // pinned core (per-packet or message work)
 };
 
 /// Per-flow datapath statistics (rings/drops are tracked where they live).

@@ -25,6 +25,7 @@
 #include "iopath/datapath.h"
 #include "net/flow_source.h"
 #include "net/network_link.h"
+#include "sim/sim_config.h"
 #include "telemetry/telemetry.h"
 
 namespace ceio {
@@ -68,6 +69,11 @@ struct TestbedConfig {
 
   /// Telemetry subsystem parameters (only consulted by enable_telemetry).
   TelemetryConfig telemetry;
+
+  /// Simulation partitioning (`sim.domains` > 1 engages the sharded
+  /// harness; see src/harness/sharded_testbed.h). A plain Testbed ignores
+  /// everything here — it is the single-domain degenerate case.
+  SimConfig sim;
 
   std::uint64_t seed = 1;
 };

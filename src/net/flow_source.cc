@@ -158,6 +158,34 @@ void FlowSource::notify_host_congestion() {
   sched_.schedule_after(link_.config().propagation, [this]() { dctcp_.on_host_congestion(); });
 }
 
+void FlowSource::apply_remote_delivered(const Packet& pkt) {
+  // The feedback mailbox already added one link propagation in transit, so
+  // the ECN echo lands now — the same receiver-to-sender delay as the local
+  // notify_delivered path.
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += pkt.size;
+  delivered_.record(sched_.now(), pkt.size);
+  dctcp_.on_ack(pkt.ecn);
+}
+
+void FlowSource::apply_remote_dropped(const Packet& pkt) {
+  // Transit spent the first propagation of the ~1 RTT loss-detection delay;
+  // the second half is scheduled here.
+  ++stats_.packets_dropped;
+  Packet retx = pkt;
+  retx.ecn = false;
+  retx.created = pkt.created;
+  sched_.schedule_after(link_.config().propagation,
+                        [this, retx = std::move(retx)]() mutable {
+                          dctcp_.on_loss();
+                          if (!active_) return;
+                          retx_queue_.push_back(std::move(retx));
+                          schedule_emit();
+                        });
+}
+
+void FlowSource::apply_remote_host_congestion() { dctcp_.on_host_congestion(); }
+
 void FlowSource::notify_message_complete(std::uint64_t message_id, Nanos done) {
   const auto it = message_start_.find(message_id);
   if (it != message_start_.end()) {

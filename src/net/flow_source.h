@@ -23,6 +23,7 @@
 #include "common/units.h"
 #include "net/dctcp.h"
 #include "net/flow.h"
+#include "net/flow_feedback.h"
 #include "net/network_link.h"
 #include "sim/event_scheduler.h"
 
@@ -37,7 +38,7 @@ struct FlowSourceStats {
   std::int64_t packets_dropped = 0;
 };
 
-class FlowSource {
+class FlowSource : public FlowFeedback {
  public:
   FlowSource(EventScheduler& sched, Rng& rng, NetworkLink& link, const FlowConfig& config,
              const DctcpConfig& dctcp_config = {});
@@ -53,23 +54,43 @@ class FlowSource {
   bool active() const { return active_; }
 
   // ---- Receiver-side feedback (called by the datapath/harness) ----
+  // FlowFeedback implementation: the single-domain path, where receiver and
+  // sender share one scheduler and the propagation delay is modelled by
+  // scheduling the reaction `link propagation` later.
 
   /// Packet landed in host (or on-NIC) memory; echoes the ECN mark back to
   /// the sender after ~RTT/2.
-  void notify_delivered(const Packet& pkt);
+  void notify_delivered(const Packet& pkt) override;
 
   /// Packet was lost (link queue or RX ring overflow). The sender detects
   /// the loss after ~1 RTT and backs off multiplicatively.
-  void notify_dropped(const Packet& pkt);
+  void notify_dropped(const Packet& pkt) override;
 
   /// Host congestion signal (HostCC kernel module / ShRing backpressure):
   /// reaches the sender after ~RTT/2 and is treated as an ECN mark.
-  void notify_host_congestion();
+  void notify_host_congestion() override;
 
   /// Message fully processed at the receiver at time `done`. Records
   /// request latency (send -> processed + response flight time) and, in
   /// closed-loop mode, triggers the next message.
-  void notify_message_complete(std::uint64_t message_id, Nanos done);
+  void notify_message_complete(std::uint64_t message_id, Nanos done) override;
+
+  // ---- Sharded-run feedback (called by the harness when the notification
+  // arrives through a cross-domain mailbox) ----
+  // The mailbox transit already spent one link propagation, so these apply
+  // the remainder of the delays the notify_* forms model: the total
+  // receiver-event-to-sender-reaction delay is identical in both paths.
+
+  /// Delivered notification arriving off the feedback mailbox: stats and the
+  /// ECN echo apply immediately (one propagation was spent in transit).
+  void apply_remote_delivered(const Packet& pkt);
+
+  /// Dropped notification off the mailbox: backoff + retransmission enqueue
+  /// after one more propagation (transit spent the first of the two).
+  void apply_remote_dropped(const Packet& pkt);
+
+  /// Host-congestion signal off the mailbox: applies immediately.
+  void apply_remote_host_congestion();
 
   // ---- Introspection ----
   BitsPerSec current_rate() const;

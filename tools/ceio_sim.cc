@@ -60,6 +60,9 @@ struct CliOptions {
                "  --closed-loop=N                      N outstanding messages per flow\n"
                "  --burst-on-us=T --burst-off-us=T     on/off bursting\n"
                "  --seed=S                             RNG seed (default 1)\n"
+               "  --shards=N                           worker threads when the scenario is\n"
+               "                                       sharded (alias for --set sim.shards=N;\n"
+               "                                       never changes results)\n"
                "\n"
                "configuration (reflective schema, dotted keys):\n"
                "  --scenario=NAME        start from a registered scenario\n"
@@ -166,6 +169,8 @@ CliOptions parse(int argc, char** argv) {
       spec.workload.burst_off = micros(std::atof(v.c_str()));
     } else if (parse_flag(argc, argv, &i, "--seed", &v)) {
       spec.testbed.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argc, argv, &i, "--shards", &v)) {
+      if (!config::set(spec, "sim.shards", v, &error)) fail(error);
     } else if (parse_flag(argc, argv, &i, "--scenario", &v)) {
       const auto* s = harness::ScenarioRegistry::instance().find(v);
       if (s == nullptr) fail("unknown scenario '" + v + "' (--list-scenarios)");

@@ -13,11 +13,14 @@
 #   7. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
 #   8. tsan sweep           CEIO_SANITIZE=thread; a multi-axis ceio_sim sweep
 #                           at --jobs 4, byte-compared against --jobs 1
-#   9. clang-tidy           over src/ using the .clang-tidy profile
-#  10. perf gate            bench/perf_core from the release tree vs the
+#   9. tsan shards          CEIO_SANITIZE=thread; the sharded-kv-short
+#                           scenario at --shards 4, byte-compared against
+#                           --shards 1 (conservative-lookahead determinism)
+#  10. clang-tidy           over src/ using the .clang-tidy profile
+#  11. perf gate            bench/perf_core from the release tree vs the
 #                           committed BENCH_perf_core.json baseline; fails on
-#                           a >25% drop in events_per_sec or llc_ops_per_sec
-#                           (one rerun absorbs machine noise)
+#                           a >25% drop in events_per_sec, llc_ops_per_sec or
+#                           sharded_pkts_per_sec (one rerun absorbs noise)
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -156,7 +159,29 @@ else
   fi
   stage_result tsan-sweep "${tsan_status}"
 
-  # -- 9: clang-tidy ---------------------------------------------------------
+  # -- 9: tsan sharded run ---------------------------------------------------
+  # The sharded harness advances event domains on worker threads behind
+  # epoch barriers; run the sharded scenario at --shards 4 under
+  # ThreadSanitizer and require the report to be byte-identical to the
+  # --shards 1 expansion (the same determinism contract stage 8 gives the
+  # sweep runner's --jobs).
+  note "tsan sharded run (sharded-kv-short, --shards 4 vs --shards 1)"
+  tsan_shards_status=1
+  tsan_sharded() {  # tsan_sharded <shards>
+    TSAN_OPTIONS="halt_on_error=1" "${tsan_tree}/tools/ceio_sim" \
+      --scenario sharded-kv-short --ms 1 --shards "$1"
+  }
+  if [[ -x "${tsan_tree}/tools/ceio_sim" ]]; then
+    if diff <(tsan_sharded 1) <(tsan_sharded 4); then
+      echo "sharded report byte-identical under TSan at --shards 4"
+      tsan_shards_status=0
+    else
+      echo "sharded run diverges or raced under TSan"
+    fi
+  fi
+  stage_result tsan-shards "${tsan_shards_status}"
+
+  # -- 10: clang-tidy --------------------------------------------------------
   note "clang-tidy"
   if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
     tidy_tree="${CHECK_ROOT}/tidy"
@@ -171,7 +196,7 @@ else
     echo "clang-tidy / run-clang-tidy not found; skipping (install LLVM tools to enable)"
   fi
 
-  # -- 10: perf gate ----------------------------------------------------------
+  # -- 11: perf gate ----------------------------------------------------------
   # Wall-clock regression guard over the event core. Compares the release
   # tree's perf_core headline rates against the committed baseline; a >25%
   # drop on either metric fails. Perf is noisy, so a failing first run gets
@@ -188,7 +213,7 @@ import json, sys
 base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
 ok = True
-for key in ("events_per_sec", "llc_ops_per_sec"):
+for key in ("events_per_sec", "llc_ops_per_sec", "sharded_pkts_per_sec"):
     b, f = float(base[key]), float(fresh[key])
     ratio = f / b if b else 1.0
     print(f"  {key}: baseline {b:.0f}  fresh {f:.0f}  ({ratio:.2f}x)")

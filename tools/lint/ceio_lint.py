@@ -45,6 +45,17 @@ unreflected-config
     validation see it. A config type that genuinely cannot be reflected
     annotates its definition line with `// lint: allow-unreflected`.
 
+cross-shard
+    Receiver-side model code (datapaths, baselines, NIC/PCIe/host models)
+    must not touch FlowSource directly: in sharded runs the source lives in
+    another event domain, and a direct reference from an event callback is a
+    cross-shard mutable-state access that breaks domain isolation (and with
+    it, bitwise shards=1 vs shards=N determinism). Feedback goes through the
+    FlowFeedback interface (net/flow_feedback.h), which the harness proxies
+    across domains. The single-domain harness (iopath/testbed.{h,cc}) owns
+    its sources legitimately and is exempt; deliberate single-domain-only
+    code annotates with `// lint: allow-cross-shard`.
+
 Suppression: append `// lint: allow-<rule>` to the offending line
 (`// lint: allow-stdout` for raw-stdout, `// lint: allow-unreflected` for
 unreflected-config).
@@ -228,7 +239,35 @@ def check_unreflected_config(findings: list[Finding]) -> None:
                             "it, or annotate '// lint: allow-unreflected'"))
 
 
+# Layers that execute inside one event domain: referencing FlowSource there
+# reaches across the domain boundary. The single-domain Testbed harness is
+# the deliberate degenerate case.
+CROSS_SHARD_DIRS = ("src/iopath", "src/baselines", "src/ceio", "src/nic",
+                    "src/pcie", "src/host")
+CROSS_SHARD_EXEMPT = ("testbed.h", "testbed.cc")
+CROSS_SHARD_RE = re.compile(r"\bFlowSource\b")
+
+
+def check_cross_shard(findings: list[Finding]) -> None:
+    rule = "cross-shard"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(CROSS_SHARD_DIRS, (".h", ".cc", ".cpp")):
+        if path.name in CROSS_SHARD_EXEMPT:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            if CROSS_SHARD_RE.search(line):
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "direct FlowSource access from single-domain model code; "
+                            "feedback must go through FlowFeedback "
+                            "(net/flow_feedback.h) so sharded runs can proxy it "
+                            "across domains, or annotate '// lint: allow-cross-shard'"))
+
+
 RULES = {
+    "cross-shard": check_cross_shard,
     "raw-unit-param": check_raw_unit_params,
     "std-function-hot-path": check_std_function_hot_path,
     "past-schedule": check_past_schedule,
