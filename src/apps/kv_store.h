@@ -51,6 +51,8 @@ class KvStore final : public Application {
  private:
   Rng& rng_;
   KvConfig config_;
+  // Hash-based on purpose: get/put are the hot ops; the store is never
+  // iterated, so its order cannot reach any output.
   std::unordered_map<std::string, std::string> store_;
   std::vector<std::string> keys_;
   std::int64_t gets_ = 0;

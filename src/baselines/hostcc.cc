@@ -1,5 +1,6 @@
 #include "baselines/hostcc.h"
 
+#include "common/det_map.h"
 #include "telemetry/telemetry.h"
 
 namespace ceio {
@@ -45,9 +46,11 @@ void HostccDatapath::monitor_poll() {
     ++signals_;
     CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "hostcc_signal", now,
                    iio_.occupancy_fraction(), 0);
-    for (auto& [id, fs] : flows_) {
+    // Sorted snapshot: flows_ is hash-based (per-packet lookups), but the
+    // congestion notification order must not depend on hash iteration order.
+    det::for_sorted(flows_, [](FlowId, FlowState& fs) {
       if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
-    }
+    });
   }
   monitor_timer_ = sched_.schedule_after(config_.poll_interval,
                                          [this]() { monitor_poll(); });

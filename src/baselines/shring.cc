@@ -58,9 +58,12 @@ void ShringDatapath::maybe_backpressure() {
   if (last_signal_ >= Nanos{0} && now - last_signal_ < config_.signal_min_gap) return;
   last_signal_ = now;
   ++signals_;
-  for (auto& [id, fs] : flows_) {
+  // Sorted sweep over the hash-based flow table: the per-source congestion
+  // events all land at the same tick, so signal order decides scheduler FIFO
+  // order downstream — pin it to flow-id order.
+  det::for_sorted(flows_, [](FlowId, FlowState& fs) {
     if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
-  }
+  });
 }
 
 void ShringDatapath::on_packet(Packet pkt) {

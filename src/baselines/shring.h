@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_map.h"
 #include "iopath/datapath.h"
 
 namespace ceio {
@@ -67,7 +67,11 @@ class ShringDatapath : public DatapathBase {
   std::int64_t signals_ = 0;
   std::int64_t stale_reclaims_ = 0;
   // Shared-RQ buffers held by incomplete bypass messages, per flow.
-  std::unordered_map<FlowId, std::unordered_map<std::uint64_t, HeldMessage>> msg_buffers_;
+  // Key-ordered (both levels): the stale sweep and flow unregistration
+  // release buffers while iterating, and release order decides the pool
+  // free-list order — which decides *which* LLC lines the next acquires
+  // touch. That must be a model property, not a hash artifact.
+  det::OrderedMap<FlowId, det::OrderedMap<std::uint64_t, HeldMessage>> msg_buffers_;
   // Periodic sweep timer; cancelled in the destructor so the scheduler can
   // outlive the datapath without firing into freed state.
   EventHandle sweep_timer_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/det_map.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
@@ -710,9 +711,9 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
 
 void CeioDatapath::set_telemetry(Telemetry* tele) {
   DatapathBase::set_telemetry(tele);
-  for (auto& [id, ext] : ext_) {
+  det::for_sorted(ext_, [tele](FlowId, Ext& ext) {
     if (ext.elastic) ext.elastic->set_telemetry(tele);
-  }
+  });
 }
 
 void CeioDatapath::register_metrics(MetricRegistry& registry) {
@@ -725,15 +726,17 @@ void CeioDatapath::register_metrics(MetricRegistry& registry) {
                      [this]() { return static_cast<double>(credits_.active_count()); });
   registry.add_gauge("ceio.credits.balance_sum",
                      [this]() { return static_cast<double>(credits_.balance_sum()); });
+  // Integer accumulation: order-invariant, so the hash iteration order
+  // cannot reach the gauge value (a float sum would).
   registry.add_gauge("ceio.slow.backlog", [this]() {
-    double total = 0;
-    for (const auto& [id, ext] : ext_) total += static_cast<double>(slow_backlog(id));
-    return total;
+    std::size_t total = 0;
+    for (const auto& [id, ext] : ext_) total += slow_backlog(id);  // analyze: allow-unordered-iter (order-invariant integer sum)
+    return static_cast<double>(total);
   });
   registry.add_gauge("ceio.slow.flows_in_slow_mode", [this]() {
-    double total = 0;
-    for (const auto& [id, ext] : ext_) total += ext.slow_mode ? 1.0 : 0.0;
-    return total;
+    std::size_t total = 0;
+    for (const auto& [id, ext] : ext_) total += ext.slow_mode ? 1u : 0u;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    return static_cast<double>(total);
   });
   registry.add_gauge("ceio.rt.cca_triggers",
                      [this]() { return static_cast<double>(rt_stats_.cca_triggers); });

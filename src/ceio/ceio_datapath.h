@@ -208,6 +208,7 @@ class CeioDatapath final : public DatapathBase {
     std::int64_t slow_landed_unworked = 0;
     // Bypass flows: per-message (fast, slow) landed-packet counts, so the
     // work-retirement release returns exactly that message's credits.
+    // Hash-based on purpose: bumped per packet (hot), never iterated.
     std::unordered_map<std::uint64_t, std::pair<std::int32_t, std::int32_t>> msg_path_counts;
   };
 
@@ -237,6 +238,10 @@ class CeioDatapath final : public DatapathBase {
   NicMemory& nic_mem_;
   CeioConfig config_;
   CreditController credits_;
+  // Hash-based on purpose: ext_of() is on the per-packet fast path. Control
+  // flow ordering comes from reactivation_order_ (an explicit vector), and
+  // every iteration over this map goes through det::for_sorted or an
+  // order-invariant integer sum — enforced by tools/analyze/ceio_analyze.py.
   std::unordered_map<FlowId, Ext> ext_;
   // Elastic buffers of unregistered flows, parked until destruction because
   // in-flight DMA callbacks may still reference them.

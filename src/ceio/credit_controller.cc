@@ -54,6 +54,24 @@ void CreditController::assign_to_new_flows(const std::vector<FlowId>& newcomers)
 
   std::int64_t still_needed = m * target - gathered;
   if (still_needed > 0 && n > 0) {
+    // Wealth cap: incumbents holding more than twice the new target donate
+    // their excess first. The equal-ask loop below stops once the ask is
+    // met, which — now that the donation order is pinned — would spare the
+    // same tail flows at every arrival and let an early arrival's surplus
+    // survive forever (property: ArrivalsStayFair). Draining strictly-
+    // above-2x holders first bounds every balance near 2x the current
+    // share without touching histories where nobody exceeds the cap.
+    for (auto& [id, fc] : flows_) {
+      if (still_needed <= 0) break;
+      if (!fc.active) continue;
+      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) continue;
+      const std::int64_t excess = fc.balance - 2 * target;
+      if (excess <= 0) continue;
+      const std::int64_t give = std::min(excess, still_needed);
+      fc.balance -= give;
+      gathered += give;
+      still_needed -= give;
+    }
     const std::int64_t per_incumbent = (still_needed + n - 1) / n;
     for (auto& [id, fc] : flows_) {
       if (!fc.active || still_needed <= 0) continue;

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_map.h"
 #include "nic/packet.h"
 
 namespace ceio {
@@ -84,7 +84,11 @@ class CreditController {
     std::int64_t balance = 0;
     bool active = false;
     // o^i_j: credits this flow still owes to flow j (Algorithm 1 line 12).
-    std::unordered_map<FlowId, std::int64_t> owes;
+    // Key-ordered so partial repayments in release() pay creditors in a
+    // pinned order — a property of the model, not of a hash function.
+    // Newest-creditor-first matches the head-insertion iteration order the
+    // committed goldens were recorded under.
+    det::OrderedMap<FlowId, std::int64_t, std::greater<FlowId>> owes;
   };
 
   void assign_to_new_flows(const std::vector<FlowId>& newcomers);
@@ -92,7 +96,14 @@ class CreditController {
   std::int64_t total_;
   std::int64_t free_pool_;
   std::size_t active_count_ = 0;
-  std::unordered_map<FlowId, FlowCredits> flows_;
+  // Key-ordered: the Algorithm 1 donation loop walks incumbents and stops
+  // once the newcomers' ask is met, so iteration order decides who donates
+  // the remainder. A pinned comparator makes that decision a property of
+  // the model, reproducible across standard libraries and refactors.
+  // Descending id (newest flow donates first) is the order the committed
+  // goldens were recorded under: flows register in ascending id order and
+  // libstdc++ hash maps iterate newest-insertion-first.
+  det::OrderedMap<FlowId, FlowCredits, std::greater<FlowId>> flows_;
 };
 
 }  // namespace ceio

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/domain_annotations.h"
 #include "common/rng.h"
 #include "host/cpu_core.h"
 #include "iopath/testbed.h"
@@ -17,6 +18,52 @@
 
 namespace ceio::harness {
 
+// Everything crossing a domain boundary, flattened to one merge record.
+// The merge key (when, src, seq) is a total order: `seq` is the sender
+// domain's monotonic counter over all its outgoing traffic.
+enum class WireKind : std::uint8_t {
+  kPacket,
+  kDelivered,
+  kDropped,
+  kHostCongestion,
+  kMessageComplete,
+  kCreditReport,
+  kBudgetGrant,
+};
+
+struct WireEntry {
+  Nanos when{0};  // arrival time at the consumer (send time + channel delay)
+  std::uint64_t seq = 0;
+  std::int32_t src = 0;
+  WireKind kind = WireKind::kPacket;
+  Packet pkt;            // kPacket / kDelivered / kDropped payload
+  FlowId flow = 0;       // feedback routing
+  std::uint64_t message_id = 0;  // kMessageComplete
+  Nanos done{0};                 // kMessageComplete
+  std::int64_t value = 0;        // kCreditReport demand / kBudgetGrant total
+};
+
+// The packet channel ships PacketBurst-sized batches, each packet carrying
+// its own arrival stamp and seq (assigned at serialization exit, so seqs
+// stay in event order relative to the sender's control traffic).
+struct BurstMsg {
+  std::uint32_t count = 0;
+  std::array<Nanos, PacketBurst::kCapacity> when;
+  std::array<std::uint64_t, PacketBurst::kCapacity> seq;
+  std::array<Packet, PacketBurst::kCapacity> pkts;
+};
+
+}  // namespace ceio::harness
+
+// Mailbox-payload declarations live at global scope (an explicit
+// specialization of ceio::is_domain_message must be in an enclosing
+// namespace of ceio). Both types are owned values: stamps, ids and Packet
+// copies — no pointers into the producing domain.
+CEIO_DOMAIN_MESSAGE(ceio::harness::WireEntry);
+CEIO_DOMAIN_MESSAGE(ceio::harness::BurstMsg);
+
+namespace ceio::harness {
+
 // One event domain: a full receiver Testbed, the FlowSources whose receivers
 // live one ring-hop downstream, and this domain's side of every channel. All
 // mutable state here is touched only by the domain's own phases (plus the
@@ -24,41 +71,6 @@ namespace ceio::harness {
 // only synchronization.
 class DomainSlice final : public ShardDomain {
  public:
-  // Everything crossing a domain boundary, flattened to one merge record.
-  // The merge key (when, src, seq) is a total order: `seq` is the sender
-  // domain's monotonic counter over all its outgoing traffic.
-  enum class WireKind : std::uint8_t {
-    kPacket,
-    kDelivered,
-    kDropped,
-    kHostCongestion,
-    kMessageComplete,
-    kCreditReport,
-    kBudgetGrant,
-  };
-
-  struct WireEntry {
-    Nanos when{0};  // arrival time at the consumer (send time + channel delay)
-    std::uint64_t seq = 0;
-    std::int32_t src = 0;
-    WireKind kind = WireKind::kPacket;
-    Packet pkt;            // kPacket / kDelivered / kDropped payload
-    FlowId flow = 0;       // feedback routing
-    std::uint64_t message_id = 0;  // kMessageComplete
-    Nanos done{0};                 // kMessageComplete
-    std::int64_t value = 0;        // kCreditReport demand / kBudgetGrant total
-  };
-
-  // The packet channel ships PacketBurst-sized batches, each packet carrying
-  // its own arrival stamp and seq (assigned at serialization exit, so seqs
-  // stay in event order relative to the sender's control traffic).
-  struct BurstMsg {
-    std::uint32_t count = 0;
-    std::array<Nanos, PacketBurst::kCapacity> when;
-    std::array<std::uint64_t, PacketBurst::kCapacity> seq;
-    std::array<Packet, PacketBurst::kCapacity> pkts;
-  };
-
   DomainSlice(ShardedTestbed& owner, int id, const ExperimentSpec& spec)
       : owner_(owner),
         id_(id),
@@ -69,9 +81,9 @@ class DomainSlice final : public ShardDomain {
         in_fb_(spec.testbed.sim.mailbox_entries) {
     TestbedConfig cfg = spec.testbed;
     cfg.seed = derive_seed(spec.testbed.seed, static_cast<std::uint64_t>(id));
-    bed_ = std::make_unique<Testbed>(std::move(cfg));
+    bed_.emplace(std::move(cfg));
     app_ = make_app(*bed_, spec.workload.app);
-    egress_ = std::make_unique<NetworkLink>(
+    egress_.emplace(
         bed_->sched(),
         NetworkLink::Deliver([this](Packet pkt) { on_egress(std::move(pkt)); }),
         spec.testbed.net);
@@ -80,7 +92,7 @@ class DomainSlice final : public ShardDomain {
     egress_->set_drop_handler([this](const Packet& pkt) {
       owner_.flows_[pkt.flow - 1].source->notify_dropped(pkt);
     });
-    inject_ = std::make_unique<CoalescedStream<WireEntry>>(
+    inject_.emplace(
         bed_->sched(),
         [this](Nanos when, WireEntry e) { dispatch(when, std::move(e)); });
   }
@@ -346,10 +358,13 @@ class DomainSlice final : public ShardDomain {
   Nanos net_propagation_;
   Nanos pcie_propagation_;
 
-  std::unique_ptr<Testbed> bed_;
+  // Domain-owned model state: touched only by this domain's phases. The
+  // DomainLocal wrapper makes that ownership explicit (move-only, so a
+  // refactor cannot silently fork or share it across slices).
+  DomainLocal<Testbed> bed_;
   Application* app_ = nullptr;
-  std::unique_ptr<NetworkLink> egress_;  // toward domain (id-1) mod domains
-  std::unique_ptr<CoalescedStream<WireEntry>> inject_;
+  DomainLocal<NetworkLink> egress_;  // toward domain (id-1) mod domains
+  DomainLocal<CoalescedStream<WireEntry>> inject_;
 
   // Outgoing (producer side; boxes owned by the consuming slice).
   SpscMailbox<BurstMsg>* out_pkts_ = nullptr;
@@ -561,7 +576,7 @@ RunResult ShardedTestbed::collect() const {
                         : 0.0;
   out.dram_utilization = util / static_cast<double>(slices_.size());
 
-  if (spec_.testbed.system == SystemKind::kCeio) {
+  if (spec_->testbed.system == SystemKind::kCeio) {
     out.has_ceio = true;
     for (const auto& s : slices_) {
       auto& bed = const_cast<DomainSlice&>(*s).bed();

@@ -41,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/domain_annotations.h"
 #include "common/units.h"
 #include "harness/experiment.h"
 #include "sim/shard_coordinator.h"
@@ -102,7 +103,9 @@ class ShardedTestbed {
   /// Host-shard credit arbitration: called by domain 0's events only.
   void on_credit_report(int src, std::int64_t demand);
 
-  ExperimentSpec spec_;
+  // Frozen at construction and read by every domain (flow layout, report
+  // shape): SharedImmutable enforces const-only access across slices.
+  SharedImmutable<ExperimentSpec> spec_;
   std::vector<std::unique_ptr<DomainSlice>> slices_;
   std::vector<FlowEntry> flows_;  // index = flow id - 1
   Nanos measure_start_{0};

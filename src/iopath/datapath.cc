@@ -1,5 +1,6 @@
 #include "iopath/datapath.h"
 
+#include "common/det_map.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
@@ -29,9 +30,11 @@ void DatapathBase::unregister_flow(FlowId id) {
 }
 
 void DatapathBase::for_each_ring(const std::function<void(const RxRing&)>& fn) const {
-  for (const auto& [id, fs] : flows_) {
+  // Sorted sweep: audit invariant checks (and their violation logs) visit
+  // rings in flow-id order, not hash order.
+  det::for_sorted(flows_, [&fn](FlowId, const FlowState& fs) {
     if (fs.ring) fn(*fs.ring);
-  }
+  });
 }
 
 const FlowPathStats* DatapathBase::flow_stats(FlowId id) const {
@@ -200,20 +203,22 @@ void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos
 }
 
 void DatapathBase::register_metrics(MetricRegistry& registry) {
+  // Integer accumulation: summing int64 counters is order-invariant, so the
+  // hash iteration order cannot reach the gauge value (a float sum would).
   registry.add_gauge("path.fast_pkts", [this]() {
-    double total = 0;
-    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.fast_path_pkts);
-    return total;
+    std::int64_t total = 0;
+    for (const auto& [id, fs] : flows_) total += fs.stats.fast_path_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    return static_cast<double>(total);
   });
   registry.add_gauge("path.slow_pkts", [this]() {
-    double total = 0;
-    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.slow_path_pkts);
-    return total;
+    std::int64_t total = 0;
+    for (const auto& [id, fs] : flows_) total += fs.stats.slow_path_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    return static_cast<double>(total);
   });
   registry.add_gauge("path.dropped_pkts", [this]() {
-    double total = 0;
-    for (const auto& [id, fs] : flows_) total += static_cast<double>(fs.stats.dropped_pkts);
-    return total;
+    std::int64_t total = 0;
+    for (const auto& [id, fs] : flows_) total += fs.stats.dropped_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    return static_cast<double>(total);
   });
   registry.add_gauge("path.ring_depth", [this]() {
     double depth = 0;

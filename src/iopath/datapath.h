@@ -94,6 +94,8 @@ class DatapathBase : public IoDatapath {
     std::unique_ptr<RxRing> ring;  // owned per-flow ring (null when shared)
     bool pumping = false;
     // Message progress: packets landed in host memory / processed by CPU.
+    // Hash-based on purpose: looked up per packet (hot), never iterated —
+    // entries are found/bumped/erased by message id only.
     std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
     std::unordered_map<std::uint64_t, std::uint32_t> processed_count;
     BufferId next_bypass_buffer = 0;  // rotating app-memory ids (bypass flows)
@@ -145,6 +147,10 @@ class DatapathBase : public IoDatapath {
   DmaEngine& dma_;
   MemoryController& mc_;
   BufferPool& host_pool_;
+  // Hash-based on purpose: state_of() is on the per-packet fast path and
+  // fig12 runs 2^20 flows. Every iteration over this map goes through
+  // det::for_sorted (or an order-invariant integer sum) — enforced by
+  // tools/analyze/ceio_analyze.py.
   std::unordered_map<FlowId, FlowState> flows_;
   Telemetry* tele_ = nullptr;
 

@@ -12,7 +12,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/application.h"
@@ -20,6 +19,7 @@
 #include "baselines/legacy.h"
 #include "baselines/shring.h"
 #include "ceio/ceio_datapath.h"
+#include "common/det_map.h"
 #include "common/rng.h"
 #include "host/cpu_core.h"
 #include "iopath/datapath.h"
@@ -211,7 +211,10 @@ class Testbed {
   CeioDatapath* ceio_ = nullptr;
 
   std::vector<std::unique_ptr<Application>> apps_;
-  std::unordered_map<FlowId, FlowRecord> flows_;
+  // Key-ordered: flow_ids() and the measurement-reset sweep iterate this on
+  // the report path; lookups are per-call (add/remove/report), never
+  // per-packet, so the ordered map costs nothing that matters.
+  det::OrderedMap<FlowId, FlowRecord> flows_;
   // Removed flows are parked, not destroyed: scheduled events (CPU work
   // completions, feedback timers) may still reference their core/source.
   std::vector<FlowRecord> retired_flows_;

@@ -101,6 +101,7 @@ void FlowSource::emit_packet() {
   if (message_pkt_index_ == 0) {
     // Bound the completion map: open-loop messages whose completions never
     // arrive (sustained overload, drops) must not accumulate forever.
+    // begin() on the key-ordered map is the oldest outstanding message.
     if (message_start_.size() > 1u << 16) message_start_.erase(message_start_.begin());
     message_start_[next_message_id_] = sched_.now();
   }

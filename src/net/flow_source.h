@@ -16,8 +16,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
+#include "common/det_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
@@ -126,7 +126,11 @@ class FlowSource : public FlowFeedback {
   EventHandle pending_emit_;
   EventHandle window_timer_;
 
-  std::unordered_map<std::uint64_t, Nanos> message_start_;
+  // Key-ordered: the overflow guard evicts `begin()`, which on an ordered
+  // map is the *oldest outstanding message* — on a hash map it was an
+  // arbitrary entry, silently skewing latency percentiles under overload.
+  // Lookups are per-message (not per-packet), so the ordered map is cheap.
+  det::OrderedMap<std::uint64_t, Nanos> message_start_;
   // Lost packets awaiting retransmission; drained through the paced emitter
   // (a transport retransmits within its congestion window, so loss must not
   // inflate the send rate).

@@ -78,6 +78,8 @@ class RmtEngine {
 
   EventScheduler& sched_;
   RmtConfig config_;
+  // Hash-based on purpose: steer() looks this up per packet (hot); the
+  // table is never iterated, so its order cannot reach any output.
   std::unordered_map<FlowId, Rule> rules_;
   std::uint64_t generation_ = 0;  // invalidates in-flight updates on remove
   Telemetry* tele_ = nullptr;

@@ -88,6 +88,9 @@ class PathTracer {
 
   std::uint32_t every_n_;
   std::size_t max_records_;
+  // Hash-based on purpose: hop recording looks up per sampled packet; the
+  // map is never iterated (completed_ preserves finish order), so its
+  // order cannot reach the exported records.
   std::unordered_map<std::uint64_t, PathRecord> open_;
   std::vector<PathRecord> completed_;
   std::uint64_t dropped_ = 0;

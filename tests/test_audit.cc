@@ -236,7 +236,7 @@ TEST_P(AuditHealthyRun, FullPackSilentUnderLoad) {
 INSTANTIATE_TEST_SUITE_P(Systems, AuditHealthyRun,
                          ::testing::Values(SystemKind::kLegacy, SystemKind::kHostcc,
                                            SystemKind::kShring, SystemKind::kCeio),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& tpi) { return to_string(tpi.param); });
 
 TEST(AuditHealthy, EnableAuditIsIdempotent) {
   Testbed bed(TestbedConfig{});

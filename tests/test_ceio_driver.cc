@@ -40,7 +40,9 @@ TEST(CeioDriver, RecvReturnsInOrderPackets) {
   std::uint64_t prev = 0;
   bool first = true;
   for (const auto& pkt : batch) {
-    if (!first) EXPECT_EQ(pkt.seq, prev + 1);
+    if (!first) {
+      EXPECT_EQ(pkt.seq, prev + 1);
+    }
     prev = pkt.seq;
     first = false;
     EXPECT_NE(pkt.host_buffer, 0u);
@@ -173,7 +175,9 @@ TEST(CeioDriver, BurstRecvMatchesVectorRecv) {
   EXPECT_EQ(burst.size(), got);
   std::uint64_t prev = 0;
   for (const Packet& pkt : burst) {
-    if (prev != 0) EXPECT_EQ(pkt.seq, prev + 1);
+    if (prev != 0) {
+      EXPECT_EQ(pkt.seq, prev + 1);
+    }
     prev = pkt.seq;
     h.driver->complete(pkt);
   }

@@ -31,6 +31,14 @@ void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
   return std::malloc(size);
 }
 
+// GCC's -Wmismatched-new-delete pairs inlined `new` expressions with the
+// malloc inside the replaced operator and flags the matching free() as a
+// mismatch — a false positive for replaced global allocators like this
+// counting shim, where malloc/free pairing is the whole point.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -52,7 +52,7 @@ TEST_P(SmokeTest, EightFlowsSaturating) {
 INSTANTIATE_TEST_SUITE_P(AllSystems, SmokeTest,
                          ::testing::Values(SystemKind::kLegacy, SystemKind::kHostcc,
                                            SystemKind::kShring, SystemKind::kCeio),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& tpi) { return to_string(tpi.param); });
 
 TEST(SmokeComparison, CeioEliminatesMissesUnderOverload) {
   // Echo at 512 B never saturates the cores (the paper's echo datapath runs

@@ -113,9 +113,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(SystemKind::kLegacy, SystemKind::kHostcc,
                                          SystemKind::kShring, SystemKind::kCeio),
                        ::testing::Values(1u, 2u, 3u)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpi) {
+      return std::string(to_string(std::get<0>(tpi.param))) + "_seed" +
+             std::to_string(std::get<1>(tpi.param));
     });
 
 // Property: CEIO's miss rate stays low for any DDIO configuration (credits

@@ -1,0 +1,1089 @@
+#!/usr/bin/env python3
+"""Determinism & domain-isolation static analyzer for the CEIO simulator.
+
+The repo's headline correctness property is *bitwise determinism*: the same
+scenario produces byte-identical reports at any shard count and any sweep
+parallelism (DESIGN.md, "Determinism rules"). That property is easy to break
+silently — a hash-map iteration reaching a report, a wall-clock read feeding
+a model decision, a pointer smuggled through a cross-domain mailbox. This
+tool statically enforces the rules that keep it true; it complements
+tools/lint/ceio_lint.py (project conventions) with semantic checks over the
+whole tree.
+
+Rules
+-----
+nondet-source
+    Sources of run-to-run nondeterminism are banned in model code:
+    std::random_device, rand()/srand(), time()/gettimeofday()/clock_gettime,
+    std::chrono::system_clock, and pointer values used as associative-
+    container keys (address-ordered iteration differs across runs under
+    ASLR). Simulation randomness must come from the seeded config RNG;
+    wall-clock reads belong only in bench timing (std::chrono::steady_clock,
+    which this rule deliberately permits).
+
+unordered-iter
+    Iterating a std::unordered_map/set is a finding: libstdc++ iteration
+    order is an artifact of hashing, bucket count and operation history, and
+    any such order that escapes into a report, credit assignment or buffer
+    release breaks bitwise reproducibility. Convert the container to
+    det::OrderedMap/OrderedSet, iterate through det::for_sorted /
+    det::sorted_keys (src/common/det_map.h), or suppress with a
+    justification when the loop is provably order-invariant (e.g. an
+    integer-sum gauge).
+
+cross-domain
+    The sharded harness requires every mailbox payload to be an owned value.
+    A raw pointer or reference member inside a CEIO_DOMAIN_MESSAGE type, or
+    a pointer/reference SpscMailbox payload type, aliases the producing
+    domain's mutable state from the consuming domain — a data race the
+    epoch barriers cannot see. Ship owned values; share read-only state via
+    SharedImmutable<T> (src/common/domain_annotations.h).
+
+float-accum
+    Floating-point addition is not associative, so accumulating a float or
+    double across an *unordered* iteration yields order-dependent results
+    even when the visited set is identical. Accumulate in integers, iterate
+    in sorted order, or restructure the reduction.
+
+Suppression: append `// analyze: allow-<rule> (reason)` to the offending
+line, or place it on the line directly above. Reasons are part of the
+convention — a bare suppression invites deletion.
+
+Engines
+-------
+The analyzer prefers a libclang AST walk over the CMake-exported
+compile_commands.json (`cmake -B build` exports it and symlinks it at the
+repo root). When the Python clang bindings or libclang.so are unavailable —
+which includes this repo's CI container — it falls back to a self-contained
+lexer/scanner engine that strips comments and strings, indexes class
+members and container declarations (including base-class resolution), and
+applies the same rules with the same suppression syntax. Both engines share
+the rule catalogue, the suppression layer and the reporting format, so a
+finding means the same thing regardless of which engine produced it.
+
+Usage
+-----
+    tools/analyze/ceio_analyze.py                # analyze the tree
+    tools/analyze/ceio_analyze.py --self-test    # run the fixture suite
+    tools/analyze/ceio_analyze.py --list-rules
+    tools/analyze/ceio_analyze.py --engine ast   # require the AST engine
+
+Exit codes: 0 clean / self-test pass, 1 findings / self-test fail,
+2 requested engine unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Directories scanned by default, and subtrees never scanned (fixtures carry
+# deliberately seeded violations; build trees carry generated code).
+DEFAULT_SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+EXCLUDE_PARTS = ("fixtures", "build", "build-check", "golden")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+
+SUPPRESS_RE = re.compile(r"analyze:\s*allow-([a-z][a-z-]*)")
+
+RULE_DOCS = {
+    "nondet-source": "run-to-run nondeterminism sources (clocks, rand, pointer keys)",
+    "unordered-iter": "iteration over std::unordered_* containers",
+    "cross-domain": "raw pointers/references crossing sharded-domain boundaries",
+    "float-accum": "float/double accumulation over unordered iteration",
+}
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, lineno: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def key(self) -> tuple:
+        return (str(self.path), self.lineno, self.rule)
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Shared source model
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Suppression comments are consulted on the *raw* lines, so nothing is
+    lost by blanking here; blanking keeps every rule regex from matching
+    inside documentation or log messages.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                if i >= 1 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                    m = re.match(r'"([^ ()\\\t\n]{0,16})\(', text[i:])
+                    if m:
+                        state = "raw"
+                        raw_delim = ")" + m.group(1) + '"'
+                        out.append(c)
+                        i += 1
+                        continue
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # raw string
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(raw_delim)
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path: Path):
+        self.path = path
+        self.raw = path.read_text()
+        self.raw_lines = self.raw.splitlines()
+        self.code = strip_comments_and_strings(self.raw)
+        self.code_lines = self.code.splitlines()
+
+    def suppressed(self, rule: str, lineno: int) -> bool:
+        """True when line `lineno` (1-based) or the line above carries
+        `// analyze: allow-<rule>`."""
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                for m in SUPPRESS_RE.finditer(self.raw_lines[ln - 1]):
+                    if m.group(1) == rule:
+                        return True
+        return False
+
+
+def iter_source_files(root: Path, dirs: tuple[str, ...]) -> list[Path]:
+    out: list[Path] = []
+    for d in dirs:
+        base = root / d
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if not path.is_file() or path.suffix not in SOURCE_SUFFIXES:
+                continue
+            if any(part in EXCLUDE_PARTS for part in path.relative_to(root).parts):
+                continue
+            out.append(path)
+    # Deduplicate (overlapping dirs / explicit files).
+    seen: set[Path] = set()
+    uniq = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            uniq.append(p)
+    return uniq
+
+
+# ---------------------------------------------------------------------------
+# Fallback engine: lexer/scanner over the stripped source model
+# ---------------------------------------------------------------------------
+
+UNORDERED_TYPE_RE = re.compile(r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<")
+USING_ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*([^;]+);")
+TYPEDEF_RE = re.compile(r"\btypedef\s+(.+?)\s+(\w+)\s*;")
+CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)\b")
+FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+([A-Za-z_]\w*)\s*[;={,)]")
+DOMAIN_MESSAGE_RE = re.compile(r"\bCEIO_DOMAIN_MESSAGE\(\s*([\w:]+)\s*\)")
+MAILBOX_PTR_RE = re.compile(r"\bSpscMailbox\s*<\s*[^;>]*[*&][^;>]*>")
+# A member/param/local declaration ending in a pointer or reference:
+# `Foo* p;`, `const Bar& ref_;`. Function declarations (contain '(') and
+# pointer-return declarators are excluded by the no-parens requirement.
+PTR_REF_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?[\w:<>,\s]+[*&]\s*(\w+)\s*(?:=[^;()]*)?;\s*$"
+)
+
+NONDET_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic across runs; use the seeded config RNG"),
+    (re.compile(r"(?<![\w.:>])s?rand\s*\("),
+     "rand()/srand() draw from ambient global state; use the seeded config RNG"),
+    (re.compile(r"(?<![\w.:>])time\s*\(|\bstd::time\s*\("),
+     "time() reads the wall clock; simulated time comes from EventScheduler::now()"),
+    (re.compile(r"\bstd::chrono::system_clock\b|\bsystem_clock::now\b"),
+     "system_clock is wall-clock time; bench timing uses steady_clock, model "
+     "time uses EventScheduler::now()"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\("),
+     "raw clock syscall; simulated time comes from EventScheduler::now()"),
+    (re.compile(r"\b(?:std::)?(?:unordered_)?(?:map|multimap)\s*<\s*[^,<>()]*\*\s*,"),
+     "pointer-keyed map: iteration/compare order follows addresses, which "
+     "differ across runs under ASLR — key by a stable id instead"),
+    (re.compile(r"\b(?:std::)?(?:unordered_)?(?:set|multiset)\s*<\s*[^,<>()]*\*\s*[,>]"),
+     "pointer-keyed set: iteration order follows addresses, which differ "
+     "across runs under ASLR — key by a stable id instead"),
+]
+
+
+def balanced_angle_extent(text: str, open_idx: int) -> int:
+    """Given index of '<', returns index one past its matching '>' or -1."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+DECLARED_NAME_RE = re.compile(r"^[\s&*]*([A-Za-z_]\w*)\s*([;={,)(]|$)")
+
+
+def declared_names_after(text: str, idx: int) -> list[str]:
+    """Names declared by a container type ending at `idx` in `text`.
+
+    Handles `Type name;`, `Type name{...}`, `Type name = ...`, and
+    parameter forms `const Type& name,` / `Type* name)`.
+    """
+    m = DECLARED_NAME_RE.match(text[idx:])
+    if not m:
+        return []
+    name, terminator = m.group(1), m.group(2)
+    if terminator == "(":
+        return []  # function returning the container, not a variable
+    return [name]
+
+
+class ClassInfo:
+    def __init__(self, name: str, path: Path):
+        self.name = name
+        self.path = path
+        self.bases: list[str] = []
+        self.unordered_members: set[str] = set()
+        self.float_members: set[str] = set()
+        self.ptr_ref_members: list[tuple[int, str]] = []  # (lineno, name)
+
+
+class SymbolIndex:
+    """Tree-wide index of classes, their members and container aliases."""
+
+    def __init__(self):
+        self.classes: dict[str, ClassInfo] = {}
+        self.unordered_aliases: set[str] = set()
+
+    def is_unordered_type(self, type_text: str) -> bool:
+        if UNORDERED_TYPE_RE.search(type_text):
+            return True
+        first = re.match(r"\s*(?:const\s+)?(?:\w+::)*(\w+)", type_text)
+        return bool(first) and first.group(1) in self.unordered_aliases
+
+    def resolve_unordered_members(self, class_name: str) -> set[str]:
+        out: set[str] = set()
+        self._walk_members(class_name, set(), out, "unordered_members")
+        return out
+
+    def resolve_float_members(self, class_name: str) -> set[str]:
+        out: set[str] = set()
+        self._walk_members(class_name, set(), out, "float_members")
+        return out
+
+    def _walk_members(self, name: str, visited: set[str], out: set[str],
+                      attr: str) -> None:
+        if name in visited or name not in self.classes:
+            return
+        visited.add(name)
+        info = self.classes[name]
+        out.update(getattr(info, attr))
+        for base in info.bases:
+            self._walk_members(base, visited, out, attr)
+
+
+def parse_base_clause(clause: str) -> list[str]:
+    bases = []
+    for part in clause.split(","):
+        part = re.sub(r"\b(public|protected|private|virtual)\b", "", part)
+        part = part.split("<")[0]  # drop template args
+        ids = re.findall(r"[A-Za-z_]\w*", part)
+        if ids:
+            bases.append(ids[-1])
+    return bases
+
+
+def index_file(src: SourceFile, index: SymbolIndex) -> None:
+    code = src.code
+    for m in USING_ALIAS_RE.finditer(code):
+        if UNORDERED_TYPE_RE.search(m.group(2)):
+            index.unordered_aliases.add(m.group(1))
+    for m in TYPEDEF_RE.finditer(code):
+        if UNORDERED_TYPE_RE.search(m.group(1)):
+            index.unordered_aliases.add(m.group(2))
+
+    # Class bodies with brace tracking; members are classified at relative
+    # brace depth 1 (method bodies sit deeper and are skipped).
+    lines = src.code_lines
+    # Stack of (ClassInfo, entry_depth). depth counts '{' minus '}' so far.
+    depth = 0
+    stack: list[tuple[ClassInfo, int]] = []
+    pending: ClassInfo | None = None  # class seen, waiting for its '{'
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        search_pos = 0
+        for cm in CLASS_RE.finditer(line):
+            # Forward declarations (`class X;`) and uses in template args are
+            # filtered by requiring a '{' or ':' before the next ';'.
+            tail = line[cm.end():]
+            j = i
+            gathered = tail
+            while ";" not in gathered and "{" not in gathered and j + 1 < len(lines) \
+                    and j - i < 3:
+                j += 1
+                gathered += " " + lines[j]
+            brace = gathered.find("{")
+            semi = gathered.find(";")
+            if brace == -1 or (semi != -1 and semi < brace):
+                continue
+            info = ClassInfo(cm.group(2), src.path)
+            head = gathered[:brace]
+            colon = re.search(r"(?<!:):(?!:)", head)
+            if colon:
+                info.bases = parse_base_clause(head[colon.end():])
+            pending = info
+            search_pos = cm.end()
+        _ = search_pos
+
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending is not None:
+                    stack.append((pending, depth))
+                    index.classes.setdefault(pending.name, pending)
+                    pending = None
+            elif ch == "}":
+                if stack and stack[-1][1] == depth:
+                    stack.pop()
+                depth -= 1
+
+        # Member classification: the innermost open class whose body we are
+        # directly inside (relative depth 1).
+        if stack and depth == stack[-1][1]:
+            info = stack[-1][0]
+            joined = line
+            k = i
+            # Join continuation lines for multi-line member declarations.
+            while ("<" in joined and balanced_angle_extent(
+                    joined, joined.find("<")) == -1 and k + 1 < len(lines)
+                    and k - i < 4):
+                k += 1
+                joined += " " + lines[k]
+            um = UNORDERED_TYPE_RE.search(joined)
+            if um:
+                close = balanced_angle_extent(joined, um.end() - 1)
+                if close != -1:
+                    for name in declared_names_after(joined, close):
+                        info.unordered_members.add(name)
+            else:
+                first = re.match(r"\s*(?:mutable\s+)?(?:const\s+)?(?:\w+::)*(\w+)",
+                                 joined)
+                if first and first.group(1) in index.unordered_aliases:
+                    rest = joined[first.end():]
+                    dm = re.match(r"\s+(\w+)\s*[;={]", rest)
+                    if dm:
+                        info.unordered_members.add(dm.group(1))
+            for fm in FLOAT_DECL_RE.finditer(joined):
+                info.float_members.add(fm.group(1))
+            pm = PTR_REF_MEMBER_RE.match(line)
+            if pm and "operator" not in line:
+                info.ptr_ref_members.append((i + 1, pm.group(1)))
+        i += 1
+
+
+def file_local_unordered_vars(src: SourceFile, index: SymbolIndex) -> set[str]:
+    """All names declared with an unordered container type anywhere in the
+    file: members, locals and parameters alike. Name-based scoping is
+    per-file plus implemented-class members, which keeps same-named ordered
+    members in other classes (e.g. an OrderedMap flows_) from colliding."""
+    out: set[str] = set()
+    code = src.code
+    for m in UNORDERED_TYPE_RE.finditer(code):
+        close = balanced_angle_extent(code, m.end() - 1)
+        if close == -1:
+            continue
+        out.update(declared_names_after(code, close))
+    for alias in index.unordered_aliases:
+        for m in re.finditer(rf"\b{re.escape(alias)}\s*[&*]?\s+(\w+)\s*[;={{,)]",
+                             code):
+            out.add(m.group(1))
+    return out
+
+
+def implemented_classes(src: SourceFile, index: SymbolIndex) -> set[str]:
+    """Classes whose members are in scope for this file: those defined in it
+    plus (for .cc files) those with out-of-line `X::member` definitions."""
+    names = {info.name for info in index.classes.values() if info.path == src.path}
+    if src.path.suffix != ".h":
+        for m in re.finditer(r"\b([A-Z]\w*)::\w+\s*\(", src.code):
+            if m.group(1) in index.classes:
+                names.add(m.group(1))
+    return names
+
+
+class LoopSite:
+    def __init__(self, lineno: int, var: str, body_start: int, body_end: int):
+        self.lineno = lineno  # 1-based line of the `for`
+        self.var = var
+        self.body_start = body_start  # 0-based inclusive
+        self.body_end = body_end  # 0-based inclusive
+
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def split_range_for(header: str) -> str | None:
+    """Returns the range expression of a range-for header, else None."""
+    # Find a single ':' that is not part of '::'.
+    for m in re.finditer(r":", header):
+        i = m.start()
+        if (i > 0 and header[i - 1] == ":") or (i + 1 < len(header) and header[i + 1] == ":"):
+            continue
+        return header[i + 1:]
+    return None
+
+
+def trailing_identifier(expr: str) -> str | None:
+    """Final identifier of `a.b.c` / `a->c` / `c`; None for calls `c()`."""
+    expr = expr.strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    if not m:
+        return None
+    return m.group(1)
+
+
+def find_unordered_loops(src: SourceFile, unordered: set[str]) -> list[LoopSite]:
+    sites: list[LoopSite] = []
+    lines = src.code_lines
+    for i, line in enumerate(lines):
+        for fm in RANGE_FOR_RE.finditer(line):
+            # Gather the parenthesized header (may span lines).
+            start = fm.end() - 1
+            text = line
+            row = i
+            depth = 0
+            header_chars: list[str] = []
+            j = start
+            end_row, end_col = row, start
+            while True:
+                if j >= len(text):
+                    if row + 1 - i > 4 or row + 1 >= len(lines):
+                        break
+                    row += 1
+                    text = lines[row]
+                    j = 0
+                    header_chars.append(" ")
+                    continue
+                c = text[j]
+                header_chars.append(c)
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        end_row, end_col = row, j
+                        break
+                j += 1
+            if depth != 0:
+                continue
+            header = "".join(header_chars)[1:-1]
+            var: str | None = None
+            range_expr = split_range_for(header)
+            if range_expr is not None:
+                var = trailing_identifier(range_expr)
+                if var is not None and re.search(
+                        rf"\b{re.escape(var)}\s*\(", range_expr):
+                    var = None  # method call, e.g. `: snapshot()`
+            else:
+                im = re.search(r"=\s*(\w+)(?:\.|->)c?begin\s*\(", header)
+                if im:
+                    var = im.group(1)
+            if var is None or var not in unordered:
+                continue
+            body_start, body_end = loop_body_extent(lines, end_row, end_col)
+            sites.append(LoopSite(i + 1, var, body_start, body_end))
+    return sites
+
+
+def loop_body_extent(lines: list[str], hdr_row: int, hdr_col: int) -> tuple[int, int]:
+    """Extent (0-based inclusive rows) of the loop body following the header
+    close paren at (hdr_row, hdr_col)."""
+    row, col = hdr_row, hdr_col + 1
+    # Find the first non-space char after the ')'.
+    while row < len(lines):
+        rest = lines[row][col:]
+        stripped = rest.lstrip()
+        if stripped:
+            if stripped[0] == "{":
+                open_col = col + rest.index("{")
+                return brace_extent(lines, row, open_col)
+            # Single-statement body: runs to the next ';'.
+            end_row = row
+            while end_row < len(lines) and ";" not in lines[end_row][col if end_row == row else 0:]:
+                end_row += 1
+            return (row, min(end_row, len(lines) - 1))
+        row += 1
+        col = 0
+    return (hdr_row, hdr_row)
+
+
+def brace_extent(lines: list[str], row: int, col: int) -> tuple[int, int]:
+    depth = 0
+    r, c = row, col
+    while r < len(lines):
+        line = lines[r]
+        while c < len(line):
+            ch = line[c]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    return (row, r)
+            c += 1
+        r += 1
+        c = 0
+    return (row, len(lines) - 1)
+
+
+class FallbackEngine:
+    name = "fallback"
+
+    def __init__(self, root: Path, files: list[Path]):
+        self.root = root
+        self.sources = [SourceFile(p) for p in files]
+        self.index = SymbolIndex()
+        for src in self.sources:
+            index_file(src, self.index)
+        self.message_types: set[str] = set()
+        for src in self.sources:
+            for m in DOMAIN_MESSAGE_RE.finditer(src.code):
+                self.message_types.add(m.group(1).split("::")[-1])
+
+    # -- rules ---------------------------------------------------------------
+
+    def run(self, rules: list[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        for src in self.sources:
+            scope = self._unordered_scope(src)
+            loops = find_unordered_loops(src, scope) if (
+                "unordered-iter" in rules or "float-accum" in rules) else []
+            if "nondet-source" in rules:
+                self._nondet(src, findings)
+            if "unordered-iter" in rules:
+                self._unordered_iter(src, loops, findings)
+            if "cross-domain" in rules:
+                self._cross_domain_mailbox(src, findings)
+            if "float-accum" in rules:
+                self._float_accum(src, loops, findings)
+        if "cross-domain" in rules:
+            self._cross_domain_messages(findings)
+        findings.sort(key=Finding.key)
+        return findings
+
+    def _unordered_scope(self, src: SourceFile) -> set[str]:
+        scope = file_local_unordered_vars(src, self.index)
+        for cls in implemented_classes(src, self.index):
+            scope |= self.index.resolve_unordered_members(cls)
+        return scope
+
+    def _float_scope(self, src: SourceFile) -> set[str]:
+        out = {m.group(1) for m in FLOAT_DECL_RE.finditer(src.code)}
+        for cls in implemented_classes(src, self.index):
+            out |= self.index.resolve_float_members(cls)
+        return out
+
+    def _nondet(self, src: SourceFile, findings: list[Finding]) -> None:
+        for i, line in enumerate(src.code_lines, 1):
+            for pattern, msg in NONDET_PATTERNS:
+                if pattern.search(line) and not src.suppressed("nondet-source", i):
+                    findings.append(Finding("nondet-source", src.path, i, msg))
+                    break
+
+    def _unordered_iter(self, src: SourceFile, loops: list[LoopSite],
+                        findings: list[Finding]) -> None:
+        for site in loops:
+            if src.suppressed("unordered-iter", site.lineno):
+                continue
+            findings.append(Finding(
+                "unordered-iter", src.path, site.lineno,
+                f"iteration over hash-ordered container '{site.var}'; use "
+                "det::OrderedMap / det::for_sorted (common/det_map.h) or "
+                "suppress with a justification if provably order-invariant"))
+
+    def _cross_domain_mailbox(self, src: SourceFile,
+                              findings: list[Finding]) -> None:
+        for i, line in enumerate(src.code_lines, 1):
+            if MAILBOX_PTR_RE.search(line) and not src.suppressed("cross-domain", i):
+                findings.append(Finding(
+                    "cross-domain", src.path, i,
+                    "SpscMailbox payload carries a pointer/reference; it "
+                    "aliases the producing domain's state from the consuming "
+                    "domain — ship an owned value"))
+
+    def _cross_domain_messages(self, findings: list[Finding]) -> None:
+        for name in sorted(self.message_types):
+            info = self.index.classes.get(name)
+            if info is None:
+                continue
+            src = next((s for s in self.sources if s.path == info.path), None)
+            if src is None:
+                continue
+            for lineno, member in info.ptr_ref_members:
+                if src.suppressed("cross-domain", lineno):
+                    continue
+                findings.append(Finding(
+                    "cross-domain", info.path, lineno,
+                    f"'{member}' is a raw pointer/reference member of domain "
+                    f"message '{name}'; the consuming domain would alias "
+                    "producer state — ship an owned value or SharedImmutable"))
+
+    def _float_accum(self, src: SourceFile, loops: list[LoopSite],
+                     findings: list[Finding]) -> None:
+        floats = self._float_scope(src)
+        accum_re = re.compile(r"\b(\w+)\s*(?:\+=|-=|\*=)")
+        plain_re = re.compile(r"\b(\w+)\s*=\s*\1\s*[+*]")
+        for site in loops:
+            for row in range(site.body_start, site.body_end + 1):
+                line = src.code_lines[row]
+                names = {m.group(1) for m in accum_re.finditer(line)}
+                names |= {m.group(1) for m in plain_re.finditer(line)}
+                hits = sorted(n for n in names if n in floats)
+                for n in hits:
+                    if src.suppressed("float-accum", row + 1):
+                        continue
+                    findings.append(Finding(
+                        "float-accum", src.path, row + 1,
+                        f"float accumulation into '{n}' across hash-ordered "
+                        f"iteration of '{site.var}': float addition is not "
+                        "associative, so the sum is order-dependent — "
+                        "accumulate in integers or iterate sorted"))
+
+
+# ---------------------------------------------------------------------------
+# AST engine: libclang over compile_commands.json
+# ---------------------------------------------------------------------------
+
+
+def load_cindex():
+    """Returns the clang.cindex module with a working libclang, or None."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        # Bindings importable but libclang.so missing/mismatched: try the
+        # sonames shipped by common distro packages before giving up.
+        for lib in ("libclang.so", "libclang-14.so.1", "libclang.so.14",
+                    "libclang.so.1"):
+            try:
+                cindex.Config.set_library_file(lib)
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                continue
+        return None
+
+
+class AstEngine:
+    """AST-accurate engine. Parses each translation unit with the exact
+    flags the build used (compile_commands.json) and walks cursors, so type
+    resolution sees through aliases, templates and inheritance without the
+    fallback engine's name-scoping heuristics."""
+
+    name = "ast"
+
+    def __init__(self, root: Path, files: list[Path], cindex, compdb_path: Path):
+        self.root = root
+        self.files = files
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.compile_args = self._load_compdb(compdb_path)
+        self.sources: dict[Path, SourceFile] = {}
+        # Message types come from the same textual scan the fallback uses:
+        # the macro expands before the AST exists.
+        self.message_types: set[str] = set()
+        for p in files:
+            src = SourceFile(p)
+            self.sources[p] = src
+            for m in DOMAIN_MESSAGE_RE.finditer(src.code):
+                self.message_types.add(m.group(1).split("::")[-1])
+
+    def _load_compdb(self, path: Path) -> dict[Path, list[str]]:
+        args: dict[Path, list[str]] = {}
+        if not path.exists():
+            return args
+        for entry in json.loads(path.read_text()):
+            f = Path(entry["file"])
+            if not f.is_absolute():
+                f = Path(entry["directory"]) / f
+            raw = entry.get("arguments") or entry.get("command", "").split()
+            cleaned: list[str] = []
+            skip = False
+            for a in raw[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", "-o"):
+                    skip = a == "-o"
+                    continue
+                cleaned.append(a)
+            args[f.resolve()] = cleaned
+        return args
+
+    def _args_for(self, path: Path) -> list[str]:
+        exact = self.compile_args.get(path.resolve())
+        if exact:
+            return exact
+        # Headers and uncompiled files: borrow any TU's flags so include
+        # paths and -std resolve; fall back to a minimal set.
+        for flags in self.compile_args.values():
+            return flags
+        return ["-std=c++20", f"-I{self.root / 'src'}"]
+
+    def _src(self, path: Path) -> SourceFile:
+        if path not in self.sources:
+            self.sources[path] = SourceFile(path)
+        return self.sources[path]
+
+    def run(self, rules: list[str]) -> list[Finding]:
+        ck = self.cindex.CursorKind
+        findings: dict[tuple, Finding] = {}
+        scan_set = {p.resolve() for p in self.files}
+
+        def add(f: Finding) -> None:
+            findings.setdefault(f.key(), f)
+
+        def location_ok(cursor) -> Path | None:
+            loc = cursor.location
+            if loc.file is None:
+                return None
+            p = Path(loc.file.name).resolve()
+            return p if p in scan_set else None
+
+        def type_is_unordered(t) -> bool:
+            spelling = t.get_canonical().spelling
+            return "unordered_map" in spelling or "unordered_set" in spelling \
+                or "unordered_multimap" in spelling or "unordered_multiset" in spelling
+
+        def type_is_float(t) -> bool:
+            k = t.get_canonical().kind
+            return k in (self.cindex.TypeKind.FLOAT, self.cindex.TypeKind.DOUBLE,
+                         self.cindex.TypeKind.LONGDOUBLE)
+
+        def first_template_arg_is_pointer(t) -> bool:
+            ct = t.get_canonical()
+            try:
+                if ct.get_num_template_arguments() < 1:
+                    return False
+                arg = ct.get_template_argument_type(0)
+                return arg.get_canonical().kind == self.cindex.TypeKind.POINTER
+            except Exception:
+                return False
+
+        def visit(cursor, enclosing_unordered_loops: list):
+            path = location_ok(cursor)
+            kind = cursor.kind
+
+            loops = enclosing_unordered_loops
+            if kind == ck.CXX_FOR_RANGE_STMT and path is not None:
+                children = list(cursor.get_children())
+                range_init = children[-2] if len(children) >= 2 else None
+                if range_init is not None and type_is_unordered(range_init.type):
+                    line = cursor.location.line
+                    src = self._src(path)
+                    if not src.suppressed("unordered-iter", line) and \
+                            "unordered-iter" in rules:
+                        add(Finding(
+                            "unordered-iter", path, line,
+                            "iteration over hash-ordered container; use "
+                            "det::OrderedMap / det::for_sorted "
+                            "(common/det_map.h) or suppress with a "
+                            "justification if provably order-invariant"))
+                    loops = loops + [cursor]
+
+            if path is not None:
+                if kind in (ck.DECL_REF_EXPR, ck.CALL_EXPR) and \
+                        "nondet-source" in rules:
+                    name = cursor.spelling
+                    if name in ("rand", "srand", "time", "gettimeofday",
+                                "clock_gettime"):
+                        src = self._src(path)
+                        line = cursor.location.line
+                        if not src.suppressed("nondet-source", line):
+                            add(Finding(
+                                "nondet-source", path, line,
+                                f"call to '{name}': ambient clock/RNG state; "
+                                "use the seeded config RNG or "
+                                "EventScheduler::now()"))
+                if kind in (ck.VAR_DECL, ck.FIELD_DECL):
+                    spelling = cursor.type.get_canonical().spelling
+                    src = self._src(path)
+                    line = cursor.location.line
+                    if "nondet-source" in rules:
+                        if "random_device" in spelling or "system_clock" in spelling:
+                            if not src.suppressed("nondet-source", line):
+                                add(Finding(
+                                    "nondet-source", path, line,
+                                    "std::random_device/system_clock state: "
+                                    "nondeterministic across runs"))
+                        if (("map<" in spelling or "set<" in spelling)
+                                and first_template_arg_is_pointer(cursor.type)):
+                            if not src.suppressed("nondet-source", line):
+                                add(Finding(
+                                    "nondet-source", path, line,
+                                    "pointer-keyed associative container: "
+                                    "address order differs across runs under "
+                                    "ASLR — key by a stable id"))
+                    if "cross-domain" in rules and kind == ck.FIELD_DECL:
+                        parent = cursor.semantic_parent
+                        if parent is not None and parent.spelling in self.message_types:
+                            tk = cursor.type.get_canonical().kind
+                            if tk in (self.cindex.TypeKind.POINTER,
+                                      self.cindex.TypeKind.LVALUEREFERENCE,
+                                      self.cindex.TypeKind.RVALUEREFERENCE):
+                                if not src.suppressed("cross-domain", line):
+                                    add(Finding(
+                                        "cross-domain", path, line,
+                                        f"'{cursor.spelling}' is a raw "
+                                        "pointer/reference member of domain "
+                                        f"message '{parent.spelling}'; ship "
+                                        "an owned value or SharedImmutable"))
+                    if "cross-domain" in rules and \
+                            "SpscMailbox" in cursor.type.spelling and \
+                            first_template_arg_is_pointer(cursor.type):
+                        if not src.suppressed("cross-domain", line):
+                            add(Finding(
+                                "cross-domain", path, line,
+                                "SpscMailbox payload carries a pointer; ship "
+                                "an owned value"))
+                if kind == ck.COMPOUND_ASSIGNMENT_OPERATOR and loops and \
+                        "float-accum" in rules:
+                    children = list(cursor.get_children())
+                    if children and type_is_float(children[0].type):
+                        src = self._src(path)
+                        line = cursor.location.line
+                        if not src.suppressed("float-accum", line):
+                            add(Finding(
+                                "float-accum", path, line,
+                                "float accumulation across hash-ordered "
+                                "iteration: float addition is not "
+                                "associative — accumulate in integers or "
+                                "iterate sorted"))
+
+            for child in cursor.get_children():
+                visit(child, loops)
+
+        parse_failures = 0
+        tus = [p for p in self.files if p.suffix != ".h"] or self.files
+        for path in tus:
+            try:
+                tu = self.index.parse(str(path), args=self._args_for(path))
+            except Exception:
+                parse_failures += 1
+                continue
+            visit(tu.cursor, [])
+        if parse_failures:
+            print(f"ceio_analyze: warning: {parse_failures} TU(s) failed to "
+                  "parse under the AST engine", file=sys.stderr)
+
+        out = sorted(findings.values(), key=Finding.key)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def make_engine(engine_choice: str, root: Path, files: list[Path],
+                compdb: Path):
+    if engine_choice in ("auto", "ast"):
+        cindex = load_cindex()
+        if cindex is not None:
+            return AstEngine(root, files, cindex, compdb)
+        if engine_choice == "ast":
+            return None
+    return FallbackEngine(root, files)
+
+
+def run_self_test(engine_choice: str, compdb: Path) -> int:
+    fixture_root = Path(__file__).resolve().parent / "fixtures"
+    expected_path = fixture_root / "expected_findings.txt"
+    files = sorted(p for p in fixture_root.glob("*.cc"))
+    if not files or not expected_path.exists():
+        print("ceio_analyze: self-test fixtures missing", file=sys.stderr)
+        return 1
+    engine = make_engine(engine_choice, fixture_root, files, compdb)
+    if engine is None:
+        print("ceio_analyze: AST engine unavailable (no usable libclang)",
+              file=sys.stderr)
+        return 2
+    findings = engine.run(sorted(RULE_DOCS))
+    got = sorted(f"{f.path.name}:{f.lineno}: {f.rule}" for f in findings)
+    expected = sorted(
+        line.strip() for line in expected_path.read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#"))
+    if got == expected:
+        print(f"ceio_analyze: self-test passed ({len(got)} seeded findings "
+              f"detected, engine={engine.name})")
+        return 0
+    print("ceio_analyze: SELF-TEST FAILED", file=sys.stderr)
+    for line in sorted(set(expected) - set(got)):
+        print(f"  missing:    {line}", file=sys.stderr)
+    for line in sorted(set(got) - set(expected)):
+        print(f"  unexpected: {line}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--engine", choices=("auto", "ast", "fallback"),
+                        default="auto",
+                        help="auto prefers libclang and falls back to the "
+                             "built-in scanner (default: auto)")
+    parser.add_argument("--rule", action="append", choices=sorted(RULE_DOCS),
+                        help="run only this rule (repeatable; default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rules and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-fixture suite and exit")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="repo root to scan (default: this repo)")
+    parser.add_argument("--compdb", type=Path, default=None,
+                        help="compile_commands.json for the AST engine "
+                             "(default: <root>/compile_commands.json)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="explicit files to scan instead of the tree")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name in sorted(RULE_DOCS):
+            print(f"{name}: {RULE_DOCS[name]}")
+        return 0
+
+    compdb = args.compdb or (args.root / "compile_commands.json")
+
+    if args.self_test:
+        return run_self_test(args.engine, compdb)
+
+    if args.paths:
+        files = [p.resolve() for p in args.paths]
+    else:
+        files = iter_source_files(args.root, DEFAULT_SCAN_DIRS)
+    if not files:
+        print("ceio_analyze: no source files found", file=sys.stderr)
+        return 1
+
+    engine = make_engine(args.engine, args.root, files, compdb)
+    if engine is None:
+        print("ceio_analyze: AST engine unavailable (no usable libclang); "
+              "rerun with --engine auto/fallback", file=sys.stderr)
+        return 2
+    if args.engine == "auto" and engine.name == "fallback":
+        print("ceio_analyze: note: libclang not found, using the built-in "
+              "scanner engine", file=sys.stderr)
+
+    findings = engine.run(args.rule or sorted(RULE_DOCS))
+    for f in findings:
+        print(f.render(args.root))
+    if findings:
+        print(f"ceio_analyze: {len(findings)} finding(s), engine={engine.name}",
+              file=sys.stderr)
+        return 1
+    print(f"ceio_analyze: clean ({len(files)} files, engine={engine.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+// Seeded cross-domain violations for the ceio_analyze self-test: mailbox
+// message types carrying raw pointer/reference members, and a mailbox whose
+// payload type is itself a pointer. GoodBatch and the suppressed handle must
+// NOT be reported.
+#include <cstdint>
+#include <vector>
+
+#include "common/domain_annotations.h"
+
+namespace ceio {
+
+// Minimal stand-in so the fixture parses without the simulator headers.
+template <typename T>
+class SpscMailbox {
+ public:
+  bool push(T v);
+
+ private:
+  T slot_{};
+};
+
+}  // namespace ceio
+
+namespace fixture {
+
+struct Sample {
+  std::uint64_t seq = 0;
+  double value = 0.0;
+};
+
+struct GoodBatch {
+  std::vector<Sample> samples;
+};
+
+struct BadBatch {
+  std::vector<Sample> samples;
+  Sample* origin = nullptr;  // violation: pointer member in a message
+};
+
+struct LeakyView {
+  const std::vector<Sample>& backing;  // violation: reference member
+};
+
+struct AllowedHandle {
+  void* opaque = nullptr;  // analyze: allow-cross-domain (fixture: suppressed)
+};
+
+ceio::SpscMailbox<Sample*> bad_channel;  // violation: pointer payload
+ceio::SpscMailbox<Sample> good_channel;
+
+}  // namespace fixture
+
+CEIO_DOMAIN_MESSAGE(fixture::GoodBatch);
+CEIO_DOMAIN_MESSAGE(fixture::BadBatch);
+CEIO_DOMAIN_MESSAGE(fixture::LeakyView);
+CEIO_DOMAIN_MESSAGE(fixture::AllowedHandle);

@@ -2,8 +2,14 @@
 # Full pre-merge gate for the CEIO simulator.
 #
 # Stages (each skips gracefully when its tool is absent):
-#   1. repo lint            tools/lint/ceio_lint.py
-#   2. release build + test cmake Release, ctest
+#   1. repo lint            tools/lint/ceio_lint.py over the tree, plus the
+#                           golden-file lint self-test (tools/lint/fixtures/)
+#  1b. determinism analyzer tools/analyze/ceio_analyze.py over the tree
+#                           (zero unsuppressed findings required), plus its
+#                           seeded-fixture self-test. Uses libclang when
+#                           available, the built-in scanner engine otherwise.
+#   2. release build + test cmake Release with CEIO_WERROR=ON (the
+#                           -Wall/-Wextra/-Wshadow net is a gate), ctest
 #   3. telemetry identity   same scenario, hooks compiled out vs compiled
 #                           in-but-disabled — outputs must be byte-identical
 #   4. migration safety     fig04_motivation + a registered ceio_sim scenario
@@ -55,17 +61,34 @@ build_and_test() {  # build_and_test <tree-name> <cmake-args...>
 }
 
 # -- 1: repo-specific lint ---------------------------------------------------
-note "lint (tools/lint/ceio_lint.py)"
+note "lint (tools/lint/ceio_lint.py + golden-file self-test)"
 if command -v python3 >/dev/null 2>&1; then
-  python3 "${REPO_ROOT}/tools/lint/ceio_lint.py"
-  stage_result lint $?
+  lint_status=0
+  python3 "${REPO_ROOT}/tools/lint/ceio_lint.py" || lint_status=1
+  python3 "${REPO_ROOT}/tools/lint/test_ceio_lint.py" || lint_status=1
+  stage_result lint "${lint_status}"
+else
+  echo "python3 not found; skipping"
+fi
+
+# -- 1b: determinism & domain-isolation analyzer -----------------------------
+# Zero unsuppressed findings over the tree, and every seeded fixture
+# violation detected. The analyzer prefers a libclang AST walk over the
+# exported compile_commands.json and degrades to its built-in scanner
+# engine when libclang is absent; only a missing python3 skips the stage.
+note "analyze (tools/analyze/ceio_analyze.py + seeded-fixture self-test)"
+if command -v python3 >/dev/null 2>&1; then
+  analyze_status=0
+  python3 "${REPO_ROOT}/tools/analyze/ceio_analyze.py" || analyze_status=1
+  python3 "${REPO_ROOT}/tools/analyze/ceio_analyze.py" --self-test || analyze_status=1
+  stage_result analyze "${analyze_status}"
 else
   echo "python3 not found; skipping"
 fi
 
 # -- 2: release build + tests ------------------------------------------------
-note "release build + ctest"
-build_and_test release -DCMAKE_BUILD_TYPE=Release
+note "release build + ctest (CEIO_WERROR=ON)"
+build_and_test release -DCMAKE_BUILD_TYPE=Release -DCEIO_WERROR=ON
 stage_result release $?
 
 if [[ "${QUICK}" -eq 1 ]]; then
@@ -119,8 +142,9 @@ else
   stage_result migration-safety "${golden_status}"
 
   # -- 5: audited build + tests ----------------------------------------------
-  note "audited build + ctest (CEIO_AUDIT=ON)"
-  build_and_test audit -DCMAKE_BUILD_TYPE=Release -DCEIO_AUDIT=ON
+  note "audited build + ctest (CEIO_AUDIT=ON, CEIO_WERROR=ON)"
+  build_and_test audit -DCMAKE_BUILD_TYPE=Release -DCEIO_AUDIT=ON \
+    -DCEIO_WERROR=ON
   stage_result audit $?
 
   # -- 6/7: sanitizers, with auditing on so sweeps run under them ------------

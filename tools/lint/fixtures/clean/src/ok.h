@@ -1,0 +1,15 @@
+// A clean file: the golden-file self-test asserts ceio_lint reports no
+// findings on this tree and exits 0.
+#pragma once
+
+namespace fixture {
+
+class Quiet {
+ public:
+  void tick();
+
+ private:
+  int count_ = 0;
+};
+
+}  // namespace fixture

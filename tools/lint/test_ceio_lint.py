@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Golden-file self-tests for tools/lint/ceio_lint.py.
+
+Runs the linter over the seeded fixture trees in tools/lint/fixtures/ and
+asserts:
+
+  1. the violations tree produces exactly the findings recorded in
+     fixtures/expected_findings.txt (one per rule; the suppressed twin of
+     every violation stays silent) and exits 1;
+  2. the clean tree produces no findings and exits 0;
+  3. --list-rules names every registered rule;
+  4. --rule filters to the requested rule only.
+
+Registered as a ctest test (tools.lint-selftest) and run by tools/check.sh,
+so a lint-rule regression — a rule going blind, a suppression breaking, an
+exit code flipping — fails the gate, not just the fixtures.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINT = HERE / "ceio_lint.py"
+FIXTURES = HERE / "fixtures"
+EXPECTED = FIXTURES / "expected_findings.txt"
+
+failures: list[str] = []
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(LINT), *args],
+                          capture_output=True, text=True)
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  {name}: {status}")
+    if not ok:
+        failures.append(name)
+        if detail:
+            print(detail, file=sys.stderr)
+
+
+def main() -> int:
+    # 1. Violations tree matches the committed golden, exit code 1.
+    proc = run_lint("--root", str(FIXTURES / "violations"))
+    got = sorted(line for line in proc.stdout.splitlines() if line.strip())
+    expected = sorted(line for line in EXPECTED.read_text().splitlines()
+                      if line.strip())
+    diff = "\n".join(
+        [f"  missing:    {l}" for l in expected if l not in got]
+        + [f"  unexpected: {l}" for l in got if l not in expected])
+    check("violations-match-golden", got == expected, diff)
+    check("violations-exit-1", proc.returncode == 1,
+          f"  exit={proc.returncode}")
+
+    # 2. Clean tree: no findings, exit 0.
+    proc = run_lint("--root", str(FIXTURES / "clean"))
+    check("clean-exit-0", proc.returncode == 0, f"  exit={proc.returncode}")
+    check("clean-reports-clean", "ceio_lint: clean" in proc.stdout,
+          f"  stdout={proc.stdout!r}")
+
+    # 3. --list-rules covers every rule seen in the golden.
+    proc = run_lint("--list-rules")
+    listed = set(proc.stdout.split())
+    golden_rules = {line.split("[", 1)[1].split("]", 1)[0]
+                    for line in expected}
+    check("list-rules-complete", golden_rules <= listed and proc.returncode == 0,
+          f"  listed={sorted(listed)} golden={sorted(golden_rules)}")
+
+    # 4. --rule filters: only raw-stdout findings from the violations tree.
+    proc = run_lint("--root", str(FIXTURES / "violations"), "--rule", "raw-stdout")
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    only_stdout = bool(lines) and all("[raw-stdout]" in l for l in lines)
+    check("rule-filter", only_stdout and proc.returncode == 1,
+          f"  stdout={proc.stdout!r}")
+
+    if failures:
+        print(f"test_ceio_lint: FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("test_ceio_lint: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
