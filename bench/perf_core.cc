@@ -193,6 +193,32 @@ Result bench_sharded_pipeline(int shards) {
   return r;
 }
 
+/// Multi-tenant pipeline throughput: the three-role co-location deployment
+/// (kv + linefs + thrasher behind one demux) with the reactive way-partition
+/// controller ticking — the hot path of the isolation figure. `ops` counts
+/// all tenants' delivered packets, so ops_per_sec tracks the cost of the
+/// per-tenant LLC attribution and the controller itself.
+Result bench_multitenant_pipeline() {
+  ceio::harness::ExperimentSpec spec;
+  spec.testbed.system = ceio::SystemKind::kCeio;
+  spec.testbed.seed = 7;
+  spec.testbed.llc.total_bytes = 3 * ceio::kMiB;  // the multitenant preset slice
+  spec.tenant.enabled = true;
+  spec.controller.enabled = true;
+  spec.controller.policy = ceio::tenant::PartitionPolicy::kReactive;
+  spec.warmup = ceio::millis(2);
+  spec.measure = ceio::millis(10);
+  const double t0 = now_seconds();
+  const ceio::harness::RunResult run = ceio::harness::run_experiment(spec);
+  const double t1 = now_seconds();
+  const double measure_us = static_cast<double>(spec.measure.count()) / 1000.0;
+  Result r;
+  r.name = "multitenant_pipeline_reactive";
+  r.ops = static_cast<std::uint64_t>(run.aggregate_mpps * measure_us);
+  r.seconds = t1 - t0;
+  return r;
+}
+
 LlcConfig default_llc() { return LlcConfig{}; }  // 12 MiB / 12-way / 2 DDIO ways
 
 /// Hit-heavy: working set well inside capacity, uniform re-reads.
@@ -245,13 +271,16 @@ Result bench_llc_premature(std::uint64_t total_ops) {
 void emit_json(std::FILE* f, const std::vector<Result>& sched,
                const std::vector<Result>& llc, const std::vector<Result>& testbed,
                double sched_events_per_sec, double llc_ops_per_sec,
-               double sharded_pkts_per_sec, double sharded_speedup, double wall) {
+               double sharded_pkts_per_sec, double sharded_speedup,
+               double multitenant_pkts_per_sec, double wall) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n", sched_events_per_sec);
   std::fprintf(f, "  \"llc_ops_per_sec\": %.0f,\n", llc_ops_per_sec);
   double testbed_pkts = 0.0, testbed_secs = 0.0;
   for (const auto& r : testbed) {
-    if (r.name.rfind("sharded_", 0) == 0) continue;  // own headline below
+    // sharded_* and multitenant_* carry their own headline keys below.
+    if (r.name.rfind("sharded_", 0) == 0) continue;
+    if (r.name.rfind("multitenant_", 0) == 0) continue;
     testbed_pkts += static_cast<double>(r.ops);
     testbed_secs += r.seconds;
   }
@@ -259,6 +288,7 @@ void emit_json(std::FILE* f, const std::vector<Result>& sched,
                ceio::safe_rate(testbed_pkts, testbed_secs));
   std::fprintf(f, "  \"sharded_pkts_per_sec\": %.0f,\n", sharded_pkts_per_sec);
   std::fprintf(f, "  \"sharded_speedup\": %.2f,\n", sharded_speedup);
+  std::fprintf(f, "  \"multitenant_pkts_per_sec\": %.0f,\n", multitenant_pkts_per_sec);
   std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
   std::fprintf(f, "  \"scheduler\": [\n");
   for (std::size_t i = 0; i < sched.size(); ++i) {
@@ -319,6 +349,8 @@ int main(int argc, char** argv) {
   const double sharded_base = testbed[testbed.size() - 2].ops_per_sec();
   const double sharded_pps = testbed.back().ops_per_sec();
   const double sharded_speedup = ceio::safe_rate(sharded_pps, sharded_base);
+  testbed.push_back(bench_multitenant_pipeline());
+  const double multitenant_pps = testbed.back().ops_per_sec();
 
   // Headline numbers: total ops / total seconds over each family.
   std::uint64_t sched_ops = 0, llc_ops = 0;
@@ -328,13 +360,13 @@ int main(int argc, char** argv) {
   const double wall = now_seconds() - wall0;
 
   emit_json(stdout, sched, llc, testbed, rate(sched_ops, sched_secs),
-            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, wall);
+            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps, wall);
   const char* paths[] = {out_path, argc > 2 ? argv[2] : nullptr};
   for (const char* path : paths) {
     if (path == nullptr) continue;
     if (std::FILE* f = std::fopen(path, "w")) {
       emit_json(f, sched, llc, testbed, rate(sched_ops, sched_secs),
-                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, wall);
+                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps, wall);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "warning: could not write %s\n", path);

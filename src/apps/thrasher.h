@@ -1,0 +1,50 @@
+// Antagonist cache-thrasher: the co-location adversary for multi-tenant runs.
+//
+// For every delivered packet the app reads the RX buffer and then memcpys the
+// payload into a private working set far larger than the LLC, striding so
+// that successive destinations map to different sets. The copy destinations
+// constantly miss, so the thrasher hammers DRAM bandwidth and churns the app
+// ways of the shared LLC — the IOCA/A4 "noisy neighbor" that the way
+// partition controller must contain.
+#pragma once
+
+#include "apps/application.h"
+
+namespace ceio {
+
+/// App-buffer id space for the thrasher's working set (disjoint from host
+/// pools < 1<<32, KV app buffers at 1<<40, log buffers at 1<<42).
+inline constexpr BufferId kThrasherBufferBase = 1ULL << 41;
+
+struct ThrasherConfig {
+  Nanos touch_cost{10};                 // per-packet header handling
+  std::int64_t working_set_buffers = 32'768;  // 64 MiB at 2 KiB granularity
+  std::int64_t stride = 7;              // co-prime step through the working set
+};
+
+class ThrasherApp final : public Application {
+ public:
+  explicit ThrasherApp(const ThrasherConfig& config = {}) : config_(config) {}
+
+  const char* name() const override { return "thrasher"; }
+  bool per_packet_cpu() const override { return true; }
+
+  AppPacketCosts packet_costs(const Packet& pkt) override {
+    (void)pkt;
+    ++processed_;
+    const BufferId dst = kThrasherBufferBase + static_cast<BufferId>(cursor_);
+    cursor_ = (cursor_ + config_.stride) % config_.working_set_buffers;
+    return AppPacketCosts{config_.touch_cost, /*read_buffer=*/true, /*copy_to=*/dst};
+  }
+
+  AppMessageCosts message_costs(const Packet&) override { return {}; }
+
+  std::int64_t processed() const { return processed_; }
+
+ private:
+  ThrasherConfig config_;
+  std::int64_t cursor_ = 0;
+  std::int64_t processed_ = 0;
+};
+
+}  // namespace ceio

@@ -103,6 +103,29 @@ std::optional<std::string> check_sw_ring(const SwRingState& s) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_tenant_llc_sum(const TenantLlcState& s) {
+  std::size_t sum = 0;
+  for (const std::size_t occ : s.occupancy) sum += occ;
+  if (sum != s.global_occupancy) {
+    return "per-tenant DDIO occupancies sum to " + i64(static_cast<std::int64_t>(sum)) +
+           " but the global counter reads " +
+           i64(static_cast<std::int64_t>(s.global_occupancy));
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_tenant_llc_bound(const TenantLlcState& s) {
+  for (std::size_t t = 0; t < s.occupancy.size(); ++t) {
+    if (s.occupancy[t] > s.capacity[t]) {
+      return "tenant " + i64(static_cast<std::int64_t>(t)) + " holds " +
+             i64(static_cast<std::int64_t>(s.occupancy[t])) +
+             " buffers but its way slice only fits " +
+             i64(static_cast<std::int64_t>(s.capacity[t]));
+    }
+  }
+  return std::nullopt;
+}
+
 // ---- Probe-based registration ----
 
 void register_conservation_invariants(ModelAuditor& auditor,
@@ -155,6 +178,16 @@ void register_sw_ring_invariants(ModelAuditor& auditor, std::string name,
                                  std::function<SwRingState()> probe) {
   auditor.register_invariant("ceio", std::move(name),
                              [probe = std::move(probe)](Nanos) { return check_sw_ring(probe()); });
+}
+
+void register_tenant_llc_invariants(ModelAuditor& auditor,
+                                    std::function<TenantLlcState()> probe) {
+  auditor.register_invariant(
+      "host", "tenant-ddio-sum",
+      [probe](Nanos) { return check_tenant_llc_sum(probe()); });
+  auditor.register_invariant(
+      "host", "tenant-way-bound",
+      [probe = std::move(probe)](Nanos) { return check_tenant_llc_bound(probe()); });
 }
 
 // ---- Live-testbed binding ----

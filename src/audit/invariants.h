@@ -29,6 +29,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "audit/model_auditor.h"
 #include "common/units.h"
@@ -86,6 +87,13 @@ struct SwRingState {
   std::uint64_t pending = 0;      // packets steered but not consumed
 };
 
+/// Per-tenant DDIO accounting snapshot (multi-tenant runs; src/tenant/).
+struct TenantLlcState {
+  std::vector<std::size_t> occupancy;  // per-tenant DDIO-resident buffers
+  std::vector<std::size_t> capacity;   // per-tenant way-slice capacity
+  std::size_t global_occupancy = 0;    // the cache's single DDIO counter
+};
+
 // ---- Pure predicates (nullopt = invariant holds) ----
 
 std::optional<std::string> check_conservation(const ConservationCounters& c);
@@ -95,6 +103,10 @@ std::optional<std::string> check_dma_window(const DmaWindowState& s);
 std::optional<std::string> check_credits(const CreditLedgerState& s);
 std::optional<std::string> check_ring(const RingState& s);
 std::optional<std::string> check_sw_ring(const SwRingState& s);
+/// Per-tenant occupancies must sum to the global DDIO occupancy.
+std::optional<std::string> check_tenant_llc_sum(const TenantLlcState& s);
+/// No tenant may exceed its way-slice capacity.
+std::optional<std::string> check_tenant_llc_bound(const TenantLlcState& s);
 
 // ---- Probe-based registration (one invariant family each) ----
 
@@ -112,6 +124,10 @@ void register_ring_invariants(ModelAuditor& auditor, std::string name,
                               std::function<RingState()> probe);
 void register_sw_ring_invariants(ModelAuditor& auditor, std::string name,
                                  std::function<SwRingState()> probe);
+/// Registers both tenant-LLC invariants ("tenant-ddio-sum" and
+/// "tenant-way-bound") against one shared probe.
+void register_tenant_llc_invariants(ModelAuditor& auditor,
+                                    std::function<TenantLlcState()> probe);
 
 /// Binds the whole pack to a live testbed: every family above wired to the
 /// real models, plus per-flow RX-ring and SW-ring sweeps that follow flows

@@ -8,10 +8,6 @@
 
 namespace ceio {
 namespace {
-// Host landing buffers for slow-path drains live in their own id range,
-// one rotating window per flow.
-constexpr BufferId kSlowLandingBase = 1ULL << 32;
-constexpr BufferId kLandingWindow = 1ULL << 16;
 // Application-posted zero-copy RX buffers (paper §5 post_recv()).
 constexpr BufferId kPostedBase = 1ULL << 46;
 

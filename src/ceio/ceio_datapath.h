@@ -36,6 +36,13 @@
 
 namespace ceio {
 
+/// Host landing buffers for slow-path drains live in their own id range,
+/// one rotating window per flow: flow f's window is
+/// [kSlowLandingBase + (f << 20), +kLandingWindow). Exposed so multi-tenant
+/// assemblies can map landing ids back to the owning tenant's LLC slice.
+inline constexpr BufferId kSlowLandingBase = 1ULL << 32;
+inline constexpr BufferId kLandingWindow = 1ULL << 16;
+
 /// Steering policy for the fast/slow decision. The paper (§4.1) considers
 /// PIAS-style Multiple Priority Queues — priority decays with bytes sent, so
 /// short flows ride the fast path — and rejects it because CPU-involved

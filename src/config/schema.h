@@ -22,6 +22,7 @@
 #include "apps/echo.h"
 #include "apps/kv_store.h"
 #include "apps/linefs.h"
+#include "apps/thrasher.h"
 #include "apps/vxlan.h"
 #include "baselines/hostcc.h"
 #include "baselines/legacy.h"
@@ -45,6 +46,7 @@
 #include "pcie/pcie_link.h"
 #include "pcie/tlp.h"
 #include "telemetry/telemetry.h"
+#include "tenant/tenant_config.h"
 
 // ---- enum name tables ------------------------------------------------------
 // First listed name per value is canonical; decode accepts all, any case.
@@ -82,6 +84,17 @@ struct EnumNames<FlowKind> {
   static constexpr std::pair<FlowKind, const char*> entries[] = {
       {FlowKind::kCpuInvolved, "involved"},
       {FlowKind::kCpuBypass, "bypass"},
+  };
+};
+
+template <>
+struct EnumNames<tenant::PartitionPolicy> {
+  static constexpr std::pair<tenant::PartitionPolicy, const char*> entries[] = {
+      {tenant::PartitionPolicy::kStatic, "static"},
+      {tenant::PartitionPolicy::kReactive, "reactive"},
+      {tenant::PartitionPolicy::kReactive, "ioca"},
+      {tenant::PartitionPolicy::kBudget, "budget"},
+      {tenant::PartitionPolicy::kBudget, "a4"},
   };
 };
 
@@ -300,6 +313,59 @@ void visit_fields(VxlanConfig& c, V&& v) {
   v.field("lookup_cost", c.lookup_cost, Nanos{0}, seconds(1));
 }
 
+// -- tenant/ -----------------------------------------------------------------
+
+template <class V>
+void visit_fields(ThrasherConfig& c, V&& v) {
+  v.field("touch_cost", c.touch_cost, Nanos{0}, seconds(1));
+  v.field("working_set_buffers", c.working_set_buffers, std::int64_t{1},
+          std::int64_t{1} << 32);
+  v.field("stride", c.stride, std::int64_t{1}, std::int64_t{1} << 24);
+}
+
+}  // namespace ceio
+
+namespace ceio::tenant {
+
+template <class V>
+void visit_fields(TenantConfig& c, V&& v) {
+  v.field("enabled", c.enabled);
+  v.field("app", c.app);
+  v.field("flows", c.flows, 1, 1 << 16);
+  v.field("offered_rate", c.offered_rate);
+  v.field("packet_size", c.packet_size, Bytes{1}, Bytes{64 * kKiB});
+  v.field("chunk_kb", c.chunk_kb, std::int64_t{1}, std::int64_t{1} << 30);
+  v.field("poisson", c.poisson);
+  v.field("ddio_ways", c.ddio_ways, 0, 256);
+  v.field("priority", c.priority, 0.0, 1e6);
+  v.field("ddio_budget", c.ddio_budget, std::int64_t{0}, std::int64_t{1} << 32);
+}
+
+template <class V>
+void visit_fields(TenantSetConfig& c, V&& v) {
+  v.field("enabled", c.enabled);
+  v.nested("lc", c.lc);
+  v.nested("bw", c.bw);
+  v.nested("ant", c.ant);
+}
+
+template <class V>
+void visit_fields(WayControllerConfig& c, V&& v) {
+  v.field("enabled", c.enabled);
+  v.field("policy", c.policy);
+  v.field("interval", c.interval, Nanos{1}, seconds(1));
+  v.field("min_ways", c.min_ways, 0, 256);
+  v.field("react_threshold", c.react_threshold, 0.0, 1e12);
+  v.field("donor_max_pressure", c.donor_max_pressure, 0.0, 1e12);
+  v.field("grant_hold_ticks", c.grant_hold_ticks, 0, 1 << 24);
+  v.field("backlog_weight", c.backlog_weight, 0.0, 1e6);
+  v.field("budget_fraction", c.budget_fraction, 0.0, 1.0);
+}
+
+}  // namespace ceio::tenant
+
+namespace ceio {
+
 // -- telemetry/ --------------------------------------------------------------
 
 template <class V>
@@ -382,6 +448,10 @@ void for_each_registered_config(F&& f) {
   f("VxlanConfig", VxlanConfig{});
   f("TelemetryConfig", TelemetryConfig{});
   f("SimConfig", SimConfig{});
+  f("ThrasherConfig", ThrasherConfig{});
+  f("TenantConfig", tenant::TenantConfig{});
+  f("TenantSetConfig", tenant::TenantSetConfig{});
+  f("WayControllerConfig", tenant::WayControllerConfig{});
   f("TestbedConfig", TestbedConfig{});
 }
 

@@ -16,7 +16,8 @@ namespace ceio::harness {
 bool is_bypass_app(const std::string& app) { return app == "linefs" || app == "rdma"; }
 
 bool is_known_app(const std::string& app) {
-  return app == "kv" || app == "echo" || app == "vxlan" || app == "linefs" || app == "rdma";
+  return app == "kv" || app == "echo" || app == "vxlan" || app == "linefs" ||
+         app == "rdma" || app == "thrasher";
 }
 
 Application* make_app(Testbed& bed, const std::string& app) {
@@ -25,6 +26,7 @@ Application* make_app(Testbed& bed, const std::string& app) {
   if (app == "vxlan") return &bed.make_vxlan();
   if (app == "linefs") return &bed.make_linefs();
   if (app == "rdma") return &bed.make_raw_rdma();
+  if (app == "thrasher") return &bed.make_thrasher();
   return nullptr;
 }
 
@@ -48,6 +50,49 @@ FlowConfig flow_config(FlowId id, const WorkloadSpec& w) {
   fc.burst_on = w.burst_on;
   fc.burst_off = w.burst_off;
   return fc;
+}
+
+WorkloadSpec tenant_workload(const tenant::TenantConfig& cfg) {
+  WorkloadSpec w;
+  w.app = cfg.app;
+  w.flows = cfg.flows;
+  w.offered_rate = cfg.offered_rate;
+  w.packet_size = cfg.packet_size;
+  w.chunk_kb = cfg.chunk_kb;
+  w.poisson = cfg.poisson;
+  return w;
+}
+
+std::vector<tenant::TenantReport> tenant_flow_reports(
+    const std::vector<tenant::TenantRosterEntry>& roster,
+    const std::vector<FlowReport>& flows) {
+  std::vector<tenant::TenantReport> out;
+  for (const auto& e : roster) {
+    tenant::TenantReport r;
+    r.name = e.name;
+    r.app = e.cfg.app;
+    r.flows = e.cfg.flows;
+    r.ddio_ways = e.ways;
+    std::vector<FlowReport> mine;
+    for (const auto& f : flows) {
+      if (f.id >= e.first_flow && f.id <= e.last_flow) mine.push_back(f);
+    }
+    r.mpps = aggregate_mpps(mine);
+    r.gbps = aggregate_gbps(mine);
+    r.message_gbps = aggregate_message_gbps(mine);
+    Nanos p50_sum{};
+    for (const auto& f : mine) {
+      p50_sum += f.p50;
+      r.messages += f.messages;
+    }
+    if (!mine.empty()) r.p50 = p50_sum / static_cast<std::int64_t>(mine.size());
+    const TailSummary tails = average_tails(mine);
+    r.p99 = tails.p99;
+    r.p999 = tails.p999;
+    r.drops = tails.drops;
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 void settle_and_measure(Testbed& bed, Nanos warmup, Nanos measure) {
@@ -81,6 +126,32 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   std::vector<std::string> errors;
   if (!config::validate(spec, &errors)) {
     throw std::invalid_argument("invalid experiment spec: " + errors.front());
+  }
+  if (spec.tenant.enabled) {
+    const tenant::TenantConfig* roles[] = {&spec.tenant.lc, &spec.tenant.bw,
+                                           &spec.tenant.ant};
+    for (const auto* role : roles) {
+      if (role->enabled && !is_known_app(role->app)) {
+        throw std::invalid_argument("unknown tenant app '" + role->app + "'");
+      }
+    }
+    if (spec.testbed.sim.domains > 1) return run_sharded_experiment(spec);
+    Testbed bed(spec.testbed);
+    tenant::TenantAssembly assembly(bed, spec.tenant, spec.controller);
+    for (const auto& e : assembly.roster()) {
+      const WorkloadSpec w = tenant_workload(e.cfg);
+      for (FlowId id = e.first_flow; id <= e.last_flow; ++id) {
+        bed.add_flow(flow_config(id, w), assembly.app_of_flow(id));
+      }
+    }
+    settle_and_measure(bed, spec.warmup, spec.measure);
+    RunResult out = collect_result(bed);
+    out.tenants = tenant_flow_reports(assembly.roster(), out.flows);
+    for (std::size_t t = 0; t < out.tenants.size(); ++t) {
+      assembly.fill_llc_fields(out.tenants[t], t);
+    }
+    out.way_repartitions = assembly.repartitions();
+    return out;
   }
   if (!is_known_app(spec.workload.app)) {
     throw std::invalid_argument("unknown app '" + spec.workload.app + "'");

@@ -24,6 +24,7 @@
 
 #include "config/schema.h"
 #include "iopath/testbed.h"
+#include "tenant/tenant_bed.h"
 
 namespace ceio::harness {
 
@@ -48,6 +49,10 @@ struct WorkloadSpec {
 struct ExperimentSpec {
   TestbedConfig testbed;
   WorkloadSpec workload;
+  /// Multi-tenant co-location (tenant.enabled=true replaces `workload` with
+  /// the per-tenant flow shapes) and the DDIO way-partition controller.
+  tenant::TenantSetConfig tenant;
+  tenant::WayControllerConfig controller;
   Nanos warmup = millis(2);
   Nanos measure = millis(5);
 };
@@ -69,6 +74,10 @@ struct RunResult {
   std::int64_t ceio_to_fast = 0;
   std::int64_t ceio_cca_triggers = 0;
   std::int64_t ceio_reclaims = 0;
+  // Multi-tenant runs: one report per tenant (empty otherwise) plus the
+  // controller's way-migration count.
+  std::vector<tenant::TenantReport> tenants;
+  std::int64_t way_repartitions = 0;
 };
 
 /// True for the CPU-bypass applications (linefs, rdma).
@@ -84,6 +93,17 @@ Application* make_app(Testbed& bed, const std::string& app);
 /// The FlowConfig the canonical runner gives flow `id` under `w` — exposed
 /// so callers composing custom phase logic build identical flows.
 FlowConfig flow_config(FlowId id, const WorkloadSpec& w);
+
+/// Maps one tenant's flow shape onto the canonical WorkloadSpec so that
+/// flow_config() builds bit-identical flows for single-domain and sharded
+/// multi-tenant runs.
+WorkloadSpec tenant_workload(const tenant::TenantConfig& cfg);
+
+/// Flow-derived columns of the per-tenant reports: aggregates over each
+/// tenant's flow-id block of `flows` (which must cover all roster flows).
+std::vector<tenant::TenantReport> tenant_flow_reports(
+    const std::vector<tenant::TenantRosterEntry>& roster,
+    const std::vector<FlowReport>& flows);
 
 /// Warm up for `warmup`, reset measurement, then run `measure` — the
 /// settle-then-measure window every scenario uses.
@@ -141,6 +161,8 @@ void visit_fields(ExperimentSpec& c, V&& v) {
   // `seed`, ... address the testbed directly, as the CLI documents.
   visit_fields(c.testbed, v);
   v.nested("workload", c.workload);
+  v.nested("tenant", c.tenant);
+  v.nested("controller", c.controller);
   v.field("warmup", c.warmup, Nanos{0}, seconds(100));
   v.field("measure", c.measure, Nanos{1}, seconds(100));
 }

@@ -17,6 +17,20 @@ ExperimentSpec base_spec(SystemKind system) {
   return s;
 }
 
+/// Base for the multi-tenant co-location scenarios: CEIO with the tenant
+/// roster enabled on a 3 MiB LLC share. Co-located tenants see a fraction of
+/// the socket's cache (SNC slice plus the app ways the other cores burn),
+/// and the smaller share is what puts neighbor churn on the same timescale
+/// as the latency-critical tenant's queueing delays — on the full 12 MiB the
+/// shared pool takes hundreds of microseconds to cycle and no realistic
+/// antagonist can catch an unread line.
+ExperimentSpec multitenant_spec() {
+  ExperimentSpec s = base_spec(SystemKind::kCeio);
+  s.testbed.llc.total_bytes = 3 * kMiB;
+  s.tenant.enabled = true;
+  return s;
+}
+
 }  // namespace
 
 void register_paper_scenarios(ScenarioRegistry& registry) {
@@ -67,6 +81,32 @@ void register_paper_scenarios(ScenarioRegistry& registry) {
     s.measure = millis(2);
     registry.add({"sharded-kv-short",
                   "CEIO + KV across 4 event domains (check.sh shards gate)", s});
+  }
+  // Multi-tenant co-location: latency-critical KV + LineFS streamer +
+  // cache-thrasher antagonist sharing one LLC. The static preset pins the
+  // boot-time way split; the reactive preset runs the IOCA-style controller
+  // that migrates ways toward the tenant under premature-eviction pressure.
+  {
+    registry.add({"multitenant-static",
+                  "lc/bw/ant tenants on CEIO, static DDIO way partition",
+                  multitenant_spec()});
+  }
+  {
+    ExperimentSpec s = multitenant_spec();
+    s.controller.enabled = true;
+    s.controller.policy = tenant::PartitionPolicy::kReactive;
+    registry.add({"multitenant-reactive",
+                  "lc/bw/ant tenants on CEIO, reactive way-partition controller", s});
+  }
+  // Short multi-tenant smoke for check.sh's golden stage: same shape as
+  // multitenant-reactive with a 2 ms measure window.
+  {
+    ExperimentSpec s = multitenant_spec();
+    s.controller.enabled = true;
+    s.controller.policy = tenant::PartitionPolicy::kReactive;
+    s.measure = millis(2);
+    registry.add({"multitenant-short",
+                  "multi-tenant smoke scenario (check.sh golden stage)", s});
   }
   // Figure 12's flow-scaling question pushed to a million flows: 2^20 echo
   // flows over 8 event domains (one port/NUMA slice each), ~1.28 Mbps per

@@ -82,7 +82,16 @@ class DomainSlice final : public ShardDomain {
     TestbedConfig cfg = spec.testbed;
     cfg.seed = derive_seed(spec.testbed.seed, static_cast<std::uint64_t>(id));
     bed_.emplace(std::move(cfg));
-    app_ = make_app(*bed_, spec.workload.app);
+    if (spec.tenant.enabled) {
+      // Every slice mounts the full tenant assembly (pools, per-tenant
+      // datapaths, way partition, domain-local controller) even though only
+      // a subset of each tenant's flows lands here: construction order is
+      // part of the per-domain RNG contract, and the demux needs the whole
+      // flow-id map to route any block member.
+      assembly_.emplace(*bed_, spec.tenant, spec.controller);
+    } else {
+      app_ = make_app(*bed_, spec.workload.app);
+    }
     egress_.emplace(
         bed_->sched(),
         NetworkLink::Deliver([this](Packet pkt) { on_egress(std::move(pkt)); }),
@@ -178,7 +187,7 @@ class DomainSlice final : public ShardDomain {
     FlowRuntime rt;
     rt.config = fc;
     rt.source = proxies_.back().get();
-    rt.app = app_;
+    rt.app = assembly_ ? &assembly_->app_of_flow(fc.id) : app_;
     rt.core = cores_.back().get();
     bed_->datapath().register_flow(rt);
   }
@@ -225,6 +234,7 @@ class DomainSlice final : public ShardDomain {
 
   Testbed& bed() { return *bed_; }
   const Testbed& bed() const { return *bed_; }
+  tenant::TenantAssembly* assembly() { return assembly_.get(); }
   void reset_sources() {
     for (auto& s : sources_) s->reset_measurement();
   }
@@ -362,7 +372,8 @@ class DomainSlice final : public ShardDomain {
   // DomainLocal wrapper makes that ownership explicit (move-only, so a
   // refactor cannot silently fork or share it across slices).
   DomainLocal<Testbed> bed_;
-  Application* app_ = nullptr;
+  Application* app_ = nullptr;                   // single-tenant mode
+  DomainLocal<tenant::TenantAssembly> assembly_;  // tenant mode
   DomainLocal<NetworkLink> egress_;  // toward domain (id-1) mod domains
   DomainLocal<CoalescedStream<WireEntry>> inject_;
 
@@ -398,7 +409,7 @@ ShardedTestbed::ShardedTestbed(const ExperimentSpec& spec) : spec_(spec) {
   if (P < 2) {
     throw std::invalid_argument("ShardedTestbed requires sim.domains >= 2");
   }
-  if (!is_known_app(spec.workload.app)) {
+  if (!spec.tenant.enabled && !is_known_app(spec.workload.app)) {
     throw std::invalid_argument("unknown app '" + spec.workload.app + "'");
   }
   slices_.reserve(static_cast<std::size_t>(P));
@@ -414,7 +425,11 @@ ShardedTestbed::ShardedTestbed(const ExperimentSpec& spec) : spec_(spec) {
         slices_[static_cast<std::size_t>((s + 1) % P)]->fb_inbox());
   }
 
-  const bool ceio = spec.testbed.system == SystemKind::kCeio;
+  // Tenant mode keeps credit control domain-local: each slice's per-tenant
+  // CEIO instances are sized from that slice's way partition, and the way
+  // controllers already rebalance them. Cross-domain arbitration of one
+  // global pool would couple domains whose partitions evolve independently.
+  const bool ceio = spec.testbed.system == SystemKind::kCeio && !spec.tenant.enabled;
   if (ceio) {
     const std::size_t entries = spec.testbed.sim.mailbox_entries;
     demand_.assign(static_cast<std::size_t>(P), 0);
@@ -432,10 +447,8 @@ ShardedTestbed::ShardedTestbed(const ExperimentSpec& spec) : spec_(spec) {
   }
 
   // Flows, in id order (the canonical runner's construction contract).
-  flows_.reserve(static_cast<std::size_t>(spec.workload.flows));
-  for (FlowId id = 1; id <= static_cast<FlowId>(spec.workload.flows); ++id) {
-    const FlowConfig fc = flow_config(id, spec.workload);
-    const int g = static_cast<int>((id - 1) % static_cast<FlowId>(P));
+  const auto add_flow = [this, P](const FlowConfig& fc) {
+    const int g = static_cast<int>((fc.id - 1) % static_cast<FlowId>(P));
     const int s = (g + 1) % P;
     slices_[static_cast<std::size_t>(g)]->add_receiver(fc);
     FlowEntry fe;
@@ -444,6 +457,23 @@ ShardedTestbed::ShardedTestbed(const ExperimentSpec& spec) : spec_(spec) {
     fe.recv_domain = g;
     fe.src_domain = s;
     flows_.push_back(fe);
+  };
+  if (spec.tenant.enabled) {
+    // Same id order and per-flow shapes as the single-domain tenant runner:
+    // tenant_workload + flow_config over each roster block.
+    const auto roster = tenant::tenant_roster(spec.tenant, spec.testbed.llc.ddio_ways);
+    flows_.reserve(static_cast<std::size_t>(roster.back().last_flow));
+    for (const auto& e : roster) {
+      const WorkloadSpec w = tenant_workload(e.cfg);
+      for (FlowId id = e.first_flow; id <= e.last_flow; ++id) {
+        add_flow(flow_config(id, w));
+      }
+    }
+  } else {
+    flows_.reserve(static_cast<std::size_t>(spec.workload.flows));
+    for (FlowId id = 1; id <= static_cast<FlowId>(spec.workload.flows); ++id) {
+      add_flow(flow_config(id, spec.workload));
+    }
   }
 
   Nanos lookahead = spec.testbed.net.propagation;
@@ -576,7 +606,7 @@ RunResult ShardedTestbed::collect() const {
                         : 0.0;
   out.dram_utilization = util / static_cast<double>(slices_.size());
 
-  if (spec_->testbed.system == SystemKind::kCeio) {
+  if (spec_->testbed.system == SystemKind::kCeio && !spec_->tenant.enabled) {
     out.has_ceio = true;
     for (const auto& s : slices_) {
       auto& bed = const_cast<DomainSlice&>(*s).bed();
@@ -586,6 +616,38 @@ RunResult ShardedTestbed::collect() const {
       out.ceio_to_fast += rs.switches_back_to_fast;
       out.ceio_cca_triggers += rs.cca_triggers;
       out.ceio_reclaims += rs.inactive_reclaims;
+    }
+  }
+
+  if (spec_->tenant.enabled) {
+    // Flow-derived columns from the merged per-flow reports; LLC/CEIO
+    // columns summed over domains in domain order. Way counts are per-slice
+    // partition widths (not additive), so the report carries domain 0's —
+    // under domain-local controllers the slices may legitimately diverge.
+    auto* first = const_cast<DomainSlice&>(*slices_[0]).assembly();
+    out.tenants = tenant_flow_reports(first->roster(), out.flows);
+    for (std::size_t t = 0; t < out.tenants.size(); ++t) {
+      tenant::TenantReport sum;
+      for (std::size_t d = 0; d < slices_.size(); ++d) {
+        auto* a = const_cast<DomainSlice&>(*slices_[d]).assembly();
+        tenant::TenantReport one;
+        a->fill_llc_fields(one, t);
+        if (d == 0) sum.ddio_ways = one.ddio_ways;
+        sum.ddio_occupancy += one.ddio_occupancy;
+        sum.ddio_capacity += one.ddio_capacity;
+        sum.premature_evictions += one.premature_evictions;
+        sum.budget_bypasses += one.budget_bypasses;
+        sum.ceio_total_credits += one.ceio_total_credits;
+      }
+      out.tenants[t].ddio_ways = sum.ddio_ways;
+      out.tenants[t].ddio_occupancy = sum.ddio_occupancy;
+      out.tenants[t].ddio_capacity = sum.ddio_capacity;
+      out.tenants[t].premature_evictions = sum.premature_evictions;
+      out.tenants[t].budget_bypasses = sum.budget_bypasses;
+      out.tenants[t].ceio_total_credits = sum.ceio_total_credits;
+    }
+    for (const auto& s : slices_) {
+      out.way_repartitions += const_cast<DomainSlice&>(*s).assembly()->repartitions();
     }
   }
   return out;

@@ -47,6 +47,16 @@ struct LlcStats {
   }
 };
 
+/// Per-tenant DDIO accounting (attributed by way ownership; see
+/// set_tenant_ways below). Only populated once tenants are configured.
+struct TenantLlcStats {
+  std::int64_t fills = 0;                // DDIO insertions into the tenant's ways
+  std::int64_t evictions = 0;            // capacity evictions out of them
+  std::int64_t premature_evictions = 0;  // evicted before first CPU read
+  std::int64_t writebacks = 0;           // dirty victims pushed to DRAM
+  std::int64_t budget_bypasses = 0;      // DDIO writes sent uncached (A4 budget)
+};
+
 class LlcModel {
  public:
   explicit LlcModel(const LlcConfig& config);
@@ -84,9 +94,59 @@ class LlcModel {
   /// Capacity of the DDIO partition, in buffers.
   std::size_t ddio_capacity() const { return ddio_capacity_; }
 
+  // ---- Tenant way-partitioning (CAT-style, within the DDIO ways) ----
+  //
+  // Until set_tenant_ways is called the cache behaves as one implicit tenant
+  // and none of the per-tenant machinery is touched: the single-tenant data
+  // path is bit-identical to the untenanted model.
+
+  /// Splits the DDIO ways of every set into contiguous per-tenant exclusive
+  /// slices. `ways[t]` is tenant t's exclusive way count; the sum must not
+  /// exceed config ddio_ways. Leftover ways form a *shared pool* at the top
+  /// of the partition that every tenant may allocate into — the overlapping
+  /// portion of the tenants' way masks, which is how default (uncontrolled)
+  /// DDIO co-location actually behaves and where cross-tenant eviction
+  /// contention lives. Resident lines transfer ownership with their way (no
+  /// flush), mirroring how CAT re-masking behaves on real hardware; shared
+  /// lines stay attributed to the tenant owning their BufferId.
+  void set_tenant_ways(const std::vector<int>& ways);
+
+  /// Declares that BufferIds in [lo, hi) belong to `tenant` (used to pick the
+  /// DDIO slice on ddio_write). Unmapped ids belong to tenant 0.
+  void add_tenant_range(BufferId lo, BufferId hi, std::size_t tenant);
+
+  /// A4-style occupancy budget: once the tenant holds `budget` DDIO-resident
+  /// buffers, further DDIO writes bypass the cache (go straight to DRAM).
+  /// 0 disables the budget.
+  void set_tenant_budget(std::size_t tenant, std::size_t budget);
+
+  std::size_t tenant_count() const { return tenant_ways_.size(); }
+  int tenant_ways(std::size_t tenant) const { return tenant_ways_[tenant]; }
+  /// Ways in the shared pool (DDIO ways not claimed by any exclusive slice).
+  std::size_t shared_io_ways() const { return shared_io_ways_; }
+  /// DDIO capacity reachable by one tenant, in buffers: its exclusive slice
+  /// plus the shared pool (capacities therefore overlap across tenants when
+  /// a shared pool exists).
+  std::size_t tenant_way_capacity(std::size_t tenant) const {
+    return sets_.size() *
+           (static_cast<std::size_t>(tenant_ways_[tenant]) + shared_io_ways_);
+  }
+  std::size_t tenant_ddio_occupancy(std::size_t tenant) const {
+    return tenant_resident_[tenant];
+  }
+  std::size_t tenant_budget(std::size_t tenant) const { return tenant_budget_[tenant]; }
+  const TenantLlcStats& tenant_stats(std::size_t tenant) const {
+    return tenant_stats_[tenant];
+  }
+  /// Maps a buffer id to its owning tenant (0 when unmapped or untenanted).
+  std::size_t tenant_of(BufferId id) const;
+
   const LlcStats& stats() const { return stats_; }
   const LlcConfig& config() const { return config_; }
-  void reset_stats() { stats_ = LlcStats{}; }
+  void reset_stats() {
+    stats_ = LlcStats{};
+    for (auto& t : tenant_stats_) t = TenantLlcStats{};
+  }
 
   /// Exposes the cache's observables as pull gauges under "host.llc.*"
   /// (telemetry subsystem; no-op cost until a sampler reads them).
@@ -120,12 +180,42 @@ class LlcModel {
   }
   Entry* find(BufferId id);
   const Entry* find(BufferId id) const;
+  // Fills into [first, last). `io_base` is the set's io_ways base pointer when
+  // filling the DDIO partition (enables per-tenant way attribution), nullptr
+  // for app-way fills.
+  Evicted fill(Entry* first, Entry* last, Entry* io_base, BufferId id, Bytes size,
+               bool io_partition, bool dirty, bool expect_read = true);
   Evicted fill(std::vector<Entry>& ways, BufferId id, Bytes size, bool io_partition, bool dirty,
                bool expect_read = true);
+  // Which tenant owns DDIO way index `way` (contiguous slices).
+  std::size_t tenant_of_way(std::size_t way) const;
+  // Which tenant a resident io line belongs to: its way's owner inside an
+  // exclusive slice, its BufferId's owner inside the shared pool.
+  std::size_t tenant_of_entry(std::size_t way, BufferId id) const {
+    return way < tenant_slice_end_ ? tenant_of_way(way) : tenant_of(id);
+  }
+  Evicted fill_io_tenanted(Set& set, std::size_t tenant, BufferId id, Bytes size,
+                           bool expect_read);
+  void note_io_eviction(std::size_t way, const Entry& victim);
 
   LlcConfig config_;
   std::vector<Set> sets_;
   std::size_t set_mask_ = 0;  // sets-1 when the set count is a power of two, else 0
+  // Tenant partitioning state; all empty until set_tenant_ways (zero overhead
+  // on the untenanted path).
+  std::vector<int> tenant_ways_;            // per-tenant exclusive DDIO way counts
+  std::vector<std::size_t> tenant_way_off_;  // prefix offsets into io_ways
+  std::size_t tenant_slice_end_ = 0;   // first shared way (sum of slice widths)
+  std::size_t shared_io_ways_ = 0;     // ways in the shared pool per set
+  std::vector<std::size_t> tenant_resident_;
+  std::vector<std::size_t> tenant_budget_;
+  std::vector<TenantLlcStats> tenant_stats_;
+  struct TenantRange {
+    BufferId lo = 0;
+    BufferId hi = 0;
+    std::size_t tenant = 0;
+  };
+  std::vector<TenantRange> tenant_ranges_;
   // One-entry MRU lookup cache. Entry storage never moves after construction,
   // and find() re-validates (valid && id match) before trusting it, so stale
   // pointers are harmless and no explicit invalidation is needed.

@@ -1,11 +1,13 @@
 #include "iopath/testbed.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "apps/echo.h"
 #include "apps/kv_store.h"
 #include "apps/linefs.h"
 #include "apps/raw_rdma.h"
+#include "apps/thrasher.h"
 #include "apps/vxlan.h"
 #include "audit/invariants.h"
 #include "audit/model_auditor.h"
@@ -25,6 +27,20 @@ const char* to_string(SystemKind kind) {
       return "CEIO";
   }
   return "?";
+}
+
+CeioConfig derive_ceio_auto_credits(CeioConfig cfg, std::size_t ddio_capacity) {
+  // Scale the landed-drain cap with the partition: a 2-way DDIO
+  // configuration cannot afford a 256-buffer landing window.
+  cfg.landed_cap =
+      std::min<std::size_t>(cfg.landed_cap, std::max<std::size_t>(ddio_capacity / 8, 32));
+  // Eq. 1 with a margin covering the controller's poll lag, the in-flight
+  // drain window, and landed-but-unconsumed slow packets — all of which
+  // occupy DDIO ways without holding a credit.
+  const auto margin = static_cast<std::int64_t>(64 + cfg.landed_cap + cfg.drain_window);
+  cfg.total_credits =
+      std::max<std::int64_t>(static_cast<std::int64_t>(ddio_capacity) - margin, 64);
+  return cfg;
 }
 
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
@@ -62,17 +78,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
     case SystemKind::kCeio: {
       CeioConfig ceio_cfg = config_.ceio;
       if (config_.ceio_auto_credits) {
-        // Scale the landed-drain cap with the partition: a 2-way DDIO
-        // configuration cannot afford a 256-buffer landing window.
-        ceio_cfg.landed_cap = std::min<std::size_t>(
-            ceio_cfg.landed_cap, std::max<std::size_t>(ddio_capacity / 8, 32));
-        // Eq. 1 with a margin covering the controller's poll lag, the
-        // in-flight drain window, and landed-but-unconsumed slow packets —
-        // all of which occupy DDIO ways without holding a credit.
-        const auto margin = static_cast<std::int64_t>(
-            64 + ceio_cfg.landed_cap + ceio_cfg.drain_window);
-        ceio_cfg.total_credits =
-            std::max<std::int64_t>(static_cast<std::int64_t>(ddio_capacity) - margin, 64);
+        ceio_cfg = derive_ceio_auto_credits(ceio_cfg, ddio_capacity);
       }
       host_pool_ = std::make_unique<BufferPool>(
           static_cast<std::size_t>(ceio_cfg.total_credits) * 2 + 1024, buf);
@@ -121,10 +127,42 @@ VxlanApp& Testbed::make_vxlan() {
   return static_cast<VxlanApp&>(*apps_.back());
 }
 
+ThrasherApp& Testbed::make_thrasher() {
+  apps_.push_back(std::make_unique<ThrasherApp>());
+  return static_cast<ThrasherApp&>(*apps_.back());
+}
+
+void Testbed::install_datapath(std::unique_ptr<IoDatapath> datapath) {
+  if (!flows_.empty() || !retired_flows_.empty()) {
+    throw std::logic_error("install_datapath requires a testbed with no flows");
+  }
+  datapath_ = std::move(datapath);
+  ceio_ = nullptr;
+  nic_->attach(datapath_.get());
+  if (auditor_) {
+    // The standard invariant pack binds probes against the old datapath (and
+    // the CEIO credit ledger when present); rebuild it against the new one.
+    // The already-scheduled sweep reads auditor_ at fire time, so swapping
+    // the object out from under it is safe.
+    auditor_ = std::make_unique<ModelAuditor>();
+    register_standard_invariants(*auditor_, *this);
+    audit_logged_ = 0;
+  }
+  if (telemetry_) {
+    throw std::logic_error("install_datapath must run before enable_telemetry");
+  }
+}
+
 FlowSource& Testbed::add_flow(const FlowConfig& config, Application& app) {
   auto record = FlowRecord{};
   record.core = std::make_unique<CpuCore>(sched_, *mc_, config_.cpu);
-  record.source = std::make_unique<FlowSource>(sched_, rng_, *link_, config, config_.dctcp);
+  // Per-flow RNG stream keyed on (sim seed, flow id): arrival randomness is
+  // a pure function of the flow's identity, so sharding the flows across
+  // event domains cannot reorder anyone's draws.
+  record.source = std::make_unique<FlowSource>(
+      sched_,
+      Rng(config_.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(config.id)),
+      *link_, config, config_.dctcp);
   record.kind = config.kind;
 
   FlowRuntime rt;

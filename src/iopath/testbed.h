@@ -78,6 +78,11 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
 };
 
+/// The Eq.-1 auto-credit derivation used by the Testbed constructor when
+/// `ceio_auto_credits` is set, factored out so multi-tenant assemblies can
+/// size each tenant's CEIO instance from its own DDIO slice capacity.
+CeioConfig derive_ceio_auto_credits(CeioConfig cfg, std::size_t ddio_capacity);
+
 /// Per-flow measurement summary over the last measurement window.
 struct FlowReport {
   FlowId id = 0;
@@ -104,6 +109,15 @@ class Testbed {
   class EchoApp& make_echo();
   class RawRdmaApp& make_raw_rdma();
   class VxlanApp& make_vxlan();
+  class ThrasherApp& make_thrasher();
+
+  // ---- Datapath replacement (multi-tenant assemblies) ----
+  /// Swaps in a replacement datapath (e.g. a TenantDemux fronting per-tenant
+  /// datapaths). Must be called before any flow exists; throws otherwise.
+  /// After the swap ceio() returns nullptr — per-tenant CEIO instances are
+  /// reached through the installed demux — and, when auditing is enabled,
+  /// the invariant pack is re-registered against the new datapath.
+  void install_datapath(std::unique_ptr<IoDatapath> datapath);
 
   // ---- Flows ----
   /// Creates the flow's source and pinned core and registers it with the
@@ -207,7 +221,7 @@ class Testbed {
   std::unique_ptr<NetworkLink> link_;
   std::unique_ptr<BufferPool> host_pool_;
 
-  std::unique_ptr<DatapathBase> datapath_;
+  std::unique_ptr<IoDatapath> datapath_;
   CeioDatapath* ceio_ = nullptr;
 
   std::vector<std::unique_ptr<Application>> apps_;

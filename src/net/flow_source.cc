@@ -6,7 +6,7 @@
 
 namespace ceio {
 
-FlowSource::FlowSource(EventScheduler& sched, Rng& rng, NetworkLink& link,
+FlowSource::FlowSource(EventScheduler& sched, Rng rng, NetworkLink& link,
                        const FlowConfig& config, const DctcpConfig& dctcp_config)
     : sched_(sched),
       rng_(rng),

@@ -40,7 +40,10 @@ struct FlowSourceStats {
 
 class FlowSource : public FlowFeedback {
  public:
-  FlowSource(EventScheduler& sched, Rng& rng, NetworkLink& link, const FlowConfig& config,
+  /// `rng` is copied: the source owns a private stream, so its draws (Poisson
+  /// interarrival gaps) depend only on the seed it was handed — not on which
+  /// event domain hosts the flow or what its neighbors drew.
+  FlowSource(EventScheduler& sched, Rng rng, NetworkLink& link, const FlowConfig& config,
              const DctcpConfig& dctcp_config = {});
 
   const FlowConfig& config() const { return config_; }
@@ -111,7 +114,7 @@ class FlowSource : public FlowFeedback {
   void arm_window_timer();
 
   EventScheduler& sched_;
-  Rng& rng_;
+  Rng rng_;
   NetworkLink& link_;
   FlowConfig config_;
   Dctcp dctcp_;

@@ -2,6 +2,10 @@
 
 #include <cinttypes>
 #include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
 
 namespace ceio {
 
@@ -22,6 +26,20 @@ void append_double(std::string& out, double v) {
 }
 
 int tid_of(TraceTrack track) { return static_cast<int>(track) + 1; }
+
+/// For a "tenant.<name>.<metric>" counter, the "<name>" component; empty for
+/// every other metric. Tenant counter series get their own synthetic tracks
+/// (one per tenant, after the fixed component tracks) so Perfetto renders
+/// each tenant's subtree as a separate row instead of folding all sampler
+/// counters together.
+std::string_view tenant_of_counter(const char* name) {
+  constexpr std::string_view kPrefix = "tenant.";
+  if (name == nullptr || std::strncmp(name, kPrefix.data(), kPrefix.size()) != 0) return {};
+  const char* start = name + kPrefix.size();
+  const char* dot = std::strchr(start, '.');
+  if (dot == nullptr || dot == start) return {};
+  return {start, static_cast<std::size_t>(dot - start)};
+}
 
 char phase_of(TraceType type) {
   switch (type) {
@@ -93,6 +111,20 @@ void ChromeTraceExporter::render(Emit&& emit) const {
 
   emit("{\n\"traceEvents\": [\n");
 
+  // Tenant counter series get synthetic per-tenant tracks after the fixed
+  // component ones; collect the tenant names up front (sorted, so the tid
+  // assignment is stable across runs).
+  std::map<std::string, int> tenant_tids;
+  sink_.for_each([&](const TraceEvent& ev) {
+    if (ev.type != TraceType::kCounter) return;
+    const std::string_view tenant = tenant_of_counter(ev.name);
+    if (!tenant.empty()) tenant_tids.emplace(tenant, 0);
+  });
+  {
+    int next = static_cast<int>(TraceTrack::kCount) + 1;
+    for (auto& [name, tid] : tenant_tids) tid = next++;
+  }
+
   // Metadata: name the process and one thread per component track.
   entry("{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
         "\"args\": {\"name\": \"ceio simulated host\"}}");
@@ -112,12 +144,31 @@ void ChromeTraceExporter::render(Emit&& emit) const {
     body += "}}";
     entry(body);
   }
+  for (const auto& [tenant, tid] : tenant_tids) {
+    std::string body = "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    body += std::to_string(tid);
+    body += ", \"name\": \"thread_name\", \"args\": {\"name\": \"tenant:";
+    body += escape_json(tenant.c_str());
+    body += "\"}}";
+    entry(body);
+    body = "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    body += std::to_string(tid);
+    body += ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": ";
+    body += std::to_string(tid - 1);
+    body += "}}";
+    entry(body);
+  }
 
   sink_.for_each([&](const TraceEvent& ev) {
+    int tid = tid_of(ev.track);
+    if (ev.type == TraceType::kCounter) {
+      const std::string_view tenant = tenant_of_counter(ev.name);
+      if (!tenant.empty()) tid = tenant_tids.find(std::string(tenant))->second;
+    }
     std::string body = "{\"ph\": \"";
     body += phase_of(ev.type);
     body += "\", \"pid\": 1, \"tid\": ";
-    body += std::to_string(tid_of(ev.track));
+    body += std::to_string(tid);
     body += ", \"ts\": ";
     append_ts(body, ev.ts);
     body += ", \"name\": \"";

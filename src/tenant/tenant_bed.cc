@@ -1,0 +1,305 @@
+#include "tenant/tenant_bed.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/echo.h"
+#include "apps/kv_store.h"
+#include "apps/linefs.h"
+#include "apps/raw_rdma.h"
+#include "apps/thrasher.h"
+#include "apps/vxlan.h"
+#include "audit/invariants.h"
+#include "audit/model_auditor.h"
+#include "baselines/hostcc.h"
+#include "baselines/legacy.h"
+#include "baselines/shring.h"
+#include "telemetry/metrics.h"
+
+namespace ceio::tenant {
+namespace {
+
+/// Per-tenant host pool ids start here: tenant t owns [pool_base(t),
+/// pool_base(t) + pool size), far below kSlowLandingBase (1<<32) for any
+/// realistic pool, and base 1 for tenant 0 keeps id 0 meaning "no buffer".
+BufferId pool_base(std::size_t tenant) {
+  return 1 + (static_cast<BufferId>(tenant) << 24);
+}
+
+Application* make_tenant_app(Testbed& bed, const std::string& app) {
+  if (app == "kv") return &bed.make_kv_store();
+  if (app == "echo") return &bed.make_echo();
+  if (app == "vxlan") return &bed.make_vxlan();
+  if (app == "linefs") return &bed.make_linefs();
+  if (app == "rdma") return &bed.make_raw_rdma();
+  if (app == "thrasher") return &bed.make_thrasher();
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<TenantRosterEntry> tenant_roster(const TenantSetConfig& set, int ddio_ways) {
+  std::vector<TenantRosterEntry> roster;
+  const std::pair<const char*, const TenantConfig*> roles[] = {
+      {"lc", &set.lc}, {"bw", &set.bw}, {"ant", &set.ant}};
+  FlowId next = 1;
+  int claimed = 0;
+  for (const auto& [name, cfg] : roles) {
+    if (!cfg->enabled) continue;
+    if (cfg->flows < 1) throw std::invalid_argument("tenant needs at least one flow");
+    TenantRosterEntry e;
+    e.name = name;
+    e.cfg = *cfg;
+    e.first_flow = next;
+    e.last_flow = next + static_cast<FlowId>(cfg->flows) - 1;
+    e.ways = cfg->ddio_ways;
+    next = e.last_flow + 1;
+    claimed += cfg->ddio_ways;
+    roster.push_back(std::move(e));
+  }
+  if (roster.empty()) throw std::invalid_argument("no tenant is enabled");
+  if (claimed > ddio_ways) {
+    throw std::invalid_argument("tenant DDIO way shares oversubscribe the partition");
+  }
+  // Leftover ways (disabled roles, or shares summing short) stay in the
+  // shared pool: every tenant's way mask overlaps there, which is how
+  // default DDIO co-location behaves before a controller carves slices.
+  return roster;
+}
+
+TenantAssembly::TenantAssembly(Testbed& bed, const TenantSetConfig& set,
+                               const WayControllerConfig& ctl)
+    : bed_(bed), ctl_cfg_(ctl) {
+  const TestbedConfig& cfg = bed.config();
+  roster_ = tenant_roster(set, cfg.llc.ddio_ways);
+
+  // Per-tenant pools + datapaths behind one demux — what the single-tenant
+  // Testbed constructor builds once, built per tenant here.
+  const Bytes buf = cfg.llc.buffer_bytes;
+  auto demux = std::make_unique<TenantDemux>();
+  std::vector<int> ways;
+  std::size_t shared = static_cast<std::size_t>(cfg.llc.ddio_ways);
+  for (const TenantRosterEntry& e : roster_) {
+    shared -= static_cast<std::size_t>(e.ways);
+  }
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    const TenantRosterEntry& e = roster_[t];
+    ways.push_back(e.ways);
+    std::unique_ptr<IoDatapath> dp;
+    CeioDatapath* ceio = nullptr;
+    switch (cfg.system) {
+      case SystemKind::kLegacy: {
+        pools_.push_back(
+            std::make_unique<BufferPool>(cfg.legacy_pool_buffers, buf, pool_base(t)));
+        dp = std::make_unique<LegacyDatapath>(bed.sched(), bed.dma(),
+                                              bed.memory_controller(), *pools_.back(),
+                                              cfg.legacy);
+        break;
+      }
+      case SystemKind::kHostcc: {
+        pools_.push_back(
+            std::make_unique<BufferPool>(cfg.legacy_pool_buffers, buf, pool_base(t)));
+        dp = std::make_unique<HostccDatapath>(bed.sched(), bed.dma(),
+                                              bed.memory_controller(), *pools_.back(),
+                                              bed.iio(), bed.dram(), bed.llc(), cfg.hostcc);
+        break;
+      }
+      case SystemKind::kShring: {
+        pools_.push_back(std::make_unique<BufferPool>(
+            std::max<std::size_t>(cfg.shring_pool_entries, 64), buf, pool_base(t)));
+        dp = std::make_unique<ShringDatapath>(bed.sched(), bed.dma(),
+                                              bed.memory_controller(), *pools_.back(),
+                                              cfg.shring);
+        break;
+      }
+      case SystemKind::kCeio: {
+        // Eq. 1 per tenant: credits derive from the DDIO capacity the tenant
+        // can reach — its exclusive slice plus the shared pool — not the
+        // whole partition.
+        CeioConfig ceio_cfg = cfg.ceio;
+        const std::size_t sets =
+            bed.llc().ddio_capacity() / static_cast<std::size_t>(std::max(cfg.llc.ddio_ways, 1));
+        if (cfg.ceio_auto_credits) {
+          ceio_cfg = derive_ceio_auto_credits(
+              ceio_cfg, sets * (static_cast<std::size_t>(e.ways) + shared));
+        }
+        pools_.push_back(std::make_unique<BufferPool>(
+            static_cast<std::size_t>(ceio_cfg.total_credits) * 2 + 1024, buf,
+            pool_base(t)));
+        auto owned = std::make_unique<CeioDatapath>(bed.sched(), bed.dma(),
+                                                    bed.memory_controller(), *pools_.back(),
+                                                    bed.rmt(), bed.nic_memory(),
+                                                    ceio_cfg);
+        ceio = owned.get();
+        dp = std::move(owned);
+        break;
+      }
+    }
+    ceio_.push_back(ceio);
+    demux->add_tenant(std::move(dp), e.first_flow, e.last_flow);
+  }
+  demux_ = demux.get();
+  bed.install_datapath(std::move(demux));
+
+  // Carve the shared LLC: way slices, then the id ranges that attribute
+  // each DMA target back to its tenant (pool buffers, CEIO slow-path
+  // landing windows, bypass app-memory windows).
+  LlcModel& llc = bed.llc();
+  llc.set_tenant_ways(ways);
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    const TenantRosterEntry& e = roster_[t];
+    llc.add_tenant_range(pool_base(t), pool_base(t) + pools_[t]->total(), t);
+    llc.add_tenant_range(kSlowLandingBase + (static_cast<BufferId>(e.first_flow) << 20),
+                         kSlowLandingBase + ((static_cast<BufferId>(e.last_flow) + 1) << 20),
+                         t);
+    llc.add_tenant_range(kBypassBufferBase + (static_cast<BufferId>(e.first_flow) << 24),
+                         kBypassBufferBase + ((static_cast<BufferId>(e.last_flow) + 1) << 24),
+                         t);
+  }
+  apply_budgets();
+
+  // Applications in roster order (the KV store draws from the testbed Rng
+  // at construction — creation order is part of bit-reproducibility).
+  for (const TenantRosterEntry& e : roster_) {
+    Application* app = make_tenant_app(bed, e.cfg.app);
+    if (app == nullptr) {
+      throw std::invalid_argument("unknown tenant app: " + e.cfg.app);
+    }
+    apps_.push_back(app);
+  }
+
+  controller_ =
+      std::make_unique<WayPartitionController>(ctl_cfg_, ways, cfg.llc.ddio_ways);
+  if (ctl_cfg_.enabled) arm_tick();
+}
+
+int TenantAssembly::total_flows() const {
+  return static_cast<int>(roster_.back().last_flow);
+}
+
+Application& TenantAssembly::app_of_flow(FlowId flow) {
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    if (flow >= roster_[t].first_flow && flow <= roster_[t].last_flow) return *apps_[t];
+  }
+  throw std::invalid_argument("flow id is outside every tenant's block");
+}
+
+void TenantAssembly::apply_budgets() {
+  // A4-style budgets: explicit per-tenant budget when configured, else the
+  // configured fraction of the tenant's way capacity under kBudget.
+  LlcModel& llc = bed_.llc();
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    std::size_t budget = 0;
+    if (roster_[t].cfg.ddio_budget > 0) {
+      budget = static_cast<std::size_t>(roster_[t].cfg.ddio_budget);
+    } else if (ctl_cfg_.enabled && ctl_cfg_.policy == PartitionPolicy::kBudget) {
+      budget = static_cast<std::size_t>(ctl_cfg_.budget_fraction *
+                                        static_cast<double>(llc.tenant_way_capacity(t)));
+    }
+    llc.set_tenant_budget(t, budget);
+  }
+}
+
+std::vector<TenantGaugeSample> TenantAssembly::sample_gauges() const {
+  const LlcModel& llc = bed_.llc();
+  std::vector<TenantGaugeSample> out(roster_.size());
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    TenantGaugeSample& s = out[t];
+    s.ddio_occupancy = static_cast<std::int64_t>(llc.tenant_ddio_occupancy(t));
+    s.way_capacity = static_cast<std::int64_t>(llc.tenant_way_capacity(t));
+    s.premature_evictions = llc.tenant_stats(t).premature_evictions;
+    s.priority = roster_[t].cfg.priority;
+    std::int64_t backlog = 0;
+    demux_->tenant_datapath(t)->for_each_ring(
+        [&backlog](const RxRing& r) { backlog += static_cast<std::int64_t>(r.size()); });
+    if (ceio_[t] != nullptr) {
+      for (FlowId f = roster_[t].first_flow; f <= roster_[t].last_flow; ++f) {
+        backlog += static_cast<std::int64_t>(ceio_[t]->slow_backlog(f));
+      }
+    }
+    s.ring_backlog = backlog;
+  }
+  return out;
+}
+
+void TenantAssembly::arm_tick() {
+  bed_.sched().schedule_after(ctl_cfg_.interval, [this]() {
+    tick();
+    arm_tick();
+  });
+}
+
+void TenantAssembly::tick() {
+  const WayDecision d = controller_->decide(sample_gauges());
+  if (!d.changed) return;
+  LlcModel& llc = bed_.llc();
+  llc.set_tenant_ways(d.ways);
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    roster_[t].ways = d.ways[t];
+    if (ceio_[t] != nullptr && bed_.config().ceio_auto_credits) {
+      // Re-derive Eq. 1 for the resized slice so the credit total tracks
+      // the ways the tenant actually owns now.
+      const CeioConfig derived = derive_ceio_auto_credits(
+          bed_.config().ceio, static_cast<std::size_t>(llc.tenant_way_capacity(t)));
+      ceio_[t]->set_total_credits(derived.total_credits);
+    }
+  }
+  apply_budgets();
+}
+
+void TenantAssembly::register_metrics(MetricRegistry& registry) {
+  for (std::size_t t = 0; t < roster_.size(); ++t) {
+    const std::string prefix = "tenant." + roster_[t].name + ".";
+    const LlcModel& llc = bed_.llc();
+    registry.add_gauge(prefix + "ddio_occupancy", [&llc, t]() {
+      return static_cast<double>(llc.tenant_ddio_occupancy(t));
+    });
+    registry.add_gauge(prefix + "ddio_ways", [this, t]() {
+      return static_cast<double>(roster_[t].ways);
+    });
+    registry.add_gauge(prefix + "ddio_capacity", [&llc, t]() {
+      return static_cast<double>(llc.tenant_way_capacity(t));
+    });
+    registry.add_gauge(prefix + "premature_evictions", [&llc, t]() {
+      return static_cast<double>(llc.tenant_stats(t).premature_evictions);
+    });
+    registry.add_gauge(prefix + "budget_bypasses", [&llc, t]() {
+      return static_cast<double>(llc.tenant_stats(t).budget_bypasses);
+    });
+    registry.add_gauge(prefix + "ring_backlog", [this, t]() {
+      return static_cast<double>(sample_gauges()[t].ring_backlog);
+    });
+  }
+  registry.add_gauge("tenant.controller.repartitions",
+                     [this]() { return static_cast<double>(repartitions()); });
+  const LlcModel& llc = bed_.llc();
+  registry.add_gauge("tenant.controller.shared_ways", [&llc]() {
+    return static_cast<double>(llc.shared_io_ways());
+  });
+}
+
+void TenantAssembly::register_audit(ModelAuditor& auditor) {
+  LlcModel& llc = bed_.llc();
+  register_tenant_llc_invariants(auditor, [&llc]() {
+    TenantLlcState s;
+    for (std::size_t t = 0; t < llc.tenant_count(); ++t) {
+      s.occupancy.push_back(llc.tenant_ddio_occupancy(t));
+      s.capacity.push_back(llc.tenant_way_capacity(t));
+    }
+    s.global_occupancy = llc.ddio_occupancy();
+    return s;
+  });
+}
+
+void TenantAssembly::fill_llc_fields(TenantReport& report, std::size_t t) const {
+  const LlcModel& llc = bed_.llc();
+  report.ddio_ways = roster_[t].ways;
+  report.ddio_occupancy = static_cast<std::int64_t>(llc.tenant_ddio_occupancy(t));
+  report.ddio_capacity = static_cast<std::int64_t>(llc.tenant_way_capacity(t));
+  report.premature_evictions = llc.tenant_stats(t).premature_evictions;
+  report.budget_bypasses = llc.tenant_stats(t).budget_bypasses;
+  if (ceio_[t] != nullptr) report.ceio_total_credits = ceio_[t]->credits().total();
+}
+
+}  // namespace ceio::tenant

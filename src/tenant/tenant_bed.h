@@ -1,0 +1,97 @@
+// TenantAssembly: turns a plain Testbed into a multi-tenant host.
+//
+// The assembly owns what the single-tenant Testbed constructor would have
+// built per tenant — a host buffer pool and a datapath instance of the
+// selected system — mounts them behind a TenantDemux, carves the shared
+// LLC's DDIO ways into per-tenant slices, and (optionally) runs the
+// WayPartitionController on the testbed's event scheduler. Flow-id blocks
+// are contiguous per tenant, so the demux, the harness and the sharded
+// runner all agree on ownership by id alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iopath/testbed.h"
+#include "tenant/tenant_config.h"
+#include "tenant/tenant_demux.h"
+#include "tenant/way_partition.h"
+
+namespace ceio {
+class ModelAuditor;
+}
+
+namespace ceio::tenant {
+
+/// One tenant's resolved place in the run: its config, contiguous flow-id
+/// block [first_flow, last_flow], and boot-time DDIO way share.
+struct TenantRosterEntry {
+  std::string name;  // "lc" | "bw" | "ant"
+  TenantConfig cfg;
+  FlowId first_flow = 0;
+  FlowId last_flow = 0;
+  int ways = 0;
+};
+
+/// Resolves the enabled tenants (lc, bw, ant order), assigns contiguous
+/// flow blocks from id 1, and records each tenant's configured exclusive
+/// DDIO way share; ways left unclaimed stay in the shared pool that every
+/// tenant's mask overlaps. Throws when the configured shares oversubscribe
+/// the partition or no tenant is enabled.
+std::vector<TenantRosterEntry> tenant_roster(const TenantSetConfig& set, int ddio_ways);
+
+class TenantAssembly {
+ public:
+  /// Builds pools/datapaths/demux, installs the demux into `bed` (which must
+  /// have no flows yet), partitions the LLC, creates the per-tenant
+  /// applications (roster order — part of the bit-reproducibility contract),
+  /// and arms the controller tick when `ctl.enabled`.
+  TenantAssembly(Testbed& bed, const TenantSetConfig& set, const WayControllerConfig& ctl);
+
+  const std::vector<TenantRosterEntry>& roster() const { return roster_; }
+  int total_flows() const;
+
+  Application& app_of(std::size_t tenant) { return *apps_[tenant]; }
+  /// The application serving `flow` (flows map to tenants by id block).
+  Application& app_of_flow(FlowId flow);
+
+  /// Per-tenant CEIO instance (nullptr for non-CEIO systems).
+  CeioDatapath* ceio_of(std::size_t tenant) { return ceio_[tenant]; }
+
+  /// Live gauge snapshot, one sample per tenant (controller input; also
+  /// what the metric gauges report).
+  std::vector<TenantGaugeSample> sample_gauges() const;
+
+  /// Registers "tenant.<name>.*" gauge subtrees + controller gauges.
+  void register_metrics(MetricRegistry& registry);
+  /// Binds the tenant LLC invariants (occupancy sum, way bounds) to the
+  /// live cache.
+  void register_audit(ModelAuditor& auditor);
+
+  /// Fills the LLC/CEIO columns of a report for tenant `t` (the harness
+  /// fills the flow-derived columns).
+  void fill_llc_fields(TenantReport& report, std::size_t t) const;
+
+  std::int64_t repartitions() const {
+    return controller_ ? controller_->repartitions() : 0;
+  }
+  WayPartitionController* controller() { return controller_.get(); }
+
+ private:
+  void apply_budgets();
+  void arm_tick();
+  void tick();
+
+  Testbed& bed_;
+  WayControllerConfig ctl_cfg_;
+  std::vector<TenantRosterEntry> roster_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;
+  TenantDemux* demux_ = nullptr;          // owned by the testbed after install
+  std::vector<CeioDatapath*> ceio_;       // owned by the demux
+  std::vector<Application*> apps_;        // owned by the testbed
+  std::unique_ptr<WayPartitionController> controller_;
+};
+
+}  // namespace ceio::tenant

@@ -177,6 +177,37 @@ TEST(AuditFaultInjection, SwRingSegmentCoherence) {
   expect_fires(a, "ceio", "sw-ring-coherent");
 }
 
+TEST(AuditFaultInjection, TenantLlcOccupancySum) {
+  TenantLlcState s;
+  s.occupancy = {40, 30, 10};
+  s.capacity = {64, 64, 64};
+  s.global_occupancy = 80;
+  ModelAuditor a;
+  register_tenant_llc_invariants(a, [&s] { return s; });
+  EXPECT_EQ(a.check_all(Nanos{0}), 0u) << a.summary();
+
+  s.occupancy[1] = 29;  // one tenant's counter lost a resident line
+  expect_fires(a, "host", "tenant-ddio-sum");
+  s.occupancy[1] = 30;
+
+  s.global_occupancy = 81;  // the cache's own counter drifted instead
+  expect_fires(a, "host", "tenant-ddio-sum");
+}
+
+TEST(AuditFaultInjection, TenantLlcWayBound) {
+  TenantLlcState s;
+  s.occupancy = {64, 10};
+  s.capacity = {64, 64};
+  s.global_occupancy = 74;
+  ModelAuditor a;
+  register_tenant_llc_invariants(a, [&s] { return s; });
+  EXPECT_EQ(a.check_all(Nanos{0}), 0u) << a.summary();  // at capacity is legal
+
+  s.occupancy[0] = 65;  // over its way-mask capacity
+  s.global_occupancy = 75;
+  expect_fires(a, "host", "tenant-way-bound");
+}
+
 // ---------- Genuine white-box injections against real models ----------
 
 TEST(AuditFaultInjection, RealCreditControllerOverRelease) {

@@ -52,7 +52,7 @@ struct CliOptions {
                "  --flows=N                            number of flows (default 8)\n"
                "  --rate-gbps=R                        offered rate per flow (default 25)\n"
                "  --pkt=BYTES                          packet size (default 512)\n"
-               "  --app=kv|echo|vxlan|linefs|rdma      application (default kv)\n"
+               "  --app=kv|echo|vxlan|linefs|rdma|thrasher  application (default kv)\n"
                "  --chunk-kb=K                         message size for linefs/rdma (default 1024)\n"
                "  --ms=T                               measured simulated time (default 5)\n"
                "  --warmup-ms=T                        warmup before measuring (default 2)\n"
@@ -246,6 +246,24 @@ void print_single(const harness::ExperimentSpec& spec, const harness::RunResult&
                 static_cast<long long>(result.ceio_to_fast),
                 static_cast<long long>(result.ceio_cca_triggers),
                 static_cast<long long>(result.ceio_reclaims));
+  }
+  // Tenant table only for multi-tenant runs: single-tenant output stays
+  // byte-identical to the pre-tenant format.
+  if (!result.tenants.empty()) {
+    std::printf("\n");
+    TablePrinter tenants({"tenant", "app", "flows", "ways", "occ/cap", "Mpps", "Gbps",
+                          "p99(us)", "prem", "bypass", "drops"});
+    for (const auto& t : result.tenants) {
+      tenants.add_row({t.name, t.app, std::to_string(t.flows), std::to_string(t.ddio_ways),
+                       std::to_string(t.ddio_occupancy) + "/" + std::to_string(t.ddio_capacity),
+                       TablePrinter::fmt(t.mpps), TablePrinter::fmt(t.gbps),
+                       TablePrinter::fmt(to_micros(t.p99), 1),
+                       std::to_string(t.premature_evictions),
+                       std::to_string(t.budget_bypasses), std::to_string(t.drops)});
+    }
+    tenants.print();
+    std::printf("way controller: %lld repartitions\n",
+                static_cast<long long>(result.way_repartitions));
   }
 }
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "apps/echo.h"
@@ -21,8 +22,10 @@
 #include "apps/linefs.h"
 #include "apps/raw_rdma.h"
 #include "apps/vxlan.h"
+#include "harness/experiment.h"
 #include "iopath/testbed.h"
 #include "telemetry/trace_export.h"
+#include "tenant/tenant_bed.h"
 
 using namespace ceio;
 
@@ -43,6 +46,8 @@ struct Options {
   double sample_us = 50.0;       // gauge-snapshot interval
   std::uint32_t path_every = 64; // per-packet path sampling (0 disables)
   std::size_t trace_cap = 1 << 18;
+  bool tenants = false;          // record the multi-tenant co-location deployment
+  std::string policy = "static"; // way-partition policy in --tenants mode
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,7 +66,11 @@ struct Options {
       "  --out=PREFIX                         output prefix (default ceio)\n"
       "  --sample-us=T                        gauge sample interval (default 50)\n"
       "  --path-every=N                       trace every Nth packet (default 64, 0 off)\n"
-      "  --trace-cap=N                        trace ring capacity in events (default 262144)\n",
+      "  --trace-cap=N                        trace ring capacity in events (default 262144)\n"
+      "  --tenants                            record the kv/linefs/thrasher co-location\n"
+      "                                       deployment (each tenant's gauges become a\n"
+      "                                       separate Perfetto counter track)\n"
+      "  --policy=static|reactive             way-partition policy with --tenants\n",
       argv0);
   std::exit(2);
 }
@@ -120,12 +129,16 @@ Options parse(int argc, char** argv) {
       opt.path_every = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (parse_flag(argv[i], "--trace-cap", &v)) {
       opt.trace_cap = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--tenants", &v)) {
+      opt.tenants = true;
+    } else if (parse_flag(argv[i], "--policy", &v)) {
+      opt.policy = v;
     } else {
       usage(argv[0]);
     }
   }
   if (opt.flows <= 0 || opt.pkt <= Bytes{0} || opt.ms <= 0 || opt.out.empty() ||
-      opt.trace_cap == 0) {
+      opt.trace_cap == 0 || (opt.policy != "static" && opt.policy != "reactive")) {
     usage(argv[0]);
   }
   return opt;
@@ -142,11 +155,33 @@ int main(int argc, char** argv) {
   config.telemetry.trace_capacity = opt.trace_cap;
   config.telemetry.sample_interval = Nanos{static_cast<std::int64_t>(opt.sample_us * 1000.0)};
   config.telemetry.path_sample_every = opt.path_every;
+  // The multitenant presets run on a 3 MiB LLC slice (SNC share) so the
+  // shared DDIO pool churns on the contention timescale; match it here.
+  if (opt.tenants) config.llc.total_bytes = 3 * kMiB;
   Testbed bed(config);
+
+  std::unique_ptr<tenant::TenantAssembly> assembly;
+  if (opt.tenants) {
+    tenant::TenantSetConfig set;
+    tenant::WayControllerConfig ctl;
+    if (opt.policy == "reactive") {
+      ctl.enabled = true;
+      ctl.policy = tenant::PartitionPolicy::kReactive;
+    }
+    assembly = std::make_unique<tenant::TenantAssembly>(bed, set, ctl);
+    for (const auto& e : assembly->roster()) {
+      const harness::WorkloadSpec w = harness::tenant_workload(e.cfg);
+      for (FlowId id = e.first_flow; id <= e.last_flow; ++id) {
+        bed.add_flow(harness::flow_config(id, w), assembly->app_of_flow(id));
+      }
+    }
+  }
 
   Application* app = nullptr;
   bool bypass = false;
-  if (opt.app == "kv") {
+  if (opt.tenants) {
+    // flows already built from the tenant roster above
+  } else if (opt.app == "kv") {
     app = &bed.make_kv_store();
   } else if (opt.app == "echo") {
     app = &bed.make_echo();
@@ -162,7 +197,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
-  for (FlowId id = 1; id <= static_cast<FlowId>(opt.flows); ++id) {
+  for (FlowId id = 1; app != nullptr && id <= static_cast<FlowId>(opt.flows); ++id) {
     FlowConfig fc;
     fc.id = id;
     fc.kind = bypass ? FlowKind::kCpuBypass : FlowKind::kCpuInvolved;
@@ -180,6 +215,10 @@ int main(int argc, char** argv) {
   bed.run_for(millis(opt.warmup_ms));
   bed.reset_measurement();
   Telemetry& tele = bed.enable_telemetry();
+  // The demux's own register_metrics is a no-op (per-tenant names would
+  // collide); the assembly registers the "tenant.<name>.*" subtrees that the
+  // trace exporter renders as per-tenant counter tracks.
+  if (assembly) assembly->register_metrics(tele.metrics());
   tele.start_sampling();
   bed.run_for(millis(opt.ms));
   tele.set_enabled(false);
@@ -203,9 +242,14 @@ int main(int argc, char** argv) {
 
   const TraceSink& sink = tele.trace();
   const PathTracer& paths = tele.paths();
-  std::printf("ceio_trace: system=%s app=%s flows=%d pkt=%lldB ms=%.1f\n",
-              to_string(opt.system), opt.app.c_str(), opt.flows,
-              static_cast<long long>(opt.pkt.count()), opt.ms);
+  if (opt.tenants) {
+    std::printf("ceio_trace: system=%s tenants=lc/bw/ant policy=%s flows=%d ms=%.1f\n",
+                to_string(opt.system), opt.policy.c_str(), assembly->total_flows(), opt.ms);
+  } else {
+    std::printf("ceio_trace: system=%s app=%s flows=%d pkt=%lldB ms=%.1f\n",
+                to_string(opt.system), opt.app.c_str(), opt.flows,
+                static_cast<long long>(opt.pkt.count()), opt.ms);
+  }
   std::printf("  %s: %zu events (%llu emitted, %llu overwritten)\n", trace_path.c_str(),
               sink.size(), static_cast<unsigned long long>(sink.total_emitted()),
               static_cast<unsigned long long>(sink.overwritten()));

@@ -12,8 +12,9 @@
 #                           -Wall/-Wextra/-Wshadow net is a gate), ctest
 #   3. telemetry identity   same scenario, hooks compiled out vs compiled
 #                           in-but-disabled — outputs must be byte-identical
-#   4. migration safety     fig04_motivation + a registered ceio_sim scenario
-#                           diffed against the goldens in tools/golden/
+#   4. migration safety     fig04_motivation + registered ceio_sim scenarios
+#                           (single-tenant and multi-tenant) diffed against
+#                           the goldens in tools/golden/
 #   5. audited build + test CEIO_AUDIT=ON (invariant sweeps active)
 #   6. asan build + test    CEIO_AUDIT=ON + CEIO_SANITIZE=address
 #   7. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
@@ -25,8 +26,9 @@
 #  10. clang-tidy           over src/ using the .clang-tidy profile
 #  11. perf gate            bench/perf_core from the release tree vs the
 #                           committed BENCH_perf_core.json baseline; fails on
-#                           a >25% drop in events_per_sec, llc_ops_per_sec or
-#                           sharded_pkts_per_sec (one rerun absorbs noise)
+#                           a >25% drop in events_per_sec, llc_ops_per_sec,
+#                           sharded_pkts_per_sec or multitenant_pkts_per_sec
+#                           (one rerun absorbs noise)
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -128,6 +130,8 @@ else
   #   build/bench/fig04_motivation > tools/golden/fig04_motivation.txt
   #   build/tools/ceio_sim --scenario ceio-kv-short \
   #     > tools/golden/ceio_sim_ceio-kv-short.txt
+  #   build/tools/ceio_sim --scenario multitenant-short \
+  #     > tools/golden/ceio_sim_multitenant-short.txt
   note "migration safety (diff vs tools/golden/)"
   golden_status=1
   if cmake --build "${CHECK_ROOT}/release" -j "${JOBS}" \
@@ -137,6 +141,8 @@ else
       <("${CHECK_ROOT}/release/bench/fig04_motivation") || golden_status=1
     diff "${REPO_ROOT}/tools/golden/ceio_sim_ceio-kv-short.txt" \
       <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario ceio-kv-short) || golden_status=1
+    diff "${REPO_ROOT}/tools/golden/ceio_sim_multitenant-short.txt" \
+      <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario multitenant-short) || golden_status=1
     [[ "${golden_status}" -eq 0 ]] && echo "outputs match committed goldens"
   fi
   stage_result migration-safety "${golden_status}"
@@ -237,7 +243,8 @@ import json, sys
 base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
 ok = True
-for key in ("events_per_sec", "llc_ops_per_sec", "sharded_pkts_per_sec"):
+for key in ("events_per_sec", "llc_ops_per_sec", "sharded_pkts_per_sec",
+            "multitenant_pkts_per_sec"):
     b, f = float(base[key]), float(fresh[key])
     ratio = f / b if b else 1.0
     print(f"  {key}: baseline {b:.0f}  fresh {f:.0f}  ({ratio:.2f}x)")
