@@ -22,13 +22,10 @@ TestbedConfig slow_path_config(bool cxl) {
   TestbedConfig tc;
   tc.system = SystemKind::kCeio;
   force_slow_path(tc);
-  if (cxl) {
-    // CPU-attached SRAM: no internal PCIe switch, SRAM-class access, and a
-    // hardware pipeline instead of wimpy-core request handling.
-    tc.nic_mem.switch_latency = Nanos{0};
-    tc.nic_mem.access_latency = Nanos{40};
-    tc.nic_mem.per_request_overhead = Nanos{5};
-  }
+  // The `mem.cxl_*` reflective axis (src/iopath/testbed.h) carries the
+  // CPU-attached-SRAM parameters; the testbed overrides NicMemoryConfig from
+  // it before the model is built, so any scenario or sweep composes with it.
+  tc.mem.cxl_enabled = cxl;
   return tc;
 }
 

@@ -219,6 +219,48 @@ Result bench_multitenant_pipeline() {
   return r;
 }
 
+/// Governed dynamic-schedule throughput: the fig10 dynamic-distribution
+/// deployment (8 KV flows, two swapped for LineFS streamers mid-run) with
+/// the reactive datapath governor ticking every 20 us — the hot path of the
+/// policy layer (gauge sampling, decide(), actuator pushes). `ops` counts
+/// all delivered packets, so ops_per_sec tracks the governor's overhead on
+/// top of the pipeline it steers.
+Result bench_fig10_governed() {
+  ceio::TestbedConfig tc;
+  tc.system = ceio::SystemKind::kCeio;
+  tc.seed = 7;
+  tc.policy.governor = ceio::policy::GovernorMode::kReactive;
+  ceio::Testbed bed(tc);
+  auto& kv = bed.make_kv_store();
+  auto& dfs = bed.make_linefs();
+  ceio::harness::WorkloadSpec rpc;  // kv @ 512 B, 25 G/flow defaults
+  ceio::harness::WorkloadSpec chunks;
+  chunks.app = "linefs";
+  chunks.packet_size = 2 * ceio::kKiB;
+  chunks.message_pkts = 512;
+  for (ceio::FlowId id = 1; id <= 8; ++id) {
+    bed.add_flow(ceio::harness::flow_config(id, rpc), kv);
+  }
+  const double t0 = now_seconds();
+  bed.run_for(ceio::millis(2));
+  bed.reset_measurement();
+  bed.run_for(ceio::millis(5));
+  double mpps = bed.aggregate_mpps();
+  bed.remove_flow(8);
+  bed.remove_flow(7);
+  bed.add_flow(ceio::harness::flow_config(100, chunks), dfs);
+  bed.add_flow(ceio::harness::flow_config(101, chunks), dfs);
+  bed.reset_measurement();
+  bed.run_for(ceio::millis(5));
+  mpps += bed.aggregate_mpps();
+  const double t1 = now_seconds();
+  Result r;
+  r.name = "fig10_governed_dynamic";
+  r.ops = static_cast<std::uint64_t>(mpps * 5000.0);  // 2 x 5 ms windows
+  r.seconds = t1 - t0;
+  return r;
+}
+
 LlcConfig default_llc() { return LlcConfig{}; }  // 12 MiB / 12-way / 2 DDIO ways
 
 /// Hit-heavy: working set well inside capacity, uniform re-reads.
@@ -272,15 +314,17 @@ void emit_json(std::FILE* f, const std::vector<Result>& sched,
                const std::vector<Result>& llc, const std::vector<Result>& testbed,
                double sched_events_per_sec, double llc_ops_per_sec,
                double sharded_pkts_per_sec, double sharded_speedup,
-               double multitenant_pkts_per_sec, double wall) {
+               double multitenant_pkts_per_sec, double fig10_governed_pkts_per_sec,
+               double wall) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n", sched_events_per_sec);
   std::fprintf(f, "  \"llc_ops_per_sec\": %.0f,\n", llc_ops_per_sec);
   double testbed_pkts = 0.0, testbed_secs = 0.0;
   for (const auto& r : testbed) {
-    // sharded_* and multitenant_* carry their own headline keys below.
+    // sharded_*, multitenant_* and fig10_* carry their own headline keys.
     if (r.name.rfind("sharded_", 0) == 0) continue;
     if (r.name.rfind("multitenant_", 0) == 0) continue;
+    if (r.name.rfind("fig10_", 0) == 0) continue;
     testbed_pkts += static_cast<double>(r.ops);
     testbed_secs += r.seconds;
   }
@@ -289,6 +333,7 @@ void emit_json(std::FILE* f, const std::vector<Result>& sched,
   std::fprintf(f, "  \"sharded_pkts_per_sec\": %.0f,\n", sharded_pkts_per_sec);
   std::fprintf(f, "  \"sharded_speedup\": %.2f,\n", sharded_speedup);
   std::fprintf(f, "  \"multitenant_pkts_per_sec\": %.0f,\n", multitenant_pkts_per_sec);
+  std::fprintf(f, "  \"fig10_governed_pkts_per_sec\": %.0f,\n", fig10_governed_pkts_per_sec);
   std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
   std::fprintf(f, "  \"scheduler\": [\n");
   for (std::size_t i = 0; i < sched.size(); ++i) {
@@ -351,6 +396,8 @@ int main(int argc, char** argv) {
   const double sharded_speedup = ceio::safe_rate(sharded_pps, sharded_base);
   testbed.push_back(bench_multitenant_pipeline());
   const double multitenant_pps = testbed.back().ops_per_sec();
+  testbed.push_back(bench_fig10_governed());
+  const double fig10_governed_pps = testbed.back().ops_per_sec();
 
   // Headline numbers: total ops / total seconds over each family.
   std::uint64_t sched_ops = 0, llc_ops = 0;
@@ -360,13 +407,15 @@ int main(int argc, char** argv) {
   const double wall = now_seconds() - wall0;
 
   emit_json(stdout, sched, llc, testbed, rate(sched_ops, sched_secs),
-            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps, wall);
+            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps,
+            fig10_governed_pps, wall);
   const char* paths[] = {out_path, argc > 2 ? argv[2] : nullptr};
   for (const char* path : paths) {
     if (path == nullptr) continue;
     if (std::FILE* f = std::fopen(path, "w")) {
       emit_json(f, sched, llc, testbed, rate(sched_ops, sched_secs),
-                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps, wall);
+                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps,
+                fig10_governed_pps, wall);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "warning: could not write %s\n", path);

@@ -48,6 +48,15 @@ PhaseResult measure_phase(Testbed& bed, const ScenarioConfig& cfg, int involved,
   const double line_mpps =
       bed.link().config().rate.count() / (static_cast<double>(cfg.packet_size.count()) * 8.0) / 1e6;
   out.expected_mpps = std::min(involved * reference_mpps, line_mpps);
+  // Mean per-flow P99 over the involved flows (integer mean: deterministic).
+  std::int64_t p99_sum = 0;
+  std::int64_t p99_n = 0;
+  for (const FlowReport& r : bed.all_reports()) {
+    if (r.kind != FlowKind::kCpuInvolved || r.messages == 0) continue;
+    p99_sum += r.p99.count();
+    ++p99_n;
+  }
+  if (p99_n > 0) out.involved_p99 = Nanos{p99_sum / p99_n};
   return out;
 }
 
@@ -66,8 +75,14 @@ double single_core_reference_mpps(const ScenarioConfig& cfg) {
 
 std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
                                                   const ScenarioConfig& cfg) {
+  TestbedConfig tc = testbed_config(system, cfg.seed);
+  return run_dynamic_distribution(tc, cfg);
+}
+
+std::vector<PhaseResult> run_dynamic_distribution(const TestbedConfig& tc,
+                                                  const ScenarioConfig& cfg) {
   const double reference = single_core_reference_mpps(cfg);
-  Testbed bed(testbed_config(system, cfg.seed));
+  Testbed bed(tc);
   auto& kv = bed.make_kv_store();
   auto& dfs = bed.make_linefs();
 

@@ -23,6 +23,9 @@ struct PhaseResult {
   double bypass_gbps = 0.0;
   double miss_rate = 0.0;
   double expected_mpps = 0.0;  // involved_flows x single-core reference
+  /// Mean per-flow P99 message latency over the involved flows (the tail the
+  /// governor comparison in fig10 reports alongside goodput).
+  Nanos involved_p99{0};
 };
 
 struct ScenarioConfig {
@@ -42,6 +45,11 @@ double single_core_reference_mpps(const ScenarioConfig& cfg = {});
 /// Figure 4a / 10a: start with 8 CPU-involved (eRPC-KV) flows; each phase
 /// replaces two of them with CPU-bypass (LineFS) flows.
 std::vector<PhaseResult> run_dynamic_distribution(SystemKind system,
+                                                  const ScenarioConfig& cfg = {});
+
+/// Same schedule on a caller-built testbed config (governed / static-bundle
+/// comparisons tune `tc.policy` and hold everything else fixed).
+std::vector<PhaseResult> run_dynamic_distribution(const TestbedConfig& tc,
                                                   const ScenarioConfig& cfg = {});
 
 /// Figure 4b / 10b: 8 CPU-involved flows; each phase two additional burst

@@ -1,6 +1,7 @@
 #include "ceio/ceio_datapath.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/det_map.h"
 #include "common/logging.h"
@@ -25,6 +26,7 @@ CeioDatapath::CeioDatapath(EventScheduler& sched, DmaEngine& dma, MemoryControll
       nic_mem_(nic_mem),
       config_(config),
       credits_(config.total_credits),
+      base_total_credits_(config.total_credits),
       doorbells_(sched, [this](Nanos, CreditDoorbell db) {
         credits_.release(db.flow, db.count);
       }) {
@@ -233,6 +235,59 @@ void CeioDatapath::driver_complete(FlowId id, const Packet& pkt) {
 std::size_t CeioDatapath::driver_pending(FlowId id) const {
   const Ext* ext = ext_of(id);
   return ext == nullptr ? 0 : ext->driver_queue.size();
+}
+
+void CeioDatapath::apply_total_credits() {
+  // Exact at scale 1.0 (the governor-off / sharded-arbitration case): no
+  // float round-trip may perturb the installed total.
+  credits_.set_total(credit_scale_ == 1.0
+                         ? base_total_credits_
+                         : std::llround(static_cast<double>(base_total_credits_) *
+                                        credit_scale_));
+}
+
+void CeioDatapath::set_credit_scale(double scale) {
+  if (scale == credit_scale_) return;
+  credit_scale_ = scale;
+  apply_total_credits();
+}
+
+void CeioDatapath::set_landed_caps(std::size_t involved_cap, std::size_t bypass_cap) {
+  // The elastic drain gates read these through config_ on every decision, so
+  // resizing takes effect at the next drain attempt.
+  config_.landed_cap = involved_cap;
+  config_.bypass_landed_cap = bypass_cap;
+}
+
+void CeioDatapath::on_flow_path_changed(FlowState& fs) {
+  const FlowId id = fs.rt.config.id;
+  Ext* ext = ext_of(id);
+  if (ext == nullptr) return;
+  const Nanos now = sched_.now();
+  switch (fs.path_override) {
+    case policy::FlowPathOverride::kForceSlow:
+      if (!ext->slow_mode) {
+        ext->slow_mode = true;
+        ++rt_stats_.credit_switches_to_slow;
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", now,
+                       static_cast<double>(credits_.credits(id)), id);
+        rmt_.update_action(id, SteerAction::kToNicMem);
+      }
+      kick_drain(id, *ext);
+      break;
+    case policy::FlowPathOverride::kForceFast:
+      if (ext->slow_mode) {
+        ext->slow_mode = false;
+        ++rt_stats_.switches_back_to_fast;
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_fast", now,
+                       static_cast<double>(credits_.credits(id)), id);
+        rmt_.update_action(id, SteerAction::kToHost);
+        kick_drain(id, *ext);  // residual slow backlog still drains in order
+      }
+      break;
+    case policy::FlowPathOverride::kAuto:
+      break;  // the controller poll resumes normal steering from here
+  }
 }
 
 std::int64_t CeioDatapath::reenable_threshold() const {
@@ -603,6 +658,10 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
   {
     FlowState* fs = state_of(id);
     if (fs == nullptr) return;
+    // Policy-layer steering override: force values pin the steering, so the
+    // poll must neither exile a forced-fast flow nor readmit a forced-slow
+    // one. kAuto leaves every branch exactly as it always was.
+    const policy::FlowPathOverride ov = fs->path_override;
 
     // Inactivity reclaim (Q3): idle flows surrender their credits.
     if (credits_.active(id) && now - ext.last_packet_at > config_.inactive_timeout) {
@@ -611,7 +670,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       ++rt_stats_.inactive_reclaims;
       CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "inactive_reclaim", now,
                      static_cast<double>(credits_.free_pool()), id);
-      if (!ext.slow_mode) {
+      if (!ext.slow_mode && ov != policy::FlowPathOverride::kForceFast) {
         ext.slow_mode = true;
         rmt_.update_action(id, SteerAction::kToNicMem);
       }
@@ -658,7 +717,10 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
       // PIAS-style decision: priority (not credits) picks the path. Long
       // flows decay below the fast levels and stay exiled until idleness
       // resets their byte count — exactly the behaviour §4.1 rejects.
-      const bool want_slow = mpq_level(id) >= config_.mpq_fast_levels;
+      const bool want_slow =
+          ov == policy::FlowPathOverride::kForceSlow ||
+          (ov != policy::FlowPathOverride::kForceFast &&
+           mpq_level(id) >= config_.mpq_fast_levels);
       if (want_slow && !ext.slow_mode) {
         ext.slow_mode = true;
         ++rt_stats_.credit_switches_to_slow;
@@ -678,7 +740,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
     }
 
     if (!ext.slow_mode) {
-      if (credits_.credits(id) <= 0) {
+      if (ov != policy::FlowPathOverride::kForceFast && credits_.credits(id) <= 0) {
         ext.slow_mode = true;
         ++rt_stats_.credit_switches_to_slow;
         CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", now,
@@ -694,6 +756,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
     // need it — message accounting tolerates mixed paths, and waiting would
     // trap small-packet flows behind the request-rate-bound drain.
     kick_drain(id, ext);
+    if (ov == policy::FlowPathOverride::kForceSlow) return;
     const bool drained = !involved || slow_bk <= config_.reenable_backlog;
     if (drained && credits_.active(id) && credits_.credits(id) >= reenable_threshold()) {
       ext.slow_mode = false;

@@ -134,8 +134,18 @@ class CeioDatapath final : public DatapathBase {
 
   const CreditController& credits() const { return credits_; }
   /// Host-shard credit arbitration (sharded runs): installs this domain's
-  /// rebalanced share of the global C_total.
-  void set_total_credits(std::int64_t v) { credits_.set_total(v); }
+  /// rebalanced share of the global C_total. Composes with the policy
+  /// layer's credit scale: effective total = round(base * scale).
+  void set_total_credits(std::int64_t v) {
+    base_total_credits_ = v;
+    apply_total_credits();
+  }
+
+  // ---- PolicyHost actuators (runtime governor; see src/policy/) ----
+  void set_credit_scale(double scale) override;
+  double credit_scale() const override { return credit_scale_; }
+  void set_landed_caps(std::size_t involved_cap, std::size_t bypass_cap) override;
+
   const CeioConfig& config() const { return config_; }
   const CeioRuntimeStats& runtime_stats() const { return rt_stats_; }
 
@@ -186,6 +196,7 @@ class CeioDatapath final : public DatapathBase {
  protected:
   void on_flow_registered(FlowState& fs) override;
   void on_flow_unregistered(FlowState& fs) override;
+  void on_flow_path_changed(FlowState& fs) override;
   void on_message_work_done(FlowState& fs, const Packet& last_pkt, Nanos done) override;
 
  private:
@@ -235,6 +246,7 @@ class CeioDatapath final : public DatapathBase {
   void note_processed_for_release(FlowState& fs, Ext& ext, const Packet& pkt);
 
   std::int64_t reenable_threshold() const;
+  void apply_total_credits();
   void controller_poll();
   void poll_flow(FlowId id, Ext& ext, Nanos now);
   void reactivation_round();
@@ -245,6 +257,11 @@ class CeioDatapath final : public DatapathBase {
   NicMemory& nic_mem_;
   CeioConfig config_;
   CreditController credits_;
+  /// Unscaled C_total (config or sharded arbitration); the effective total
+  /// handed to the controller is round(base * credit_scale_), computed
+  /// exactly (no rounding) while the scale is 1.0.
+  std::int64_t base_total_credits_;
+  double credit_scale_ = 1.0;
   // Hash-based on purpose: ext_of() is on the per-packet fast path. Control
   // flow ordering comes from reactivation_order_ (an explicit vector), and
   // every iteration over this map goes through det::for_sorted or an

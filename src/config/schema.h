@@ -98,6 +98,18 @@ struct EnumNames<tenant::PartitionPolicy> {
   };
 };
 
+template <>
+struct EnumNames<policy::GovernorMode> {
+  static constexpr std::pair<policy::GovernorMode, const char*> entries[] = {
+      {policy::GovernorMode::kOff, "off"},
+      {policy::GovernorMode::kOff, "none"},
+      {policy::GovernorMode::kStatic, "static"},
+      {policy::GovernorMode::kReactive, "reactive"},
+      {policy::GovernorMode::kReactive, "adaptive"},
+      {policy::GovernorMode::kBudget, "budget"},
+  };
+};
+
 }  // namespace ceio::config
 
 // ---- field lists -----------------------------------------------------------
@@ -364,6 +376,33 @@ void visit_fields(WayControllerConfig& c, V&& v) {
 
 }  // namespace ceio::tenant
 
+// -- policy/ -----------------------------------------------------------------
+
+namespace ceio::policy {
+
+template <class V>
+void visit_fields(PolicyConfig& c, V&& v) {
+  v.field("governor", c.governor);
+  v.field("interval", c.interval, Nanos{1}, seconds(1));
+  v.field("evict_threshold", c.evict_threshold, 0.0, 1e12);
+  v.field("backlog_threshold", c.backlog_threshold, 0.0, 1e12);
+  v.field("starvation_threshold", c.starvation_threshold, 0.0, 1e12);
+  v.field("occupancy_target", c.occupancy_target, 0.0, 1.0);
+  v.field("escalate_ticks", c.escalate_ticks, 1, 1 << 24);
+  v.field("relax_ticks", c.relax_ticks, 1, 1 << 24);
+  v.field("grant_hold_ticks", c.grant_hold_ticks, std::int64_t{0},
+          std::int64_t{1} << 24);
+  v.field("watch_credit_scale", c.watch_credit_scale, 0.0, 16.0);
+  v.field("squeeze_credit_scale", c.squeeze_credit_scale, 0.0, 16.0);
+  v.field("squeeze_bypass_slow", c.squeeze_bypass_slow);
+  v.field("squeeze_landed_scale", c.squeeze_landed_scale, 0.0, 16.0);
+  v.field("coalesce", c.coalesce);
+  v.field("static_credit_scale", c.static_credit_scale, 0.0, 16.0);
+  v.field("static_bypass_slow", c.static_bypass_slow);
+}
+
+}  // namespace ceio::policy
+
 namespace ceio {
 
 // -- telemetry/ --------------------------------------------------------------
@@ -389,6 +428,14 @@ void visit_fields(SimConfig& c, V&& v) {
 // -- iopath/ -----------------------------------------------------------------
 
 template <class V>
+void visit_fields(CxlMemConfig& c, V&& v) {
+  v.field("cxl_enabled", c.cxl_enabled);
+  v.field("cxl_access_latency", c.cxl_access_latency, Nanos{0}, millis(1));
+  v.field("cxl_switch_latency", c.cxl_switch_latency, Nanos{0}, millis(1));
+  v.field("cxl_request_overhead", c.cxl_request_overhead, Nanos{0}, millis(1));
+}
+
+template <class V>
 void visit_fields(TestbedConfig& c, V&& v) {
   v.field("system", c.system);
   v.nested("llc", c.llc);
@@ -410,6 +457,8 @@ void visit_fields(TestbedConfig& c, V&& v) {
   v.field("legacy_pool_buffers", c.legacy_pool_buffers, std::size_t{1}, std::size_t{1} << 28);
   v.field("shring_pool_entries", c.shring_pool_entries, std::size_t{1}, std::size_t{1} << 28);
   v.field("ceio_auto_credits", c.ceio_auto_credits);
+  v.nested("mem", c.mem);
+  v.nested("policy", c.policy);
   v.nested("telemetry", c.telemetry);
   v.nested("sim", c.sim);
   v.field("seed", c.seed);
@@ -452,6 +501,8 @@ void for_each_registered_config(F&& f) {
   f("TenantConfig", tenant::TenantConfig{});
   f("TenantSetConfig", tenant::TenantSetConfig{});
   f("WayControllerConfig", tenant::WayControllerConfig{});
+  f("PolicyConfig", policy::PolicyConfig{});
+  f("CxlMemConfig", CxlMemConfig{});
   f("TestbedConfig", TestbedConfig{});
 }
 

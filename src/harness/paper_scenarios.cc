@@ -108,6 +108,27 @@ void register_paper_scenarios(ScenarioRegistry& registry) {
     registry.add({"multitenant-short",
                   "multi-tenant smoke scenario (check.sh golden stage)", s});
   }
+  // §6.4 future-work ablation: CEIO's slow path on CXL-attached SRAM (no
+  // internal PCIe switch, SRAM-class access). The `mem.cxl_*` axis composes
+  // with any scenario; this preset is the bench/ablation_cxl shape as a
+  // named starting point for sweeps.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.testbed.mem.cxl_enabled = true;
+    s.measure = millis(2);
+    registry.add({"cxl-slowpath",
+                  "CEIO with CXL-attached SRAM slow-path memory (paper 6.4)", s});
+  }
+  // Governed counterpart of ceio-kv-short: the online datapath governor in
+  // reactive mode (policy.* keys). The check.sh shards gate also runs this
+  // at sim.domains=4 to prove governor decisions are sharding-invariant.
+  {
+    ExperimentSpec s = base_spec(SystemKind::kCeio);
+    s.testbed.policy.governor = policy::GovernorMode::kReactive;
+    s.measure = millis(2);
+    registry.add({"governed-kv-short",
+                  "CEIO + KV with the reactive datapath governor", s});
+  }
   // Figure 12's flow-scaling question pushed to a million flows: 2^20 echo
   // flows over 8 event domains (one port/NUMA slice each), ~1.28 Mbps per
   // flow so every per-domain 200 G link runs at ~84% load. Poisson

@@ -18,8 +18,46 @@ void DatapathBase::register_flow(const FlowRuntime& rt) {
     // Bypass flows write into distinct app-memory regions; keep per-flow id
     // spaces disjoint (a 24-bit region per flow, far above any pool range).
     fs.next_bypass_buffer = kBypassBufferBase + (static_cast<BufferId>(rt.config.id) << 24);
+    // The per-kind policy default covers flows added mid-run (dynamic
+    // schedules register flows while the governor is already steering).
+    fs.path_override = kind_path_[static_cast<std::size_t>(rt.config.kind)];
   }
   on_flow_registered(fs);
+  if (inserted && fs.path_override != policy::FlowPathOverride::kAuto) {
+    on_flow_path_changed(fs);
+  }
+}
+
+void DatapathBase::set_flow_path(FlowId id, policy::FlowPathOverride path) {
+  FlowState* fs = state_of(id);
+  if (fs == nullptr) return;
+  fs->path_pinned = true;
+  if (fs->path_override == path) return;
+  fs->path_override = path;
+  on_flow_path_changed(*fs);
+}
+
+policy::FlowPathOverride DatapathBase::flow_path(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? policy::FlowPathOverride::kAuto : it->second.path_override;
+}
+
+void DatapathBase::set_kind_path(FlowKind kind, policy::FlowPathOverride path) {
+  auto& slot = kind_path_[static_cast<std::size_t>(kind)];
+  if (slot == path) return;
+  slot = path;
+  // Sorted sweep: the change notification order must not depend on hash
+  // order (CEIO reacts by scheduling drain kicks).
+  det::for_sorted(flows_, [&](FlowId, FlowState& fs) {
+    if (fs.rt.config.kind != kind || fs.path_pinned) return;
+    if (fs.path_override == path) return;
+    fs.path_override = path;
+    on_flow_path_changed(fs);
+  });
+}
+
+policy::FlowPathOverride DatapathBase::kind_path(FlowKind kind) const {
+  return kind_path_[static_cast<std::size_t>(kind)];
 }
 
 void DatapathBase::unregister_flow(FlowId id) {

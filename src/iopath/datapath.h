@@ -27,6 +27,7 @@
 #include "nic/packet.h"
 #include "nic/rx_ring.h"
 #include "pcie/dma_engine.h"
+#include "policy/policy_host.h"
 #include "sim/event_scheduler.h"
 
 namespace ceio {
@@ -56,7 +57,7 @@ struct FlowPathStats {
   std::int64_t dropped_pkts = 0;
 };
 
-class IoDatapath : public PacketSink {
+class IoDatapath : public PacketSink, public policy::PolicyHost {
  public:
   ~IoDatapath() override = default;
 
@@ -86,6 +87,14 @@ class DatapathBase : public IoDatapath {
   void set_telemetry(Telemetry* tele) override { tele_ = tele; }
   void register_metrics(MetricRegistry& registry) override;
 
+  // PolicyHost: path-steering overrides. The base keeps the bookkeeping
+  // (per-flow value, per-kind default applied at registration); policies
+  // that can actually steer observe changes via on_flow_path_changed.
+  void set_flow_path(FlowId id, policy::FlowPathOverride path) override;
+  policy::FlowPathOverride flow_path(FlowId id) const override;
+  void set_kind_path(FlowKind kind, policy::FlowPathOverride path) override;
+  policy::FlowPathOverride kind_path(FlowKind kind) const override;
+
   const FlowPathStats* flow_stats(FlowId id) const;
 
  protected:
@@ -99,12 +108,20 @@ class DatapathBase : public IoDatapath {
     std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
     std::unordered_map<std::uint64_t, std::uint32_t> processed_count;
     BufferId next_bypass_buffer = 0;  // rotating app-memory ids (bypass flows)
+    /// Policy-layer steering override (kAuto = the datapath's own machinery).
+    policy::FlowPathOverride path_override = policy::FlowPathOverride::kAuto;
+    /// True once set_flow_path pinned this flow explicitly — per-kind
+    /// defaults no longer touch it.
+    bool path_pinned = false;
     FlowPathStats stats;
   };
 
   /// Hook: called after register_flow creates the state (set up rings/rules).
   virtual void on_flow_registered(FlowState& fs) { (void)fs; }
   virtual void on_flow_unregistered(FlowState& fs) { (void)fs; }
+  /// Hook: called when the policy layer changes a flow's path override
+  /// (CEIO re-steers the flow's remap-table entry immediately).
+  virtual void on_flow_path_changed(FlowState& fs) { (void)fs; }
   /// Hook: called when the CPU finished one packet (CEIO releases credits).
   virtual void on_packet_processed_hook(FlowState& fs, const Packet& pkt) {
     (void)fs;
@@ -155,6 +172,10 @@ class DatapathBase : public IoDatapath {
   Telemetry* tele_ = nullptr;
 
  private:
+  /// Per-kind default overrides, indexed by FlowKind (applied to new flows
+  /// and to existing unpinned flows of the kind when changed).
+  policy::FlowPathOverride kind_path_[2] = {policy::FlowPathOverride::kAuto,
+                                            policy::FlowPathOverride::kAuto};
   void on_host_landed(FlowId flow, Packet pkt, RxRing* ring);
   void process_packet(FlowState& fs, Packet pkt, RxRing* ring);
 };

@@ -50,6 +50,14 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
   mc_ = std::make_unique<MemoryController>(sched_, *llc_, *dram_, *iio_, config_.mc);
   pcie_ = std::make_unique<PcieLink>(config_.pcie);
   dma_ = std::make_unique<DmaEngine>(sched_, *pcie_, *mc_, config_.dma);
+  if (config_.mem.cxl_enabled) {
+    // CXL-attached slow-path memory (paper §6.4): no internal PCIe switch,
+    // SRAM-class access, hardware-pipeline request handling. Applied to the
+    // config before the model is built so every consumer sees one truth.
+    config_.nic_mem.access_latency = config_.mem.cxl_access_latency;
+    config_.nic_mem.switch_latency = config_.mem.cxl_switch_latency;
+    config_.nic_mem.per_request_overhead = config_.mem.cxl_request_overhead;
+  }
   nic_mem_ = std::make_unique<NicMemory>(config_.nic_mem);
   rmt_ = std::make_unique<RmtEngine>(sched_, config_.rmt);
   nic_ = std::make_unique<Nic>(sched_, config_.nic);
@@ -95,12 +103,62 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
     if (it != flows_.end()) it->second.source->notify_dropped(pkt);
   });
 
+  if (config_.policy.governor != policy::GovernorMode::kOff) {
+    // The governor rides the event scheduler like the CEIO controller poll.
+    // When off (the default) nothing here runs and no event is ever
+    // scheduled — the simulation stays bit-identical to a governor-less
+    // build.
+    governor_ = std::make_unique<policy::DatapathGovernor>(config_.policy);
+    if (ceio_ != nullptr) {
+      governor_base_involved_cap_ = ceio_->config().landed_cap;
+      governor_base_bypass_cap_ = ceio_->config().bypass_landed_cap;
+    }
+    governor_timer_ = sched_.schedule_after(config_.policy.interval,
+                                            [this]() { governor_tick(); });
+  }
+
 #if defined(CEIO_AUDIT) && CEIO_AUDIT
   enable_audit();
 #endif
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  // The scheduler may outlive this testbed in some harnesses; a cancelled
+  // handle can never fire into freed state.
+  sched_.cancel(governor_timer_);
+}
+
+policy::GovernorSample Testbed::sample_governor_gauges() const {
+  policy::GovernorSample s;
+  s.premature_evictions = llc_->stats().premature_evictions;
+  s.ddio_occupancy = static_cast<std::int64_t>(llc_->ddio_occupancy());
+  s.ddio_capacity = static_cast<std::int64_t>(llc_->ddio_capacity());
+  std::int64_t ring = 0;
+  datapath_->for_each_ring(
+      [&ring](const RxRing& r) { ring += static_cast<std::int64_t>(r.size()); });
+  s.ring_backlog = ring;
+  if (ceio_ != nullptr) {
+    std::int64_t slow = 0;
+    for (const auto& [id, record] : flows_) {  // key-ordered map
+      slow += static_cast<std::int64_t>(ceio_->slow_backlog(id));
+    }
+    s.slow_backlog = slow;
+    s.credit_starvations = ceio_->runtime_stats().credit_switches_to_slow;
+  }
+  return s;
+}
+
+void Testbed::governor_tick() {
+  const policy::GovernorDecision d = governor_->decide(sample_governor_gauges());
+  if (d.changed) {
+    policy::apply_decision(d, *datapath_, sched_, governor_base_involved_cap_,
+                           governor_base_bypass_cap_);
+    CEIO_T_INSTANT(telemetry_.get(), TraceTrack::kGovernor, to_string(d.tier),
+                   sched_.now(), d.credit_scale, 0);
+  }
+  governor_timer_ = sched_.schedule_after(config_.policy.interval,
+                                          [this]() { governor_tick(); });
+}
 
 KvStore& Testbed::make_kv_store() {
   apps_.push_back(std::make_unique<KvStore>(rng_));
@@ -225,6 +283,16 @@ Telemetry& Testbed::enable_telemetry() {
     nic_->set_telemetry(tele);
     rmt_->set_telemetry(tele);
     datapath_->set_telemetry(tele);
+    if (governor_) {
+      reg.add_gauge("policy.tier", [this]() {
+        return static_cast<double>(static_cast<int>(governor_->tier()));
+      });
+      reg.add_gauge("policy.credit_scale",
+                    [this]() { return governor_->last_decision().credit_scale; });
+      reg.add_gauge("policy.decisions", [this]() {
+        return static_cast<double>(governor_->decision_changes());
+      });
+    }
   }
   telemetry_->set_enabled(true);
   return *telemetry_;

@@ -25,6 +25,7 @@
 #include "iopath/datapath.h"
 #include "net/flow_source.h"
 #include "net/network_link.h"
+#include "policy/governor.h"
 #include "sim/sim_config.h"
 #include "telemetry/telemetry.h"
 
@@ -35,6 +36,22 @@ class ModelAuditor;
 enum class SystemKind { kLegacy, kHostcc, kShring, kCeio };
 
 const char* to_string(SystemKind kind);
+
+/// Memory-technology ablation axis (`mem.*` keys): model the on-NIC elastic
+/// memory as CPU-attached CXL SRAM instead of BlueField-class onboard DRAM
+/// (paper §6.4 future work). When enabled, the testbed overrides the
+/// NicMemoryConfig latencies before constructing the model — no internal
+/// PCIe switch traversal, SRAM-class access, hardware-pipeline request
+/// handling — so it composes with every scenario and sweep.
+struct CxlMemConfig {
+  bool cxl_enabled = false;
+  /// CPU-attached SRAM access (replaces the onboard-DRAM access latency).
+  Nanos cxl_access_latency{40};
+  /// CXL fabric hop (replaces the internal PCIe switch traversal).
+  Nanos cxl_switch_latency{0};
+  /// Hardware-pipeline descriptor handling (replaces wimpy-core overhead).
+  Nanos cxl_request_overhead{5};
+};
 
 struct TestbedConfig {
   SystemKind system = SystemKind::kCeio;
@@ -66,6 +83,14 @@ struct TestbedConfig {
   /// Derive CEIO C_total from the LLC config (Eq. 1) minus a poll-lag
   /// margin; when false, ceio.total_credits is used as given.
   bool ceio_auto_credits = true;
+
+  /// Memory-technology ablation (CXL-attached slow-path memory).
+  CxlMemConfig mem;
+
+  /// Online datapath governor (`policy.*` keys). With the default kOff the
+  /// testbed schedules zero governor events — bit-identical to a build that
+  /// never had a policy layer.
+  policy::PolicyConfig policy;
 
   /// Telemetry subsystem parameters (only consulted by enable_telemetry).
   TelemetryConfig telemetry;
@@ -196,6 +221,8 @@ class Testbed {
   IoDatapath& datapath() { return *datapath_; }
   /// Non-null only when system == kCeio.
   CeioDatapath* ceio() { return ceio_; }
+  /// Non-null only when config.policy.governor != kOff.
+  policy::DatapathGovernor* governor() { return governor_.get(); }
   const TestbedConfig& config() const { return config_; }
 
  private:
@@ -233,6 +260,18 @@ class Testbed {
   // completions, feedback timers) may still reference their core/source.
   std::vector<FlowRecord> retired_flows_;
   Nanos measure_start_{0};
+
+  // Online governor (src/policy/): a periodic decision tick over this
+  // testbed's own gauges. All gauges are domain-local, so per-domain
+  // governors in sharded runs decide bitwise-identically at any shard count.
+  void governor_tick();
+  policy::GovernorSample sample_governor_gauges() const;
+  std::unique_ptr<policy::DatapathGovernor> governor_;
+  EventHandle governor_timer_;
+  /// Configured landing windows (post auto-credit derivation) — the base the
+  /// governor's landed_cap_scale multiplies.
+  std::size_t governor_base_involved_cap_ = 0;
+  std::size_t governor_base_bypass_cap_ = 0;
 
   void run_audit_sweep();
   void schedule_audit_sweep();

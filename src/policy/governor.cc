@@ -1,0 +1,183 @@
+#include "policy/governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_scheduler.h"
+
+namespace ceio::policy {
+
+const char* to_string(GovernorMode mode) {
+  switch (mode) {
+    case GovernorMode::kOff:
+      return "off";
+    case GovernorMode::kStatic:
+      return "static";
+    case GovernorMode::kReactive:
+      return "reactive";
+    case GovernorMode::kBudget:
+      return "budget";
+  }
+  return "?";
+}
+
+const char* to_string(GovernorTier tier) {
+  switch (tier) {
+    case GovernorTier::kCalm:
+      return "calm";
+    case GovernorTier::kWatch:
+      return "watch";
+    case GovernorTier::kSqueeze:
+      return "squeeze";
+  }
+  return "?";
+}
+
+const char* to_string(FlowPathOverride override_value) {
+  switch (override_value) {
+    case FlowPathOverride::kAuto:
+      return "auto";
+    case FlowPathOverride::kForceFast:
+      return "force-fast";
+    case FlowPathOverride::kForceSlow:
+      return "force-slow";
+  }
+  return "?";
+}
+
+namespace {
+
+ControllerRules governor_rules(const PolicyConfig& config) {
+  ControllerRules rules;
+  rules.reactive = config.governor != GovernorMode::kStatic;
+  rules.min_units = 0;
+  rules.grant_hold_ticks = config.grant_hold_ticks;
+  return rules;
+}
+
+}  // namespace
+
+DatapathGovernor::DatapathGovernor(const PolicyConfig& config)
+    // The governor governs a single datapath: one entity, no unit resource —
+    // it reuses the base's tick counter and grant-hold slot 0 only.
+    : PolicyController(governor_rules(config), {0}, 0), config_(config) {}
+
+GovernorDecision DatapathGovernor::bundle_for(GovernorTier tier) const {
+  GovernorDecision d;
+  d.tier = tier;
+  d.coalescing = config_.coalesce;
+  switch (tier) {
+    case GovernorTier::kCalm:
+      break;
+    case GovernorTier::kWatch:
+      d.credit_scale = config_.watch_credit_scale;
+      break;
+    case GovernorTier::kSqueeze:
+      d.credit_scale = config_.squeeze_credit_scale;
+      d.bypass_path = config_.squeeze_bypass_slow ? FlowPathOverride::kForceSlow
+                                                  : FlowPathOverride::kAuto;
+      d.landed_cap_scale = config_.squeeze_landed_scale;
+      break;
+  }
+  return d;
+}
+
+GovernorDecision DatapathGovernor::decide(const GovernorSample& sample) {
+  advance_tick();
+
+  // Differentiate the cumulative counters. Harness measurement resets can
+  // rewind them mid-run; the clamp turns that into one quiet sample.
+  const std::int64_t delta_evict =
+      std::max<std::int64_t>(sample.premature_evictions - last_evictions_, 0);
+  last_evictions_ = sample.premature_evictions;
+  const std::int64_t delta_starve =
+      std::max<std::int64_t>(sample.credit_starvations - last_starvations_, 0);
+  last_starvations_ = sample.credit_starvations;
+
+  if (config_.governor == GovernorMode::kStatic) {
+    GovernorDecision d;
+    d.tier = GovernorTier::kCalm;
+    d.credit_scale = config_.static_credit_scale;
+    d.bypass_path = config_.static_bypass_slow ? FlowPathOverride::kForceSlow
+                                               : FlowPathOverride::kAuto;
+    d.coalescing = config_.coalesce;
+    d.changed = first_tick_;
+    if (d.changed) ++changes_;
+    first_tick_ = false;
+    last_ = d;
+    return d;
+  }
+
+  const std::int64_t backlog = sample.ring_backlog + sample.slow_backlog;
+  bool hot = false;
+  if (config_.governor == GovernorMode::kBudget) {
+    // Budget tier: hold DDIO occupancy under a fraction of its capacity;
+    // premature evictions still count — they mean the budget already burst.
+    const double occ_frac =
+        sample.ddio_capacity > 0
+            ? static_cast<double>(sample.ddio_occupancy) /
+                  static_cast<double>(sample.ddio_capacity)
+            : 0.0;
+    hot = occ_frac > config_.occupancy_target ||
+          static_cast<double>(delta_evict) >= config_.evict_threshold;
+  } else {
+    hot = static_cast<double>(delta_evict) >= config_.evict_threshold ||
+          static_cast<double>(backlog) >= config_.backlog_threshold ||
+          static_cast<double>(delta_starve) >= config_.starvation_threshold;
+  }
+
+  if (hot) {
+    ++hot_streak_;
+    cool_streak_ = 0;
+  } else {
+    ++cool_streak_;
+    hot_streak_ = 0;
+  }
+
+  GovernorTier want = tier_;
+  if (hot_streak_ >= config_.escalate_ticks && tier_ != GovernorTier::kSqueeze) {
+    want = tier_ == GovernorTier::kCalm ? GovernorTier::kWatch : GovernorTier::kSqueeze;
+  } else if (cool_streak_ >= config_.relax_ticks && tier_ != GovernorTier::kCalm) {
+    want = tier_ == GovernorTier::kSqueeze ? GovernorTier::kWatch : GovernorTier::kCalm;
+  }
+
+  bool moved = false;
+  if (want != tier_) {
+    // Escalation under sustained pressure is never blocked; de-escalation
+    // respects the grant hold so a brief lull cannot flap the actuators.
+    if (want > tier_ || !held(0)) {
+      tier_ = want;
+      hold(0);
+      hot_streak_ = 0;
+      cool_streak_ = 0;
+      moved = true;
+      ++changes_;
+    }
+  }
+
+  GovernorDecision d = bundle_for(tier_);
+  d.changed = moved || first_tick_;
+  if (first_tick_ && !moved) ++changes_;
+  first_tick_ = false;
+  last_ = d;
+  return d;
+}
+
+void apply_decision(const GovernorDecision& decision, PolicyHost& host,
+                    EventScheduler& sched, std::size_t base_involved_cap,
+                    std::size_t base_bypass_cap) {
+  host.set_credit_scale(decision.credit_scale);
+  host.set_kind_path(FlowKind::kCpuBypass, decision.bypass_path);
+  if (decision.landed_cap_scale == 1.0) {
+    host.set_landed_caps(base_involved_cap, base_bypass_cap);
+  } else {
+    const auto scaled = [&](std::size_t base) {
+      const auto v = std::llround(static_cast<double>(base) * decision.landed_cap_scale);
+      return std::max<std::size_t>(static_cast<std::size_t>(std::max<long long>(v, 0)), 8);
+    };
+    host.set_landed_caps(scaled(base_involved_cap), scaled(base_bypass_cap));
+  }
+  sched.set_coalescing(decision.coalescing);
+}
+
+}  // namespace ceio::policy

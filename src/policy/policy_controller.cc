@@ -1,0 +1,100 @@
+#include "policy/policy_controller.h"
+
+#include <stdexcept>
+
+namespace ceio::policy {
+
+PolicyController::PolicyController(const ControllerRules& rules,
+                                   std::vector<int> initial_units, int total_units)
+    : rules_(rules), units_(std::move(initial_units)) {
+  if (units_.empty()) throw std::invalid_argument("controller needs at least one entity");
+  int claimed = 0;
+  for (const int u : units_) claimed += u;
+  if (claimed > total_units) {
+    throw std::invalid_argument("entity allocations exceed the resource total");
+  }
+  shared_ = total_units - claimed;
+  last_events_.assign(units_.size(), 0);
+  hold_until_.assign(units_.size(), 0);
+}
+
+Reallocation PolicyController::decide(const std::vector<GaugeSample>& samples) {
+  if (samples.size() != units_.size()) {
+    throw std::invalid_argument("gauge sample count does not match entity count");
+  }
+  Reallocation out;
+  out.units = units_;
+  ++tick_count_;
+
+  // Pressure per entity this tick: fresh pressure events plus weighted
+  // backlog, scaled by the entity's declared priority. Differentiating the
+  // cumulative counter makes the signal a rate, so an entity that suffered
+  // long ago but is now quiet donates; the priority weight is what lets a
+  // latency-critical victim out-bid an antagonist whose raw event count is
+  // larger but self-inflicted.
+  std::vector<double> pressure(samples.size(), 0.0);
+  for (std::size_t t = 0; t < samples.size(); ++t) {
+    const std::int64_t delta = samples[t].pressure_events - last_events_[t];
+    last_events_[t] = samples[t].pressure_events;
+    pressure[t] =
+        samples[t].priority *
+        (static_cast<double>(delta) +
+         rules_.backlog_weight * static_cast<double>(samples[t].backlog));
+  }
+  if (!rules_.reactive) return out;
+
+  // IOCA-style: grow the most-pressured entity's exclusive slice by one unit
+  // per tick — out of the shared pool while one exists (isolating the entity
+  // from its neighbors' churn), then from the least-pressured entity that
+  // can spare a unit. Only act when the gap is worth the churn.
+  std::size_t winner = 0;
+  for (std::size_t t = 1; t < pressure.size(); ++t) {
+    if (pressure[t] > pressure[winner]) winner = t;
+  }
+  if (shared_ > 0) {
+    if (pressure[winner] < rules_.react_threshold) return out;
+    --shared_;
+    ++units_[winner];
+    ++reallocations_;
+    hold_until_[winner] = tick_count_ + rules_.grant_hold_ticks;
+    out.changed = true;
+    out.from = Reallocation::kSharedPool;
+    out.to = winner;
+    out.units = units_;
+    return out;
+  }
+  // Pairwise migration once the pool is gone. Units only flow *up* the
+  // priority ladder: a donor must not outrank the winner, so an antagonist
+  // can never raid the latency-critical entity and no drain-steal cycle can
+  // form across priority classes. Between equal priorities the donor must be
+  // idle (pressure under donor_max_pressure) and off grant-hold — raiding a
+  // peer that is itself suffering just makes it the next tick's winner and
+  // the allocation oscillates unit-for-unit forever. A higher-priority
+  // winner ignores both guards: it may reclaim from a lower class at any
+  // time (e.g. units an antagonist grabbed in the warmup race, before the
+  // victim's queues had built up any pressure).
+  std::size_t donor = samples.size();
+  for (std::size_t t = 0; t < pressure.size(); ++t) {
+    if (t == winner || units_[t] <= rules_.min_units) continue;
+    if (samples[t].priority > samples[winner].priority) continue;
+    if (samples[t].priority >= samples[winner].priority) {
+      if (pressure[t] > rules_.donor_max_pressure) continue;
+      if (tick_count_ < hold_until_[t]) continue;
+    }
+    if (donor == samples.size() || pressure[t] < pressure[donor]) donor = t;
+  }
+  if (donor == samples.size()) return out;
+  if (pressure[winner] - pressure[donor] < rules_.react_threshold) return out;
+
+  --units_[donor];
+  ++units_[winner];
+  ++reallocations_;
+  hold_until_[winner] = tick_count_ + rules_.grant_hold_ticks;
+  out.changed = true;
+  out.from = donor;
+  out.to = winner;
+  out.units = units_;
+  return out;
+}
+
+}  // namespace ceio::policy

@@ -1,0 +1,109 @@
+// PolicyController: the shared shape of every runtime policy loop.
+//
+// Generalised from the multi-tenant WayPartitionController (PR 8): a pure
+// `decide(samples) -> Reallocation` over per-entity telemetry deltas, with
+// the priority-ladder and grant-hold stability rules that keep decisions
+// from flapping. "Units" are whatever discrete resource the concrete
+// controller arbitrates — DDIO ways for the way partitioner; derived
+// controllers (DatapathGovernor) reuse the tick/grant-hold machinery for
+// scalar decisions instead.
+//
+// The decision function is pure with respect to the simulation: only
+// controller-internal state (unit vector, last cumulative counters, hold
+// timers) advances, so tests drive it on synthetic gauge traces without a
+// simulator, and per-domain instances in sharded runs stay bitwise
+// reproducible at any shard count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ceio::policy {
+
+/// One entity's gauge snapshot at a controller tick.
+struct GaugeSample {
+  std::int64_t occupancy = 0;
+  std::int64_t capacity = 0;
+  /// Cumulative pressure events (the controller differentiates).
+  std::int64_t pressure_events = 0;
+  /// Instantaneous queue backlog (ring / slow-path packets).
+  std::int64_t backlog = 0;
+  /// Operator-declared pressure weight.
+  double priority = 1.0;
+};
+
+/// Stability rules shared by every controller built on this base.
+struct ControllerRules {
+  /// When false, decide() tracks pressure (so counters stay warm) but never
+  /// moves a unit — the static-policy degenerate case.
+  bool reactive = true;
+  /// Floor below which an entity can never donate.
+  int min_units = 1;
+  /// Minimum pressure gap (winner - donor) worth the churn of a migration.
+  double react_threshold = 8.0;
+  /// An equal-priority donor must be this idle before it can be raided.
+  double donor_max_pressure = 1.0;
+  /// Ticks a fresh grant is pinned against equal-priority reclamation.
+  std::int64_t grant_hold_ticks = 200;
+  /// Weight of instantaneous backlog in the pressure signal.
+  double backlog_weight = 0.0;
+};
+
+/// The outcome of one tick. `units` always holds the (possibly unchanged)
+/// per-entity allocation; `changed` says whether a unit actually moved.
+/// `from == kSharedPool` marks a carve-out from the shared pool.
+struct Reallocation {
+  static constexpr std::size_t kSharedPool = static_cast<std::size_t>(-1);
+  bool changed = false;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::vector<int> units;
+};
+
+class PolicyController {
+ public:
+  /// `initial_units` are the entities' exclusive allocations;
+  /// `total_units` is the whole resource — the difference is the shared
+  /// pool the reactive policy carves exclusive units out of first.
+  PolicyController(const ControllerRules& rules, std::vector<int> initial_units,
+                   int total_units);
+  virtual ~PolicyController() = default;
+
+  /// One decision tick over the entities' current gauges. Pure with respect
+  /// to the simulation: only controller-internal state advances.
+  Reallocation decide(const std::vector<GaugeSample>& samples);
+
+  const std::vector<int>& units() const { return units_; }
+  /// Units still in the shared pool (not yet carved into a slice).
+  int shared_units() const { return shared_; }
+  std::int64_t reallocations() const { return reallocations_; }
+  std::int64_t tick_count() const { return tick_count_; }
+  const ControllerRules& rules() const { return rules_; }
+
+ protected:
+  /// Tick bookkeeping for derived controllers that do not arbitrate units
+  /// (the governor): advance the tick counter and query/arm the single
+  /// grant-hold timer slot 0.
+  std::int64_t advance_tick() { return ++tick_count_; }
+  bool held(std::size_t entity) const {
+    return entity < hold_until_.size() && tick_count_ < hold_until_[entity];
+  }
+  void hold(std::size_t entity) {
+    if (entity < hold_until_.size()) {
+      hold_until_[entity] = tick_count_ + rules_.grant_hold_ticks;
+    }
+  }
+
+ private:
+  ControllerRules rules_;
+  std::vector<int> units_;
+  int shared_ = 0;
+  std::vector<std::int64_t> last_events_;
+  /// Tick index until which each entity's latest grant is pinned.
+  std::vector<std::int64_t> hold_until_;
+  std::int64_t tick_count_ = 0;
+  std::int64_t reallocations_ = 0;
+};
+
+}  // namespace ceio::policy

@@ -1,0 +1,82 @@
+// PolicyHost: the actuator surface a datapath exposes to the policy layer.
+//
+// Every knob here used to be constructor-time configuration scattered across
+// CeioConfig/HostccConfig/ShringConfig. Lifting them behind one interface
+// lets a runtime controller (src/policy/governor.h) retune a *live* datapath
+// — per-flow steering, credit budgets, landing windows, backpressure
+// aggressiveness — without rebuilding it, and gives every backend the same
+// no-op defaults so callers need not care which system is installed.
+//
+// Contract: every setter is exact at its neutral value. Installing the
+// default override (kAuto, scale 1.0) must leave the datapath bit-identical
+// to one that never saw the call — the governor-off goldens depend on it.
+// Direct calls to these actuators outside src/policy/ are rejected by the
+// `raw-actuator` lint rule (escape hatch: `// lint: allow-raw-actuator`),
+// so all runtime retuning flows through one auditable layer.
+#pragma once
+
+#include <cstddef>
+
+#include "nic/packet.h"
+
+namespace ceio::policy {
+
+/// Per-flow (or per-kind) steering override. kAuto defers to the datapath's
+/// own machinery (CEIO: credit balance / MPQ priority); the force values pin
+/// the flow to one path until the override is lifted.
+enum class FlowPathOverride {
+  kAuto,
+  kForceFast,  // DDIO fast path, never exiled to on-NIC memory
+  kForceSlow,  // on-NIC memory + elastic drain, never readmitted
+};
+
+const char* to_string(FlowPathOverride override_value);
+
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+
+  // ---- Per-flow path steering ----
+  /// Pins `id` to a path (or returns it to automatic steering). Unknown
+  /// flows are ignored; the override does not survive re-registration.
+  virtual void set_flow_path(FlowId id, FlowPathOverride path) {
+    (void)id;
+    (void)path;
+  }
+  virtual FlowPathOverride flow_path(FlowId id) const {
+    (void)id;
+    return FlowPathOverride::kAuto;
+  }
+  /// Default override applied to every current and future flow of `kind`
+  /// (flows with an explicit per-flow override keep it).
+  virtual void set_kind_path(FlowKind kind, FlowPathOverride path) {
+    (void)kind;
+    (void)path;
+  }
+  virtual FlowPathOverride kind_path(FlowKind kind) const {
+    (void)kind;
+    return FlowPathOverride::kAuto;
+  }
+
+  // ---- Credit budget (CEIO) ----
+  /// Scales the credit total: effective C = round(base * scale). The base is
+  /// whatever configuration or sharded arbitration installed, so the two
+  /// compose; scale 1.0 is exact (no rounding drift).
+  virtual void set_credit_scale(double scale) { (void)scale; }
+  virtual double credit_scale() const { return 1.0; }
+
+  // ---- Elastic-buffer landing windows (CEIO) ----
+  /// Resizes the landed-but-unconsumed drain caps for involved/bypass flows.
+  virtual void set_landed_caps(std::size_t involved_cap, std::size_t bypass_cap) {
+    (void)involved_cap;
+    (void)bypass_cap;
+  }
+
+  // ---- Backpressure aggressiveness (HostCC / ShRing) ----
+  /// Scales the congestion-signal thresholds: < 1.0 signals earlier, > 1.0
+  /// later. Scale 1.0 is exact.
+  virtual void set_backpressure_scale(double scale) { (void)scale; }
+  virtual double backpressure_scale() const { return 1.0; }
+};
+
+}  // namespace ceio::policy

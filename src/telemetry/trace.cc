@@ -28,6 +28,8 @@ const char* to_string(TraceTrack track) {
       return "datapath";
     case TraceTrack::kSampler:
       return "metric sampler";
+    case TraceTrack::kGovernor:
+      return "PolicyGovernor";
     case TraceTrack::kPathTrace:
       return "packet paths";
     case TraceTrack::kCount:

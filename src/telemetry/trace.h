@@ -40,6 +40,7 @@ enum class TraceTrack : std::uint8_t {
   kDatapath,        // datapath policy layer (delivery, drops)
   kSampler,         // periodic metric snapshots
   kPathTrace,       // sampled per-packet path traces
+  kGovernor,        // online policy governor decisions (src/policy/)
   kCount,
 };
 

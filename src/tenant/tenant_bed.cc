@@ -242,7 +242,7 @@ void TenantAssembly::tick() {
       // the ways the tenant actually owns now.
       const CeioConfig derived = derive_ceio_auto_credits(
           bed_.config().ceio, static_cast<std::size_t>(llc.tenant_way_capacity(t)));
-      ceio_[t]->set_total_credits(derived.total_credits);
+      ceio_[t]->set_total_credits(derived.total_credits);  // lint: allow-raw-actuator
     }
   }
   apply_budgets();

@@ -3,16 +3,21 @@
 // Periodically samples per-tenant pressure gauges (premature-eviction rate
 // and ring backlog — the same observables IOCA's contention detector and
 // A4's occupancy monitor use) and decides whether to migrate a DDIO way from
-// the least-pressured tenant to the most-pressured one. The decision
-// function is pure (state in, decision out) so tests drive it on synthetic
-// gauge traces without a simulation; the event-scheduler wiring lives in
-// TenantAssembly.
+// the least-pressured tenant to the most-pressured one. The arbitration
+// itself — pressure differentiation, priority ladder, grant-hold — lives in
+// the shared policy::PolicyController base (src/policy/); this class is the
+// tenant-facing adapter that maps WayControllerConfig onto ControllerRules
+// and keeps the tenant vocabulary (ways, repartitions) for its callers. The
+// decision function stays pure (state in, decision out) so tests drive it on
+// synthetic gauge traces without a simulation; the event-scheduler wiring
+// lives in TenantAssembly.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "policy/policy_controller.h"
 #include "tenant/tenant_config.h"
 
 namespace ceio::tenant {
@@ -40,7 +45,7 @@ struct WayDecision {
   std::vector<int> ways;
 };
 
-class WayPartitionController {
+class WayPartitionController : public policy::PolicyController {
  public:
   /// `initial_ways` are the tenants' exclusive slices; `total_io_ways` is the
   /// whole DDIO partition width — the difference is the shared pool the
@@ -53,21 +58,14 @@ class WayPartitionController {
   /// premature counters) advances.
   WayDecision decide(const std::vector<TenantGaugeSample>& samples);
 
-  const std::vector<int>& ways() const { return ways_; }
+  const std::vector<int>& ways() const { return units(); }
   /// Ways still in the shared pool (not yet carved into a slice).
-  int shared_ways() const { return shared_; }
-  std::int64_t repartitions() const { return repartitions_; }
+  int shared_ways() const { return shared_units(); }
+  std::int64_t repartitions() const { return reallocations(); }
   const WayControllerConfig& config() const { return config_; }
 
  private:
   WayControllerConfig config_;
-  std::vector<int> ways_;
-  int shared_ = 0;
-  std::vector<std::int64_t> last_premature_;
-  /// Tick index until which each tenant's latest grant is pinned.
-  std::vector<std::int64_t> hold_until_;
-  std::int64_t tick_count_ = 0;
-  std::int64_t repartitions_ = 0;
 };
 
 }  // namespace ceio::tenant

@@ -55,7 +55,7 @@ TEST(ConfigValidate, RegisteredDefaultsAreInRange) {
 
 TEST(ConfigSchema, RegistersEveryStruct) {
   const auto names = config::registered_struct_names();
-  EXPECT_EQ(names.size(), 29u);
+  EXPECT_EQ(names.size(), 31u);
   EXPECT_EQ(names.front(), "LlcConfig");
   EXPECT_EQ(names.back(), "TestbedConfig");
 }

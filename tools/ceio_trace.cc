@@ -47,7 +47,9 @@ struct Options {
   std::uint32_t path_every = 64; // per-packet path sampling (0 disables)
   std::size_t trace_cap = 1 << 18;
   bool tenants = false;          // record the multi-tenant co-location deployment
-  std::string policy = "static"; // way-partition policy in --tenants mode
+  // Datapath governor mode (policy.governor); with --tenants the same flag
+  // selects the way-partition policy instead ("off"/"static" = no controller).
+  std::string policy = "off";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -70,7 +72,10 @@ struct Options {
       "  --tenants                            record the kv/linefs/thrasher co-location\n"
       "                                       deployment (each tenant's gauges become a\n"
       "                                       separate Perfetto counter track)\n"
-      "  --policy=static|reactive             way-partition policy with --tenants\n",
+      "  --policy=off|static|reactive|budget  datapath governor mode (default off);\n"
+      "                                       decisions appear on the PolicyGovernor\n"
+      "                                       Perfetto track. With --tenants, selects\n"
+      "                                       the way-partition policy instead\n",
       argv0);
   std::exit(2);
 }
@@ -138,7 +143,9 @@ Options parse(int argc, char** argv) {
     }
   }
   if (opt.flows <= 0 || opt.pkt <= Bytes{0} || opt.ms <= 0 || opt.out.empty() ||
-      opt.trace_cap == 0 || (opt.policy != "static" && opt.policy != "reactive")) {
+      opt.trace_cap == 0 ||
+      (opt.policy != "off" && opt.policy != "static" && opt.policy != "reactive" &&
+       opt.policy != "budget")) {
     usage(argv[0]);
   }
   return opt;
@@ -158,6 +165,17 @@ int main(int argc, char** argv) {
   // The multitenant presets run on a 3 MiB LLC slice (SNC share) so the
   // shared DDIO pool churns on the contention timescale; match it here.
   if (opt.tenants) config.llc.total_bytes = 3 * kMiB;
+  if (!opt.tenants) {
+    // Single-datapath runs hand --policy to the online governor; its
+    // decisions land on the PolicyGovernor trace track.
+    if (opt.policy == "static") {
+      config.policy.governor = policy::GovernorMode::kStatic;
+    } else if (opt.policy == "reactive") {
+      config.policy.governor = policy::GovernorMode::kReactive;
+    } else if (opt.policy == "budget") {
+      config.policy.governor = policy::GovernorMode::kBudget;
+    }
+  }
   Testbed bed(config);
 
   std::unique_ptr<tenant::TenantAssembly> assembly;
@@ -167,6 +185,9 @@ int main(int argc, char** argv) {
     if (opt.policy == "reactive") {
       ctl.enabled = true;
       ctl.policy = tenant::PartitionPolicy::kReactive;
+    } else if (opt.policy == "budget") {
+      ctl.enabled = true;
+      ctl.policy = tenant::PartitionPolicy::kBudget;
     }
     assembly = std::make_unique<tenant::TenantAssembly>(bed, set, ctl);
     for (const auto& e : assembly->roster()) {
@@ -258,6 +279,13 @@ int main(int argc, char** argv) {
   std::printf("  path records: %zu complete, %zu open, %llu dropped\n",
               paths.records().size(), paths.open_count(),
               static_cast<unsigned long long>(paths.dropped()));
+  if (policy::DatapathGovernor* gov = bed.governor()) {
+    std::printf("  governor: mode=%s tier=%s decisions=%lld credit_scale=%.2f "
+                "(instants on the PolicyGovernor track)\n",
+                to_string(gov->config().governor), to_string(gov->tier()),
+                static_cast<long long>(gov->decision_changes()),
+                gov->last_decision().credit_scale);
+  }
 #if !defined(CEIO_TELEMETRY) || !CEIO_TELEMETRY
   std::printf("  note: model trace hooks compiled out (build with -DCEIO_TELEMETRY=ON "
               "for spans, instants and packet paths)\n");

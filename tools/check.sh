@@ -20,15 +20,18 @@
 #   7. ubsan build + test   CEIO_AUDIT=ON + CEIO_SANITIZE=undefined
 #   8. tsan sweep           CEIO_SANITIZE=thread; a multi-axis ceio_sim sweep
 #                           at --jobs 4, byte-compared against --jobs 1
-#   9. tsan shards          CEIO_SANITIZE=thread; the sharded-kv-short
-#                           scenario at --shards 4, byte-compared against
-#                           --shards 1 (conservative-lookahead determinism)
+#   9. tsan shards          CEIO_SANITIZE=thread; the sharded-kv-short and
+#                           governed-kv-short (sim.domains=4) scenarios at
+#                           --shards 4, byte-compared against --shards 1
+#                           (conservative-lookahead determinism, including
+#                           the datapath governor's decisions)
 #  10. clang-tidy           over src/ using the .clang-tidy profile
 #  11. perf gate            bench/perf_core from the release tree vs the
 #                           committed BENCH_perf_core.json baseline; fails on
 #                           a >25% drop in events_per_sec, llc_ops_per_sec,
-#                           sharded_pkts_per_sec or multitenant_pkts_per_sec
-#                           (one rerun absorbs noise)
+#                           sharded_pkts_per_sec, multitenant_pkts_per_sec
+#                           or fig10_governed_pkts_per_sec (one rerun
+#                           absorbs noise)
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -143,6 +146,14 @@ else
       <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario ceio-kv-short) || golden_status=1
     diff "${REPO_ROOT}/tools/golden/ceio_sim_multitenant-short.txt" \
       <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario multitenant-short) || golden_status=1
+    # Policy-layer neutrality: with the governor explicitly off the policy
+    # plumbing must be invisible — same goldens, byte for byte.
+    diff "${REPO_ROOT}/tools/golden/ceio_sim_ceio-kv-short.txt" \
+      <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario ceio-kv-short \
+        --set policy.governor=off) || golden_status=1
+    diff "${REPO_ROOT}/tools/golden/ceio_sim_multitenant-short.txt" \
+      <("${CHECK_ROOT}/release/tools/ceio_sim" --scenario multitenant-short \
+        --set policy.governor=off) || golden_status=1
     [[ "${golden_status}" -eq 0 ]] && echo "outputs match committed goldens"
   fi
   stage_result migration-safety "${golden_status}"
@@ -201,12 +212,27 @@ else
     TSAN_OPTIONS="halt_on_error=1" "${tsan_tree}/tools/ceio_sim" \
       --scenario sharded-kv-short --ms 1 --shards "$1"
   }
+  # The governed variant proves the datapath governor's decisions are
+  # sharding-invariant: per-domain governors tick on domain-local gauges, so
+  # the worker-thread count must not change a single byte.
+  tsan_governed() {  # tsan_governed <shards>
+    TSAN_OPTIONS="halt_on_error=1" "${tsan_tree}/tools/ceio_sim" \
+      --scenario governed-kv-short --ms 1 --set sim.domains=4 --shards "$1"
+  }
   if [[ -x "${tsan_tree}/tools/ceio_sim" ]]; then
     if diff <(tsan_sharded 1) <(tsan_sharded 4); then
       echo "sharded report byte-identical under TSan at --shards 4"
       tsan_shards_status=0
     else
       echo "sharded run diverges or raced under TSan"
+    fi
+    if [[ "${tsan_shards_status}" -eq 0 ]]; then
+      if diff <(tsan_governed 1) <(tsan_governed 4); then
+        echo "governed sharded report byte-identical under TSan at --shards 4"
+      else
+        echo "governed sharded run diverges or raced under TSan"
+        tsan_shards_status=1
+      fi
     fi
   fi
   stage_result tsan-shards "${tsan_shards_status}"
@@ -244,7 +270,7 @@ base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
 ok = True
 for key in ("events_per_sec", "llc_ops_per_sec", "sharded_pkts_per_sec",
-            "multitenant_pkts_per_sec"):
+            "multitenant_pkts_per_sec", "fig10_governed_pkts_per_sec"):
     b, f = float(base[key]), float(fresh[key])
     ratio = f / b if b else 1.0
     print(f"  {key}: baseline {b:.0f}  fresh {f:.0f}  ({ratio:.2f}x)")

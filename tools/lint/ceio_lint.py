@@ -45,6 +45,15 @@ unreflected-config
     validation see it. A config type that genuinely cannot be reflected
     annotates its definition line with `// lint: allow-unreflected`.
 
+raw-actuator
+    The PolicyHost actuators (credit scale, steer-path overrides, landing
+    caps, backpressure scale, scheduler coalescing, credit-budget resets)
+    are the governor's write surface: a layer mutating them directly from
+    outside src/policy/ bypasses the decision ladder, its grant-hold
+    stability rules and the Perfetto decision track. Call sites that own
+    an actuator legitimately (the sharded credit arbiter, the tenant bed)
+    annotate with `// lint: allow-raw-actuator`.
+
 cross-shard
     Receiver-side model code (datapaths, baselines, NIC/PCIe/host models)
     must not touch FlowSource directly: in sharded runs the source lives in
@@ -273,8 +282,39 @@ def check_cross_shard(findings: list[Finding]) -> None:
                             "across domains, or annotate '// lint: allow-cross-shard'"))
 
 
+# Actuator setters reachable through PolicyHost (plus the CEIO credit-budget
+# reset and the scheduler coalescing knob the governor drives). Only matched
+# as member calls (`.` / `->`), so defining the setters inside the backends
+# stays legal; src/policy/ itself is the one place raw pushes belong.
+RAW_ACTUATOR_RE = re.compile(
+    r"(?:\.|->)\s*(set_credit_scale|set_flow_path|set_kind_path|set_landed_caps|"
+    r"set_backpressure_scale|set_total_credits|set_coalescing)\s*\("
+)
+
+
+def check_raw_actuator(findings: list[Finding]) -> None:
+    rule = "raw-actuator"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(("src",), (".h", ".cc", ".cpp")):
+        rel_parts = path.relative_to(REPO_ROOT).parts
+        if len(rel_parts) > 1 and rel_parts[1] == "policy":
+            continue  # the policy layer is where actuator pushes belong
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            m = RAW_ACTUATOR_RE.search(line)
+            if m:
+                findings.append(
+                    Finding(rule, path, lineno,
+                            f"'{m.group(1)}' is a policy actuator mutated outside "
+                            "src/policy/; route the change through the governor "
+                            "(policy/governor.h) or annotate "
+                            "'// lint: allow-raw-actuator' on an owning call site"))
+
+
 RULES = {
     "cross-shard": check_cross_shard,
+    "raw-actuator": check_raw_actuator,
     "raw-unit-param": check_raw_unit_params,
     "std-function-hot-path": check_std_function_hot_path,
     "past-schedule": check_past_schedule,

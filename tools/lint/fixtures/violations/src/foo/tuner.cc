@@ -1,0 +1,8 @@
+// Seeded raw-actuator violations: a policy actuator mutated directly from
+// model code, plus its suppressed twin on an owning call site.
+#include "foo/model.h"
+
+void tune(Datapath* dp) {
+  dp->set_credit_scale(0.5);
+  dp->set_credit_scale(0.5);  // lint: allow-raw-actuator
+}

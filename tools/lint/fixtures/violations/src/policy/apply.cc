@@ -1,0 +1,5 @@
+// The policy layer is the one place raw actuator pushes belong: this file
+// must stay silent under the raw-actuator rule.
+#include "foo/model.h"
+
+void apply(Datapath* dp) { dp->set_credit_scale(0.5); }
