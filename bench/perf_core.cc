@@ -15,18 +15,29 @@
 //              before they fire).
 //   llc        hit-heavy (working set fits), miss-heavy (streaming ids) and
 //              premature-eviction (DDIO flood faster than the CPU drains).
+//              Each case also publishes its own top-level key — the
+//              aggregate once hid a 2.3x hit-path regression behind a
+//              miss-path win, so the gate now watches all three.
+//   flow_lookup per-packet flow-state lookup through FlowTable at 2^10 to
+//              2^20 flows, dense ids (slab pages full) and sparse ids
+//              (one entry per directory page — the layout-adverse case).
 //   testbed    one canonical end-to-end CEIO experiment (16 KV flows), so
 //              the full NIC->PCIe->LLC->CPU pipeline has a wall-clock
 //              packets/sec trajectory, not just the two primitives.
+//
+// `peak_rss_bytes` (VmHWM from /proc/self/status, sampled after the testbed
+// cases) tracks the process footprint of the end-to-end runs.
 //
 // All workloads are seeded deterministically; wall-clock is the only
 // non-deterministic output.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/flow_table.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
@@ -46,6 +57,23 @@ using ceio::Rng;
 double now_seconds() {
   using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+/// High-water-mark RSS of this process (VmHWM), in bytes; 0 when
+/// /proc/self/status is unavailable (non-Linux).
+std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kib = 0;  // NOLINT(runtime/int): sscanf format
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+        std::sscanf(line + 6, "%llu", &kib) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kib) * 1024;
 }
 
 /// ceio::safe_rate keeps zero-op / zero-time runs from emitting NaN or inf.
@@ -261,6 +289,41 @@ Result bench_fig10_governed() {
   return r;
 }
 
+/// Per-packet flow-state lookup through FlowTable. `dense` packs ids 1..N
+/// (directory pages and slab chunks full — the KV/flowscale layout); sparse
+/// strides ids 61 apart so most 4096-entry directory pages hold ~67 flows
+/// (the layout-adverse case: every lookup touches a different page). The
+/// lookup order is a shuffled permutation replayed round-robin, modelling
+/// packet arrival order that ignores id locality.
+Result bench_flow_lookup(std::size_t flows, bool dense, std::uint64_t total_ops) {
+  ceio::FlowTable<std::uint64_t> table;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::uint64_t id = dense ? i + 1 : i * 61 + 1;
+    table[id] = id * 3;
+    ids.push_back(id);
+  }
+  Rng rng(0xF10A + flows + (dense ? 1 : 0));
+  for (std::size_t i = flows; i > 1; --i) {  // Fisher-Yates on the lookup order
+    std::swap(ids[i - 1], ids[static_cast<std::size_t>(
+                              rng.uniform(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  std::uint64_t sink = 0;
+  const double t0 = now_seconds();
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    sink += *table.find(ids[i % flows]);
+  }
+  const double t1 = now_seconds();
+  Result r;
+  r.name = std::string("flow_lookup_") + (dense ? "dense_" : "sparse_") +
+           std::to_string(flows);
+  r.ops = total_ops;
+  r.seconds = t1 - t0;
+  r.peak_depth = sink & 1;  // keep the loop from being optimised away
+  return r;
+}
+
 LlcConfig default_llc() { return LlcConfig{}; }  // 12 MiB / 12-way / 2 DDIO ways
 
 /// Hit-heavy: working set well inside capacity, uniform re-reads.
@@ -311,14 +374,25 @@ Result bench_llc_premature(std::uint64_t total_ops) {
 }
 
 void emit_json(std::FILE* f, const std::vector<Result>& sched,
-               const std::vector<Result>& llc, const std::vector<Result>& testbed,
+               const std::vector<Result>& llc, const std::vector<Result>& flow_lookup,
+               const std::vector<Result>& testbed,
                double sched_events_per_sec, double llc_ops_per_sec,
-               double sharded_pkts_per_sec, double sharded_speedup,
-               double multitenant_pkts_per_sec, double fig10_governed_pkts_per_sec,
+               double flow_lookup_ops_per_sec, double sharded_pkts_per_sec,
+               double sharded_speedup, double multitenant_pkts_per_sec,
+               double fig10_governed_pkts_per_sec, std::uint64_t rss_bytes,
                double wall) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n", sched_events_per_sec);
   std::fprintf(f, "  \"llc_ops_per_sec\": %.0f,\n", llc_ops_per_sec);
+  // Per-case LLC keys: the aggregate is a harmonic blend, and a regression
+  // in one access pattern can hide behind a win in another (PR 8 hid a
+  // hit-path slowdown exactly this way) — so the perf gate watches each.
+  for (const auto& r : llc) {
+    std::fprintf(f, "  \"%s_ops_per_sec\": %.0f,\n", r.name.c_str(), r.ops_per_sec());
+  }
+  std::fprintf(f, "  \"flow_lookup_ops_per_sec\": %.0f,\n", flow_lookup_ops_per_sec);
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rss_bytes));
   double testbed_pkts = 0.0, testbed_secs = 0.0;
   for (const auto& r : testbed) {
     // sharded_*, multitenant_* and fig10_* carry their own headline keys.
@@ -356,6 +430,16 @@ void emit_json(std::FILE* f, const std::vector<Result>& sched,
                  r.ops_per_sec(), i + 1 < llc.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"flow_lookup\": [\n");
+  for (std::size_t i = 0; i < flow_lookup.size(); ++i) {
+    const auto& r = flow_lookup[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"ops_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.ops), r.seconds,
+                 r.ops_per_sec(), i + 1 < flow_lookup.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"testbed\": [\n");
   for (std::size_t i = 0; i < testbed.size(); ++i) {
     const auto& r = testbed[i];
@@ -387,6 +471,13 @@ int main(int argc, char** argv) {
   llc.push_back(bench_llc_miss(8'000'000));
   llc.push_back(bench_llc_premature(8'000'000));
 
+  std::vector<Result> flow_lookup;
+  for (const std::size_t flows : {std::size_t{1} << 10, std::size_t{1} << 15,
+                                  std::size_t{1} << 20}) {
+    flow_lookup.push_back(bench_flow_lookup(flows, /*dense=*/true, 8'000'000));
+    flow_lookup.push_back(bench_flow_lookup(flows, /*dense=*/false, 8'000'000));
+  }
+
   std::vector<Result> testbed;
   testbed.push_back(bench_testbed_pipeline());
   testbed.push_back(bench_sharded_pipeline(1));
@@ -399,23 +490,28 @@ int main(int argc, char** argv) {
   testbed.push_back(bench_fig10_governed());
   const double fig10_governed_pps = testbed.back().ops_per_sec();
 
+  // Peak RSS is sampled after the testbed family so it reflects the
+  // end-to-end deployments (the primitives' footprints are negligible).
+  const std::uint64_t rss = peak_rss_bytes();
+
   // Headline numbers: total ops / total seconds over each family.
-  std::uint64_t sched_ops = 0, llc_ops = 0;
-  double sched_secs = 0.0, llc_secs = 0.0;
+  std::uint64_t sched_ops = 0, llc_ops = 0, fl_ops = 0;
+  double sched_secs = 0.0, llc_secs = 0.0, fl_secs = 0.0;
   for (const auto& r : sched) { sched_ops += r.ops; sched_secs += r.seconds; }
   for (const auto& r : llc) { llc_ops += r.ops; llc_secs += r.seconds; }
+  for (const auto& r : flow_lookup) { fl_ops += r.ops; fl_secs += r.seconds; }
   const double wall = now_seconds() - wall0;
 
-  emit_json(stdout, sched, llc, testbed, rate(sched_ops, sched_secs),
-            rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps,
-            fig10_governed_pps, wall);
+  emit_json(stdout, sched, llc, flow_lookup, testbed, rate(sched_ops, sched_secs),
+            rate(llc_ops, llc_secs), rate(fl_ops, fl_secs), sharded_pps,
+            sharded_speedup, multitenant_pps, fig10_governed_pps, rss, wall);
   const char* paths[] = {out_path, argc > 2 ? argv[2] : nullptr};
   for (const char* path : paths) {
     if (path == nullptr) continue;
     if (std::FILE* f = std::fopen(path, "w")) {
-      emit_json(f, sched, llc, testbed, rate(sched_ops, sched_secs),
-                rate(llc_ops, llc_secs), sharded_pps, sharded_speedup, multitenant_pps,
-                fig10_governed_pps, wall);
+      emit_json(f, sched, llc, flow_lookup, testbed, rate(sched_ops, sched_secs),
+                rate(llc_ops, llc_secs), rate(fl_ops, fl_secs), sharded_pps,
+                sharded_speedup, multitenant_pps, fig10_governed_pps, rss, wall);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "warning: could not write %s\n", path);

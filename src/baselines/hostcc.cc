@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "common/det_map.h"
 #include "telemetry/telemetry.h"
 
 namespace ceio {
@@ -22,7 +21,7 @@ HostccDatapath::HostccDatapath(EventScheduler& sched, DmaEngine& dma, MemoryCont
 HostccDatapath::~HostccDatapath() { sched_.cancel(monitor_timer_); }
 
 void HostccDatapath::on_flow_registered(FlowState& fs) {
-  if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, "hostcc-rx");
+  if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, pool_, "hostcc-rx");
 }
 
 void HostccDatapath::on_packet(Packet pkt) {
@@ -60,9 +59,10 @@ void HostccDatapath::monitor_poll() {
     ++signals_;
     CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "hostcc_signal", now,
                    iio_.occupancy_fraction(), 0);
-    // Sorted snapshot: flows_ is hash-based (per-packet lookups), but the
-    // congestion notification order must not depend on hash iteration order.
-    det::for_sorted(flows_, [](FlowId, FlowState& fs) {
+    // Id-ordered walk: the congestion notifications all land at the same
+    // tick, so signal order must be a model property — the flow table's
+    // id-ordered iteration pins it to flow-id order.
+    flows_.for_each([](FlowId, FlowState& fs) {
       if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
     });
   }

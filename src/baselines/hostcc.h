@@ -42,7 +42,7 @@ class HostccDatapath : public DatapathBase {
   ~HostccDatapath() override;
 
   const char* name() const override { return "hostcc"; }
-  void on_packet(Packet pkt) override;
+  void on_packet(Packet pkt) override;  // lint: allow-packet-copy (move-sink)
 
   std::int64_t congestion_signals() const { return signals_; }
 

@@ -23,7 +23,7 @@ class LegacyDatapath : public DatapathBase {
 
   const char* name() const override { return "legacy-ddio"; }
 
-  void on_packet(Packet pkt) override {
+  void on_packet(Packet pkt) override {  // lint: allow-packet-copy (move-sink)
     FlowState* fs = state_of(pkt.flow);
     if (fs == nullptr) return;
     deliver_fast(*fs, std::move(pkt), fs->ring.get());
@@ -31,7 +31,7 @@ class LegacyDatapath : public DatapathBase {
 
  protected:
   void on_flow_registered(FlowState& fs) override {
-    if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, "legacy-rx");
+    if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, pool_, "legacy-rx");
   }
 
  private:

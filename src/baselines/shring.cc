@@ -13,7 +13,7 @@ ShringDatapath::~ShringDatapath() { sched_.cancel(sweep_timer_); }
 
 void ShringDatapath::sweep_stale_messages() {
   const Nanos now = sched_.now();
-  for (auto& [flow, messages] : msg_buffers_) {
+  msg_buffers_.for_each([&](FlowId, det::OrderedMap<std::uint64_t, HeldMessage>& messages) {
     for (auto it = messages.begin(); it != messages.end();) {
       if (now - it->second.last_progress > config_.stale_message_timeout) {
         for (const BufferId b : it->second.buffers) {
@@ -26,26 +26,26 @@ void ShringDatapath::sweep_stale_messages() {
         ++it;
       }
     }
-  }
+  });
   sweep_timer_ = sched_.schedule_after(config_.sweep_interval,
                                        [this]() { sweep_stale_messages(); });
 }
 
 void ShringDatapath::on_flow_registered(FlowState& fs) {
-  if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, "shring-rx");
+  if (!fs.ring) fs.ring = std::make_unique<RxRing>(config_.ring_entries, pool_, "shring-rx");
 }
 
 void ShringDatapath::on_flow_unregistered(FlowState& fs) {
   // Return any buffers still held by incomplete bypass messages.
-  const auto it = msg_buffers_.find(fs.rt.config.id);
-  if (it == msg_buffers_.end()) return;
-  for (auto& [msg, held] : it->second) {
+  auto* messages = msg_buffers_.find(fs.rt.config.id);
+  if (messages == nullptr) return;
+  for (auto& [msg, held] : *messages) {
     for (const BufferId b : held.buffers) {
       host_pool_.release(b);
       mc_.release_buffer(b);
     }
   }
-  msg_buffers_.erase(it);
+  msg_buffers_.erase(fs.rt.config.id);
 }
 
 void ShringDatapath::maybe_backpressure() {
@@ -60,10 +60,10 @@ void ShringDatapath::maybe_backpressure() {
   if (last_signal_ >= Nanos{0} && now - last_signal_ < config_.signal_min_gap) return;
   last_signal_ = now;
   ++signals_;
-  // Sorted sweep over the hash-based flow table: the per-source congestion
-  // events all land at the same tick, so signal order decides scheduler FIFO
-  // order downstream — pin it to flow-id order.
-  det::for_sorted(flows_, [](FlowId, FlowState& fs) {
+  // Id-ordered sweep: the per-source congestion events all land at the same
+  // tick, so signal order decides scheduler FIFO order downstream — the
+  // flow table's id-ordered walk pins it to flow-id order.
+  flows_.for_each([](FlowId, FlowState& fs) {
     if (fs.rt.source != nullptr) fs.rt.source->notify_host_congestion();
   });
 }
@@ -88,10 +88,12 @@ void ShringDatapath::deliver_bypass_pooled(FlowState& fs, Packet pkt) {
   pkt.host_buffer = *acquired;
   ++fs.stats.fast_path_pkts;
   const FlowId flow = fs.rt.config.id;
-  dma_.write_to_host(pkt.host_buffer, pkt.size, /*ddio=*/true,
-                     [this, flow, pkt = std::move(pkt)](Nanos) mutable {
-                       on_bypass_landed(flow, std::move(pkt));
-                     });
+  const BufferId buffer = pkt.host_buffer;
+  const Bytes size = pkt.size;
+  const PacketRef ref = pool_.make(std::move(pkt));
+  dma_.write_to_host(buffer, size, /*ddio=*/true, [this, flow, ref](Nanos) {
+    on_bypass_landed(flow, pool_.take(ref));
+  });
 }
 
 void ShringDatapath::on_bypass_landed(FlowId flow, Packet pkt) {

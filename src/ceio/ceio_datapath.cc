@@ -42,15 +42,9 @@ CeioDatapath::~CeioDatapath() {
   sched_.cancel(reactivate_timer_);
 }
 
-CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) {
-  const auto it = ext_.find(id);
-  return it == ext_.end() ? nullptr : &it->second;
-}
+CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) { return ext_.find(id); }
 
-const CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) const {
-  const auto it = ext_.find(id);
-  return it == ext_.end() ? nullptr : &it->second;
-}
+const CeioDatapath::Ext* CeioDatapath::ext_of(FlowId id) const { return ext_.find(id); }
 
 bool CeioDatapath::in_slow_mode(FlowId id) const {
   const Ext* ext = ext_of(id);
@@ -106,9 +100,9 @@ std::size_t CeioDatapath::debug_open_messages(FlowId id) const {
 
 void CeioDatapath::on_flow_registered(FlowState& fs) {
   const FlowId id = fs.rt.config.id;
-  fs.ring = std::make_unique<RxRing>(config_.fast_ring_entries, "ceio-fast");
-  auto [it, inserted] = ext_.try_emplace(id);
-  Ext& ext = it->second;
+  fs.ring = std::make_unique<RxRing>(config_.fast_ring_entries, pool_, "ceio-fast");
+  const bool inserted = !ext_.contains(id);
+  Ext& ext = ext_[id];
   if (inserted) {
     const std::size_t window = config_.async_drain ? config_.drain_window : 1;
     ext.elastic = std::make_unique<ElasticBuffer>(
@@ -154,8 +148,9 @@ void CeioDatapath::on_flow_unregistered(FlowState& fs) {
   credits_.remove_flow(id);
   // In-flight DMA-read callbacks reference the elastic buffer; park it until
   // the runtime is destroyed instead of freeing it under them.
-  if (auto node = ext_.extract(id); !node.empty() && node.mapped().elastic) {
-    retired_.push_back(std::move(node.mapped().elastic));
+  if (Ext* ext = ext_.find(id); ext != nullptr) {
+    if (ext->elastic) retired_.push_back(std::move(ext->elastic));
+    ext_.erase(id);
   }
   reactivation_order_.erase(
       std::remove(reactivation_order_.begin(), reactivation_order_.end(), id),
@@ -180,8 +175,7 @@ std::size_t CeioDatapath::driver_recv(FlowId id, Packet* out, std::size_t max_pk
   manual_pump(*fs, *ext);
   std::size_t n = 0;
   while (n < max_pkts && !ext->driver_queue.empty()) {
-    out[n++] = std::move(ext->driver_queue.front());
-    ext->driver_queue.pop_front();
+    out[n++] = ext->driver_queue.pop_front();
   }
   // Demand kick: the next in-order packet is on the slow path and has not
   // landed — start (or keep) the drain so a later call finds it. async_recv
@@ -263,13 +257,12 @@ void CeioDatapath::on_flow_path_changed(FlowState& fs) {
   const FlowId id = fs.rt.config.id;
   Ext* ext = ext_of(id);
   if (ext == nullptr) return;
-  const Nanos now = sched_.now();
   switch (fs.path_override) {
     case policy::FlowPathOverride::kForceSlow:
       if (!ext->slow_mode) {
         ext->slow_mode = true;
         ++rt_stats_.credit_switches_to_slow;
-        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", now,
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_slow", sched_.now(),
                        static_cast<double>(credits_.credits(id)), id);
         rmt_.update_action(id, SteerAction::kToNicMem);
       }
@@ -279,7 +272,7 @@ void CeioDatapath::on_flow_path_changed(FlowState& fs) {
       if (ext->slow_mode) {
         ext->slow_mode = false;
         ++rt_stats_.switches_back_to_fast;
-        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_fast", now,
+        CEIO_T_INSTANT(tele_, TraceTrack::kCreditController, "switch_to_fast", sched_.now(),
                        static_cast<double>(credits_.credits(id)), id);
         rmt_.update_action(id, SteerAction::kToHost);
         kick_drain(id, *ext);  // residual slow backlog still drains in order
@@ -344,8 +337,7 @@ void CeioDatapath::deliver_fast_path(FlowState& fs, Ext& ext, Packet pkt) {
   if (involved) {
     if (!ext.posted.empty()) {
       // Zero-copy: land directly in an application-posted buffer.
-      buffer = ext.posted.front();
-      ext.posted.pop_front();
+      buffer = ext.posted.pop_front();
     } else {
       const auto acquired = host_pool_.acquire();
       if (!acquired) {
@@ -369,20 +361,20 @@ void CeioDatapath::deliver_fast_path(FlowState& fs, Ext& ext, Packet pkt) {
   // The controller's match-action + credit work is pipelined ahead of the
   // DMA issue: it delays the packet but does not throttle the stream.
   const bool expect_read = fs.rt.app->reads_delivered_data();
-  sched_.schedule_after(
-      config_.controller_latency,
-      [this, id, buffer, expect_read, pkt = std::move(pkt)]() mutable {
-        CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kDmaIssue, sched_.now());
-        dma_.write_to_host(
-            buffer, pkt.size, /*ddio=*/true,
-            [this, id, pkt = std::move(pkt)](Nanos) mutable {
-              on_fast_landed(id, std::move(pkt));
-            },
-            expect_read);
-      });
+  // Park the packet: both hops of the pipelined issue capture its 4-byte
+  // handle, keeping the scheduler callback and the DMA completion inline.
+  const PacketRef ref = pool_.make(std::move(pkt));
+  sched_.schedule_after(config_.controller_latency, [this, id, buffer, expect_read, ref]() {
+    Packet* parked = pool_.get(ref);
+    CEIO_T_PATH_HOP(tele_, parked->flow, parked->seq, PathHop::kDmaIssue, sched_.now());
+    dma_.write_to_host(
+        buffer, parked->size, /*ddio=*/true,
+        [this, id, ref](Nanos) { on_fast_landed(id, ref); }, expect_read);
+  });
 }
 
-void CeioDatapath::on_fast_landed(FlowId flow, Packet pkt) {
+void CeioDatapath::on_fast_landed(FlowId flow, PacketRef ref) {
+  Packet pkt = pool_.take(ref);
   FlowState* fs = state_of(flow);
   Ext* ext = ext_of(flow);
   if (fs == nullptr || ext == nullptr) {
@@ -505,8 +497,7 @@ void CeioDatapath::manual_pump(FlowState& fs, Ext& ext) {
         return;
       case SwRing::Path::kSlow:
         if (!ext.landed_slow.empty()) {
-          ext.driver_queue.push_back(std::move(ext.landed_slow.front()));
-          ext.landed_slow.pop_front();
+          ext.driver_queue.push_back(ext.landed_slow.pop_front());
           ext.sw.consumed();
           continue;
         }
@@ -545,8 +536,7 @@ void CeioDatapath::pump(FlowId flow) {
       }
       case SwRing::Path::kSlow: {
         if (!ext->landed_slow.empty()) {
-          Packet pkt = std::move(ext->landed_slow.front());
-          ext->landed_slow.pop_front();
+          Packet pkt = ext->landed_slow.pop_front();
           ext->sw.consumed();
           process_one(*fs, *ext, std::move(pkt), /*was_slow=*/true);
           return;
@@ -576,21 +566,23 @@ void CeioDatapath::process_one(FlowState& fs, Ext& ext, Packet pkt, bool was_slo
   const FlowId flow = fs.rt.config.id;
   const bool slow_buffer = was_slow;
   CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kCpuStart, sched_.now());
-  work.on_done = [this, flow, pkt = std::move(pkt), slow_buffer](Nanos done) {
+  const PacketRef ref = pool_.make(std::move(pkt));
+  work.on_done = [this, flow, ref, slow_buffer](Nanos done) {
+    Packet done_pkt = pool_.take(ref);
     FlowState* fs2 = state_of(flow);
     Ext* ext2 = ext_of(flow);
-    if (pkt.host_buffer != 0) {
-      if (!slow_buffer) host_pool_.release(pkt.host_buffer);
-      mc_.release_buffer(pkt.host_buffer);
+    if (done_pkt.host_buffer != 0) {
+      if (!slow_buffer) host_pool_.release(done_pkt.host_buffer);
+      mc_.release_buffer(done_pkt.host_buffer);
     }
     if (fs2 == nullptr || ext2 == nullptr) return;
-    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kProcessed, done);
+    CEIO_T_PATH_DONE(tele_, done_pkt.flow, done_pkt.seq, PathHop::kProcessed, done);
     // Lazy release keys strictly on *fast-path* ring-head advancement:
     // slow-path packets never consumed a credit, so their processing must
     // not replenish credits whose buffers are still held in the fast ring.
-    if (!slow_buffer) note_processed_for_release(*fs2, *ext2, pkt);
+    if (!slow_buffer) note_processed_for_release(*fs2, *ext2, done_pkt);
     if (slow_buffer) kick_drain(flow, *ext2);  // the gate may have reopened
-    note_processed_message_progress(*fs2, pkt, done);
+    note_processed_message_progress(*fs2, done_pkt, done);
     ext2->cpu_pumping = false;
     pump(flow);
   };
@@ -770,7 +762,7 @@ void CeioDatapath::poll_flow(FlowId id, Ext& ext, Nanos now) {
 
 void CeioDatapath::set_telemetry(Telemetry* tele) {
   DatapathBase::set_telemetry(tele);
-  det::for_sorted(ext_, [tele](FlowId, Ext& ext) {
+  ext_.for_each([tele](FlowId, Ext& ext) {
     if (ext.elastic) ext.elastic->set_telemetry(tele);
   });
 }
@@ -785,16 +777,14 @@ void CeioDatapath::register_metrics(MetricRegistry& registry) {
                      [this]() { return static_cast<double>(credits_.active_count()); });
   registry.add_gauge("ceio.credits.balance_sum",
                      [this]() { return static_cast<double>(credits_.balance_sum()); });
-  // Integer accumulation: order-invariant, so the hash iteration order
-  // cannot reach the gauge value (a float sum would).
   registry.add_gauge("ceio.slow.backlog", [this]() {
     std::size_t total = 0;
-    for (const auto& [id, ext] : ext_) total += slow_backlog(id);  // analyze: allow-unordered-iter (order-invariant integer sum)
+    ext_.for_each([&](FlowId id, const Ext&) { total += slow_backlog(id); });
     return static_cast<double>(total);
   });
   registry.add_gauge("ceio.slow.flows_in_slow_mode", [this]() {
     std::size_t total = 0;
-    for (const auto& [id, ext] : ext_) total += ext.slow_mode ? 1u : 0u;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    ext_.for_each([&](FlowId, const Ext& ext) { total += ext.slow_mode ? 1u : 0u; });
     return static_cast<double>(total);
   });
   registry.add_gauge("ceio.rt.cca_triggers",

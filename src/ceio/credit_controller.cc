@@ -17,26 +17,26 @@ std::int64_t CreditController::fair_share() const {
 }
 
 std::int64_t CreditController::credits(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0 : it->second.balance;
+  const FlowCredits* fc = flows_.find(id);
+  return fc == nullptr ? 0 : fc->balance;
 }
 
 bool CreditController::active(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it != flows_.end() && it->second.active;
+  const FlowCredits* fc = flows_.find(id);
+  return fc != nullptr && fc->active;
 }
 
 std::int64_t CreditController::debt_of(FlowId id) const {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0;
+  const FlowCredits* fc = flows_.find(id);
+  if (fc == nullptr) return 0;
   std::int64_t debt = 0;
-  for (const auto& [_, owed] : it->second.owes) debt += owed;
+  for (const auto& [_, owed] : fc->owes) debt += owed;
   return debt;
 }
 
 std::int64_t CreditController::balance_sum() const {
   std::int64_t sum = free_pool_;
-  for (const auto& [_, fc] : flows_) sum += fc.balance;
+  flows_.for_each([&sum](FlowId, const FlowCredits& fc) { sum += fc.balance; });
   return sum;
 }
 
@@ -61,22 +61,24 @@ void CreditController::assign_to_new_flows(const std::vector<FlowId>& newcomers)
     // survive forever (property: ArrivalsStayFair). Draining strictly-
     // above-2x holders first bounds every balance near 2x the current
     // share without touching histories where nobody exceeds the cap.
-    for (auto& [id, fc] : flows_) {
-      if (still_needed <= 0) break;
-      if (!fc.active) continue;
-      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) continue;
+    flows_.for_each_desc([&](FlowId id, FlowCredits& fc) {
+      if (still_needed <= 0) return false;
+      if (!fc.active) return true;
+      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) return true;
       const std::int64_t excess = fc.balance - 2 * target;
-      if (excess <= 0) continue;
+      if (excess <= 0) return true;
       const std::int64_t give = std::min(excess, still_needed);
       fc.balance -= give;
       gathered += give;
       still_needed -= give;
-    }
+      return true;
+    });
     const std::int64_t per_incumbent = (still_needed + n - 1) / n;
-    for (auto& [id, fc] : flows_) {
-      if (!fc.active || still_needed <= 0) continue;
+    flows_.for_each_desc([&](FlowId id, FlowCredits& fc) {
+      if (still_needed <= 0) return false;
+      if (!fc.active) return true;
       // Skip the newcomers themselves.
-      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) continue;
+      if (std::find(newcomers.begin(), newcomers.end(), id) != newcomers.end()) return true;
       const std::int64_t ask = std::min(per_incumbent, still_needed);
       const std::int64_t give = std::clamp<std::int64_t>(fc.balance, 0, ask);
       fc.balance -= give;
@@ -96,7 +98,8 @@ void CreditController::assign_to_new_flows(const std::vector<FlowId>& newcomers)
           if (owe > 0) fc.owes[nj] += owe;
         }
       }
-    }
+      return true;
+    });
   }
 
   // Distribute the gathered balance equally among newcomers.
@@ -123,28 +126,28 @@ void CreditController::add_flows(const std::vector<FlowId>& arrivals) {
 }
 
 void CreditController::remove_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  if (it->second.active) --active_count_;
-  free_pool_ += it->second.balance;  // may absorb a negative overshoot
-  flows_.erase(it);
+  const FlowCredits* removed = flows_.find(id);
+  if (removed == nullptr) return;
+  if (removed->active) --active_count_;
+  free_pool_ += removed->balance;  // may absorb a negative overshoot
+  flows_.erase(id);
   // Cancel debts owed *to* the removed flow: the debtors simply keep their
   // future releases (no balance moves, so conservation holds).
-  for (auto& [_, fc] : flows_) fc.owes.erase(id);
+  flows_.for_each([id](FlowId, FlowCredits& fc) { fc.owes.erase(id); });
 }
 
 void CreditController::reclaim(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end() || !it->second.active) return;
-  it->second.active = false;
+  FlowCredits* fc = flows_.find(id);
+  if (fc == nullptr || !fc->active) return;
+  fc->active = false;
   --active_count_;
-  free_pool_ += it->second.balance;
-  it->second.balance = 0;
+  free_pool_ += fc->balance;
+  fc->balance = 0;
 }
 
 void CreditController::reactivate(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it != flows_.end() && it->second.active) return;
+  const FlowCredits* fc = flows_.find(id);
+  if (fc != nullptr && fc->active) return;
   add_flows({id});
 }
 
@@ -155,21 +158,21 @@ std::int64_t CreditController::consume(FlowId id, std::int64_t n) {
 }
 
 void CreditController::release(FlowId id, std::int64_t n) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) {
+  FlowCredits* found = flows_.find(id);
+  if (found == nullptr) {
     free_pool_ += n;  // flow vanished; its credits return to the system
     return;
   }
-  auto& fc = it->second;
+  auto& fc = *found;
   std::int64_t remaining = n;
   // Repay debts first (Algorithm 1 lines 19-25).
   for (auto debt = fc.owes.begin(); debt != fc.owes.end() && remaining > 0;) {
     const std::int64_t pay = std::min(debt->second, remaining);
     remaining -= pay;
     debt->second -= pay;
-    const auto creditor = flows_.find(debt->first);
-    if (creditor != flows_.end() && creditor->second.active) {
-      creditor->second.balance += pay;
+    FlowCredits* creditor = flows_.find(debt->first);
+    if (creditor != nullptr && creditor->active) {
+      creditor->balance += pay;
     } else {
       free_pool_ += pay;  // creditor gone or reclaimed: return to the pool
     }

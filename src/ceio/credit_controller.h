@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/det_map.h"
+#include "common/flow_table.h"
 #include "nic/packet.h"
 
 namespace ceio {
@@ -96,14 +97,14 @@ class CreditController {
   std::int64_t total_;
   std::int64_t free_pool_;
   std::size_t active_count_ = 0;
-  // Key-ordered: the Algorithm 1 donation loop walks incumbents and stops
-  // once the newcomers' ask is met, so iteration order decides who donates
-  // the remainder. A pinned comparator makes that decision a property of
-  // the model, reproducible across standard libraries and refactors.
-  // Descending id (newest flow donates first) is the order the committed
-  // goldens were recorded under: flows register in ascending id order and
-  // libstdc++ hash maps iterate newest-insertion-first.
-  det::OrderedMap<FlowId, FlowCredits, std::greater<FlowId>> flows_;
+  // Dense slab: consume() runs per fast-path packet, so the lookup must be
+  // an O(1) array probe. The Algorithm 1 donation loop walks incumbents and
+  // stops once the newcomers' ask is met, so iteration order decides who
+  // donates the remainder; it uses for_each_desc because descending id
+  // (newest flow donates first) is the order the committed goldens were
+  // recorded under — flows register in ascending id order and the original
+  // libstdc++ hash map iterated newest-insertion-first.
+  FlowTable<FlowCredits> flows_;
 };
 
 }  // namespace ceio

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
+#include "common/grow_ring.h"
 #include "common/units.h"
 #include "nic/nic_memory.h"
 #include "nic/packet.h"
@@ -38,7 +38,7 @@ class ElasticBuffer {
  public:
   /// Called when a drained packet's PCIe read completes; the caller finishes
   /// the host-side landing (so it controls cache placement and ring posting).
-  using LandedHandler = std::function<void(Packet pkt, Nanos now)>;
+  using LandedHandler = std::function<void(Packet pkt, Nanos now)>;  // lint: allow-packet-copy (move-sink)
 
   /// `gate` (optional) is consulted before each read is issued; returning
   /// false pauses the drain (e.g. too many landed-but-unconsumed packets
@@ -50,7 +50,7 @@ class ElasticBuffer {
 
   /// Buffers a packet in on-NIC memory. Returns false when the on-NIC
   /// memory is exhausted (caller drops the packet).
-  bool buffer_packet(Packet pkt);
+  bool buffer_packet(Packet pkt);  // lint: allow-packet-copy (move-sink)
 
   /// Requests draining. Sticky: reads keep being issued (window-bounded)
   /// until the ring and in-flight set are empty, including for packets that
@@ -79,7 +79,8 @@ class ElasticBuffer {
   std::size_t drain_window_;
   LandedHandler handler_;
   IssueGate gate_;
-  std::deque<Packet> ring_;
+  // Lazy FIFO: an idle flow's elastic buffer holds no ring storage.
+  GrowRing<Packet> ring_;
   int in_flight_ = 0;
   int pending_writes_ = 0;  // packets still being written into on-NIC DRAM
   bool draining_ = false;

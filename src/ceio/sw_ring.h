@@ -11,7 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+
+#include "common/grow_ring.h"
 
 namespace ceio {
 
@@ -25,7 +26,7 @@ class SwRing {
     if (!segments_.empty() && segments_.back().fast == fast) {
       ++segments_.back().count;
     } else {
-      segments_.push_back({fast, 1});
+      segments_.push_back(Segment{fast, 1});
     }
     ++pending_;
   }
@@ -49,7 +50,7 @@ class SwRing {
   /// coherent (checked by the model auditor).
   std::uint64_t segment_sum() const {
     std::uint64_t sum = 0;
-    for (const Segment& seg : segments_) sum += seg.count;
+    for (std::size_t i = 0; i < segments_.size(); ++i) sum += segments_.at(i).count;
     return sum;
   }
   /// Number of path segments outstanding (1 == single-path steady state).
@@ -66,7 +67,9 @@ class SwRing {
     bool fast;
     std::uint64_t count;
   };
-  std::deque<Segment> segments_;
+  // Run-length segments, consumed FIFO; lazy ring so an idle flow holds no
+  // segment storage at all (one SwRing per flow, 2^20 flows at fig12 scale).
+  GrowRing<Segment> segments_;
   std::uint64_t pending_ = 0;
 };
 

@@ -43,6 +43,7 @@ class InlineFunction<R(Args...), Capacity> {
       std::is_nothrow_move_constructible_v<F>;
 
   InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor): std::function parity
 
   template <typename F,
             typename = std::enable_if_t<

@@ -1,0 +1,95 @@
+// Outstanding-message start-time window for a flow source.
+//
+// Message ids are assigned by one monotone counter, so the set of
+// outstanding messages is always a dense id interval: a growable ring
+// indexed by (id - base) replaces the ordered map that used to hold it.
+// Insertion is an array store (no per-message tree-node allocation — this is
+// on the KV steady-state path, one entry per RPC), lookup is a bounds check,
+// and "oldest outstanding" — what the overflow guard evicts — is the front
+// of the ring, exactly the begin() of the key-ordered map it replaces.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ceio {
+
+class MessageWindow {
+ public:
+  /// Records `start` for `id`. Ids must be inserted in strictly increasing
+  /// order (they come from one monotone counter).
+  void insert(std::uint64_t id, Nanos start) {
+    if (live_ == 0 && count_ == 0) base_ = id;
+    assert(id == base_ + count_ && "message ids must be dense and increasing");
+    if (count_ == slots_.size()) grow();
+    Slot& slot = slots_[(head_ + count_) & (slots_.size() - 1)];
+    slot.start = start;
+    slot.live = true;
+    ++count_;
+    ++live_;
+  }
+
+  /// Removes `id` and writes its start time to `*start`; false when the id
+  /// is unknown (already completed, or evicted by the overflow guard).
+  bool take(std::uint64_t id, Nanos* start) {
+    if (id < base_ || id >= base_ + count_) return false;
+    Slot& slot = slots_[(head_ + static_cast<std::size_t>(id - base_)) & (slots_.size() - 1)];
+    if (!slot.live) return false;
+    *start = slot.start;
+    slot.live = false;
+    --live_;
+    trim();
+    return true;
+  }
+
+  /// Drops the oldest outstanding message (the overflow guard for open-loop
+  /// sources whose completions never arrive).
+  void evict_oldest() {
+    if (live_ == 0) return;
+    slots_[head_].live = false;  // trim() keeps the front slot live
+    --live_;
+    trim();
+  }
+
+  /// Outstanding messages (evicted and completed ids excluded).
+  std::size_t size() const { return live_; }
+
+ private:
+  struct Slot {
+    Nanos start{0};
+    bool live = false;
+  };
+
+  /// Advances past completed slots so the ring stays as tight as the live
+  /// interval (out-of-order completions leave interior holes; they are
+  /// reclaimed when the window front catches up to them).
+  void trim() {
+    while (count_ > 0 && !slots_[head_].live) {
+      head_ = (head_ + 1) & (slots_.size() - 1);
+      ++base_;
+      --count_;
+    }
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;  // slots spanned: live + interior holes
+  std::size_t live_ = 0;
+  std::uint64_t base_ = 0;  // id of the front slot
+};
+
+}  // namespace ceio

@@ -87,9 +87,6 @@ void RateMeter::reset() {
   last_ = Nanos{-1};
 }
 
-LatencyHistogram::LatencyHistogram()
-    : buckets_(static_cast<std::size_t>(kLog2Max) * kSubBuckets, 0) {}
-
 std::size_t LatencyHistogram::bucket_index(Nanos v) const {
   if (v < Nanos{1}) v = Nanos{1};
   int log2 = 0;
@@ -116,7 +113,10 @@ Nanos LatencyHistogram::bucket_upper(std::size_t idx) const {
 }
 
 void LatencyHistogram::add(Nanos latency) {
-  ++buckets_[bucket_index(latency)];
+  const std::size_t idx = bucket_index(latency);
+  auto& chunk = chunks_[idx / kChunkBuckets];
+  if (!chunk) chunk = std::make_unique<std::int64_t[]>(kChunkBuckets);  // zeroed
+  ++chunk[idx % kChunkBuckets];
   ++total_;
   sum_ += static_cast<double>(latency.count());
 }
@@ -126,15 +126,24 @@ Nanos LatencyHistogram::percentile(double p) const {
   const auto target = static_cast<std::int64_t>(
       std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_)));
   std::int64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= target) return bucket_upper(i);
+  for (std::size_t c = 0; c < kNumChunks; ++c) {
+    if (!chunks_[c]) continue;  // a null chunk is all zeros: nothing to count
+    for (std::size_t i = 0; i < kChunkBuckets; ++i) {
+      seen += chunks_[c][i];
+      if (seen >= target) return bucket_upper(c * kChunkBuckets + i);
+    }
   }
-  return bucket_upper(buckets_.size() - 1);
+  return bucket_upper(kNumBuckets - 1);
 }
 
 void LatencyHistogram::clear() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  // Zero in place rather than freeing: clear() is the warmup->measurement
+  // reset, and the next add() almost always lands in the same band — a
+  // freed chunk would be re-allocated inside the measured window (the
+  // zero-allocation test pins this).
+  for (auto& chunk : chunks_) {
+    if (chunk) std::fill(chunk.get(), chunk.get() + kChunkBuckets, 0);
+  }
   total_ = 0;
   sum_ = 0.0;
 }

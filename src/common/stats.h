@@ -4,14 +4,17 @@
 // Every experiment in bench/ reports through these types, so they are written
 // for predictable memory use: `PercentileTracker` keeps raw samples up to a
 // cap and then switches to uniform reservoir sampling; `LatencyHistogram`
-// uses fixed log-spaced buckets (HdrHistogram-style, coarse) and never
-// allocates after construction.
+// uses fixed log-spaced buckets (HdrHistogram-style, coarse) allocated
+// lazily in chunks — a flow whose latencies cluster in one band (they all
+// do) pays for one chunk, not the full range.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,10 +105,14 @@ class RateMeter {
 };
 
 /// Fixed log-spaced latency histogram covering [1 ns, ~17 s] with
-/// `kSubBuckets` linear sub-buckets per power of two.
+/// `kSubBuckets` linear sub-buckets per power of two. Bucket storage is
+/// allocated lazily in 64-bucket chunks (4 octaves each): there is one
+/// histogram per flow, and at million-flow scale the eager 4.5 KiB bucket
+/// array dominated per-flow memory while every flow's latencies landed in
+/// a chunk or two.
 class LatencyHistogram {
  public:
-  LatencyHistogram();
+  LatencyHistogram() = default;
 
   void add(Nanos latency);
   std::int64_t count() const { return total_; }
@@ -124,10 +131,16 @@ class LatencyHistogram {
  private:
   static constexpr int kLog2Max = 35;     // covers up to ~34 s
   static constexpr int kSubBuckets = 16;  // ~6% relative resolution
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kLog2Max) * kSubBuckets;
+  static constexpr std::size_t kChunkBuckets = 64;
+  static constexpr std::size_t kNumChunks =
+      (kNumBuckets + kChunkBuckets - 1) / kChunkBuckets;
   std::size_t bucket_index(Nanos v) const;
   Nanos bucket_upper(std::size_t idx) const;
 
-  std::vector<std::int64_t> buckets_;
+  // Lazily allocated, zero-initialised chunks; a null chunk is all zeros.
+  std::array<std::unique_ptr<std::int64_t[]>, kNumChunks> chunks_;
   std::int64_t total_ = 0;
   double sum_ = 0.0;
 };

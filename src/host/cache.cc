@@ -14,40 +14,35 @@ LlcModel::LlcModel(const LlcConfig& config) : config_(config) {
   const auto ways = static_cast<std::size_t>(std::max(config.ways, 1));
   const auto num_sets = std::max<std::size_t>(total_buffers / ways, 1);
   const auto ddio_ways = static_cast<std::size_t>(std::clamp(config.ddio_ways, 0, config.ways));
-  sets_.resize(num_sets);
-  for (auto& set : sets_) {
-    set.io_ways.resize(ddio_ways);
-    set.app_ways.resize(ways - ddio_ways);
-  }
+  num_sets_ = num_sets;
+  ways_per_set_ = ways;
+  io_ways_per_set_ = ddio_ways;
+  const std::size_t total_ways = num_sets * ways;
+  tags_.assign(total_ways, kInvalidTag);
+  stamps_.assign(total_ways, 0);
+  bytes_.assign(total_ways, Bytes{0});
+  flags_.assign(total_ways, 0);
   ddio_capacity_ = num_sets * ddio_ways;
   if ((num_sets & (num_sets - 1)) == 0) set_mask_ = num_sets - 1;
 }
 
-LlcModel::Entry* LlcModel::find(BufferId id) {
-  if (last_entry_ != nullptr && last_id_ == id && last_entry_->valid &&
-      last_entry_->id == id) {
-    return last_entry_;
+std::size_t LlcModel::find_way(BufferId id) const {
+  if (last_way_ != kNoWay && last_id_ == id && tags_[last_way_] == id &&
+      (flags_[last_way_] & kValid) != 0) {
+    return last_way_;
   }
-  auto& set = sets_[set_of(id)];
-  for (auto& e : set.io_ways) {
-    if (e.valid && e.id == id) {
+  const std::size_t base = row_base(set_of(id));
+  const BufferId* tags = tags_.data() + base;
+  for (std::size_t w = 0; w < ways_per_set_; ++w) {
+    // Invalid slots park their tag at kInvalidTag, so the compare alone
+    // rejects them; the flags byte is only consulted on the (rare) match.
+    if (tags[w] == id && (flags_[base + w] & kValid) != 0) {
       last_id_ = id;
-      last_entry_ = &e;
-      return &e;
+      last_way_ = base + w;
+      return base + w;
     }
   }
-  for (auto& e : set.app_ways) {
-    if (e.valid && e.id == id) {
-      last_id_ = id;
-      last_entry_ = &e;
-      return &e;
-    }
-  }
-  return nullptr;
-}
-
-const LlcModel::Entry* LlcModel::find(BufferId id) const {
-  return const_cast<LlcModel*>(this)->find(id);
+  return kNoWay;
 }
 
 std::size_t LlcModel::tenant_of_way(std::size_t way) const {
@@ -68,136 +63,128 @@ std::size_t LlcModel::tenant_of(BufferId id) const {
   return 0;
 }
 
-void LlcModel::note_io_eviction(std::size_t way, const Entry& victim) {
-  const std::size_t t = tenant_of_entry(way, victim.id);
+void LlcModel::note_io_eviction(std::size_t way, std::size_t idx) {
+  const std::size_t t = tenant_of_entry(way, tags_[idx]);
   auto& ts = tenant_stats_[t];
+  const std::uint8_t f = flags_[idx];
   ++ts.evictions;
-  if (victim.expect_read && !victim.read_since_fill) ++ts.premature_evictions;
-  if (victim.dirty) ++ts.writebacks;
+  if ((f & kExpectRead) != 0 && (f & kReadSinceFill) == 0) ++ts.premature_evictions;
+  if ((f & kDirty) != 0) ++ts.writebacks;
   if (tenant_resident_[t] > 0) --tenant_resident_[t];
 }
 
-LlcModel::Evicted LlcModel::fill(Entry* first, Entry* last, Entry* io_base, BufferId id,
-                                 Bytes size, bool io_partition, bool dirty, bool expect_read) {
+void LlcModel::place(std::size_t idx, BufferId id, Bytes size, bool io_partition, bool dirty,
+                     bool expect_read) {
+  tags_[idx] = id;
+  bytes_[idx] = size;
+  stamps_[idx] = ++clock_;
+  flags_[idx] = static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0) |
+                                          (expect_read ? kExpectRead : 0) |
+                                          (io_partition ? kIoPartition : 0));
+  last_id_ = id;
+  last_way_ = idx;
+}
+
+LlcModel::Evicted LlcModel::fill_range(std::size_t first, std::size_t last, bool io_attr,
+                                       std::size_t row0, BufferId id, Bytes size,
+                                       bool io_partition, bool dirty, bool expect_read) {
   Evicted out;
-  Entry* slot = nullptr;
+  std::size_t slot = kNoWay;
   // Prefer an invalid way; otherwise evict the LRU entry.
-  for (Entry* e = first; e != last; ++e) {
-    if (!e->valid) {
-      slot = e;
+  for (std::size_t w = first; w != last; ++w) {
+    if ((flags_[w] & kValid) == 0) {
+      slot = w;
       break;
     }
   }
-  const bool tenanted = io_base != nullptr && !tenant_ways_.empty();
-  if (slot == nullptr) {
+  const bool tenanted = io_attr && !tenant_ways_.empty();
+  if (slot == kNoWay) {
     slot = first;
-    for (Entry* e = first; e != last; ++e) {
-      if (e->stamp < slot->stamp) slot = e;
+    for (std::size_t w = first; w != last; ++w) {
+      if (stamps_[w] < stamps_[slot]) slot = w;
     }
+    const std::uint8_t vf = flags_[slot];
     out.happened = true;
-    out.victim = slot->id;
-    out.victim_bytes = slot->bytes;
-    out.dirty = slot->dirty;
-    out.never_read = slot->expect_read && !slot->read_since_fill;
+    out.victim = tags_[slot];
+    out.victim_bytes = bytes_[slot];
+    out.dirty = (vf & kDirty) != 0;
+    out.never_read = (vf & kExpectRead) != 0 && (vf & kReadSinceFill) == 0;
     ++stats_.evictions;
     if (out.never_read) ++stats_.premature_evictions;
     if (out.dirty) ++stats_.writebacks;
-    if (slot->io_partition && ddio_resident_ > 0) --ddio_resident_;
-    if (tenanted && slot->io_partition) {
-      note_io_eviction(static_cast<std::size_t>(slot - io_base), *slot);
+    if ((vf & kIoPartition) != 0 && ddio_resident_ > 0) --ddio_resident_;
+    if (tenanted && (vf & kIoPartition) != 0) {
+      note_io_eviction(slot - row0, slot);
     }
   }
-  slot->id = id;
-  slot->bytes = size;
-  slot->stamp = ++clock_;
-  slot->valid = true;
-  slot->dirty = dirty;
-  slot->read_since_fill = false;
-  slot->expect_read = expect_read;
-  slot->io_partition = io_partition;
+  place(slot, id, size, io_partition, dirty, expect_read);
   if (io_partition) ++ddio_resident_;
   if (tenanted && io_partition) {
-    const std::size_t t = tenant_of_entry(static_cast<std::size_t>(slot - io_base), id);
+    const std::size_t t = tenant_of_entry(slot - row0, id);
     ++tenant_resident_[t];
     ++tenant_stats_[t].fills;
   }
-  last_id_ = id;
-  last_entry_ = slot;
   return out;
 }
 
-LlcModel::Evicted LlcModel::fill_io_tenanted(Set& set, std::size_t tenant, BufferId id,
+LlcModel::Evicted LlcModel::fill_io_tenanted(std::size_t row0, std::size_t tenant, BufferId id,
                                              Bytes size, bool expect_read) {
   // Candidate ways = the tenant's exclusive slice plus the shared pool at the
   // top of the io partition: one associative group under LRU, so a hot
   // neighbor's fills can evict this tenant's shared-pool lines (the
   // co-location contention the controller reacts to) but never its slice.
-  Entry* base = set.io_ways.data();
-  Entry* s1 = base + tenant_way_off_[tenant];
-  Entry* e1 = s1 + static_cast<std::size_t>(tenant_ways_[tenant]);
-  Entry* s2 = base + tenant_slice_end_;
-  Entry* e2 = base + set.io_ways.size();
-  Entry* slot = nullptr;
-  for (Entry* e = s1; e != e1 && slot == nullptr; ++e) {
-    if (!e->valid) slot = e;
+  const std::size_t s1 = row0 + tenant_way_off_[tenant];
+  const std::size_t e1 = s1 + static_cast<std::size_t>(tenant_ways_[tenant]);
+  const std::size_t s2 = row0 + tenant_slice_end_;
+  const std::size_t e2 = row0 + io_ways_per_set_;
+  std::size_t slot = kNoWay;
+  for (std::size_t w = s1; w != e1 && slot == kNoWay; ++w) {
+    if ((flags_[w] & kValid) == 0) slot = w;
   }
-  for (Entry* e = s2; e != e2 && slot == nullptr; ++e) {
-    if (!e->valid) slot = e;
+  for (std::size_t w = s2; w != e2 && slot == kNoWay; ++w) {
+    if ((flags_[w] & kValid) == 0) slot = w;
   }
   Evicted out;
-  if (slot == nullptr) {
-    for (Entry* e = s1; e != e1; ++e) {
-      if (slot == nullptr || e->stamp < slot->stamp) slot = e;
+  if (slot == kNoWay) {
+    for (std::size_t w = s1; w != e1; ++w) {
+      if (slot == kNoWay || stamps_[w] < stamps_[slot]) slot = w;
     }
-    for (Entry* e = s2; e != e2; ++e) {
-      if (slot == nullptr || e->stamp < slot->stamp) slot = e;
+    for (std::size_t w = s2; w != e2; ++w) {
+      if (slot == kNoWay || stamps_[w] < stamps_[slot]) slot = w;
     }
+    const std::uint8_t vf = flags_[slot];
     out.happened = true;
-    out.victim = slot->id;
-    out.victim_bytes = slot->bytes;
-    out.dirty = slot->dirty;
-    out.never_read = slot->expect_read && !slot->read_since_fill;
+    out.victim = tags_[slot];
+    out.victim_bytes = bytes_[slot];
+    out.dirty = (vf & kDirty) != 0;
+    out.never_read = (vf & kExpectRead) != 0 && (vf & kReadSinceFill) == 0;
     ++stats_.evictions;
     if (out.never_read) ++stats_.premature_evictions;
     if (out.dirty) ++stats_.writebacks;
-    if (slot->io_partition && ddio_resident_ > 0) --ddio_resident_;
-    if (slot->io_partition) note_io_eviction(static_cast<std::size_t>(slot - base), *slot);
+    if ((vf & kIoPartition) != 0 && ddio_resident_ > 0) --ddio_resident_;
+    if ((vf & kIoPartition) != 0) note_io_eviction(slot - row0, slot);
   }
-  slot->id = id;
-  slot->bytes = size;
-  slot->stamp = ++clock_;
-  slot->valid = true;
-  slot->dirty = true;
-  slot->read_since_fill = false;
-  slot->expect_read = expect_read;
-  slot->io_partition = true;
+  place(slot, id, size, /*io_partition=*/true, /*dirty=*/true, expect_read);
   ++ddio_resident_;
   ++tenant_resident_[tenant];
   ++tenant_stats_[tenant].fills;
-  last_id_ = id;
-  last_entry_ = slot;
   return out;
-}
-
-LlcModel::Evicted LlcModel::fill(std::vector<Entry>& ways, BufferId id, Bytes size,
-                                 bool io_partition, bool dirty, bool expect_read) {
-  return fill(ways.data(), ways.data() + ways.size(),
-              io_partition ? ways.data() : nullptr, id, size, io_partition, dirty, expect_read);
 }
 
 LlcModel::Evicted LlcModel::ddio_write(BufferId id, Bytes size, bool expect_read) {
   ++stats_.ddio_writes;
-  if (Entry* e = find(id)) {
+  const std::size_t idx = find_way(id);
+  if (idx != kNoWay) {
     // Write-update in place: refresh recency, mark dirty.
-    e->stamp = ++clock_;
-    e->dirty = true;
-    e->bytes = size;
-    e->read_since_fill = false;
-    e->expect_read = expect_read;
+    stamps_[idx] = ++clock_;
+    bytes_[idx] = size;
+    flags_[idx] = static_cast<std::uint8_t>(
+        (flags_[idx] & ~(kReadSinceFill | kExpectRead)) | kDirty |
+        (expect_read ? kExpectRead : 0));
     return {};
   }
-  auto& set = sets_[set_of(id)];
-  if (set.io_ways.empty()) {
+  const std::size_t base = row_base(set_of(id));
+  if (io_ways_per_set_ == 0) {
     // DDIO disabled: the write goes straight to DRAM and is not cached.
     Evicted out;
     out.happened = false;
@@ -218,63 +205,75 @@ LlcModel::Evicted LlcModel::ddio_write(BufferId id, Bytes size, bool expect_read
       out.happened = false;
       return out;
     }
-    return fill_io_tenanted(set, t, id, size, expect_read);
+    return fill_io_tenanted(base, t, id, size, expect_read);
   }
-  return fill(set.io_ways, id, size, /*io_partition=*/true, /*dirty=*/true, expect_read);
+  return fill_range(base, base + io_ways_per_set_, /*io_attr=*/true, base, id, size,
+                    /*io_partition=*/true, /*dirty=*/true, expect_read);
 }
 
 bool LlcModel::cpu_read(BufferId id, Bytes size, Evicted* evicted) {
-  if (Entry* e = find(id)) {
-    e->stamp = ++clock_;
-    e->read_since_fill = true;
+  const std::size_t idx = find_way(id);
+  if (idx != kNoWay) {
+    stamps_[idx] = ++clock_;
+    flags_[idx] |= kReadSinceFill;
     ++stats_.cpu_hits;
     return true;
   }
   ++stats_.cpu_misses;
-  auto& set = sets_[set_of(id)];
-  auto& ways = set.app_ways.empty() ? set.io_ways : set.app_ways;
-  const auto ev = fill(ways, id, size, /*io_partition=*/set.app_ways.empty(), /*dirty=*/false);
-  if (Entry* e = find(id)) e->read_since_fill = true;
+  const std::size_t base = row_base(set_of(id));
+  const bool app_empty = io_ways_per_set_ == ways_per_set_;
+  const std::size_t first = app_empty ? base : base + io_ways_per_set_;
+  const std::size_t last = base + ways_per_set_;
+  const auto ev = fill_range(first, last, /*io_attr=*/app_empty, base, id, size,
+                             /*io_partition=*/app_empty, /*dirty=*/false);
+  const std::size_t filled = find_way(id);
+  if (filled != kNoWay) flags_[filled] |= kReadSinceFill;
   if (evicted != nullptr) *evicted = ev;
   return false;
 }
 
 bool LlcModel::cpu_write(BufferId id, Bytes size, Evicted* evicted) {
-  if (Entry* e = find(id)) {
-    e->stamp = ++clock_;
-    e->dirty = true;
+  const std::size_t idx = find_way(id);
+  if (idx != kNoWay) {
+    stamps_[idx] = ++clock_;
+    flags_[idx] |= kDirty;
     ++stats_.cpu_hits;
     return true;
   }
   ++stats_.cpu_misses;
-  auto& set = sets_[set_of(id)];
-  auto& ways = set.app_ways.empty() ? set.io_ways : set.app_ways;
-  const auto ev = fill(ways, id, size, /*io_partition=*/set.app_ways.empty(), /*dirty=*/true);
+  const std::size_t base = row_base(set_of(id));
+  const bool app_empty = io_ways_per_set_ == ways_per_set_;
+  const std::size_t first = app_empty ? base : base + io_ways_per_set_;
+  const std::size_t last = base + ways_per_set_;
+  const auto ev = fill_range(first, last, /*io_attr=*/app_empty, base, id, size,
+                             /*io_partition=*/app_empty, /*dirty=*/true);
   if (evicted != nullptr) *evicted = ev;
   return false;
 }
 
 void LlcModel::invalidate(BufferId id) {
-  if (Entry* e = find(id)) {
-    if (e->io_partition && ddio_resident_ > 0) --ddio_resident_;
-    if (e->io_partition && !tenant_ways_.empty()) {
-      // Attribute by way ownership (shared-pool lines by BufferId): entry
-      // storage never moves, so the pointer offset into the set's io_ways
-      // identifies the way index.
-      auto& set = sets_[set_of(id)];
-      const auto way = static_cast<std::size_t>(e - set.io_ways.data());
-      const std::size_t t = tenant_of_entry(way, id);
-      if (tenant_resident_[t] > 0) --tenant_resident_[t];
-    }
-    e->valid = false;
-    e->dirty = false;
+  const std::size_t idx = find_way(id);
+  if (idx == kNoWay) return;
+  const std::uint8_t f = flags_[idx];
+  if ((f & kIoPartition) != 0 && ddio_resident_ > 0) --ddio_resident_;
+  if ((f & kIoPartition) != 0 && !tenant_ways_.empty()) {
+    // Attribute by way ownership (shared-pool lines by BufferId): the global
+    // way index modulo the row base identifies the way inside the set's io
+    // partition.
+    const std::size_t way = idx - row_base(set_of(id));
+    const std::size_t t = tenant_of_entry(way, id);
+    if (tenant_resident_[t] > 0) --tenant_resident_[t];
   }
+  flags_[idx] = static_cast<std::uint8_t>(f & ~(kValid | kDirty));
+  // Park the tag so the branch-light lookup scan rejects this slot on the
+  // compare alone.
+  tags_[idx] = kInvalidTag;
 }
 
-bool LlcModel::resident(BufferId id) const { return find(id) != nullptr; }
+bool LlcModel::resident(BufferId id) const { return find_way(id) != kNoWay; }
 
 void LlcModel::set_tenant_ways(const std::vector<int>& ways) {
-  std::size_t per_set = sets_.empty() ? 0 : sets_.front().io_ways.size();
+  const std::size_t per_set = io_ways_per_set_;
   std::size_t sum = 0;
   for (int w : ways) {
     if (w < 0) throw std::invalid_argument("tenant way count must be non-negative");
@@ -297,10 +296,12 @@ void LlcModel::set_tenant_ways(const std::vector<int>& ways) {
   // to recompute each tenant's occupancy under the new slice boundaries
   // (shared-pool lines stay with their BufferId's owner).
   std::fill(tenant_resident_.begin(), tenant_resident_.end(), 0);
-  for (const auto& set : sets_) {
-    for (std::size_t w = 0; w < set.io_ways.size(); ++w) {
-      if (set.io_ways[w].valid && set.io_ways[w].io_partition) {
-        ++tenant_resident_[tenant_of_entry(w, set.io_ways[w].id)];
+  for (std::size_t s = 0; s < num_sets_; ++s) {
+    const std::size_t base = row_base(s);
+    for (std::size_t w = 0; w < io_ways_per_set_; ++w) {
+      const std::uint8_t f = flags_[base + w];
+      if ((f & kValid) != 0 && (f & kIoPartition) != 0) {
+        ++tenant_resident_[tenant_of_entry(w, tags_[base + w])];
       }
     }
   }

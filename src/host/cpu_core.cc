@@ -16,8 +16,7 @@ void CpuCore::run_next() {
     return;
   }
   busy_ = true;
-  PacketWork work = std::move(queue_.front());
-  queue_.pop_front();
+  PacketWork work = queue_.pop_front();
 
   // Memory costs are resolved *now*, at processing start, so cache residency
   // reflects whatever DMA traffic arrived while the item queued.
@@ -44,7 +43,13 @@ void CpuCore::run_next() {
   stats_.busy_time += service;
   stats_.mem_stall_time += mem;
 
-  sched_.schedule_after(service, [this, done_cb = std::move(work.on_done)]() {
+  // The core is serial: exactly one work item is in flight until its
+  // completion event fires, so its callback parks in a member and the event
+  // captures only `this` — a 64-byte on_done in the capture would blow the
+  // scheduler's inline budget and heap-allocate per packet.
+  current_done_ = std::move(work.on_done);
+  sched_.schedule_after(service, [this]() {
+    auto done_cb = std::move(current_done_);
     if (done_cb) done_cb(sched_.now());
     run_next();
   });

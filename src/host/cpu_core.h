@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
+#include "common/grow_ring.h"
+#include "common/inline_function.h"
 #include "common/units.h"
 #include "host/memory_controller.h"
 #include "sim/event_scheduler.h"
@@ -48,8 +48,10 @@ struct PacketWork {
   std::uint32_t copy_src_count = 0;
   Bytes copy_block{0};
   Bytes stream_bytes{0};
-  /// Fired at the simulated completion instant.
-  std::function<void(Nanos done)> on_done;
+  /// Fired at the simulated completion instant. Inline up to 48 bytes: the
+  /// per-packet capture is {this, flow id, a 4-byte PacketRef, a pointer} —
+  /// submitting work never heap-allocates in steady state.
+  InlineFunction<void(Nanos done), 48> on_done;
 };
 
 struct CpuCoreStats {
@@ -82,7 +84,10 @@ class CpuCore {
   EventScheduler& sched_;
   MemoryController& mc_;
   CpuCoreConfig config_;
-  std::deque<PacketWork> queue_;
+  GrowRing<PacketWork> queue_;
+  /// Completion of the single in-flight item (the core is serial); parked
+  /// here so the completion event's capture stays a bare `this`.
+  InlineFunction<void(Nanos done), 48> current_done_;
   bool busy_ = false;
   CpuCoreStats stats_;
 };

@@ -1,6 +1,5 @@
 #include "iopath/datapath.h"
 
-#include "common/det_map.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
@@ -11,8 +10,8 @@ DatapathBase::DatapathBase(EventScheduler& sched, DmaEngine& dma, MemoryControll
     : sched_(sched), dma_(dma), mc_(mc), host_pool_(host_pool) {}
 
 void DatapathBase::register_flow(const FlowRuntime& rt) {
-  auto [it, inserted] = flows_.try_emplace(rt.config.id);
-  FlowState& fs = it->second;
+  const bool inserted = !flows_.contains(rt.config.id);
+  FlowState& fs = flows_[rt.config.id];
   fs.rt = rt;
   if (inserted) {
     // Bypass flows write into distinct app-memory regions; keep per-flow id
@@ -38,17 +37,17 @@ void DatapathBase::set_flow_path(FlowId id, policy::FlowPathOverride path) {
 }
 
 policy::FlowPathOverride DatapathBase::flow_path(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? policy::FlowPathOverride::kAuto : it->second.path_override;
+  const FlowState* fs = flows_.find(id);
+  return fs == nullptr ? policy::FlowPathOverride::kAuto : fs->path_override;
 }
 
 void DatapathBase::set_kind_path(FlowKind kind, policy::FlowPathOverride path) {
   auto& slot = kind_path_[static_cast<std::size_t>(kind)];
   if (slot == path) return;
   slot = path;
-  // Sorted sweep: the change notification order must not depend on hash
-  // order (CEIO reacts by scheduling drain kicks).
-  det::for_sorted(flows_, [&](FlowId, FlowState& fs) {
+  // Id-ordered sweep: the change notification order is deterministic (CEIO
+  // reacts by scheduling drain kicks).
+  flows_.for_each([&](FlowId, FlowState& fs) {
     if (fs.rt.config.kind != kind || fs.path_pinned) return;
     if (fs.path_override == path) return;
     fs.path_override = path;
@@ -61,29 +60,26 @@ policy::FlowPathOverride DatapathBase::kind_path(FlowKind kind) const {
 }
 
 void DatapathBase::unregister_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  on_flow_unregistered(it->second);
-  flows_.erase(it);
+  FlowState* fs = flows_.find(id);
+  if (fs == nullptr) return;
+  on_flow_unregistered(*fs);
+  flows_.erase(id);
 }
 
 void DatapathBase::for_each_ring(const std::function<void(const RxRing&)>& fn) const {
-  // Sorted sweep: audit invariant checks (and their violation logs) visit
-  // rings in flow-id order, not hash order.
-  det::for_sorted(flows_, [&fn](FlowId, const FlowState& fs) {
+  // Id-ordered sweep: audit invariant checks (and their violation logs)
+  // visit rings in flow-id order.
+  flows_.for_each([&fn](FlowId, const FlowState& fs) {
     if (fs.ring) fn(*fs.ring);
   });
 }
 
 const FlowPathStats* DatapathBase::flow_stats(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : &it->second.stats;
+  const FlowState* fs = flows_.find(id);
+  return fs == nullptr ? nullptr : &fs->stats;
 }
 
-DatapathBase::FlowState* DatapathBase::state_of(FlowId id) {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : &it->second;
-}
+DatapathBase::FlowState* DatapathBase::state_of(FlowId id) { return flows_.find(id); }
 
 void DatapathBase::drop_packet(FlowState& fs, const Packet& pkt) {
   ++fs.stats.dropped_pkts;
@@ -111,15 +107,18 @@ void DatapathBase::deliver_fast(FlowState& fs, Packet pkt, RxRing* ring) {
   const FlowId flow = fs.rt.config.id;
   CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kDmaIssue, sched_.now());
   const bool expect_read = fs.rt.app->reads_delivered_data();
+  const Bytes size = pkt.size;
+  // Park the packet; the completion carries only its 4-byte handle, so the
+  // capture stays inside the DMA engine's inline budget (no allocation).
+  const PacketRef ref = pool_.make(std::move(pkt));
   dma_.write_to_host(
-      buffer, pkt.size, /*ddio=*/true,
-      [this, flow, pkt = std::move(pkt), ring](Nanos) mutable {
-        on_host_landed(flow, std::move(pkt), ring);
-      },
+      buffer, size, /*ddio=*/true,
+      [this, flow, ref, ring](Nanos) { on_host_landed(flow, ref, ring); },
       expect_read);
 }
 
-void DatapathBase::on_host_landed(FlowId flow, Packet pkt, RxRing* ring) {
+void DatapathBase::on_host_landed(FlowId flow, PacketRef ref, RxRing* ring) {
+  Packet pkt = pool_.take(ref);
   FlowState* fs = state_of(flow);
   if (fs == nullptr) {
     // Flow was unregistered while the DMA was in flight; recycle the buffer
@@ -164,17 +163,19 @@ void DatapathBase::process_packet(FlowState& fs, Packet pkt, RxRing* ring) {
   work.copy_to = costs.copy_to;
   const FlowId flow = fs.rt.config.id;
   CEIO_T_PATH_HOP(tele_, pkt.flow, pkt.seq, PathHop::kCpuStart, sched_.now());
-  work.on_done = [this, flow, pkt = std::move(pkt), ring](Nanos done) {
+  const PacketRef ref = pool_.make(std::move(pkt));
+  work.on_done = [this, flow, ref, ring](Nanos done) {
+    Packet done_pkt = pool_.take(ref);
     FlowState* fs2 = state_of(flow);
     if (fs2 == nullptr) {
-      if (pkt.host_buffer != 0) host_pool_.release(pkt.host_buffer);
+      if (done_pkt.host_buffer != 0) host_pool_.release(done_pkt.host_buffer);
       return;
     }
-    host_pool_.release(pkt.host_buffer);
-    mc_.release_buffer(pkt.host_buffer);
-    CEIO_T_PATH_DONE(tele_, pkt.flow, pkt.seq, PathHop::kProcessed, done);
-    on_packet_processed_hook(*fs2, pkt);
-    note_processed_message_progress(*fs2, pkt, done);
+    host_pool_.release(done_pkt.host_buffer);
+    mc_.release_buffer(done_pkt.host_buffer);
+    CEIO_T_PATH_DONE(tele_, done_pkt.flow, done_pkt.seq, PathHop::kProcessed, done);
+    on_packet_processed_hook(*fs2, done_pkt);
+    note_processed_message_progress(*fs2, done_pkt, done);
     fs2->pumping = false;
     pump(*fs2, ring);
   };
@@ -183,6 +184,13 @@ void DatapathBase::process_packet(FlowState& fs, Packet pkt, RxRing* ring) {
 
 void DatapathBase::note_delivered_message_progress(FlowState& fs, const Packet& pkt,
                                                    Nanos now) {
+  if (pkt.message_pkts <= 1) {
+    // Single-packet message (the RPC steady state): skip the map round trip
+    // — inserting and immediately erasing the entry would pay a hash-node
+    // allocation per message for a count that can only ever reach 1.
+    run_message_work(fs, pkt, now);
+    return;
+  }
   auto& count = fs.delivered_count[pkt.message_id];
   ++count;
   if (count < pkt.message_pkts) return;
@@ -192,6 +200,10 @@ void DatapathBase::note_delivered_message_progress(FlowState& fs, const Packet& 
 
 void DatapathBase::note_processed_message_progress(FlowState& fs, const Packet& pkt,
                                                    Nanos done) {
+  if (pkt.message_pkts <= 1) {
+    run_message_work(fs, pkt, done);
+    return;
+  }
   auto& count = fs.processed_count[pkt.message_id];
   ++count;
   if (count < pkt.message_pkts) return;
@@ -232,10 +244,12 @@ void DatapathBase::run_message_work(FlowState& fs, const Packet& last_pkt, Nanos
     work.copy_to = costs.copy_to;
   }
   const FlowId flow = fs.rt.config.id;
-  work.on_done = [this, source, message_id, flow, last_pkt](Nanos done) {
+  const PacketRef ref = pool_.make(last_pkt);
+  work.on_done = [this, source, message_id, flow, ref](Nanos done) {
+    const Packet done_pkt = pool_.take(ref);
     if (source != nullptr) source->notify_message_complete(message_id, done);
     FlowState* fs2 = state_of(flow);
-    if (fs2 != nullptr) on_message_work_done(*fs2, last_pkt, done);
+    if (fs2 != nullptr) on_message_work_done(*fs2, done_pkt, done);
   };
   fs.rt.core->submit(std::move(work));
 }
@@ -245,17 +259,17 @@ void DatapathBase::register_metrics(MetricRegistry& registry) {
   // hash iteration order cannot reach the gauge value (a float sum would).
   registry.add_gauge("path.fast_pkts", [this]() {
     std::int64_t total = 0;
-    for (const auto& [id, fs] : flows_) total += fs.stats.fast_path_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    flows_.for_each([&total](FlowId, const FlowState& fs) { total += fs.stats.fast_path_pkts; });
     return static_cast<double>(total);
   });
   registry.add_gauge("path.slow_pkts", [this]() {
     std::int64_t total = 0;
-    for (const auto& [id, fs] : flows_) total += fs.stats.slow_path_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    flows_.for_each([&total](FlowId, const FlowState& fs) { total += fs.stats.slow_path_pkts; });
     return static_cast<double>(total);
   });
   registry.add_gauge("path.dropped_pkts", [this]() {
     std::int64_t total = 0;
-    for (const auto& [id, fs] : flows_) total += fs.stats.dropped_pkts;  // analyze: allow-unordered-iter (order-invariant integer sum)
+    flows_.for_each([&total](FlowId, const FlowState& fs) { total += fs.stats.dropped_pkts; });
     return static_cast<double>(total);
   });
   registry.add_gauge("path.ring_depth", [this]() {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "apps/application.h"
+#include "common/flow_table.h"
 #include "host/cpu_core.h"
 #include "net/flow.h"
 #include "net/flow_feedback.h"
@@ -68,6 +69,12 @@ class IoDatapath : public PacketSink, public policy::PolicyHost {
   /// Invokes `fn` on every live RX descriptor ring (model-auditor sweeps).
   virtual void for_each_ring(const std::function<void(const RxRing&)>& fn) const { (void)fn; }
 
+  /// Slots ever handed out by the datapath's packet pool. Flat across a
+  /// steady-state window means the pool recycled its warm slots instead of
+  /// growing (the zero-allocation test's probe); 0 for datapaths without a
+  /// pool.
+  virtual std::size_t pool_slots() const { return 0; }
+
   /// Attaches a trace sink (per-packet path hops, drop instants). Policies
   /// extend this to trace their own machinery (CEIO: credits, steering).
   virtual void set_telemetry(Telemetry* tele) { (void)tele; }
@@ -84,6 +91,7 @@ class DatapathBase : public IoDatapath {
   void register_flow(const FlowRuntime& rt) override;
   void unregister_flow(FlowId id) override;
   void for_each_ring(const std::function<void(const RxRing&)>& fn) const override;
+  std::size_t pool_slots() const override { return pool_.slots(); }
   void set_telemetry(Telemetry* tele) override { tele_ = tele; }
   void register_metrics(MetricRegistry& registry) override;
 
@@ -142,7 +150,7 @@ class DatapathBase : public IoDatapath {
   /// Fast-path delivery: acquire a host buffer, DMA through PCIe/IIO into
   /// LLC (DDIO), then hand off to `ring` (CPU-involved) or to message
   /// accounting (CPU-bypass). `ring` may differ from fs.ring (ShRing).
-  void deliver_fast(FlowState& fs, Packet pkt, RxRing* ring);
+  void deliver_fast(FlowState& fs, Packet pkt, RxRing* ring);  // lint: allow-packet-copy (move-sink)
 
   /// Drop accounting + loss feedback to the sender.
   void drop_packet(FlowState& fs, const Packet& pkt);
@@ -164,11 +172,18 @@ class DatapathBase : public IoDatapath {
   DmaEngine& dma_;
   MemoryController& mc_;
   BufferPool& host_pool_;
-  // Hash-based on purpose: state_of() is on the per-packet fast path and
-  // fig12 runs 2^20 flows. Every iteration over this map goes through
-  // det::for_sorted (or an order-invariant integer sum) — enforced by
-  // tools/analyze/ceio_analyze.py.
-  std::unordered_map<FlowId, FlowState> flows_;
+  // In-flight packet slab: packets park here while a DMA or CPU work item is
+  // outstanding, and the completion captures a 4-byte PacketRef instead of
+  // the ~80-byte Packet — keeping every per-packet callback inside the
+  // InlineFunction inline budget. RX rings hand out slots from the same
+  // pool. Declared before flows_ so it outlives the per-flow rings that
+  // hold references into it.
+  PacketPool pool_;
+  // Dense slab keyed by flow id: state_of() is on the per-packet fast path
+  // and fig12 runs 2^20 flows, so lookups must be O(1) array probes (no
+  // hashing, no tree walk). Iteration is id-ordered by construction, which
+  // is what the deterministic sweeps (set_kind_path, for_each_ring) need.
+  FlowTable<FlowState> flows_;
   Telemetry* tele_ = nullptr;
 
  private:
@@ -176,8 +191,8 @@ class DatapathBase : public IoDatapath {
   /// and to existing unpinned flows of the kind when changed).
   policy::FlowPathOverride kind_path_[2] = {policy::FlowPathOverride::kAuto,
                                             policy::FlowPathOverride::kAuto};
-  void on_host_landed(FlowId flow, Packet pkt, RxRing* ring);
-  void process_packet(FlowState& fs, Packet pkt, RxRing* ring);
+  void on_host_landed(FlowId flow, PacketRef ref, RxRing* ring);
+  void process_packet(FlowState& fs, Packet pkt, RxRing* ring);  // lint: allow-packet-copy (move-sink)
 };
 
 }  // namespace ceio

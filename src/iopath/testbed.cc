@@ -99,8 +99,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
   }
   nic_->attach(datapath_.get());
   link_->set_drop_handler([this](const Packet& pkt) {
-    const auto it = flows_.find(pkt.flow);
-    if (it != flows_.end()) it->second.source->notify_dropped(pkt);
+    if (const FlowRecord* record = flows_.find(pkt.flow)) record->source->notify_dropped(pkt);
   });
 
   if (config_.policy.governor != policy::GovernorMode::kOff) {
@@ -139,9 +138,9 @@ policy::GovernorSample Testbed::sample_governor_gauges() const {
   s.ring_backlog = ring;
   if (ceio_ != nullptr) {
     std::int64_t slow = 0;
-    for (const auto& [id, record] : flows_) {  // key-ordered map
+    flows_.for_each([&](FlowId id, const FlowRecord&) {  // id-ordered walk
       slow += static_cast<std::int64_t>(ceio_->slow_backlog(id));
-    }
+    });
     s.slow_backlog = slow;
     s.credit_starvations = ceio_->runtime_stats().credit_switches_to_slow;
   }
@@ -162,6 +161,11 @@ void Testbed::governor_tick() {
 
 KvStore& Testbed::make_kv_store() {
   apps_.push_back(std::make_unique<KvStore>(rng_));
+  return static_cast<KvStore&>(*apps_.back());
+}
+
+KvStore& Testbed::make_kv_store(const KvConfig& config) {
+  apps_.push_back(std::make_unique<KvStore>(rng_, config));
   return static_cast<KvStore&>(*apps_.back());
 }
 
@@ -241,29 +245,29 @@ FlowSource& Testbed::add_flow(const FlowConfig& config, Application& app) {
 }
 
 void Testbed::remove_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  it->second.source->stop();
+  FlowRecord* record = flows_.find(id);
+  if (record == nullptr) return;
+  record->source->stop();
   datapath_->unregister_flow(id);
   // Park the record: in-flight events may still call into the core/source.
-  retired_flows_.push_back(std::move(it->second));
-  flows_.erase(it);
+  retired_flows_.push_back(std::move(*record));
+  flows_.erase(id);
 }
 
 FlowSource* Testbed::source(FlowId id) {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : it->second.source.get();
+  FlowRecord* record = flows_.find(id);
+  return record == nullptr ? nullptr : record->source.get();
 }
 
 CpuCore* Testbed::core(FlowId id) {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : it->second.core.get();
+  FlowRecord* record = flows_.find(id);
+  return record == nullptr ? nullptr : record->core.get();
 }
 
 std::vector<FlowId> Testbed::flow_ids() const {
   std::vector<FlowId> ids;
   ids.reserve(flows_.size());
-  for (const auto& [id, _] : flows_) ids.push_back(id);  // already key-ordered
+  flows_.for_each([&ids](FlowId id, const FlowRecord&) { ids.push_back(id); });  // id-ordered
   return ids;
 }
 
@@ -358,16 +362,16 @@ Nanos Testbed::now() const { return sched_.now(); }
 void Testbed::reset_measurement() {
   measure_start_ = sched_.now();
   llc_->reset_stats();
-  for (auto& [id, record] : flows_) record.source->reset_measurement();
+  flows_.for_each([](FlowId, FlowRecord& record) { record.source->reset_measurement(); });
 }
 
 FlowReport Testbed::report(FlowId id) const {
   FlowReport out;
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return out;
-  const FlowSource& src = *it->second.source;
+  const FlowRecord* record = flows_.find(id);
+  if (record == nullptr) return out;
+  const FlowSource& src = *record->source;
   out.id = id;
-  out.kind = it->second.kind;
+  out.kind = record->kind;
   const Nanos span = sched_.now() - measure_start_;
   out.mpps = src.delivered_meter().mpps(Nanos{0}, span);
   out.gbps = src.delivered_meter().gbps(Nanos{0}, span);

@@ -19,7 +19,7 @@
 #include "baselines/legacy.h"
 #include "baselines/shring.h"
 #include "ceio/ceio_datapath.h"
-#include "common/det_map.h"
+#include "common/flow_table.h"
 #include "common/rng.h"
 #include "host/cpu_core.h"
 #include "iopath/datapath.h"
@@ -130,6 +130,9 @@ class Testbed {
 
   // ---- Applications (owned by the testbed) ----
   class KvStore& make_kv_store();
+  /// KV store with an explicit config (e.g. SSO-sized values for the
+  /// zero-allocation steady-state test).
+  class KvStore& make_kv_store(const struct KvConfig& config);
   class LineFs& make_linefs();
   class EchoApp& make_echo();
   class RawRdmaApp& make_raw_rdma();
@@ -252,10 +255,10 @@ class Testbed {
   CeioDatapath* ceio_ = nullptr;
 
   std::vector<std::unique_ptr<Application>> apps_;
-  // Key-ordered: flow_ids() and the measurement-reset sweep iterate this on
-  // the report path; lookups are per-call (add/remove/report), never
-  // per-packet, so the ordered map costs nothing that matters.
-  det::OrderedMap<FlowId, FlowRecord> flows_;
+  // Dense slab keyed by flow id: the drop handler probes this per dropped
+  // packet, and flow_ids() / the measurement-reset sweep rely on the table's
+  // id-ordered iteration for deterministic report order.
+  FlowTable<FlowRecord> flows_;
   // Removed flows are parked, not destroyed: scheduled events (CPU work
   // completions, feedback timers) may still reference their core/source.
   std::vector<FlowRecord> retired_flows_;

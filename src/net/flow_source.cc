@@ -79,8 +79,7 @@ void FlowSource::emit_packet() {
   // Retransmissions take emission slots ahead of new data: they occupy a
   // congestion-window slot rather than adding unpaced load.
   if (!retx_queue_.empty()) {
-    Packet retx = std::move(retx_queue_.front());
-    retx_queue_.pop_front();
+    Packet retx = retx_queue_.pop_front();
     ++stats_.packets_sent;
     stats_.bytes_sent += retx.size;
     link_.send(std::move(retx));
@@ -99,11 +98,10 @@ void FlowSource::emit_packet() {
   // Open-loop packets still carry message framing so receivers can account
   // message completions uniformly.
   if (message_pkt_index_ == 0) {
-    // Bound the completion map: open-loop messages whose completions never
-    // arrive (sustained overload, drops) must not accumulate forever.
-    // begin() on the key-ordered map is the oldest outstanding message.
-    if (message_start_.size() > 1u << 16) message_start_.erase(message_start_.begin());
-    message_start_[next_message_id_] = sched_.now();
+    // Bound the completion window: open-loop messages whose completions
+    // never arrive (sustained overload, drops) must not accumulate forever.
+    if (message_start_.size() > 1u << 16) message_start_.evict_oldest();
+    message_start_.insert(next_message_id_, sched_.now());
   }
   pkt.message_id = next_message_id_;
   pkt.message_pkts = config_.message_pkts;
@@ -188,13 +186,12 @@ void FlowSource::apply_remote_dropped(const Packet& pkt) {
 void FlowSource::apply_remote_host_congestion() { dctcp_.on_host_congestion(); }
 
 void FlowSource::notify_message_complete(std::uint64_t message_id, Nanos done) {
-  const auto it = message_start_.find(message_id);
-  if (it != message_start_.end()) {
+  Nanos start{0};
+  if (message_start_.take(message_id, &start)) {
     // Request latency as the client observes it: processing completion plus
     // the response's flight back.
     const Nanos response_flight = link_.config().propagation;
-    latency_.add(done - it->second + response_flight);
-    message_start_.erase(it);
+    latency_.add(done - start + response_flight);
   }
   ++stats_.messages_completed;
   if (config_.closed_loop_outstanding > 0) {

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
-#include "common/det_map.h"
+#include "common/grow_ring.h"
+#include "common/message_window.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
@@ -129,15 +129,16 @@ class FlowSource : public FlowFeedback {
   EventHandle pending_emit_;
   EventHandle window_timer_;
 
-  // Key-ordered: the overflow guard evicts `begin()`, which on an ordered
-  // map is the *oldest outstanding message* — on a hash map it was an
-  // arbitrary entry, silently skewing latency percentiles under overload.
-  // Lookups are per-message (not per-packet), so the ordered map is cheap.
-  det::OrderedMap<std::uint64_t, Nanos> message_start_;
+  // Dense ring keyed by the monotone message id: inserting a start time is
+  // an array store instead of a tree-node allocation (one per RPC on the KV
+  // steady-state path), and the overflow guard's evict-oldest is the ring
+  // front — the same entry `begin()` of the key-ordered map it replaced
+  // would have yielded.
+  MessageWindow message_start_;
   // Lost packets awaiting retransmission; drained through the paced emitter
   // (a transport retransmits within its congestion window, so loss must not
   // inflate the send rate).
-  std::deque<Packet> retx_queue_;
+  GrowRing<Packet> retx_queue_;
 
   FlowSourceStats stats_;
   LatencyHistogram latency_;

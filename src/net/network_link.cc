@@ -33,7 +33,7 @@ void NetworkLink::send(Packet pkt) {
   // Egress mode hands the packet off at serialization exit; the propagation
   // is accounted as cross-domain transit by the harness.
   const Nanos at = nic_ != nullptr ? egress_free_ + config_.propagation : egress_free_;
-  arrivals_.push(at, std::move(pkt));
+  arrivals_.push(at, pool_.make(std::move(pkt)));
 }
 
 }  // namespace ceio

@@ -45,7 +45,7 @@ class NetworkLink {
       : sched_(sched),
         nic_(&nic),
         config_(config),
-        arrivals_(sched, [this](Nanos, Packet pkt) { dispatch(std::move(pkt)); }) {}
+        arrivals_(sched, [this](Nanos, PacketRef ref) { dispatch(pool_.take(ref)); }) {}
 
   /// Egress mode, for sharded runs: the receiver NIC lives in another event
   /// domain, so `deliver` fires when a packet *exits the serializer* — the
@@ -57,7 +57,7 @@ class NetworkLink {
         nic_(nullptr),
         deliver_(std::move(deliver)),
         config_(config),
-        arrivals_(sched, [this](Nanos, Packet pkt) { dispatch(std::move(pkt)); }) {}
+        arrivals_(sched, [this](Nanos, PacketRef ref) { dispatch(pool_.take(ref)); }) {}
 
   void set_drop_handler(DropHandler handler) { on_drop_ = std::move(handler); }
 
@@ -86,10 +86,13 @@ class NetworkLink {
   Nanos egress_free_{0};  // when the serializer finishes the current backlog
   NetworkLinkStats stats_;
   DropHandler on_drop_;
+  // In-flight wire packets park here; the arrivals stream moves their
+  // 4-byte handles (a full 512 KiB queue is thousands of entries).
+  PacketPool pool_;
   // Arrivals are serialisation exits (+ constant propagation in local mode):
   // non-decreasing, so the wire is a coalesced stream (one event drains a
   // burst of arrivals).
-  CoalescedStream<Packet> arrivals_;
+  CoalescedStream<PacketRef> arrivals_;
 };
 
 }  // namespace ceio

@@ -27,7 +27,7 @@ void DmaEngine::write_to_host(BufferId buffer, Bytes size, bool ddio, Completion
 
 void DmaEngine::land_write(WriteDescriptor desc) {
   mc_.dma_write(desc.buffer, desc.size, desc.ddio,
-                [this, done = std::move(desc.done)](Nanos t) {
+                [this, done = std::move(desc.done)](Nanos t) mutable {
                   ++stats_.writes_completed;
                   if (done) done(t);
                 },
@@ -64,7 +64,7 @@ void DmaEngine::start_read(ReadRequest req) {
       // fast path while draining, so we model the completion as a plain
       // host-memory write whose cache placement the caller controls.
       const Nanos at_host = link_.upstream(sched_.now(), size);
-      sched_.schedule_at(at_host, [this, done = std::move(done)]() {
+      sched_.schedule_at(at_host, [this, done = std::move(done)]() mutable {
         if (done) done(sched_.now());
         finish_read();
       });
@@ -78,9 +78,7 @@ void DmaEngine::finish_read() {
   CEIO_T_COUNTER(tele_, TraceTrack::kDmaEngine, "dma.outstanding_reads", sched_.now(),
                  static_cast<double>(outstanding_reads_));
   if (!read_queue_.empty() && outstanding_reads_ < config_.max_outstanding_reads) {
-    ReadRequest next = std::move(read_queue_.front());
-    read_queue_.pop_front();
-    start_read(std::move(next));
+    start_read(read_queue_.pop_front());
   }
 }
 

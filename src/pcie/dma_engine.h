@@ -13,9 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
+#include "common/grow_ring.h"
+#include "common/inline_function.h"
 #include "common/units.h"
 #include "host/memory_controller.h"
 #include "pcie/pcie_link.h"
@@ -45,7 +46,10 @@ struct DmaEngineStats {
 
 class DmaEngine {
  public:
-  using Completion = std::function<void(Nanos done)>;
+  // Inline up to 48 bytes: the fast-path capture is {this, flow id, a 4-byte
+  // PacketRef, a ring pointer} — pooled handles exist precisely so this stays
+  // under budget and the per-packet DMA completion never heap-allocates.
+  using Completion = InlineFunction<void(Nanos done), 48>;
   /// Source-side fetch: given the issue time, return when the NIC-local data
   /// is ready to be put on the link (e.g. on-NIC memory access completion).
   using SourceFetch = std::function<Nanos(Nanos issue)>;
@@ -98,7 +102,7 @@ class DmaEngine {
   PcieLink& link_;
   MemoryController& mc_;
   DmaEngineConfig config_;
-  std::deque<ReadRequest> read_queue_;
+  GrowRing<ReadRequest> read_queue_;
   int outstanding_reads_ = 0;
   DmaEngineStats stats_;
   Telemetry* tele_ = nullptr;

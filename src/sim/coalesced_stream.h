@@ -33,8 +33,8 @@
 #include <cassert>
 #include <cstdint>
 #include <utility>
-#include <vector>
 
+#include "common/grow_ring.h"
 #include "common/inline_function.h"
 #include "common/units.h"
 #include "sim/event_scheduler.h"
@@ -78,45 +78,6 @@ class CoalescedStream {
     Item item;
   };
 
-  // Minimal growable ring so steady-state push/pop never allocates (a
-  // std::deque releases its blocks when it empties, re-paying the allocator
-  // every burst). Capacity is a power of two and only ever grows.
-  class Ring {
-   public:
-    bool empty() const { return count_ == 0; }
-    std::size_t size() const { return count_; }
-    Entry& front() { return buf_[head_]; }
-    const Entry& back() const { return buf_[(head_ + count_ - 1) & (buf_.size() - 1)]; }
-
-    void push_back(Entry e) {
-      if (count_ == buf_.size()) grow();
-      buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(e);
-      ++count_;
-    }
-
-    Entry pop_front() {
-      Entry e = std::move(buf_[head_]);
-      head_ = (head_ + 1) & (buf_.size() - 1);
-      --count_;
-      return e;
-    }
-
-   private:
-    void grow() {
-      const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
-      std::vector<Entry> next(cap);
-      for (std::size_t i = 0; i < count_; ++i) {
-        next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
-      }
-      buf_ = std::move(next);
-      head_ = 0;
-    }
-
-    std::vector<Entry> buf_;
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
-  };
-
   void arm_front() {
     const Entry& front = queue_.front();
     armed_handle_ = sched_.schedule_at_with_seq(front.when, front.seq, [this]() { fire(); });
@@ -153,7 +114,7 @@ class CoalescedStream {
 
   EventScheduler& sched_;
   Handler handler_;
-  Ring queue_;
+  GrowRing<Entry> queue_;
   EventHandle armed_handle_;
   bool armed_ = false;
   bool in_fire_ = false;

@@ -1,3 +1,11 @@
+// Frozen array-of-structs LlcModel, pre-dating the structure-of-arrays
+// layout overhaul in src/host/cache.{h,cc}. This is NOT production code: it
+// is the reference oracle for the SoA equivalence test — randomized op
+// traces are replayed against both models and every observable (eviction
+// results, stats, occupancy, residency, tenant attribution) must match
+// exactly. Do not "fix" or modernize it; its value is that it is the old
+// implementation, verbatim apart from the namespace rename and the removed
+// telemetry hook.
 // Last-Level Cache model with a dedicated DDIO partition.
 //
 // The unit of tracking is an I/O buffer (one packet buffer, e.g. 2 KiB), the
@@ -15,9 +23,11 @@
 
 #include "common/units.h"
 
-namespace ceio {
+namespace ceio_aos {
 
-class MetricRegistry;
+// The oracle reuses the production vocabulary types (units, BufferId).
+using namespace ceio;  // NOLINT
+
 
 /// Identifies one cached I/O buffer (or app buffer). Allocated monotonically
 /// by whoever owns the memory (host buffer pool, app pools).
@@ -128,7 +138,7 @@ class LlcModel {
   /// plus the shared pool (capacities therefore overlap across tenants when
   /// a shared pool exists).
   std::size_t tenant_way_capacity(std::size_t tenant) const {
-    return num_sets_ *
+    return sets_.size() *
            (static_cast<std::size_t>(tenant_ways_[tenant]) + shared_io_ways_);
   }
   std::size_t tenant_ddio_occupancy(std::size_t tenant) const {
@@ -148,26 +158,24 @@ class LlcModel {
     for (auto& t : tenant_stats_) t = TenantLlcStats{};
   }
 
-  /// Exposes the cache's observables as pull gauges under "host.llc.*"
-  /// (telemetry subsystem; no-op cost until a sampler reads them).
-  void register_metrics(MetricRegistry& registry) const;
 
  private:
-  // Structure-of-arrays entry storage. The hot lookup scans one contiguous
-  // row of `BufferId` tags per set (io ways first, then app ways — 2 cache
-  // lines at the default 12-way geometry instead of the 8 an
-  // array-of-structs Entry row spanned); stamps, sizes and the packed state
-  // flags live in parallel cold arrays indexed by the same global way index
-  // `set * ways_per_set_ + way`. Invalid slots keep their tag parked at
-  // kInvalidTag so the tag compare alone rejects them and the scan stays
-  // branch-light; the flags byte is consulted only on a tag match.
-  static constexpr std::uint8_t kValid = 0x01;
-  static constexpr std::uint8_t kDirty = 0x02;
-  static constexpr std::uint8_t kReadSinceFill = 0x04;
-  static constexpr std::uint8_t kExpectRead = 0x08;
-  static constexpr std::uint8_t kIoPartition = 0x10;
-  static constexpr BufferId kInvalidTag = ~BufferId{0};
-  static constexpr std::size_t kNoWay = ~std::size_t{0};
+  // Per-entry metadata; LRU is per (set, partition) via a timestamp stamp.
+  struct Entry {
+    BufferId id = 0;
+    Bytes bytes{0};  // valid payload bytes (for write-back accounting)
+    bool expect_read = true;  // premature-eviction accounting applies
+    std::uint64_t stamp = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+    bool read_since_fill = false;
+    bool io_partition = false;
+  };
+
+  struct Set {
+    std::vector<Entry> io_ways;   // DDIO partition
+    std::vector<Entry> app_ways;  // regular partition
+  };
 
   // The set index is a pure function of the id (Fibonacci hash), so there is
   // no id->set side table to maintain: lookup hashes straight to the set and
@@ -175,17 +183,17 @@ class LlcModel {
   // default config: 512 sets) the reduction is a mask instead of a divide.
   std::size_t set_of(BufferId id) const {
     const auto h = static_cast<std::size_t>((id * 0x9e3779b97f4a7c15ULL) >> 32);
-    return set_mask_ != 0 ? (h & set_mask_) : h % num_sets_;
+    return set_mask_ != 0 ? (h & set_mask_) : h % sets_.size();
   }
-  std::size_t row_base(std::size_t set) const { return set * ways_per_set_; }
-  /// Global way index of the resident line, or kNoWay.
-  std::size_t find_way(BufferId id) const;
-  // Fills into the global-way-index range [first, last). `io_attr` enables
-  // per-tenant way attribution (io-partition fills with tenants configured);
-  // `row0` is the set's row base (way index 0 of its io partition).
-  Evicted fill_range(std::size_t first, std::size_t last, bool io_attr, std::size_t row0,
-                     BufferId id, Bytes size, bool io_partition, bool dirty,
-                     bool expect_read = true);
+  Entry* find(BufferId id);
+  const Entry* find(BufferId id) const;
+  // Fills into [first, last). `io_base` is the set's io_ways base pointer when
+  // filling the DDIO partition (enables per-tenant way attribution), nullptr
+  // for app-way fills.
+  Evicted fill(Entry* first, Entry* last, Entry* io_base, BufferId id, Bytes size,
+               bool io_partition, bool dirty, bool expect_read = true);
+  Evicted fill(std::vector<Entry>& ways, BufferId id, Bytes size, bool io_partition, bool dirty,
+               bool expect_read = true);
   // Which tenant owns DDIO way index `way` (contiguous slices).
   std::size_t tenant_of_way(std::size_t way) const;
   // Which tenant a resident io line belongs to: its way's owner inside an
@@ -193,20 +201,12 @@ class LlcModel {
   std::size_t tenant_of_entry(std::size_t way, BufferId id) const {
     return way < tenant_slice_end_ ? tenant_of_way(way) : tenant_of(id);
   }
-  Evicted fill_io_tenanted(std::size_t row0, std::size_t tenant, BufferId id, Bytes size,
+  Evicted fill_io_tenanted(Set& set, std::size_t tenant, BufferId id, Bytes size,
                            bool expect_read);
-  void note_io_eviction(std::size_t way, std::size_t idx);
-  void place(std::size_t idx, BufferId id, Bytes size, bool io_partition, bool dirty,
-             bool expect_read);
+  void note_io_eviction(std::size_t way, const Entry& victim);
 
   LlcConfig config_;
-  std::size_t num_sets_ = 0;
-  std::size_t ways_per_set_ = 0;     // io + app ways per set (row width)
-  std::size_t io_ways_per_set_ = 0;  // DDIO partition: ways [0, io_ways_per_set_)
-  std::vector<BufferId> tags_;       // hot: scanned on every lookup
-  std::vector<std::uint64_t> stamps_;  // cold: LRU recency clock
-  std::vector<Bytes> bytes_;           // cold: payload bytes (write-back size)
-  std::vector<std::uint8_t> flags_;    // cold: kValid | kDirty | ... bits
+  std::vector<Set> sets_;
   std::size_t set_mask_ = 0;  // sets-1 when the set count is a power of two, else 0
   // Tenant partitioning state; all empty until set_tenant_ways (zero overhead
   // on the untenanted path).
@@ -223,15 +223,15 @@ class LlcModel {
     std::size_t tenant = 0;
   };
   std::vector<TenantRange> tenant_ranges_;
-  // One-entry MRU lookup cache. Way storage never moves after construction,
-  // and find_way() re-validates (tag + valid bit) before trusting it, so a
-  // stale index is harmless and no explicit invalidation is needed.
+  // One-entry MRU lookup cache. Entry storage never moves after construction,
+  // and find() re-validates (valid && id match) before trusting it, so stale
+  // pointers are harmless and no explicit invalidation is needed.
   mutable BufferId last_id_ = 0;
-  mutable std::size_t last_way_ = kNoWay;
+  mutable Entry* last_entry_ = nullptr;
   std::uint64_t clock_ = 0;
   std::size_t ddio_resident_ = 0;
   std::size_t ddio_capacity_ = 0;
   LlcStats stats_;
 };
 
-}  // namespace ceio
+}  // namespace ceio_aos

@@ -166,7 +166,8 @@ TEST(BufferPool, BaseOffsetsIdRanges) {
 // ---------- RxRing ----------
 
 TEST(RxRing, PostPollDropAccounting) {
-  RxRing ring(2, "test");
+  PacketPool pool;
+  RxRing ring(2, pool, "test");
   EXPECT_TRUE(ring.post(make_packet(1)));
   EXPECT_TRUE(ring.post(make_packet(2)));
   EXPECT_FALSE(ring.post(make_packet(3)));

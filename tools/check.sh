@@ -29,9 +29,13 @@
 #  11. perf gate            bench/perf_core from the release tree vs the
 #                           committed BENCH_perf_core.json baseline; fails on
 #                           a >25% drop in events_per_sec, llc_ops_per_sec,
-#                           sharded_pkts_per_sec, multitenant_pkts_per_sec
-#                           or fig10_governed_pkts_per_sec (one rerun
-#                           absorbs noise)
+#                           the three per-case llc_* keys (hit-heavy /
+#                           miss-heavy / premature-evict — the aggregate can
+#                           hide a one-pattern regression),
+#                           flow_lookup_ops_per_sec, sharded_pkts_per_sec,
+#                           multitenant_pkts_per_sec or
+#                           fig10_governed_pkts_per_sec (one rerun absorbs
+#                           noise)
 #
 # Usage: tools/check.sh [--quick]
 #   --quick runs stages 1-2 only (lint + release tests).
@@ -269,7 +273,9 @@ import json, sys
 base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
 ok = True
-for key in ("events_per_sec", "llc_ops_per_sec", "sharded_pkts_per_sec",
+for key in ("events_per_sec", "llc_ops_per_sec", "llc_hit_heavy_ops_per_sec",
+            "llc_miss_heavy_ops_per_sec", "llc_premature_evict_ops_per_sec",
+            "flow_lookup_ops_per_sec", "sharded_pkts_per_sec",
             "multitenant_pkts_per_sec", "fig10_governed_pkts_per_sec"):
     b, f = float(base[key]), float(fresh[key])
     ratio = f / b if b else 1.0

@@ -38,6 +38,17 @@ vector-return
     PacketBurst / caller-provided-buffer forms exist to avoid. Legacy
     convenience wrappers annotate with `// lint: allow-vector-return`.
 
+packet-copy
+    The hot delivery layers (src/nic, src/sim, src/ceio, src/baselines,
+    src/iopath) move packets as 4-byte pooled PacketRef handles; an API that
+    takes `Packet` by value or returns `std::vector<Packet>` reintroduces an
+    ~80-byte struct copy (or a heap allocation) per hop. By-value `Packet`
+    parameters are checked in headers (the API surface — each one is either
+    a copy bug or a deliberate move-sink, and a move-sink declares itself
+    with `// lint: allow-packet-copy`); vector<Packet> returns are checked
+    in headers and sources (`// lint: allow-vector-return` on an existing
+    legacy wrapper also satisfies this rule, so one annotation suffices).
+
 unreflected-config
     Every `struct *Config` defined in src/ must have a field-visitor
     registration (`visit_fields(XConfig&, ...)`, normally in
@@ -230,6 +241,40 @@ def check_vector_return(findings: list[Finding]) -> None:
                             "annotate '// lint: allow-vector-return' on a legacy wrapper"))
 
 
+# Hot-path layers where packets travel as pooled refs. `\bPacket\b\s+\w+`
+# deliberately fails on `Packet&`, `const Packet&` and `Packet*` (no
+# whitespace after the type name) and on PacketRef/PacketBurst/PacketWork
+# (no word boundary), so only genuine by-value parameters match.
+PACKET_COPY_DIRS = ("src/nic", "src/sim", "src/ceio", "src/baselines", "src/iopath")
+PACKET_BY_VALUE_RE = re.compile(r"\bPacket\b\s+\w+\s*[,)]")
+
+
+def check_packet_copy(findings: list[Finding]) -> None:
+    rule = "packet-copy"
+    suppress = SUPPRESS_FMT.format(rule=rule)
+    for path in iter_files(PACKET_COPY_DIRS, (".h", ".cc", ".cpp")):
+        vector_re = VECTOR_RETURN_DECL_RE if path.suffix == ".h" else VECTOR_RETURN_DEF_RE
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if suppress in line or is_comment(line):
+                continue
+            if vector_re.search(line) and "lint: allow-vector-return" not in line:
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "std::vector<Packet> return on a pooled hot path; "
+                            "hand out PacketRef handles or drain into a "
+                            "caller-provided buffer, or annotate "
+                            "'// lint: allow-packet-copy'"))
+            # Parameters: headers only — the API surface; definitions mirror
+            # their declaration, so one annotation point per function.
+            if path.suffix == ".h" and PACKET_BY_VALUE_RE.search(line):
+                findings.append(
+                    Finding(rule, path, lineno,
+                            "by-value Packet parameter on a pooled hot path copies "
+                            "~80 bytes per hop; take a PacketRef (or const Packet&), "
+                            "or annotate a deliberate move-sink with "
+                            "'// lint: allow-packet-copy'"))
+
+
 CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Config)\b\s*(?:\{|$)")
 VISIT_FIELDS_RE = re.compile(r"\bvisit_fields\(\s*(?:\w+::)*(\w+)\s*&")
 
@@ -314,6 +359,7 @@ def check_raw_actuator(findings: list[Finding]) -> None:
 
 RULES = {
     "cross-shard": check_cross_shard,
+    "packet-copy": check_packet_copy,
     "raw-actuator": check_raw_actuator,
     "raw-unit-param": check_raw_unit_params,
     "std-function-hot-path": check_std_function_hot_path,
